@@ -1,0 +1,75 @@
+// Ablation: the weight parameters of the synthesis cost functions.
+//
+// Definition 1's alpha trades bandwidth against latency tightness in the
+// VCG edge weights ("The value of the weight parameter alpha can be set
+// experimentally or obtained as an input from the user, depending on the
+// importance of performance and power consumption objectives"), and the
+// router's alpha_power trades power against latency when opening links.
+// The paper does not plot these sweeps; we record them as the design-choice
+// ablation DESIGN.md calls out.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+void print_alpha_sweep() {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+
+  bench::print_header("Ablation: Definition-1 alpha (VCG weight) sweep",
+                      "Seiculescu et al., DAC 2009, Definition 1");
+  std::printf("%-8s %-18s %-18s %-14s\n", "alpha", "best power [mW]",
+              "best latency [cy]", "design points");
+  for (const double alpha : {0.0, 0.25, 0.5, 0.6, 0.75, 1.0}) {
+    core::SynthesisOptions options;
+    options.alpha = alpha;
+    const core::SynthesisResult result = core::synthesize(spec, options);
+    if (result.points.empty()) {
+      std::printf("%-8.2f (no design point)\n", alpha);
+      continue;
+    }
+    std::printf("%-8.2f %-18.2f %-18.2f %-14zu\n", alpha,
+                result.best_power().metrics.noc_dynamic_w * 1e3,
+                result.best_latency().metrics.avg_latency_cycles,
+                result.points.size());
+  }
+
+  std::printf("\n");
+  bench::print_header("Ablation: router alpha_power (link-cost weight) sweep",
+                      "Seiculescu et al., DAC 2009, Section 4 step 15");
+  std::printf("%-12s %-18s %-18s %-12s\n", "alpha_pow", "best power [mW]",
+              "avg latency [cy]", "links");
+  for (const double ap : {0.0, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    core::SynthesisOptions options;
+    options.alpha_power = ap;
+    const core::SynthesisResult result = core::synthesize(spec, options);
+    if (result.points.empty()) {
+      std::printf("%-12.2f (no design point)\n", ap);
+      continue;
+    }
+    const core::DesignPoint& best = result.best_power();
+    std::printf("%-12.2f %-18.2f %-18.2f %-12d\n", ap,
+                best.metrics.noc_dynamic_w * 1e3, best.metrics.avg_latency_cycles,
+                best.metrics.link_count);
+  }
+  std::printf("\n(expected: latency-heavy weights buy shorter paths at higher power)\n\n");
+}
+
+void BM_AlphaZero(benchmark::State& state) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+  core::SynthesisOptions options;
+  options.alpha = 0.0;
+  vinoc::bench::time_synthesis(state, spec, options);
+}
+BENCHMARK(BM_AlphaZero)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_alpha_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

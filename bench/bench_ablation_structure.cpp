@@ -1,0 +1,140 @@
+// Ablation: structural design choices of the synthesized NoC.
+//
+//  (a) The intermediate NoC VI (Section 3.2: "our method can explore
+//      solutions where a separate NoC VI can be created... only if the
+//      resources are available"): we compare the sweep with and without it.
+//  (b) The NoC data width (Section 4: "without loss of generality, we fix
+//      the data width of the NoC links to a user-defined value. Please note
+//      that it could be varied in a range and more design points could be
+//      explored"): we sweep 16/32/64-bit links. Wider links lower the
+//      island clocks (larger max switch sizes) at more wires per link.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+void print_tables() {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+
+  bench::print_header("Ablation: intermediate NoC VI on/off (D26, 6 VIs, logical)",
+                      "Seiculescu et al., DAC 2009, Section 3.2");
+  std::printf("%-14s %-14s %-18s %-18s %-10s\n", "intermediate", "points",
+              "best power [mW]", "avg latency [cy]", "fifos");
+  for (const bool allow : {false, true}) {
+    core::SynthesisOptions options;
+    options.allow_intermediate_island = allow;
+    const core::SynthesisResult result = core::synthesize(spec, options);
+    if (result.points.empty()) {
+      std::printf("%-14s (no design point)\n", allow ? "allowed" : "off");
+      continue;
+    }
+    const core::DesignPoint& best = result.best_power();
+    std::printf("%-14s %-14zu %-18.2f %-18.2f %-10d\n",
+                allow ? "allowed" : "off", result.points.size(),
+                best.metrics.noc_dynamic_w * 1e3, best.metrics.avg_latency_cycles,
+                best.metrics.fifo_count);
+  }
+
+  std::printf("\n");
+  bench::print_header("Ablation: NoC link data width (D26, 6 VIs, logical)",
+                      "Seiculescu et al., DAC 2009, Section 4");
+  std::printf("%-10s %-18s %-18s %-18s %-16s\n", "width", "best power [mW]",
+              "avg latency [cy]", "max island MHz", "max sw ports");
+  for (const int width : {16, 32, 64, 128}) {
+    core::SynthesisOptions options;
+    options.link_width_bits = width;
+    core::SynthesisResult result;
+    try {
+      result = core::synthesize(spec, options);
+    } catch (const std::invalid_argument& e) {
+      std::printf("%-10d infeasible: %s\n", width, e.what());
+      continue;
+    }
+    if (result.points.empty()) {
+      std::printf("%-10d (no design point)\n", width);
+      continue;
+    }
+    double f_max = 0.0;
+    for (const core::IslandNocParams& p : result.island_params) {
+      f_max = std::max(f_max, p.freq_hz);
+    }
+    const core::DesignPoint& best = result.best_power();
+    std::printf("%-10d %-18.2f %-18.2f %-18.0f %-16d\n", width,
+                best.metrics.noc_dynamic_w * 1e3, best.metrics.avg_latency_cycles,
+                f_max / 1e6, best.metrics.max_switch_ports);
+  }
+  std::printf("\n");
+  bench::print_header(
+      "Ablation: hub concentration — when the intermediate VI is required",
+      "Seiculescu et al., DAC 2009, Section 4 (max_sw_size constraint)");
+  // A star SoC: one memory hub, 17 clients, every core in its own island.
+  // The hub's aggregate NI traffic (17 x 1.7 Gbit/s ~ 29 Gbit/s) pushes its
+  // island clock to ~950 MHz, where the crossbar critical path caps the
+  // switch at a handful of ports — far fewer than 17 direct links. Only the
+  // intermediate NoC VI can concentrate the traffic ("By using switches in
+  // an intermediate NoC island, the number of switch-to-switch links can be
+  // reduced").
+  soc::SocSpec star_base;
+  star_base.name = "star18";
+  star_base.islands = {{"tmp", 1.0, false}};
+  auto add_core = [&star_base](const std::string& name, soc::CoreKind kind) {
+    soc::CoreSpec c;
+    c.name = name;
+    c.kind = kind;
+    c.island = 0;
+    c.dynamic_power_w = 0.05;
+    c.leakage_power_w = 0.02;
+    star_base.cores.push_back(c);
+  };
+  add_core("hub", soc::CoreKind::kMemory);
+  for (int i = 0; i < 17; ++i) {
+    add_core("client" + std::to_string(i), soc::CoreKind::kDsp);
+    soc::Flow f;
+    f.src = static_cast<soc::CoreId>(i + 1);
+    f.dst = 0;
+    f.bandwidth_bits_per_s = 1.7e9;
+    f.max_latency_cycles = 25;
+    f.label = "client" + std::to_string(i) + "->hub";
+    star_base.flows.push_back(f);
+  }
+  const soc::SocSpec star_spec = soc::with_logical_islands(star_base, 18);
+  std::printf("%-14s %-14s %-18s %-18s %-14s\n", "intermediate", "points",
+              "best power [mW]", "avg latency [cy]", "NoC-VI switches");
+  for (const bool allow : {false, true}) {
+    core::SynthesisOptions options;
+    options.allow_intermediate_island = allow;
+    options.max_intermediate_switches = 8;
+    const core::SynthesisResult result = core::synthesize(star_spec, options);
+    if (result.points.empty()) {
+      std::printf("%-14s 0              (unroutable: hub switch out of ports)\n",
+                  allow ? "allowed" : "off");
+      continue;
+    }
+    const core::DesignPoint& best = result.best_power();
+    std::printf("%-14s %-14zu %-18.2f %-18.2f %-14d\n",
+                allow ? "allowed" : "off", result.points.size(),
+                best.metrics.noc_dynamic_w * 1e3,
+                best.metrics.avg_latency_cycles, best.intermediate_switches);
+  }
+  std::printf("\n");
+}
+
+void BM_NoIntermediate(benchmark::State& state) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+  core::SynthesisOptions options;
+  options.allow_intermediate_island = false;
+  vinoc::bench::time_synthesis(state, spec, options);
+}
+BENCHMARK(BM_NoIntermediate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

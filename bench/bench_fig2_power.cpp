@@ -1,0 +1,97 @@
+// Figure 2 reproduction: NoC dynamic power consumption vs. voltage-island
+// count on the D26 mobile/multimedia SoC, for logical partitioning vs.
+// communication-based partitioning.
+//
+// Paper shape to reproduce (DAC'09, Fig. 2):
+//  * the 1-island point is the reference (a NoC synthesized with no VI
+//    constraints);
+//  * logical partitioning pays a power overhead that grows with the island
+//    count (more high-bandwidth flows cross islands);
+//  * communication-based partitioning stays at or below the reference for
+//    small island counts (heavy flows stay local and some islands run their
+//    NoC slower), and stays cheaper than logical partitioning throughout.
+#include "bench_util.hpp"
+#include "vinoc/io/plots.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+void print_table() {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  core::SynthesisOptions options;
+
+  bench::print_header("Figure 2: VI count vs. NoC dynamic power (D26 media SoC)",
+                      "Seiculescu et al., DAC 2009, Figure 2");
+  std::printf("%-10s %-28s %-28s\n", "islands", "logical power [mW]",
+              "comm-based power [mW]");
+
+  io::Series logical_series{"logical partitioning", {}};
+  io::Series comm_series{"communication-based partitioning", {}};
+  double ref_power_mw = -1.0;
+  for (const int k : bench::figure_island_counts(
+           static_cast<int>(d26.soc.core_count()))) {
+    const soc::SocSpec spec_log =
+        soc::with_logical_islands(d26.soc, k, d26.use_cases);
+    const soc::SocSpec spec_com =
+        soc::with_communication_islands(d26.soc, k, d26.use_cases);
+    const bench::SweepPoint log_pt = bench::run_point(spec_log, options);
+    const bench::SweepPoint com_pt = bench::run_point(spec_com, options);
+    if (k == 1 && log_pt.ok) {
+      ref_power_mw = log_pt.metrics.paper_noc_dynamic_w() * 1e3;
+    }
+
+    auto fmt = [ref_power_mw](const bench::SweepPoint& p) {
+      if (!p.ok) return std::string("(no design point)");
+      char buf[64];
+      const double mw = p.metrics.paper_noc_dynamic_w() * 1e3;
+      if (ref_power_mw > 0.0) {
+        std::snprintf(buf, sizeof buf, "%8.2f  (%+6.1f%% vs ref)", mw,
+                      (mw / ref_power_mw - 1.0) * 100.0);
+      } else {
+        std::snprintf(buf, sizeof buf, "%8.2f", mw);
+      }
+      return std::string(buf);
+    };
+    std::printf("%-10d %-28s %-28s\n", k, fmt(log_pt).c_str(), fmt(com_pt).c_str());
+    if (log_pt.ok) {
+      logical_series.points.emplace_back(k, log_pt.metrics.paper_noc_dynamic_w() * 1e3);
+    }
+    if (com_pt.ok) {
+      comm_series.points.emplace_back(k, com_pt.metrics.paper_noc_dynamic_w() * 1e3);
+    }
+  }
+  io::PlotSpec plot;
+  plot.title = "Fig. 2: VI count vs. NoC dynamic power (D26)";
+  plot.xlabel = "island count";
+  plot.ylabel = "power [mW]";
+  plot.series = {logical_series, comm_series};
+  io::write_plot("d26_fig2_power", plot);
+  std::printf("\nwrote d26_fig2_power.{dat,gp} (render: gnuplot d26_fig2_power.gp)\n");
+  std::printf("\n(ref = 1-island design; paper: logical pays an overhead,\n"
+              " communication-based dips below the reference)\n\n");
+}
+
+void BM_SynthesizeD26Logical6(benchmark::State& state) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+  bench::time_synthesis(state, spec, {});
+}
+BENCHMARK(BM_SynthesizeD26Logical6)->Unit(benchmark::kMillisecond);
+
+void BM_SynthesizeD26Comm6(benchmark::State& state) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec =
+      soc::with_communication_islands(d26.soc, 6, d26.use_cases);
+  bench::time_synthesis(state, spec, {});
+}
+BENCHMARK(BM_SynthesizeD26Comm6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

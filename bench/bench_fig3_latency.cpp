@@ -1,0 +1,116 @@
+// Figure 3 reproduction: average zero-load packet latency (cycles) vs.
+// voltage-island count on the D26 SoC, logical vs. communication-based
+// partitioning.
+//
+// Paper shape to reproduce (DAC'09, Fig. 3):
+//  * latency is lowest with 1 island (~3-3.5 cycles) and rises with the
+//    island count, because every island crossing pays the 4-cycle
+//    bi-synchronous converter delay;
+//  * at 26 islands (every core alone) every flow crosses and the average
+//    roughly doubles (~7 cycles in the paper).
+//
+// We additionally validate the analytic zero-load number against the
+// flit-level simulator at 5% injection scale (sim and model must agree to
+// within a fraction of a cycle at near-zero load).
+#include "bench_util.hpp"
+#include "vinoc/io/plots.hpp"
+#include "vinoc/sim/simulator.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+struct LatencyPoint {
+  bool ok = false;
+  double analytic = 0.0;
+  double simulated = 0.0;
+};
+
+LatencyPoint latency_of(const soc::SocSpec& spec,
+                        const core::SynthesisOptions& options) {
+  LatencyPoint p;
+  const core::SynthesisResult result = core::synthesize(spec, options);
+  if (result.points.empty()) return p;
+  const core::DesignPoint& best = result.best_power();
+  p.ok = true;
+  p.analytic = best.metrics.avg_latency_cycles;
+
+  sim::SimOptions sopts;
+  sopts.injection_scale = 0.05;  // near zero-load
+  sopts.duration_cycles = 200'000;
+  sopts.warmup_cycles = 20'000;
+  const sim::SimReport report =
+      sim::simulate(best.topology, spec, options.tech, sopts);
+  p.simulated = report.avg_latency_cycles;
+  return p;
+}
+
+void print_table() {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  core::SynthesisOptions options;
+
+  bench::print_header(
+      "Figure 3: VI count vs. average zero-load latency (D26 media SoC)",
+      "Seiculescu et al., DAC 2009, Figure 3");
+  std::printf("%-10s %-22s %-22s %-22s %-22s\n", "islands", "logical [cycles]",
+              "logical (sim)", "comm-based [cycles]", "comm-based (sim)");
+
+  io::Series log_series{"logical partitioning", {}};
+  io::Series com_series{"communication-based partitioning", {}};
+  for (const int k :
+       bench::figure_island_counts(static_cast<int>(d26.soc.core_count()))) {
+    const LatencyPoint log_pt =
+        latency_of(soc::with_logical_islands(d26.soc, k, d26.use_cases), options);
+    const LatencyPoint com_pt = latency_of(
+        soc::with_communication_islands(d26.soc, k, d26.use_cases), options);
+    auto val = [](const LatencyPoint& p, bool simulated) {
+      if (!p.ok) return std::string("(none)");
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2f", simulated ? p.simulated : p.analytic);
+      return std::string(buf);
+    };
+    std::printf("%-10d %-22s %-22s %-22s %-22s\n", k,
+                val(log_pt, false).c_str(), val(log_pt, true).c_str(),
+                val(com_pt, false).c_str(), val(com_pt, true).c_str());
+    if (log_pt.ok) log_series.points.emplace_back(k, log_pt.analytic);
+    if (com_pt.ok) com_series.points.emplace_back(k, com_pt.analytic);
+  }
+  io::PlotSpec plot;
+  plot.title = "Fig. 3: VI count vs. average zero-load latency (D26)";
+  plot.xlabel = "island count";
+  plot.ylabel = "latency [cycles]";
+  plot.series = {log_series, com_series};
+  io::write_plot("d26_fig3_latency", plot);
+  std::printf("\nwrote d26_fig3_latency.{dat,gp}\n");
+  std::printf("\n(paper: rises from ~3.2 cycles at 1 island to ~7 at 26;\n"
+              " each island crossing costs the 4-cycle bi-sync converter)\n\n");
+}
+
+void BM_SimulateD26Logical6(benchmark::State& state) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+  core::SynthesisOptions options;
+  const core::SynthesisResult result = core::synthesize(spec, options);
+  if (result.points.empty()) {
+    state.SkipWithError("no design point");
+    return;
+  }
+  const core::DesignPoint& best = result.best_power();
+  sim::SimOptions sopts;
+  sopts.duration_cycles = 20'000;
+  sopts.warmup_cycles = 2'000;
+  for (auto _ : state) {
+    const sim::SimReport r = sim::simulate(best.topology, spec, options.tech, sopts);
+    benchmark::DoNotOptimize(r.packets_delivered);
+  }
+}
+BENCHMARK(BM_SimulateD26Logical6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 4 reproduction: an example synthesized topology for the D26 SoC
+// with 6 voltage islands under logical partitioning.
+//
+// The paper shows the topology as a drawing; we emit the same information as
+// Graphviz DOT (written to d26_fig4_topology.dot) and print a structural
+// summary: switches per island, link list with FIFO markers, and the
+// shutdown-safety audit.
+#include "bench_util.hpp"
+#include "vinoc/core/shutdown_safety.hpp"
+#include "vinoc/io/exports.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+void print_topology() {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+  core::SynthesisOptions options;
+  const core::SynthesisResult result = core::synthesize(spec, options);
+
+  bench::print_header("Figure 4: example topology (D26, 6 VIs, logical partitioning)",
+                      "Seiculescu et al., DAC 2009, Figure 4");
+  if (result.points.empty()) {
+    std::printf("no design point found\n");
+    return;
+  }
+  const core::DesignPoint& best = result.best_power();
+  const core::NocTopology& topo = best.topology;
+
+  std::printf("design point: %.2f mW (switches+links+fifos), %.2f cycles avg\n\n",
+              best.metrics.paper_noc_dynamic_w() * 1e3,
+              best.metrics.avg_latency_cycles);
+
+  for (std::size_t isl = 0; isl < spec.islands.size(); ++isl) {
+    std::printf("island %-8s (%s, NoC @ %.0f MHz):\n", spec.islands[isl].name.c_str(),
+                spec.islands[isl].can_shutdown ? "gateable" : "always-on",
+                topo.island_freq_hz[isl] / 1e6);
+    for (std::size_t s = 0; s < topo.switches.size(); ++s) {
+      if (topo.switches[s].island != static_cast<soc::IslandId>(isl)) continue;
+      std::printf("  sw%zu:", s);
+      for (const soc::CoreId c : topo.switches[s].cores) {
+        std::printf(" %s", spec.cores[static_cast<std::size_t>(c)].name.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  int n_inter = 0;
+  for (const core::SwitchInst& s : topo.switches) {
+    if (s.island == core::kIntermediateIsland) ++n_inter;
+  }
+  std::printf("intermediate NoC VI switches: %d\n\n", n_inter);
+
+  std::printf("links (%zu total, %d island crossings via bi-sync FIFOs):\n",
+              topo.links.size(), best.metrics.fifo_count);
+  for (std::size_t l = 0; l < topo.links.size(); ++l) {
+    const core::TopLink& link = topo.links[l];
+    std::printf("  sw%-3d -> sw%-3d %7.1f MB/s, %4.2f mm%s\n", link.src_switch,
+                link.dst_switch, link.carried_bw_bits_per_s / 8e6, link.length_mm,
+                link.crosses_island ? "  [FIFO]" : "");
+  }
+
+  const auto violations = core::verify_shutdown_safety(topo, spec);
+  std::printf("\nshutdown-safety audit: %s\n",
+              violations.empty() ? "PASS (no flow transits a third gateable island)"
+                                 : violations.front().c_str());
+
+  io::write_file("d26_fig4_topology.dot", io::topology_to_dot(topo, spec));
+  std::printf("wrote d26_fig4_topology.dot\n\n");
+}
+
+void BM_SynthesizeFig4(benchmark::State& state) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+  vinoc::bench::time_synthesis(state, spec, {});
+}
+BENCHMARK(BM_SynthesizeFig4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_topology();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 5 reproduction: an example floorplan for the D26 SoC with the
+// synthesized NoC components inserted (same design point as Figure 4).
+//
+// Emits d26_fig5_floorplan.svg and prints the placement table: island
+// regions, core rectangles, switch positions, and the wiring totals.
+#include "bench_util.hpp"
+#include "vinoc/io/exports.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+void print_floorplan() {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+  core::SynthesisOptions options;
+  const core::SynthesisResult result = core::synthesize(spec, options);
+
+  bench::print_header("Figure 5: example floorplan (D26, 6 VIs, logical partitioning)",
+                      "Seiculescu et al., DAC 2009, Figure 5");
+  const floorplan::Floorplan& fp = result.floorplan;
+  std::printf("chip: %.2f x %.2f mm (%.1f mm^2), %zu islands, %zu cores\n\n",
+              fp.chip_width_mm(), fp.chip_height_mm(), fp.chip_area_mm2(),
+              fp.island_count(), fp.core_count());
+
+  std::printf("%-12s %-10s %-10s %-10s %-10s\n", "island", "x[mm]", "y[mm]",
+              "w[mm]", "h[mm]");
+  for (std::size_t isl = 0; isl < fp.island_count(); ++isl) {
+    const floorplan::Rect& r = fp.island_rect(static_cast<soc::IslandId>(isl));
+    std::printf("%-12s %-10.2f %-10.2f %-10.2f %-10.2f\n",
+                spec.islands[isl].name.c_str(), r.x_mm, r.y_mm, r.w_mm, r.h_mm);
+  }
+
+  const auto problems = fp.validate(spec);
+  std::printf("\nfloorplan validity: %s\n",
+              problems.empty() ? "PASS (no overlaps, islands contiguous)"
+                               : problems.front().c_str());
+
+  if (!result.points.empty()) {
+    const core::DesignPoint& best = result.best_power();
+    std::printf("NoC inserted: %d switches, %zu links, %.1f mm of wiring\n",
+                best.metrics.switch_count, best.topology.links.size(),
+                best.metrics.total_wire_mm);
+    io::write_file("d26_fig5_floorplan.svg",
+                   io::floorplan_to_svg(fp, spec, &best.topology));
+    std::printf("wrote d26_fig5_floorplan.svg\n\n");
+  }
+}
+
+void BM_FloorplanD26(benchmark::State& state) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+  for (auto _ : state) {
+    const floorplan::Floorplan fp = floorplan::Floorplan::build(spec);
+    benchmark::DoNotOptimize(fp.chip_area_mm2());
+  }
+}
+BENCHMARK(BM_FloorplanD26)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_floorplan();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Related-work baseline: application-specific synthesized NoC vs. mapping
+// the application onto a regular 2D mesh ([9]-[11] in the paper).
+//
+// The paper's premise ("There are several approaches presented to synthesize
+// application-specific NoCs ... none of them consider the issue of shutdown
+// of VIs") assumes custom topologies are the right starting point; this
+// bench quantifies why: for heterogeneous SoC traffic, the custom topology
+// beats the mesh on power (fewer, right-sized switches; short paths for
+// heavy flows) at comparable or better latency. Both designs use identical
+// 65 nm component models, so the ratio is a fair apples-to-apples number.
+#include "bench_util.hpp"
+#include "vinoc/core/mesh_baseline.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+void print_table() {
+  bench::print_header("Custom synthesized NoC vs. regular 2D-mesh baseline",
+                      "Seiculescu et al., DAC 2009, Sections 1-2 (refs [9]-[11])");
+  std::printf("%-16s %-8s %-26s %-26s %-10s\n", "benchmark", "mesh",
+              "power custom/mesh [mW]", "latency custom/mesh [cy]", "mesh util");
+
+  for (const soc::Benchmark& bm : soc::all_benchmarks()) {
+    const soc::SocSpec spec = soc::with_logical_islands(bm.soc, 1, bm.use_cases);
+    core::SynthesisOptions options;
+    const core::SynthesisResult custom = core::synthesize(spec, options);
+    const core::MeshResult mesh = core::synthesize_mesh_baseline(spec);
+    if (custom.points.empty() || !mesh.ok) {
+      std::printf("%-16s (failed: %s)\n", bm.soc.name.c_str(),
+                  mesh.ok ? "no custom design point" : mesh.failure_reason.c_str());
+      continue;
+    }
+    const core::Metrics& mc = custom.best_power().metrics;
+    const core::Metrics& mm = mesh.metrics;
+    char grid[16];
+    std::snprintf(grid, sizeof grid, "%dx%d", mesh.rows, mesh.cols);
+    char pw[64];
+    std::snprintf(pw, sizeof pw, "%7.1f / %7.1f (%.2fx)", mc.noc_dynamic_w * 1e3,
+                  mm.noc_dynamic_w * 1e3, mm.noc_dynamic_w / mc.noc_dynamic_w);
+    char lat[64];
+    std::snprintf(lat, sizeof lat, "%5.2f / %5.2f", mc.avg_latency_cycles,
+                  mm.avg_latency_cycles);
+    std::printf("%-16s %-8s %-26s %-26s %-10.2f\n", bm.soc.name.c_str(), grid,
+                pw, lat, mesh.max_link_utilization);
+  }
+  std::printf("\n(custom topologies use fewer, right-sized switches; the mesh\n"
+              " pays for a full fabric. util > 1 means the mesh cannot even\n"
+              " carry the traffic at this link width.)\n\n");
+}
+
+void BM_MeshBaselineD26(benchmark::State& state) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 1, d26.use_cases);
+  for (auto _ : state) {
+    const core::MeshResult r = core::synthesize_mesh_baseline(spec);
+    benchmark::DoNotOptimize(r.metrics.noc_dynamic_w);
+  }
+}
+BENCHMARK(BM_MeshBaselineD26)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Reproduction of the paper's headline overhead claims (Section 5, text):
+//
+//   "For the different SoC benchmarks, we found that the topologies
+//    synthesized to support multiple VIs incur a 3% overhead on the total
+//    system's dynamic power. We found that the area overhead is also
+//    negligible, with less than 0.5% increase in the total SoC area."
+//
+// For every benchmark we synthesize (a) the shutdown-oblivious baseline —
+// the same algorithm with all cores in a single island, i.e. no FIFO
+// converters and no island routing restrictions — and (b) the VI-aware
+// design on the logical islanding. Overheads are quoted against *total SoC*
+// dynamic power / area, exactly as in the paper.
+#include <algorithm>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+struct Row {
+  std::string name;
+  int islands = 0;
+  bool ok = false;
+  double noc_base_mw = 0.0;
+  double noc_vi_mw = 0.0;
+  double power_overhead_pct = 0.0;  ///< of total SoC dynamic power
+  double area_overhead_pct = 0.0;   ///< of total SoC area
+};
+
+Row eval_benchmark(const soc::Benchmark& bm, int islands) {
+  Row row;
+  row.name = bm.soc.name;
+  core::SynthesisOptions options;
+
+  const soc::SocSpec base_spec = soc::with_logical_islands(bm.soc, 1, bm.use_cases);
+  const soc::SocSpec vi_spec =
+      soc::with_logical_islands(bm.soc, islands, bm.use_cases);
+  row.islands = static_cast<int>(vi_spec.islands.size());
+
+  const core::SynthesisResult base = core::synthesize(base_spec, options);
+  const core::SynthesisResult vi = core::synthesize(vi_spec, options);
+  if (base.points.empty() || vi.points.empty()) return row;
+  const core::Metrics& mb = base.best_power().metrics;
+  const core::Metrics& mv = vi.best_power().metrics;
+
+  const double soc_dyn_w = bm.soc.total_core_dynamic_w() + mb.noc_dynamic_w;
+  const double soc_area_mm2 = bm.soc.total_core_area_mm2() + mb.noc_area_mm2;
+
+  row.ok = true;
+  row.noc_base_mw = mb.noc_dynamic_w * 1e3;
+  row.noc_vi_mw = mv.noc_dynamic_w * 1e3;
+  row.power_overhead_pct =
+      (mv.noc_dynamic_w - mb.noc_dynamic_w) / soc_dyn_w * 100.0;
+  row.area_overhead_pct = (mv.noc_area_mm2 - mb.noc_area_mm2) / soc_area_mm2 * 100.0;
+  return row;
+}
+
+void print_table() {
+  bench::print_header(
+      "Overhead of shutdown support vs. shutdown-oblivious baseline",
+      "Seiculescu et al., DAC 2009, Section 5 (3% power / 0.5% area claims)");
+
+  std::vector<soc::Benchmark> suite = soc::all_benchmarks();
+  {
+    soc::SyntheticParams sp;
+    sp.cores = 20;
+    sp.seed = 3;
+    suite.push_back(soc::make_synthetic_soc(sp));
+    sp.cores = 32;
+    sp.hubs = 4;
+    sp.seed = 9;
+    suite.push_back(soc::make_synthetic_soc(sp));
+  }
+
+  std::printf("%-22s %-8s %-14s %-14s %-16s %-14s\n", "benchmark", "VIs",
+              "NoC base[mW]", "NoC VI[mW]", "power ovh [%]", "area ovh [%]");
+  double sum_p = 0.0;
+  double sum_a = 0.0;
+  int n_ok = 0;
+  for (const soc::Benchmark& bm : suite) {
+    const int islands =
+        std::min(6, static_cast<int>(bm.soc.core_count()) / 2);
+    const Row row = eval_benchmark(bm, islands);
+    if (!row.ok) {
+      std::printf("%-22s %-8d (no design point)\n", row.name.c_str(), row.islands);
+      continue;
+    }
+    std::printf("%-22s %-8d %-14.2f %-14.2f %-16.2f %-14.3f\n", row.name.c_str(),
+                row.islands, row.noc_base_mw, row.noc_vi_mw,
+                row.power_overhead_pct, row.area_overhead_pct);
+    sum_p += row.power_overhead_pct;
+    sum_a += row.area_overhead_pct;
+    ++n_ok;
+  }
+  if (n_ok > 0) {
+    std::printf("%-22s %-8s %-14s %-14s %-16.2f %-14.3f\n", "AVERAGE", "", "", "",
+                sum_p / n_ok, sum_a / n_ok);
+  }
+  std::printf("\n(paper: ~3%% average dynamic-power overhead, <0.5%% area overhead)\n\n");
+}
+
+void BM_OverheadD26(benchmark::State& state) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+  vinoc::bench::time_synthesis(state, spec, {});
+}
+BENCHMARK(BM_OverheadD26)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

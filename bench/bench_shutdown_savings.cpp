@@ -1,0 +1,81 @@
+// Reproduction of the paper's motivation claim (Section 5, text):
+//
+//   "In many SoCs, the shutdown of cores can lead to large reduction in
+//    leakage power, leading to even 25% or more reduction in overall system
+//    power [6]. Thus, compared to the power savings achieved, the penalty
+//    incurred in the NoC design is negligible."
+//
+// For every benchmark we synthesize the VI-aware NoC, then evaluate the
+// device's use-case scenarios with and without power gating of idle
+// islands (vinoc::power). The NoC's own cost (its dynamic power + its
+// always-on intermediate-VI leakage) is charged against the savings.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "vinoc/power/gating.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+void print_table() {
+  bench::print_header("Island shutdown: total system power savings",
+                      "Seiculescu et al., DAC 2009, Section 5 (>=25% claim)");
+
+  std::printf("%-22s %-8s %-16s %-16s %-12s\n", "benchmark", "VIs",
+              "always-on [mW]", "gated [mW]", "saved [%]");
+
+  for (const soc::Benchmark& bm : soc::all_benchmarks()) {
+    // Gate at the finest logical islanding: the more islands, the finer the
+    // shutdown granularity (this is the configuration shutdown support buys).
+    const int islands =
+        std::min(soc::logical_group_count(),
+                 static_cast<int>(bm.soc.core_count()) / 2);
+    const soc::SocSpec spec =
+        soc::with_logical_islands(bm.soc, islands, bm.use_cases);
+    core::SynthesisOptions options;
+    const core::SynthesisResult result = core::synthesize(spec, options);
+    if (result.points.empty()) {
+      std::printf("%-22s %-8d (no design point)\n", bm.soc.name.c_str(), islands);
+      continue;
+    }
+    const power::ShutdownReport report = power::evaluate_shutdown_savings(
+        spec, result.best_power().topology, options.tech);
+    std::printf("%-22s %-8zu %-16.1f %-16.1f %-12.1f\n", bm.soc.name.c_str(),
+                spec.islands.size(), report.avg_power_no_gating_w * 1e3,
+                report.avg_power_with_gating_w * 1e3,
+                report.saved_fraction * 100.0);
+    for (const power::ScenarioPower& s : report.scenarios) {
+      std::printf("    %-24s %4.0f%% of time: %8.1f -> %8.1f mW\n",
+                  s.name.c_str(), s.time_fraction * 100.0,
+                  s.power_no_gating_w * 1e3, s.power_with_gating_w * 1e3);
+    }
+  }
+  std::printf("\n(paper cites >=25%% total-power reduction from island shutdown)\n\n");
+}
+
+void BM_GatingEvalD26(benchmark::State& state) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+  core::SynthesisOptions options;
+  const core::SynthesisResult result = core::synthesize(spec, options);
+  if (result.points.empty()) {
+    state.SkipWithError("no design point");
+    return;
+  }
+  for (auto _ : state) {
+    const power::ShutdownReport r = power::evaluate_shutdown_savings(
+        spec, result.best_power().topology, options.tech);
+    benchmark::DoNotOptimize(r.saved_fraction);
+  }
+}
+BENCHMARK(BM_GatingEvalD26)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

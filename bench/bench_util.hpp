@@ -1,0 +1,71 @@
+// Shared helpers for the experiment-reproduction benches.
+//
+// Every bench binary prints the paper-style table/series first (that output
+// is what EXPERIMENTS.md records), then hands over to google-benchmark for
+// wall-clock timing of the underlying synthesis calls.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "vinoc/core/synthesis.hpp"
+#include "vinoc/soc/benchmarks.hpp"
+#include "vinoc/soc/islanding.hpp"
+
+namespace vinoc::bench {
+
+/// The island-count sweep of the paper's Figures 2 and 3 (the last point is
+/// "every core in its own island").
+inline std::vector<int> figure_island_counts(int core_count) {
+  std::vector<int> counts = {1, 2, 3, 4, 5, 6, 7};
+  counts.push_back(core_count);
+  return counts;
+}
+
+/// Result of synthesizing one islanding variant and picking the design point
+/// the figures report (the minimum-power point among the saved ones).
+struct SweepPoint {
+  int islands = 0;
+  bool ok = false;
+  core::Metrics metrics;
+  int design_points = 0;
+  int intermediate_switches = 0;
+  double elapsed_s = 0.0;
+};
+
+inline SweepPoint run_point(const soc::SocSpec& spec,
+                            const core::SynthesisOptions& options) {
+  SweepPoint p;
+  p.islands = static_cast<int>(spec.islands.size());
+  const core::SynthesisResult result = core::synthesize(spec, options);
+  p.design_points = static_cast<int>(result.points.size());
+  p.elapsed_s = result.stats.elapsed_seconds;
+  if (!result.points.empty()) {
+    const core::DesignPoint& best = result.best_power();
+    p.ok = true;
+    p.metrics = best.metrics;
+    p.intermediate_switches = best.intermediate_switches;
+  }
+  return p;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+/// Standard google-benchmark tail: time a full synthesize() call.
+inline void time_synthesis(benchmark::State& state, const soc::SocSpec& spec,
+                           const core::SynthesisOptions& options) {
+  for (auto _ : state) {
+    const core::SynthesisResult r = core::synthesize(spec, options);
+    benchmark::DoNotOptimize(r.points.size());
+  }
+}
+
+}  // namespace vinoc::bench

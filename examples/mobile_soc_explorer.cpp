@@ -1,0 +1,74 @@
+// Design-space exploration on the D26 mobile/multimedia SoC — the paper's
+// main case study. Sweeps the voltage-island count for both partitioning
+// strategies (logical / communication-based), prints the power-latency
+// trade-off of every saved design point, and dumps the full design space to
+// CSV for plotting.
+//
+// Usage: mobile_soc_explorer [islands]   (default: sweep {1..7, 26})
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "vinoc/core/synthesis.hpp"
+#include "vinoc/io/exports.hpp"
+#include "vinoc/soc/benchmarks.hpp"
+#include "vinoc/soc/islanding.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+void explore(const soc::SocSpec& spec, const char* tag) {
+  core::SynthesisOptions options;
+  const core::SynthesisResult result = core::synthesize(spec, options);
+  std::printf("\n--- %s: %zu islands, %d configs explored, %zu design points, "
+              "%.3f s ---\n",
+              tag, spec.islands.size(), result.stats.configs_explored,
+              result.points.size(), result.stats.elapsed_seconds);
+  if (result.points.empty()) return;
+
+  std::printf("    pareto front (power vs. zero-load latency):\n");
+  for (const std::size_t idx : result.pareto) {
+    const core::DesignPoint& p = result.points[idx];
+    int switches = p.intermediate_switches;
+    for (const int k : p.switches_per_island) switches += k;
+    std::printf("      %7.2f mW  %5.2f cycles  (%2d switches, %2d links, "
+                "%2d fifos%s)\n",
+                p.metrics.noc_dynamic_w * 1e3, p.metrics.avg_latency_cycles,
+                switches, p.metrics.link_count, p.metrics.fifo_count,
+                p.intermediate_switches > 0 ? ", uses NoC VI" : "");
+  }
+
+  const std::string csv_name = std::string("d26_space_") + tag + ".csv";
+  io::write_file(csv_name, io::design_points_to_csv(result));
+  std::printf("    wrote %s\n", csv_name.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  std::vector<int> island_counts = {1, 2, 3, 4, 5, 6, 7,
+                                    static_cast<int>(d26.soc.core_count())};
+  if (argc > 1) {
+    island_counts = {std::atoi(argv[1])};
+    if (island_counts[0] < 1 ||
+        island_counts[0] > static_cast<int>(d26.soc.core_count())) {
+      std::fprintf(stderr, "islands must be in [1, %zu]\n", d26.soc.core_count());
+      return 1;
+    }
+  }
+
+  std::printf("D26 mobile/multimedia SoC: %zu cores, %zu flows\n",
+              d26.soc.core_count(), d26.soc.flows.size());
+  for (const int k : island_counts) {
+    explore(soc::with_logical_islands(d26.soc, k, d26.use_cases),
+            ("logical_" + std::to_string(k)).c_str());
+    if (k > 1 && k < static_cast<int>(d26.soc.core_count())) {
+      explore(soc::with_communication_islands(d26.soc, k, d26.use_cases),
+              ("comm_" + std::to_string(k)).c_str());
+    }
+  }
+  return 0;
+}

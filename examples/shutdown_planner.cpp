@@ -1,0 +1,89 @@
+// Shutdown planning on a synthesized VI-aware NoC: for each device use case,
+// report which voltage islands can be gated, what the NoC must keep alive,
+// and the resulting power picture — the end-to-end story the paper's
+// synthesis enables.
+#include <cstdio>
+
+#include "vinoc/core/shutdown_safety.hpp"
+#include "vinoc/core/synthesis.hpp"
+#include "vinoc/power/gating.hpp"
+#include "vinoc/power/transitions.hpp"
+#include "vinoc/soc/benchmarks.hpp"
+#include "vinoc/soc/islanding.hpp"
+
+int main() {
+  using namespace vinoc;
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec =
+      soc::with_logical_islands(d26.soc, 7, d26.use_cases);
+
+  core::SynthesisOptions options;
+  const core::SynthesisResult result = core::synthesize(spec, options);
+  if (result.points.empty()) {
+    std::fprintf(stderr, "no design point found\n");
+    return 1;
+  }
+  const core::DesignPoint& best = result.best_power();
+
+  std::printf("D26 with %zu voltage islands; NoC: %d switches, %d links, "
+              "%d bi-sync FIFOs\n\n",
+              spec.islands.size(), best.metrics.switch_count,
+              best.metrics.link_count, best.metrics.fifo_count);
+
+  // Safety audit first: gating is only legal on a safe topology.
+  const auto violations = core::verify_shutdown_safety(best.topology, spec);
+  if (!violations.empty()) {
+    std::fprintf(stderr, "UNSAFE topology: %s\n", violations.front().c_str());
+    return 1;
+  }
+  std::printf("shutdown-safety audit: PASS\n\n");
+
+  // Per-island summary.
+  std::printf("%-12s %-12s %-10s %-14s %-16s\n", "island", "gateable",
+              "cores", "NoC clock", "flows blocked if gated");
+  for (std::size_t isl = 0; isl < spec.islands.size(); ++isl) {
+    const auto blocked = core::flows_blocked_by_shutdown(
+        best.topology, spec, static_cast<soc::IslandId>(isl));
+    std::printf("%-12s %-12s %-10zu %6.0f MHz     %zu\n",
+                spec.islands[isl].name.c_str(),
+                spec.islands[isl].can_shutdown ? "yes" : "no",
+                spec.cores_in_island(static_cast<soc::IslandId>(isl)).size(),
+                best.topology.island_freq_hz[isl] / 1e6, blocked.size());
+  }
+
+  // Per-scenario gating plan.
+  const power::ShutdownReport report =
+      power::evaluate_shutdown_savings(spec, best.topology, options.tech);
+  std::printf("\n%-20s %-8s %-28s %-22s\n", "use case", "time", "islands gated",
+              "power (on -> gated)");
+  for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+    const soc::Scenario& sc = spec.scenarios[s];
+    std::string gated;
+    for (std::size_t isl = 0; isl < spec.islands.size(); ++isl) {
+      if (!sc.island_active[isl]) {
+        if (!gated.empty()) gated += ",";
+        gated += spec.islands[isl].name;
+      }
+    }
+    if (gated.empty()) gated = "(none)";
+    const power::ScenarioPower& sp = report.scenarios[s];
+    std::printf("%-20s %4.0f%%   %-28s %7.0f -> %6.0f mW\n", sc.name.c_str(),
+                sc.time_fraction * 100.0, gated.c_str(),
+                sp.power_no_gating_w * 1e3, sp.power_with_gating_w * 1e3);
+  }
+  std::printf("\naverage power: %.0f mW without gating, %.0f mW with gating "
+              "(%.1f%% saved)\n",
+              report.avg_power_no_gating_w * 1e3,
+              report.avg_power_with_gating_w * 1e3,
+              report.saved_fraction * 100.0);
+
+  // Is gating actually worth it once wake-up costs are charged?
+  const power::TransitionReport trans =
+      power::evaluate_transition_overhead(spec, report);
+  std::printf("wake-up overhead: %.2f wakeups/s, %.2f mW transition power, "
+              "net saving %.1f%%; break-even dwell %.1f ms\n",
+              trans.wakeups_per_s, trans.transition_power_w * 1e3,
+              trans.net_saved_fraction * 100.0,
+              trans.breakeven_dwell_s * 1e3);
+  return 0;
+}

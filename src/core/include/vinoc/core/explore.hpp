@@ -1,0 +1,52 @@
+// Link-width design-space exploration (the paper's stated extension).
+//
+// Section 4: "without loss of generality, we fix the data width of the NoC
+// links to a user-defined value. Please note that it could be varied in a
+// range and more design points could be explored, which does not affect the
+// algorithm steps." This module does exactly that: run the synthesis once
+// per candidate width and merge all saved design points into one global
+// power/latency Pareto front, so the designer sees width as just another
+// trade-off axis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vinoc/core/synthesis.hpp"
+
+namespace vinoc::core {
+
+struct WidthSweepEntry {
+  int width_bits = 0;
+  bool feasible = false;  ///< false if an NI link exceeds capacity at this width
+  SynthesisResult result;
+};
+
+/// Reference to one design point of one width's synthesis run.
+struct GlobalPointRef {
+  std::size_t entry = 0;  ///< index into WidthSweepResult::entries
+  std::size_t point = 0;  ///< index into entries[entry].result.points
+};
+
+struct WidthSweepResult {
+  std::vector<WidthSweepEntry> entries;
+  /// Global Pareto front over (noc_dynamic_w, avg_latency_cycles) across all
+  /// widths, sorted by increasing power.
+  std::vector<GlobalPointRef> pareto;
+
+  [[nodiscard]] const DesignPoint& point(const GlobalPointRef& ref) const {
+    return entries.at(ref.entry).result.points.at(ref.point);
+  }
+  [[nodiscard]] int width_of(const GlobalPointRef& ref) const {
+    return entries.at(ref.entry).width_bits;
+  }
+};
+
+/// Runs synthesize() once per width (infeasible widths are recorded, not
+/// fatal) and merges the design spaces. `widths` must be non-empty and
+/// positive. `base_options.link_width_bits` is ignored.
+WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
+                                     const std::vector<int>& widths,
+                                     const SynthesisOptions& base_options = {});
+
+}  // namespace vinoc::core

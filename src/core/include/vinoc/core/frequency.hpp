@@ -1,0 +1,40 @@
+// Steps 1-2 of the paper's Algorithm 1: per-island NoC frequency, maximum
+// switch size, and minimum switch count.
+//
+// The NI<->switch link of a core must carry the core's aggregate inbound
+// (respectively outbound) traffic, and link bandwidth = data width x clock,
+// so the island's NoC clock is fixed by its hungriest NI link ("the
+// frequency of the switches in an island is determined by the link that has
+// to carry the highest bandwidth from or to a core in the island").
+// The crossbar critical path then caps the switch port count at that clock
+// (max_sw_size), which in turn lower-bounds the switch count.
+#pragma once
+
+#include <vector>
+
+#include "vinoc/models/noc_models.hpp"
+#include "vinoc/soc/soc_spec.hpp"
+
+namespace vinoc::core {
+
+struct IslandNocParams {
+  double freq_hz = 0.0;
+  int max_sw_size = 0;    ///< max ports per switch at freq_hz
+  int min_switches = 0;   ///< ceil(cores_in_island / usable ports)
+  int core_count = 0;
+};
+
+/// Derives parameters for every island. `port_reserve` ports per switch are
+/// kept free for inter-switch links when computing min_switches (a switch
+/// fully packed with cores could never be connected to the rest of the NoC).
+[[nodiscard]] std::vector<IslandNocParams> derive_island_params(
+    const soc::SocSpec& spec, const models::Technology& tech,
+    int link_width_bits, int port_reserve = 1);
+
+/// Parameters of the intermediate NoC VI: it relays traffic between islands,
+/// so it runs at the fastest island clock (snapped to the grid).
+[[nodiscard]] IslandNocParams derive_intermediate_params(
+    const std::vector<IslandNocParams>& island_params,
+    const models::Technology& tech);
+
+}  // namespace vinoc::core

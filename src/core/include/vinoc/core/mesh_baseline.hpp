@@ -1,0 +1,55 @@
+// Regular 2D-mesh baseline (the related-work alternative).
+//
+// The paper's related work ([9]-[11]) maps applications onto regular NoC
+// topologies; the case for custom synthesis is that application-specific
+// topologies beat meshes on power and latency for heterogeneous SoC traffic.
+// This module builds that baseline with the same component models and the
+// same NocTopology representation, so metrics, the simulator and the
+// exporters apply unchanged and the comparison is apples-to-apples:
+//
+//  * switches on an R x C grid spread over the chip (R*C >= cores, near
+//    square), one core per switch, all in one clock/voltage domain;
+//  * core-to-slot mapping minimizes bandwidth-weighted hop distance
+//    (greedy: heaviest-traffic core at the centre, then best-free-slot);
+//  * XY dimension-order routing (deadlock-free by construction);
+//  * every mesh link is materialized (the regular fabric is laid out
+//    whether used or not — that is the point of the comparison).
+//
+// The baseline ignores voltage islands: it is the shutdown-oblivious
+// regular fabric a 2009-era flow would have instantiated.
+#pragma once
+
+#include "vinoc/core/topology.hpp"
+#include "vinoc/models/technology.hpp"
+#include "vinoc/soc/soc_spec.hpp"
+
+namespace vinoc::core {
+
+struct MeshOptions {
+  models::Technology tech = models::Technology::cmos65nm();
+  int link_width_bits = 32;
+  /// Chip dimensions to spread the grid over [mm]; <= 0 derives a square
+  /// die from the total core area with 20% whitespace.
+  double chip_w_mm = 0.0;
+  double chip_h_mm = 0.0;
+};
+
+struct MeshResult {
+  bool ok = false;
+  std::string failure_reason;
+  int rows = 0;
+  int cols = 0;
+  NocTopology topology;
+  Metrics metrics;
+  /// Peak link demand / capacity over all mesh links; > 1 means the mesh
+  /// cannot actually carry the traffic at this width/frequency.
+  double max_link_utilization = 0.0;
+};
+
+/// Builds the mesh, maps cores, routes all flows XY, and evaluates it with
+/// the same compute_metrics() as the synthesized topologies. `spec` is used
+/// as-is; pass the 1-island variant for a fair shutdown-oblivious baseline.
+MeshResult synthesize_mesh_baseline(const soc::SocSpec& spec,
+                                    const MeshOptions& options = {});
+
+}  // namespace vinoc::core

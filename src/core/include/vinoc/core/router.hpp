@@ -1,0 +1,66 @@
+// Flow routing with link opening (step 15 of the paper's Algorithm 1).
+//
+// Flows are routed in decreasing bandwidth order over least-cost paths. The
+// cost of traversing a (possibly not-yet-opened) link is a linear
+// combination of the power increase of opening/reusing the link and the
+// flow's latency budget:
+//   cost = alpha_power * dP / P_norm
+//        + (1 - alpha_power) * edge_cycles / flow_latency_budget
+//
+// Shutdown safety is enforced structurally: for a flow src-island A ->
+// dst-island B, only switches in A, B and the intermediate NoC VI are
+// admissible, and cross-island links may only connect A->B, A->intermediate,
+// intermediate->intermediate, or intermediate->B ("the links are either
+// established directly across the switches in the source and destination
+// VIs or to the switches in the intermediate NoC island"). Intra-island
+// flows stay entirely inside their island.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vinoc/core/topology.hpp"
+#include "vinoc/models/noc_models.hpp"
+#include "vinoc/soc/soc_spec.hpp"
+
+namespace vinoc::core {
+
+struct RouterOptions {
+  /// Weight of the power term vs. the latency term in the link cost.
+  double alpha_power = 0.7;
+  int link_width_bits = 32;
+  models::Technology tech = models::Technology::cmos65nm();
+  /// Maximum ports (max of in/out) per switch, indexed like topo.switches.
+  std::vector<int> max_ports;
+  /// Reject intra-island links whose wire delay exceeds one clock cycle at
+  /// the island frequency (crossing links are absorbed by the bi-sync FIFO).
+  bool enforce_wire_timing = true;
+  /// Forbid direct island-to-island links, forcing all cross-island traffic
+  /// through the intermediate NoC VI. Normally false; route_all_flows()
+  /// retries with this set when the greedy pass strands a flow on port
+  /// exhaustion (the paper's stated reason for the intermediate island:
+  /// "By using switches in an intermediate NoC island, the number of
+  /// switch-to-switch links can be reduced").
+  bool forbid_direct_cross = false;
+};
+
+struct RouteOutcome {
+  bool success = false;
+  std::string failure_reason;  ///< human-readable, empty on success
+  int flows_routed = 0;
+};
+
+/// Routes every flow of `spec` over `topo`'s switches, opening links as
+/// needed. `topo` must arrive with switches / switch_of_core / island
+/// frequencies / positions filled and links/routes empty; on success they
+/// are populated. On failure `topo` is left in an unspecified state.
+RouteOutcome route_all_flows(NocTopology& topo, const soc::SocSpec& spec,
+                             const RouterOptions& options);
+
+/// True if a link from switch `a` to switch `b` is admissible for a flow
+/// going from island `src_isl` to island `dst_isl` under the shutdown-safety
+/// rule. Exposed for tests and the safety verifier.
+[[nodiscard]] bool link_admissible(soc::IslandId a_isl, soc::IslandId b_isl,
+                                   soc::IslandId src_isl, soc::IslandId dst_isl);
+
+}  // namespace vinoc::core

@@ -1,0 +1,36 @@
+// Shutdown-safety verification.
+//
+// The whole point of the paper: a topology supports voltage-island shutdown
+// iff gating any shutdown-capable island only ever severs flows that
+// terminate in that island. Equivalently, no route may pass through a
+// switch located in a third, shutdown-capable island.
+//
+// verify_shutdown_safety() re-checks this property independently of the
+// router (belt and braces: the router enforces it constructively, the
+// verifier re-derives it from the finished topology).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vinoc/core/topology.hpp"
+#include "vinoc/soc/soc_spec.hpp"
+
+namespace vinoc::core {
+
+/// Flow indices that can no longer be routed when `island` is shut down
+/// (i.e. flows whose route touches a switch of the island). For a
+/// shutdown-safe topology this is exactly the set of flows with an endpoint
+/// core in the island.
+[[nodiscard]] std::vector<int> flows_blocked_by_shutdown(const NocTopology& topo,
+                                                         const soc::SocSpec& spec,
+                                                         soc::IslandId island);
+
+/// Full safety audit. Checks, for every shutdown-capable island, that
+/// flows_blocked_by_shutdown() equals the set of flows terminating in the
+/// island, and that no intermediate-VI switch hosts a core. Returns
+/// human-readable violations (empty = safe).
+[[nodiscard]] std::vector<std::string> verify_shutdown_safety(
+    const NocTopology& topo, const soc::SocSpec& spec);
+
+}  // namespace vinoc::core

@@ -1,0 +1,101 @@
+// Topology synthesis — the paper's Algorithm 1.
+//
+// Pipeline per design point:
+//   1. per-island NoC frequency + max switch size + min switch count
+//      (vinoc/core/frequency.hpp);
+//   2. sweep the switch count of every island from its minimum up to its
+//      core count (outer loop), min-cut partitioning each island's VCG so
+//      cores sharing a block share a switch (vinoc/partition);
+//   3. sweep the intermediate NoC VI's switch count (inner loop);
+//   4. route all flows in bandwidth order over least-cost paths with the
+//      link-opening cost function (vinoc/core/router.hpp);
+//   5. if every flow is routed within its latency budget, insert the NoC
+//      components on the floorplan, evaluate power/area/latency and save
+//      the design point.
+//
+// Loop-index note (documented deviation): the paper writes k = i + min_sw_j
+// for iteration i = 1..max|Vj|, which would skip the minimum-switch design;
+// we use k = min(min_sw_j + (i-1), |Vj|) so the minimum is explored first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vinoc/core/frequency.hpp"
+#include "vinoc/core/topology.hpp"
+#include "vinoc/floorplan/floorplan.hpp"
+#include "vinoc/models/technology.hpp"
+#include "vinoc/soc/soc_spec.hpp"
+
+namespace vinoc::core {
+
+struct SynthesisOptions {
+  /// Definition 1's alpha: bandwidth vs. latency weight in VCG edge weights.
+  double alpha = 0.6;
+  /// Router's power-vs-latency weight in the link-opening cost.
+  double alpha_power = 0.7;
+  /// NoC data width (fixed, per the paper; vary it externally for sweeps).
+  int link_width_bits = 32;
+  /// Whether power/ground resources allow an intermediate NoC VI (input to
+  /// the method, per Section 3.2).
+  bool allow_intermediate_island = true;
+  /// Upper bound for the intermediate-VI switch sweep; -1 = auto
+  /// (max over islands of the island's core count, at least 2).
+  int max_intermediate_switches = -1;
+  /// Ports per switch reserved for inter-switch links when bounding the
+  /// min-cut block size.
+  int port_reserve = 1;
+  models::Technology tech = models::Technology::cmos65nm();
+  floorplan::FloorplanOptions floorplan;
+  unsigned partition_seed = 1;
+  bool enforce_wire_timing = true;
+  /// Reject design points whose channel dependency graph is cyclic
+  /// (Dally–Seitz criterion; see vinoc/core/deadlock.hpp). Extension beyond
+  /// the paper: with this on (default), every saved point is provably free
+  /// of routing deadlock.
+  bool enforce_deadlock_freedom = true;
+};
+
+/// One saved design point (a full topology plus its evaluation).
+struct DesignPoint {
+  std::vector<int> switches_per_island;
+  int intermediate_switches = 0;
+  NocTopology topology;
+  Metrics metrics;
+};
+
+struct SynthesisStats {
+  int configs_explored = 0;
+  int configs_routed = 0;      ///< routing succeeded
+  int configs_saved = 0;       ///< saved as design points
+  int rejected_unroutable = 0;
+  int rejected_latency = 0;
+  int rejected_duplicate = 0;  ///< same effective design seen at another k_int
+  int rejected_deadlock = 0;
+  double elapsed_seconds = 0.0;
+};
+
+struct SynthesisResult {
+  std::vector<DesignPoint> points;
+  /// Indices into `points` forming the (noc_dynamic_w, avg_latency_cycles)
+  /// Pareto front, sorted by increasing power.
+  std::vector<std::size_t> pareto;
+  std::vector<IslandNocParams> island_params;
+  IslandNocParams intermediate_params;
+  floorplan::Floorplan floorplan;
+  SynthesisStats stats;
+
+  [[nodiscard]] bool empty() const { return points.empty(); }
+  /// Design point with the smallest NoC dynamic power (throws if empty).
+  [[nodiscard]] const DesignPoint& best_power() const;
+  /// Design point with the smallest average latency (throws if empty).
+  [[nodiscard]] const DesignPoint& best_latency() const;
+};
+
+/// Runs Algorithm 1 on `spec` (throws std::invalid_argument if
+/// spec.validate() reports problems).
+SynthesisResult synthesize(const soc::SocSpec& spec,
+                           const SynthesisOptions& options = {});
+
+}  // namespace vinoc::core

@@ -1,0 +1,58 @@
+#include "vinoc/core/deadlock.hpp"
+
+#include <map>
+
+#include "vinoc/graph/algorithms.hpp"
+
+namespace vinoc::core {
+
+graph::Digraph build_channel_dependency_graph(const NocTopology& topo) {
+  graph::Digraph cdg(topo.links.size());
+  for (std::size_t l = 0; l < topo.links.size(); ++l) {
+    cdg.set_node_name(static_cast<graph::NodeId>(l),
+                      "link" + std::to_string(l) + "_sw" +
+                          std::to_string(topo.links[l].src_switch) + "_sw" +
+                          std::to_string(topo.links[l].dst_switch));
+  }
+  std::map<std::pair<int, int>, bool> seen;
+  for (std::size_t f = 0; f < topo.routes.size(); ++f) {
+    const FlowRoute& r = topo.routes[f];
+    for (std::size_t h = 1; h < r.links.size(); ++h) {
+      const int a = r.links[h - 1];
+      const int b = r.links[h];
+      if (!seen.emplace(std::pair{a, b}, true).second) continue;
+      cdg.add_edge(a, b, 1.0, static_cast<std::int64_t>(f));
+    }
+  }
+  return cdg;
+}
+
+bool is_deadlock_free(const NocTopology& topo) {
+  return graph::topological_order(build_channel_dependency_graph(topo)).has_value();
+}
+
+std::vector<std::vector<int>> dependency_cycles(const NocTopology& topo) {
+  const graph::Digraph cdg = build_channel_dependency_graph(topo);
+  const graph::Components scc = graph::strongly_connected_components(cdg);
+
+  std::vector<std::vector<int>> by_comp(static_cast<std::size_t>(scc.count));
+  for (std::size_t l = 0; l < cdg.node_count(); ++l) {
+    by_comp[static_cast<std::size_t>(scc.comp_of[l])].push_back(static_cast<int>(l));
+  }
+  std::vector<std::vector<int>> cycles;
+  for (auto& comp : by_comp) {
+    if (comp.size() >= 2) {
+      cycles.push_back(std::move(comp));
+      continue;
+    }
+    // Single-node SCC is a cycle only with a self-loop (flow re-using the
+    // same link twice in a row — impossible by construction, but checked).
+    const auto n = static_cast<graph::NodeId>(comp.front());
+    if (cdg.find_edge(n, n) != graph::kInvalidEdge) {
+      cycles.push_back(std::move(comp));
+    }
+  }
+  return cycles;
+}
+
+}  // namespace vinoc::core

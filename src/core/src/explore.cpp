@@ -1,0 +1,61 @@
+#include "vinoc/core/explore.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vinoc::core {
+
+WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
+                                     const std::vector<int>& widths,
+                                     const SynthesisOptions& base_options) {
+  if (widths.empty()) {
+    throw std::invalid_argument("explore_link_widths: no widths given");
+  }
+  WidthSweepResult out;
+  for (const int w : widths) {
+    if (w <= 0) throw std::invalid_argument("explore_link_widths: width <= 0");
+    WidthSweepEntry entry;
+    entry.width_bits = w;
+    SynthesisOptions options = base_options;
+    options.link_width_bits = w;
+    try {
+      entry.result = synthesize(spec, options);
+      entry.feasible = true;
+    } catch (const std::invalid_argument&) {
+      // NI link unachievable at this width; keep the entry as infeasible so
+      // callers can report the boundary.
+      entry.feasible = false;
+    }
+    out.entries.push_back(std::move(entry));
+  }
+
+  // Merge: collect all points, sort by power, take the latency-improving
+  // prefix points (same rule as the per-run Pareto).
+  std::vector<GlobalPointRef> all;
+  for (std::size_t e = 0; e < out.entries.size(); ++e) {
+    if (!out.entries[e].feasible) continue;
+    for (std::size_t p = 0; p < out.entries[e].result.points.size(); ++p) {
+      all.push_back({e, p});
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [&out](const GlobalPointRef& a, const GlobalPointRef& b) {
+              const Metrics& ma = out.point(a).metrics;
+              const Metrics& mb = out.point(b).metrics;
+              if (ma.noc_dynamic_w != mb.noc_dynamic_w) {
+                return ma.noc_dynamic_w < mb.noc_dynamic_w;
+              }
+              return ma.avg_latency_cycles < mb.avg_latency_cycles;
+            });
+  double best_lat = std::numeric_limits<double>::infinity();
+  for (const GlobalPointRef& ref : all) {
+    const Metrics& m = out.point(ref).metrics;
+    if (m.avg_latency_cycles < best_lat - 1e-12) {
+      out.pareto.push_back(ref);
+      best_lat = m.avg_latency_cycles;
+    }
+  }
+  return out;
+}
+
+}  // namespace vinoc::core

@@ -1,0 +1,69 @@
+#include "vinoc/core/frequency.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vinoc::core {
+
+std::vector<IslandNocParams> derive_island_params(const soc::SocSpec& spec,
+                                                  const models::Technology& tech,
+                                                  int link_width_bits,
+                                                  int port_reserve) {
+  if (link_width_bits <= 0) {
+    throw std::invalid_argument("derive_island_params: link width must be > 0");
+  }
+  if (port_reserve < 0) {
+    throw std::invalid_argument("derive_island_params: negative port reserve");
+  }
+  const models::SwitchModel sw_model(tech);
+
+  std::vector<double> core_in(spec.cores.size(), 0.0);
+  std::vector<double> core_out(spec.cores.size(), 0.0);
+  for (const soc::Flow& f : spec.flows) {
+    core_out[static_cast<std::size_t>(f.src)] += f.bandwidth_bits_per_s;
+    core_in[static_cast<std::size_t>(f.dst)] += f.bandwidth_bits_per_s;
+  }
+
+  std::vector<IslandNocParams> params(spec.islands.size());
+  for (std::size_t isl = 0; isl < spec.islands.size(); ++isl) {
+    IslandNocParams& p = params[isl];
+    const auto cores = spec.cores_in_island(static_cast<soc::IslandId>(isl));
+    p.core_count = static_cast<int>(cores.size());
+    double peak_link_bw = 0.0;
+    for (const soc::CoreId c : cores) {
+      peak_link_bw = std::max({peak_link_bw, core_in[static_cast<std::size_t>(c)],
+                               core_out[static_cast<std::size_t>(c)]});
+    }
+    const double needed_hz = peak_link_bw / static_cast<double>(link_width_bits);
+    p.freq_hz = models::snap_frequency_up(tech, needed_hz);
+    if (needed_hz > tech.max_freq_hz * static_cast<double>(1)) {
+      // The hungriest NI link exceeds what any clock can carry at this
+      // width; the caller must widen the links. Flag via max_sw_size = 0.
+      p.max_sw_size = 0;
+      p.min_switches = 0;
+      continue;
+    }
+    p.max_sw_size = sw_model.max_ports_at(p.freq_hz);
+    const int usable = std::max(1, p.max_sw_size - port_reserve);
+    p.min_switches =
+        p.core_count == 0 ? 0 : (p.core_count + usable - 1) / usable;
+  }
+  return params;
+}
+
+IslandNocParams derive_intermediate_params(
+    const std::vector<IslandNocParams>& island_params,
+    const models::Technology& tech) {
+  const models::SwitchModel sw_model(tech);
+  IslandNocParams p;
+  for (const IslandNocParams& ip : island_params) {
+    p.freq_hz = std::max(p.freq_hz, ip.freq_hz);
+  }
+  if (p.freq_hz <= 0.0) p.freq_hz = tech.freq_grid_hz;
+  p.max_sw_size = sw_model.max_ports_at(p.freq_hz);
+  p.core_count = 0;      // indirect switches host no cores
+  p.min_switches = 0;    // the intermediate island is optional
+  return p;
+}
+
+}  // namespace vinoc::core

@@ -1,0 +1,203 @@
+#include "vinoc/core/mesh_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "vinoc/core/frequency.hpp"
+
+namespace vinoc::core {
+
+namespace {
+
+struct Slot {
+  int row = 0;
+  int col = 0;
+};
+
+int hops(const Slot& a, const Slot& b) {
+  return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+}
+
+}  // namespace
+
+MeshResult synthesize_mesh_baseline(const soc::SocSpec& spec,
+                                    const MeshOptions& options) {
+  MeshResult result;
+  if (spec.islands.size() != 1) {
+    result.failure_reason =
+        "mesh baseline expects a single-island spec (pass the 1-island variant)";
+    return result;
+  }
+  const std::size_t n = spec.cores.size();
+  if (n == 0) {
+    result.failure_reason = "no cores";
+    return result;
+  }
+
+  // Grid dimensions, near square.
+  const int cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const int rows = static_cast<int>(
+      std::ceil(static_cast<double>(n) / static_cast<double>(cols)));
+  result.rows = rows;
+  result.cols = cols;
+  const int n_slots = rows * cols;
+
+  // Uniform mesh clock: the hungriest NI link anywhere sets it (the whole
+  // fabric is one synchronous domain).
+  const std::vector<IslandNocParams> params =
+      derive_island_params(spec, options.tech, options.link_width_bits);
+  if (params[0].max_sw_size == 0) {
+    result.failure_reason = "an NI link exceeds attainable bandwidth; widen links";
+    return result;
+  }
+  const double freq = params[0].freq_hz;
+
+  // Chip outline and slot pitch.
+  double chip_w = options.chip_w_mm;
+  double chip_h = options.chip_h_mm;
+  if (chip_w <= 0.0 || chip_h <= 0.0) {
+    const double side = std::sqrt(spec.total_core_area_mm2() * 1.2);
+    chip_w = side;
+    chip_h = side;
+  }
+  const double pitch_x = chip_w / cols;
+  const double pitch_y = chip_h / rows;
+
+  // --- Core-to-slot mapping: heaviest communicator to the centre, then
+  // greedily the slot minimizing bandwidth-weighted hops to placed peers.
+  std::vector<double> traffic(n, 0.0);
+  std::vector<std::vector<double>> bw(n, std::vector<double>(n, 0.0));
+  for (const soc::Flow& f : spec.flows) {
+    const auto s = static_cast<std::size_t>(f.src);
+    const auto d = static_cast<std::size_t>(f.dst);
+    traffic[s] += f.bandwidth_bits_per_s;
+    traffic[d] += f.bandwidth_bits_per_s;
+    bw[s][d] += f.bandwidth_bits_per_s;
+    bw[d][s] += f.bandwidth_bits_per_s;
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&traffic](std::size_t a, std::size_t b) {
+    return traffic[a] > traffic[b];
+  });
+
+  std::vector<Slot> slot_of_core(n);
+  std::vector<bool> slot_used(static_cast<std::size_t>(n_slots), false);
+  auto slot_at = [cols](int idx) { return Slot{idx / cols, idx % cols}; };
+  const Slot center{rows / 2, cols / 2};
+
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t core = order[k];
+    int best_slot = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int s = 0; s < n_slots; ++s) {
+      if (slot_used[static_cast<std::size_t>(s)]) continue;
+      const Slot sl = slot_at(s);
+      double cost = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t placed = order[j];
+        if (bw[core][placed] > 0.0) {
+          cost += bw[core][placed] * hops(sl, slot_of_core[placed]);
+        }
+      }
+      // Tie-break (and the first core's criterion): stay central.
+      cost += 1e-3 * hops(sl, center);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_slot = s;
+      }
+    }
+    slot_used[static_cast<std::size_t>(best_slot)] = true;
+    slot_of_core[core] = slot_at(best_slot);
+  }
+
+  // --- Topology: all R*C switches, all mesh links.
+  NocTopology& topo = result.topology;
+  topo.island_freq_hz = {freq};
+  topo.intermediate_freq_hz = freq;
+  topo.switches.resize(static_cast<std::size_t>(n_slots));
+  for (int s = 0; s < n_slots; ++s) {
+    const Slot sl = slot_at(s);
+    SwitchInst& sw = topo.switches[static_cast<std::size_t>(s)];
+    sw.island = 0;
+    sw.freq_hz = freq;
+    sw.pos = {(sl.col + 0.5) * pitch_x, (sl.row + 0.5) * pitch_y};
+  }
+  topo.switch_of_core.resize(n);
+  topo.ni_wire_mm.assign(n, (pitch_x + pitch_y) / 4.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    const Slot sl = slot_of_core[c];
+    const int s = sl.row * cols + sl.col;
+    topo.switch_of_core[c] = s;
+    topo.switches[static_cast<std::size_t>(s)].cores.push_back(
+        static_cast<soc::CoreId>(c));
+  }
+
+  // link_id[a][b] for adjacent switches a -> b.
+  std::vector<std::vector<int>> link_id(static_cast<std::size_t>(n_slots),
+                                        std::vector<int>(static_cast<std::size_t>(n_slots), -1));
+  auto add_mesh_link = [&](int a, int b, double len) {
+    TopLink l;
+    l.src_switch = a;
+    l.dst_switch = b;
+    l.length_mm = len;
+    link_id[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+        static_cast<int>(topo.links.size());
+    topo.links.push_back(std::move(l));
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int s = r * cols + c;
+      if (c + 1 < cols) {
+        add_mesh_link(s, s + 1, pitch_x);
+        add_mesh_link(s + 1, s, pitch_x);
+      }
+      if (r + 1 < rows) {
+        add_mesh_link(s, s + cols, pitch_y);
+        add_mesh_link(s + cols, s, pitch_y);
+      }
+    }
+  }
+
+  // --- XY routing.
+  topo.routes.resize(spec.flows.size());
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    const soc::Flow& flow = spec.flows[f];
+    FlowRoute& route = topo.routes[f];
+    route.src_switch = topo.switch_of_core[static_cast<std::size_t>(flow.src)];
+    route.dst_switch = topo.switch_of_core[static_cast<std::size_t>(flow.dst)];
+    Slot cur = slot_of_core[static_cast<std::size_t>(flow.src)];
+    const Slot dst = slot_of_core[static_cast<std::size_t>(flow.dst)];
+    auto take = [&](const Slot& next) {
+      const int a = cur.row * cols + cur.col;
+      const int b = next.row * cols + next.col;
+      const int l = link_id[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+      topo.links[static_cast<std::size_t>(l)].carried_bw_bits_per_s +=
+          flow.bandwidth_bits_per_s;
+      topo.links[static_cast<std::size_t>(l)].flows.push_back(static_cast<int>(f));
+      route.links.push_back(l);
+      cur = next;
+    };
+    while (cur.col != dst.col) {
+      take(Slot{cur.row, cur.col + (dst.col > cur.col ? 1 : -1)});
+    }
+    while (cur.row != dst.row) {
+      take(Slot{cur.row + (dst.row > cur.row ? 1 : -1), cur.col});
+    }
+    route.latency_cycles = route_latency_cycles(topo, route, options.tech);
+  }
+
+  result.metrics =
+      compute_metrics(topo, spec, options.tech, options.link_width_bits);
+  const double capacity = static_cast<double>(options.link_width_bits) * freq;
+  for (const TopLink& l : topo.links) {
+    result.max_link_utilization =
+        std::max(result.max_link_utilization, l.carried_bw_bits_per_s / capacity);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace vinoc::core

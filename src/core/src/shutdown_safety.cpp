@@ -1,0 +1,65 @@
+#include "vinoc/core/shutdown_safety.hpp"
+
+#include <algorithm>
+
+namespace vinoc::core {
+
+std::vector<int> flows_blocked_by_shutdown(const NocTopology& topo,
+                                           const soc::SocSpec& spec,
+                                           soc::IslandId island) {
+  std::vector<int> blocked;
+  for (std::size_t f = 0; f < topo.routes.size(); ++f) {
+    const FlowRoute& r = topo.routes[f];
+    bool touches = false;
+    // Endpoint switches.
+    if (topo.switches[static_cast<std::size_t>(r.src_switch)].island == island ||
+        topo.switches[static_cast<std::size_t>(r.dst_switch)].island == island) {
+      touches = true;
+    }
+    // Transit switches and links (a link endpoint inside the island means
+    // the island's power rails feed part of the path).
+    for (const int l : r.links) {
+      const TopLink& link = topo.links[static_cast<std::size_t>(l)];
+      if (topo.switches[static_cast<std::size_t>(link.src_switch)].island == island ||
+          topo.switches[static_cast<std::size_t>(link.dst_switch)].island == island) {
+        touches = true;
+      }
+    }
+    if (touches) blocked.push_back(static_cast<int>(f));
+    (void)spec;
+  }
+  return blocked;
+}
+
+std::vector<std::string> verify_shutdown_safety(const NocTopology& topo,
+                                                const soc::SocSpec& spec) {
+  std::vector<std::string> violations;
+
+  for (std::size_t s = 0; s < topo.switches.size(); ++s) {
+    if (topo.switches[s].island == kIntermediateIsland &&
+        !topo.switches[s].cores.empty()) {
+      violations.push_back("intermediate switch " + std::to_string(s) +
+                           " hosts cores (the NoC VI must be core-free)");
+    }
+  }
+
+  for (std::size_t isl = 0; isl < spec.islands.size(); ++isl) {
+    if (!spec.islands[isl].can_shutdown) continue;
+    const auto island = static_cast<soc::IslandId>(isl);
+    const std::vector<int> blocked = flows_blocked_by_shutdown(topo, spec, island);
+    for (const int f : blocked) {
+      const soc::Flow& flow = spec.flows[static_cast<std::size_t>(f)];
+      const bool terminates =
+          spec.cores[static_cast<std::size_t>(flow.src)].island == island ||
+          spec.cores[static_cast<std::size_t>(flow.dst)].island == island;
+      if (!terminates) {
+        violations.push_back(
+            "flow '" + flow.label + "' transits shutdown-capable island '" +
+            spec.islands[isl].name + "' without terminating there");
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace vinoc::core

@@ -1,0 +1,53 @@
+#include "vinoc/core/vcg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vinoc::core {
+
+VcgScaling vcg_scaling(const soc::SocSpec& spec) {
+  VcgScaling s;
+  s.min_lat_cycles = std::numeric_limits<double>::infinity();
+  for (const soc::Flow& f : spec.flows) {
+    s.max_bw_bits_per_s = std::max(s.max_bw_bits_per_s, f.bandwidth_bits_per_s);
+    s.min_lat_cycles = std::min(s.min_lat_cycles, f.max_latency_cycles);
+  }
+  if (spec.flows.empty()) {
+    s.max_bw_bits_per_s = 1.0;
+    s.min_lat_cycles = 1.0;
+  }
+  return s;
+}
+
+graph::Digraph build_vcg(const soc::SocSpec& spec, soc::IslandId island,
+                         double alpha, const VcgScaling& scaling) {
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("build_vcg: alpha must be in [0,1]");
+  }
+  if (scaling.max_bw_bits_per_s <= 0.0 || scaling.min_lat_cycles <= 0.0) {
+    throw std::invalid_argument("build_vcg: scaling must be positive");
+  }
+  graph::Digraph vcg;
+  std::vector<graph::NodeId> node_of(spec.cores.size(), graph::kInvalidNode);
+  for (const soc::CoreId c : spec.cores_in_island(island)) {
+    node_of[static_cast<std::size_t>(c)] =
+        vcg.add_node(spec.cores[static_cast<std::size_t>(c)].name);
+  }
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    const soc::Flow& flow = spec.flows[f];
+    const graph::NodeId s = node_of[static_cast<std::size_t>(flow.src)];
+    const graph::NodeId d = node_of[static_cast<std::size_t>(flow.dst)];
+    if (s == graph::kInvalidNode || d == graph::kInvalidNode) continue;
+    const double h = alpha * flow.bandwidth_bits_per_s / scaling.max_bw_bits_per_s +
+                     (1.0 - alpha) * scaling.min_lat_cycles / flow.max_latency_cycles;
+    vcg.add_edge(s, d, h, static_cast<std::int64_t>(f));
+  }
+  return vcg;
+}
+
+graph::Digraph build_vcg(const soc::SocSpec& spec, soc::IslandId island,
+                         double alpha) {
+  return build_vcg(spec, island, alpha, vcg_scaling(spec));
+}
+
+}  // namespace vinoc::core

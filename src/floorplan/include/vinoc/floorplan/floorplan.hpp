@@ -1,0 +1,94 @@
+// Island-aware floorplanning.
+//
+// The paper inserts the synthesized NoC components on a floorplan and
+// computes wire lengths / wire power / delay (end of Section 4); its flow
+// reuses the floorplanner of [15]. We substitute a deterministic shelf
+// packer: voltage islands are packed as contiguous rectangular regions (a VI
+// must be contiguous to share VDD/ground rails), cores are shelf-packed
+// inside their island region, and NoC components are later dropped at
+// traffic-weighted centroids (see vinoc::core). Wire lengths are Manhattan
+// distances between block centres.
+#pragma once
+
+#include <vector>
+
+#include "vinoc/soc/soc_spec.hpp"
+
+namespace vinoc::floorplan {
+
+struct Point {
+  double x_mm = 0.0;
+  double y_mm = 0.0;
+};
+
+struct Rect {
+  double x_mm = 0.0;  ///< lower-left corner
+  double y_mm = 0.0;
+  double w_mm = 0.0;
+  double h_mm = 0.0;
+
+  [[nodiscard]] Point center() const { return {x_mm + w_mm / 2.0, y_mm + h_mm / 2.0}; }
+  [[nodiscard]] double area_mm2() const { return w_mm * h_mm; }
+  [[nodiscard]] bool contains(const Point& p) const {
+    return p.x_mm >= x_mm - 1e-9 && p.x_mm <= x_mm + w_mm + 1e-9 &&
+           p.y_mm >= y_mm - 1e-9 && p.y_mm <= y_mm + h_mm + 1e-9;
+  }
+  [[nodiscard]] bool overlaps(const Rect& o) const {
+    return x_mm < o.x_mm + o.w_mm - 1e-9 && o.x_mm < x_mm + w_mm - 1e-9 &&
+           y_mm < o.y_mm + o.h_mm - 1e-9 && o.y_mm < y_mm + h_mm - 1e-9;
+  }
+};
+
+[[nodiscard]] double manhattan_mm(const Point& a, const Point& b);
+
+/// Traffic-weighted centroid; equal weights if `weights` is empty. The
+/// weighted centroid minimizes total squared wire length, which is the
+/// standard one-shot placement for an inserted switch.
+[[nodiscard]] Point weighted_centroid(const std::vector<Point>& points,
+                                      const std::vector<double>& weights = {});
+
+struct FloorplanOptions {
+  /// Whitespace factor applied to each island region and the chip outline
+  /// (>= 1). Real floorplans keep routing/power-grid space.
+  double whitespace = 1.20;
+  /// Extra margin (mm) reserved around the chip edge for I/O pads.
+  double pad_ring_mm = 0.30;
+};
+
+/// Placement of every core, with islands as contiguous regions.
+class Floorplan {
+ public:
+  /// Places `soc`'s cores. Islands are shelf-packed largest-first into rows;
+  /// cores are shelf-packed largest-first inside their island.
+  static Floorplan build(const soc::SocSpec& soc,
+                         const FloorplanOptions& options = {});
+
+  [[nodiscard]] const Rect& core_rect(soc::CoreId core) const {
+    return core_rects_.at(static_cast<std::size_t>(core));
+  }
+  [[nodiscard]] const Rect& island_rect(soc::IslandId island) const {
+    return island_rects_.at(static_cast<std::size_t>(island));
+  }
+  [[nodiscard]] std::size_t core_count() const { return core_rects_.size(); }
+  [[nodiscard]] std::size_t island_count() const { return island_rects_.size(); }
+  [[nodiscard]] double chip_width_mm() const { return chip_w_mm_; }
+  [[nodiscard]] double chip_height_mm() const { return chip_h_mm_; }
+  [[nodiscard]] double chip_area_mm2() const { return chip_w_mm_ * chip_h_mm_; }
+
+  /// Clamps `p` into the island's region (switches must sit inside their VI
+  /// to share its power rails; intermediate-VI components are clamped to the
+  /// chip outline instead, island = -1).
+  [[nodiscard]] Point clamp_to_island(const Point& p, soc::IslandId island) const;
+
+  /// Sanity checks: no core overlaps another, every core inside its island
+  /// region, every island inside the chip. Returns problems (empty = ok).
+  [[nodiscard]] std::vector<std::string> validate(const soc::SocSpec& soc) const;
+
+ private:
+  std::vector<Rect> core_rects_;
+  std::vector<Rect> island_rects_;
+  double chip_w_mm_ = 0.0;
+  double chip_h_mm_ = 0.0;
+};
+
+}  // namespace vinoc::floorplan

@@ -1,0 +1,218 @@
+#include "vinoc/floorplan/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace vinoc::floorplan {
+
+double manhattan_mm(const Point& a, const Point& b) {
+  return std::abs(a.x_mm - b.x_mm) + std::abs(a.y_mm - b.y_mm);
+}
+
+Point weighted_centroid(const std::vector<Point>& points,
+                        const std::vector<double>& weights) {
+  if (points.empty()) throw std::invalid_argument("weighted_centroid: no points");
+  if (!weights.empty() && weights.size() != points.size()) {
+    throw std::invalid_argument("weighted_centroid: weight size mismatch");
+  }
+  double sx = 0.0;
+  double sy = 0.0;
+  double sw = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : std::max(weights[i], 0.0);
+    sx += points[i].x_mm * w;
+    sy += points[i].y_mm * w;
+    sw += w;
+  }
+  if (sw <= 0.0) {
+    // All-zero weights: fall back to the unweighted centroid.
+    return weighted_centroid(points);
+  }
+  return {sx / sw, sy / sw};
+}
+
+namespace {
+
+struct PackItem {
+  double w = 0.0;
+  double h = 0.0;
+};
+
+struct PackResult {
+  std::vector<Point> origin;  ///< lower-left corner per item
+  double bbox_w = 0.0;
+  double bbox_h = 0.0;
+};
+
+/// Height-sorted shelf packing into rows of at most `target_width`.
+PackResult shelf_pack(const std::vector<PackItem>& items, double target_width) {
+  PackResult result;
+  result.origin.resize(items.size());
+  if (items.empty()) return result;
+
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&items](std::size_t a, std::size_t b) {
+    return items[a].h > items[b].h;
+  });
+
+  double cursor_x = 0.0;
+  double cursor_y = 0.0;
+  double row_h = 0.0;
+  for (const std::size_t i : order) {
+    const PackItem& it = items[i];
+    if (cursor_x > 0.0 && cursor_x + it.w > target_width) {
+      cursor_y += row_h;
+      cursor_x = 0.0;
+      row_h = 0.0;
+    }
+    result.origin[i] = {cursor_x, cursor_y};
+    cursor_x += it.w;
+    row_h = std::max(row_h, it.h);
+    result.bbox_w = std::max(result.bbox_w, cursor_x);
+  }
+  result.bbox_h = cursor_y + row_h;
+  return result;
+}
+
+}  // namespace
+
+Floorplan Floorplan::build(const soc::SocSpec& soc, const FloorplanOptions& options) {
+  if (options.whitespace < 1.0) {
+    throw std::invalid_argument("FloorplanOptions: whitespace must be >= 1");
+  }
+  Floorplan fp;
+  const std::size_t n_islands = soc.islands.size();
+  fp.island_rects_.resize(n_islands);
+  fp.core_rects_.resize(soc.cores.size());
+
+  // Pack the cores of each island into a near-square region.
+  struct IslandPack {
+    std::vector<soc::CoreId> cores;
+    PackResult pack;
+    double w = 0.0;
+    double h = 0.0;
+    double margin = 0.0;
+  };
+  std::vector<IslandPack> packs(n_islands);
+  const double side_factor = std::sqrt(options.whitespace);
+  for (std::size_t isl = 0; isl < n_islands; ++isl) {
+    IslandPack& ip = packs[isl];
+    ip.cores = soc.cores_in_island(static_cast<soc::IslandId>(isl));
+    std::vector<PackItem> items;
+    double area = 0.0;
+    for (const soc::CoreId c : ip.cores) {
+      const auto& core = soc.cores[static_cast<std::size_t>(c)];
+      items.push_back({core.width_mm, core.height_mm});
+      area += core.width_mm * core.height_mm;
+    }
+    double target = std::sqrt(std::max(area, 1e-6) * options.whitespace);
+    for (const PackItem& it : items) target = std::max(target, it.w);
+    ip.pack = shelf_pack(items, target);
+    ip.w = ip.pack.bbox_w * side_factor;
+    ip.h = ip.pack.bbox_h * side_factor;
+    // Empty islands (possible mid-sweep) still get a token region.
+    ip.w = std::max(ip.w, 0.2);
+    ip.h = std::max(ip.h, 0.2);
+    ip.margin = 0.0;  // cores sit at the region's lower-left + margin/2
+  }
+
+  // Pack island regions onto the die; try a few row widths and keep the
+  // most square outline (dies with wild aspect ratios are unrealistic and
+  // inflate wire lengths).
+  std::vector<PackItem> island_items;
+  double total_area = 0.0;
+  double min_target = 0.0;
+  for (const IslandPack& ip : packs) {
+    island_items.push_back({ip.w, ip.h});
+    total_area += ip.w * ip.h;
+    min_target = std::max(min_target, ip.w);
+  }
+  PackResult chip_pack;
+  double best_aspect = std::numeric_limits<double>::infinity();
+  for (const double factor : {1.0, 1.15, 1.3, 1.5, 1.8}) {
+    const double target = std::max(std::sqrt(total_area) * factor, min_target);
+    PackResult candidate = shelf_pack(island_items, target);
+    const double aspect =
+        std::max(candidate.bbox_w, candidate.bbox_h) /
+        std::max(1e-9, std::min(candidate.bbox_w, candidate.bbox_h));
+    if (aspect < best_aspect) {
+      best_aspect = aspect;
+      chip_pack = std::move(candidate);
+    }
+  }
+
+  const double pad = options.pad_ring_mm;
+  fp.chip_w_mm_ = chip_pack.bbox_w + 2.0 * pad;
+  fp.chip_h_mm_ = chip_pack.bbox_h + 2.0 * pad;
+
+  for (std::size_t isl = 0; isl < n_islands; ++isl) {
+    IslandPack& ip = packs[isl];
+    const Point org = chip_pack.origin[isl];
+    fp.island_rects_[isl] = Rect{org.x_mm + pad, org.y_mm + pad, ip.w, ip.h};
+    // Centre the packed cores inside the (slightly larger) island region.
+    const double off_x = (ip.w - ip.pack.bbox_w) / 2.0;
+    const double off_y = (ip.h - ip.pack.bbox_h) / 2.0;
+    for (std::size_t k = 0; k < ip.cores.size(); ++k) {
+      const soc::CoreId c = ip.cores[k];
+      const auto& core = soc.cores[static_cast<std::size_t>(c)];
+      fp.core_rects_[static_cast<std::size_t>(c)] =
+          Rect{fp.island_rects_[isl].x_mm + off_x + ip.pack.origin[k].x_mm,
+               fp.island_rects_[isl].y_mm + off_y + ip.pack.origin[k].y_mm,
+               core.width_mm, core.height_mm};
+    }
+  }
+  return fp;
+}
+
+Point Floorplan::clamp_to_island(const Point& p, soc::IslandId island) const {
+  Rect region;
+  if (island < 0) {
+    region = Rect{0.0, 0.0, chip_w_mm_, chip_h_mm_};
+  } else {
+    region = island_rects_.at(static_cast<std::size_t>(island));
+  }
+  Point out = p;
+  out.x_mm = std::clamp(out.x_mm, region.x_mm, region.x_mm + region.w_mm);
+  out.y_mm = std::clamp(out.y_mm, region.y_mm, region.y_mm + region.h_mm);
+  return out;
+}
+
+std::vector<std::string> Floorplan::validate(const soc::SocSpec& soc) const {
+  std::vector<std::string> problems;
+  const Rect chip{0.0, 0.0, chip_w_mm_, chip_h_mm_};
+  for (std::size_t i = 0; i < core_rects_.size(); ++i) {
+    const Rect& r = core_rects_[i];
+    const auto island = static_cast<std::size_t>(soc.cores[i].island);
+    const Rect& reg = island_rects_.at(island);
+    if (r.x_mm < reg.x_mm - 1e-6 || r.y_mm < reg.y_mm - 1e-6 ||
+        r.x_mm + r.w_mm > reg.x_mm + reg.w_mm + 1e-6 ||
+        r.y_mm + r.h_mm > reg.y_mm + reg.h_mm + 1e-6) {
+      problems.push_back("core '" + soc.cores[i].name + "' outside its island region");
+    }
+    for (std::size_t j = i + 1; j < core_rects_.size(); ++j) {
+      if (r.overlaps(core_rects_[j])) {
+        problems.push_back("cores '" + soc.cores[i].name + "' and '" +
+                           soc.cores[j].name + "' overlap");
+      }
+    }
+  }
+  for (std::size_t isl = 0; isl < island_rects_.size(); ++isl) {
+    const Rect& r = island_rects_[isl];
+    if (r.x_mm < -1e-6 || r.y_mm < -1e-6 ||
+        r.x_mm + r.w_mm > chip.w_mm + 1e-6 || r.y_mm + r.h_mm > chip.h_mm + 1e-6) {
+      problems.push_back("island " + std::to_string(isl) + " outside the chip");
+    }
+    for (std::size_t j = isl + 1; j < island_rects_.size(); ++j) {
+      if (r.overlaps(island_rects_[j])) {
+        problems.push_back("island regions " + std::to_string(isl) + " and " +
+                           std::to_string(j) + " overlap");
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace vinoc::floorplan

@@ -1,0 +1,90 @@
+// Graph algorithms used by the synthesis flow.
+//
+// Dijkstra is the workhorse (routing step of Algorithm 1): it supports a
+// per-edge cost override and a node filter so the router can restrict a flow
+// to switches in {source VI, destination VI, intermediate VI} — the
+// shutdown-safety constraint — without materializing a subgraph per flow.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "vinoc/graph/digraph.hpp"
+
+namespace vinoc::graph {
+
+/// Result of a single-source shortest-path run.
+struct ShortestPaths {
+  /// dist[n] = cost of the cheapest path, +inf if unreachable.
+  std::vector<double> dist;
+  /// pred_edge[n] = edge taken into n on the cheapest path, kInvalidEdge at
+  /// the source / unreachable nodes.
+  std::vector<EdgeId> pred_edge;
+
+  [[nodiscard]] bool reached(NodeId n) const;
+  /// Edge ids of the path source..n (empty if n is the source or unreached).
+  [[nodiscard]] std::vector<EdgeId> path_edges(const Digraph& g, NodeId n) const;
+  /// Node ids of the path source..n inclusive (just {n} if n is the source).
+  [[nodiscard]] std::vector<NodeId> path_nodes(const Digraph& g, NodeId n) const;
+};
+
+/// Per-edge cost override; return a negative value to forbid the edge.
+using EdgeCostFn = std::function<double(const Edge&)>;
+/// Node admission filter; nodes failing it are never relaxed through.
+using NodeFilterFn = std::function<bool(NodeId)>;
+
+/// Dijkstra from `source`. With no overrides, uses Edge::weight (which must
+/// then be >= 0). `cost`/`filter` may be empty. Throws std::invalid_argument
+/// on a negative default weight.
+ShortestPaths dijkstra(const Digraph& g, NodeId source,
+                       const EdgeCostFn& cost = {},
+                       const NodeFilterFn& filter = {});
+
+/// BFS order from `source` (ignores weights, honours `filter`).
+std::vector<NodeId> bfs_order(const Digraph& g, NodeId source,
+                              const NodeFilterFn& filter = {});
+
+/// Weakly connected components; returns component index per node and count.
+struct Components {
+  std::vector<int> comp_of;
+  int count = 0;
+};
+Components weakly_connected_components(const Digraph& g);
+
+/// Strongly connected components (Tarjan). comp indices are in reverse
+/// topological order of the condensation.
+Components strongly_connected_components(const Digraph& g);
+
+/// True if every node can reach every other ignoring edge direction.
+bool is_weakly_connected(const Digraph& g);
+
+/// Topological order of a DAG; std::nullopt if the graph has a cycle.
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g);
+
+/// Global minimum cut weight of the undirected view (Stoer–Wagner).
+/// Requires >= 2 nodes and non-negative weights. Also returns one side of an
+/// optimal cut. Used by tests to validate the FM partitioner.
+struct GlobalMinCut {
+  double weight = 0.0;
+  std::vector<bool> side;  ///< true = node on the "s" side of the cut.
+};
+GlobalMinCut stoer_wagner_min_cut(const Digraph& g);
+
+/// Disjoint-set forest over dense integer ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+  int find(int x);
+  /// Returns true if the two sets were merged (false if already together).
+  bool unite(int a, int b);
+  [[nodiscard]] std::size_t set_count() const { return sets_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+  std::size_t sets_;
+};
+
+}  // namespace vinoc::graph

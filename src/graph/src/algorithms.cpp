@@ -1,0 +1,312 @@
+#include "vinoc/graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stack>
+
+namespace vinoc::graph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+bool ShortestPaths::reached(NodeId n) const {
+  return std::isfinite(dist.at(static_cast<std::size_t>(n)));
+}
+
+std::vector<EdgeId> ShortestPaths::path_edges(const Digraph& g, NodeId n) const {
+  std::vector<EdgeId> path;
+  if (!reached(n)) return path;
+  NodeId cur = n;
+  while (pred_edge.at(static_cast<std::size_t>(cur)) != kInvalidEdge) {
+    const EdgeId e = pred_edge[static_cast<std::size_t>(cur)];
+    path.push_back(e);
+    cur = g.edge(e).src;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<NodeId> ShortestPaths::path_nodes(const Digraph& g, NodeId n) const {
+  std::vector<NodeId> nodes;
+  if (!reached(n)) return nodes;
+  const auto edges = path_edges(g, n);
+  if (edges.empty()) return {n};
+  nodes.push_back(g.edge(edges.front()).src);
+  for (const EdgeId e : edges) nodes.push_back(g.edge(e).dst);
+  return nodes;
+}
+
+ShortestPaths dijkstra(const Digraph& g, NodeId source, const EdgeCostFn& cost,
+                       const NodeFilterFn& filter) {
+  const std::size_t n = g.node_count();
+  ShortestPaths sp;
+  sp.dist.assign(n, kInf);
+  sp.pred_edge.assign(n, kInvalidEdge);
+  if (filter && !filter(source)) return sp;
+  sp.dist[static_cast<std::size_t>(source)] = 0.0;
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > sp.dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    for (const EdgeId eid : g.out_edges(u)) {
+      const Edge& e = g.edge(eid);
+      double w = e.weight;
+      if (cost) {
+        w = cost(e);
+        if (w < 0.0) continue;  // forbidden edge
+      } else if (w < 0.0) {
+        throw std::invalid_argument("dijkstra: negative edge weight without cost override");
+      }
+      if (filter && !filter(e.dst)) continue;
+      const double nd = d + w;
+      if (nd < sp.dist[static_cast<std::size_t>(e.dst)]) {
+        sp.dist[static_cast<std::size_t>(e.dst)] = nd;
+        sp.pred_edge[static_cast<std::size_t>(e.dst)] = eid;
+        pq.emplace(nd, e.dst);
+      }
+    }
+  }
+  return sp;
+}
+
+std::vector<NodeId> bfs_order(const Digraph& g, NodeId source,
+                              const NodeFilterFn& filter) {
+  std::vector<NodeId> order;
+  if (filter && !filter(source)) return order;
+  std::vector<bool> seen(g.node_count(), false);
+  std::queue<NodeId> q;
+  q.push(source);
+  seen[static_cast<std::size_t>(source)] = true;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    order.push_back(u);
+    for (const EdgeId eid : g.out_edges(u)) {
+      const NodeId v = g.edge(eid).dst;
+      if (seen[static_cast<std::size_t>(v)]) continue;
+      if (filter && !filter(v)) continue;
+      seen[static_cast<std::size_t>(v)] = true;
+      q.push(v);
+    }
+  }
+  return order;
+}
+
+Components weakly_connected_components(const Digraph& g) {
+  Components c;
+  const std::size_t n = g.node_count();
+  c.comp_of.assign(n, -1);
+  UnionFind uf(n);
+  for (const Edge& e : g.edges()) uf.unite(e.src, e.dst);
+  std::vector<int> root_to_comp(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int r = uf.find(static_cast<int>(i));
+    if (root_to_comp[static_cast<std::size_t>(r)] == -1) {
+      root_to_comp[static_cast<std::size_t>(r)] = c.count++;
+    }
+    c.comp_of[i] = root_to_comp[static_cast<std::size_t>(r)];
+  }
+  return c;
+}
+
+Components strongly_connected_components(const Digraph& g) {
+  // Iterative Tarjan to avoid deep recursion on long chains.
+  const std::size_t n = g.node_count();
+  Components out;
+  out.comp_of.assign(n, -1);
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  int next_index = 0;
+
+  struct Frame {
+    NodeId node;
+    std::size_t edge_pos;
+  };
+
+  for (std::size_t start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back({static_cast<NodeId>(start), 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(static_cast<NodeId>(start));
+    on_stack[start] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto u = static_cast<std::size_t>(f.node);
+      const auto outs = g.out_edges(f.node);
+      if (f.edge_pos < outs.size()) {
+        const NodeId v = g.edge(outs[f.edge_pos++]).dst;
+        const auto vi = static_cast<std::size_t>(v);
+        if (index[vi] == -1) {
+          index[vi] = lowlink[vi] = next_index++;
+          stack.push_back(v);
+          on_stack[vi] = true;
+          frames.push_back({v, 0});
+        } else if (on_stack[vi]) {
+          lowlink[u] = std::min(lowlink[u], index[vi]);
+        }
+      } else {
+        if (lowlink[u] == index[u]) {
+          while (true) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<std::size_t>(w)] = false;
+            out.comp_of[static_cast<std::size_t>(w)] = out.count;
+            if (w == f.node) break;
+          }
+          ++out.count;
+        }
+        const NodeId done = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          const auto p = static_cast<std::size_t>(frames.back().node);
+          lowlink[p] = std::min(lowlink[p], lowlink[static_cast<std::size_t>(done)]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_weakly_connected(const Digraph& g) {
+  if (g.node_count() <= 1) return true;
+  return weakly_connected_components(g).count == 1;
+}
+
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> indeg(n, 0);
+  for (const Edge& e : g.edges()) ++indeg[static_cast<std::size_t>(e.dst)];
+  std::queue<NodeId> q;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) q.push(static_cast<NodeId>(i));
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    order.push_back(u);
+    for (const EdgeId eid : g.out_edges(u)) {
+      const NodeId v = g.edge(eid).dst;
+      if (--indeg[static_cast<std::size_t>(v)] == 0) q.push(v);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+GlobalMinCut stoer_wagner_min_cut(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  if (n < 2) throw std::invalid_argument("stoer_wagner_min_cut: need >= 2 nodes");
+
+  // Dense symmetric weight matrix over the undirected view.
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (const Edge& e : g.edges()) {
+    if (e.weight < 0.0) {
+      throw std::invalid_argument("stoer_wagner_min_cut: negative weight");
+    }
+    if (e.src == e.dst) continue;
+    w[static_cast<std::size_t>(e.src)][static_cast<std::size_t>(e.dst)] += e.weight;
+    w[static_cast<std::size_t>(e.dst)][static_cast<std::size_t>(e.src)] += e.weight;
+  }
+
+  // merged_into[i] = list of original nodes contracted into supernode i.
+  std::vector<std::vector<NodeId>> merged(n);
+  for (std::size_t i = 0; i < n; ++i) merged[i] = {static_cast<NodeId>(i)};
+  std::vector<bool> gone(n, false);
+
+  GlobalMinCut best;
+  best.weight = kInf;
+  best.side.assign(n, false);
+
+  for (std::size_t phase = 0; phase + 1 < n; ++phase) {
+    std::vector<double> conn(n, 0.0);
+    std::vector<bool> added(n, false);
+    NodeId prev = kInvalidNode;
+    NodeId last = kInvalidNode;
+    for (std::size_t step = 0; step + phase < n; ++step) {
+      NodeId pick = kInvalidNode;
+      double best_conn = -1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (gone[i] || added[i]) continue;
+        if (conn[i] > best_conn) {
+          best_conn = conn[i];
+          pick = static_cast<NodeId>(i);
+        }
+      }
+      added[static_cast<std::size_t>(pick)] = true;
+      prev = last;
+      last = pick;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!gone[i] && !added[i]) conn[i] += w[static_cast<std::size_t>(pick)][i];
+      }
+    }
+    // Cut-of-the-phase: `last` alone vs. the rest.
+    const double cut = [&] {
+      double c = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!gone[i] && static_cast<NodeId>(i) != last) {
+          c += w[static_cast<std::size_t>(last)][i];
+        }
+      }
+      return c;
+    }();
+    if (cut < best.weight) {
+      best.weight = cut;
+      std::fill(best.side.begin(), best.side.end(), false);
+      for (const NodeId orig : merged[static_cast<std::size_t>(last)]) {
+        best.side[static_cast<std::size_t>(orig)] = true;
+      }
+    }
+    // Merge `last` into `prev`.
+    const auto lp = static_cast<std::size_t>(prev);
+    const auto ll = static_cast<std::size_t>(last);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[lp][i] += w[ll][i];
+      w[i][lp] += w[i][ll];
+    }
+    w[lp][lp] = 0.0;
+    merged[lp].insert(merged[lp].end(), merged[ll].begin(), merged[ll].end());
+    gone[ll] = true;
+  }
+  return best;
+}
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), rank_(n, 0), sets_(n) {
+  for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+}
+
+int UnionFind::find(int x) {
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    parent_[static_cast<std::size_t>(x)] =
+        parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+    x = parent_[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+bool UnionFind::unite(int a, int b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (rank_[static_cast<std::size_t>(a)] < rank_[static_cast<std::size_t>(b)]) std::swap(a, b);
+  parent_[static_cast<std::size_t>(b)] = a;
+  if (rank_[static_cast<std::size_t>(a)] == rank_[static_cast<std::size_t>(b)]) {
+    ++rank_[static_cast<std::size_t>(a)];
+  }
+  --sets_;
+  return true;
+}
+
+}  // namespace vinoc::graph

@@ -1,0 +1,63 @@
+// ILP formulations of graph partitioning problems, used to obtain provably
+// optimal reference solutions for validating the heuristic partitioner.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vinoc/graph/digraph.hpp"
+#include "vinoc/ilp/bb_solver.hpp"
+
+namespace vinoc::ilp {
+
+/// Optimal balanced bisection of the undirected view of `g`:
+/// minimize the cut weight subject to each side holding between
+/// `min_side` and `max_side` nodes (inclusive). Formulation:
+///   x_i in {0,1}  = side of node i (x_0 fixed to 0 to break symmetry)
+///   y_e in {0,1}  = 1 iff edge e is cut, with y_e >= x_u - x_v and
+///                   y_e >= x_v - x_u; minimizing sum(w_e * y_e) makes the
+///                   relaxation tight at integral optima.
+struct BisectionResult {
+  bool feasible = false;
+  bool proven_optimal = false;  ///< false if the node budget ran out
+  double cut_weight = 0.0;
+  std::vector<int> side_of;  ///< 0/1 per node
+};
+
+BisectionResult optimal_bisection(const graph::Digraph& g, std::size_t min_side,
+                                  std::size_t max_side,
+                                  std::int64_t max_nodes = 50'000'000);
+
+/// Optimal "link opening" reference for the router cross-check: given
+/// candidate links with opening costs and a set of unit flows (src,dst) that
+/// must each be routed over exactly one candidate link connecting its
+/// endpoints directly or via one relay node, choose the cheapest link subset.
+/// This mirrors Algorithm 1's step-15 decision on a single-switch-per-VI
+/// abstraction. Nodes are 0..node_count-1; relay nodes are `relays`.
+struct LinkChoiceProblem {
+  std::size_t node_count = 0;
+  struct CandidateLink {
+    int a = 0;
+    int b = 0;        ///< undirected candidate link {a,b}
+    double cost = 0;  ///< cost of opening it
+  };
+  std::vector<CandidateLink> links;
+  struct UnitFlow {
+    int src = 0;
+    int dst = 0;
+  };
+  std::vector<UnitFlow> flows;
+  std::vector<int> relays;  ///< nodes usable as the middle hop
+};
+
+struct LinkChoiceResult {
+  bool feasible = false;
+  bool proven_optimal = false;
+  double total_cost = 0.0;
+  std::vector<bool> opened;  ///< per candidate link
+};
+
+LinkChoiceResult optimal_link_choice(const LinkChoiceProblem& prob,
+                                     std::int64_t max_nodes = 50'000'000);
+
+}  // namespace vinoc::ilp

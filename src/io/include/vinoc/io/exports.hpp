@@ -1,0 +1,35 @@
+// Human-consumable exports: Graphviz DOT topologies (the paper's Figure 4),
+// SVG floorplans with inserted NoC components (Figure 5), and CSV dumps of
+// design-point sweeps (Figures 2-3 data).
+#pragma once
+
+#include <string>
+
+#include "vinoc/core/synthesis.hpp"
+#include "vinoc/core/topology.hpp"
+#include "vinoc/floorplan/floorplan.hpp"
+#include "vinoc/soc/soc_spec.hpp"
+
+namespace vinoc::io {
+
+/// Graphviz DOT rendering of a topology: cores as boxes clustered by island,
+/// switches as circles (intermediate-VI switches doubled), links as edges
+/// (crossings dashed and annotated with the bi-sync FIFO).
+[[nodiscard]] std::string topology_to_dot(const core::NocTopology& topo,
+                                          const soc::SocSpec& spec);
+
+/// SVG floorplan: island regions, core blocks, switch markers, link wires.
+/// Pass nullptr for `topo` to draw the bare floorplan.
+[[nodiscard]] std::string floorplan_to_svg(const floorplan::Floorplan& fp,
+                                           const soc::SocSpec& spec,
+                                           const core::NocTopology* topo);
+
+/// CSV of all design points of a synthesis run:
+/// columns: point,switches_total,intermediate,power_mw,leakage_mw,area_mm2,
+///          avg_latency_cycles,max_latency_cycles,links,fifos,pareto
+[[nodiscard]] std::string design_points_to_csv(const core::SynthesisResult& result);
+
+/// Writes `text` to `path`; throws std::runtime_error on failure.
+void write_file(const std::string& path, const std::string& text);
+
+}  // namespace vinoc::io

@@ -1,0 +1,35 @@
+// Gnuplot emitters: write <base>.dat + <base>.gp so every figure of the
+// paper can be re-plotted with `gnuplot <base>.gp` (produces <base>.png).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vinoc::io {
+
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;  ///< (x, y)
+};
+
+struct PlotSpec {
+  std::string title;
+  std::string xlabel;
+  std::string ylabel;
+  std::vector<Series> series;
+  bool x_log = false;
+  bool y_log = false;
+};
+
+/// Renders the .dat (whitespace columns: x y1 y2 ..., series aligned by x
+/// where possible, one block per series otherwise) and the .gp driver.
+[[nodiscard]] std::string plot_data(const PlotSpec& plot);
+[[nodiscard]] std::string plot_script(const PlotSpec& plot,
+                                      const std::string& data_file,
+                                      const std::string& png_file);
+
+/// Writes <base>.dat and <base>.gp; the script renders <base>.png.
+/// Throws std::runtime_error on I/O failure.
+void write_plot(const std::string& base_path, const PlotSpec& plot);
+
+}  // namespace vinoc::io

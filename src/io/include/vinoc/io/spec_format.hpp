@@ -1,0 +1,49 @@
+// Plain-text SoC specification format, so users can feed their own designs
+// to the synthesizer (see examples/custom_soc_from_file.cpp).
+//
+// Line-oriented; '#' starts a comment; blank lines ignored. Order matters
+// only in that islands/cores must precede references to them.
+//
+//   soc <name>
+//   island <name> <vdd_v> <shutdown|always_on>
+//   core <name> <kind> <island_name> <w_mm> <h_mm> <dyn_mw> <leak_mw> <clk_mhz>
+//   flow <src_core> <dst_core> <bandwidth_mbps> <max_latency_cycles>
+//   scenario <name> <time_fraction> <active_island_1> [<active_island_2> ...]
+//
+// <kind> is one of: cpu dsp gpu cache memory mem_ctrl dma video imaging
+// display audio modem crypto peripheral other. Bandwidth is in MB/s.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "vinoc/soc/soc_spec.hpp"
+
+namespace vinoc::io {
+
+struct ParseError {
+  int line = 0;
+  std::string message;
+};
+
+struct ParseResult {
+  bool ok = false;
+  soc::SocSpec spec;
+  std::vector<ParseError> errors;
+};
+
+/// Parses the text format. On any error `ok` is false and `errors` explains
+/// each offending line; parsing continues past errors to report them all.
+[[nodiscard]] ParseResult parse_soc_spec(std::istream& in);
+[[nodiscard]] ParseResult parse_soc_spec_string(const std::string& text);
+[[nodiscard]] ParseResult parse_soc_spec_file(const std::string& path);
+
+/// Serializes a spec back into the text format (round-trips with the
+/// parser up to floating-point formatting).
+[[nodiscard]] std::string write_soc_spec(const soc::SocSpec& spec);
+
+/// Parses a core kind token ("cpu", "dsp", ...); returns kOther + false on
+/// unknown tokens.
+[[nodiscard]] bool parse_core_kind(const std::string& token, soc::CoreKind& out);
+
+}  // namespace vinoc::io

@@ -1,0 +1,172 @@
+#include "vinoc/io/exports.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace vinoc::io {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string topology_to_dot(const core::NocTopology& topo, const soc::SocSpec& spec) {
+  std::ostringstream os;
+  os << "digraph noc {\n"
+     << "  rankdir=LR;\n"
+     << "  node [fontsize=10];\n";
+
+  // Island clusters with their cores and direct switches.
+  for (std::size_t isl = 0; isl < spec.islands.size(); ++isl) {
+    os << "  subgraph cluster_isl" << isl << " {\n"
+       << "    label=\"" << spec.islands[isl].name
+       << (spec.islands[isl].can_shutdown ? " (gateable)" : " (always-on)")
+       << "\";\n    style=rounded;\n";
+    for (std::size_t c = 0; c < spec.cores.size(); ++c) {
+      if (static_cast<std::size_t>(spec.cores[c].island) != isl) continue;
+      os << "    core_" << sanitize(spec.cores[c].name) << " [shape=box,label=\""
+         << spec.cores[c].name << "\"];\n";
+    }
+    for (std::size_t s = 0; s < topo.switches.size(); ++s) {
+      if (topo.switches[s].island != static_cast<soc::IslandId>(isl)) continue;
+      os << "    sw" << s << " [shape=circle,label=\"sw" << s << "\\n"
+         << topo.switches[s].freq_hz / 1e6 << "MHz\"];\n";
+    }
+    os << "  }\n";
+  }
+  // Intermediate NoC VI.
+  bool has_intermediate = false;
+  for (const core::SwitchInst& s : topo.switches) {
+    if (s.island == core::kIntermediateIsland) has_intermediate = true;
+  }
+  if (has_intermediate) {
+    os << "  subgraph cluster_noc_vi {\n"
+       << "    label=\"NoC VI (always-on)\";\n    style=dashed;\n";
+    for (std::size_t s = 0; s < topo.switches.size(); ++s) {
+      if (topo.switches[s].island != core::kIntermediateIsland) continue;
+      os << "    sw" << s << " [shape=doublecircle,label=\"sw" << s << "\"];\n";
+    }
+    os << "  }\n";
+  }
+
+  // NI attachments (one undirected-looking pair of edges would be noisy;
+  // draw a single edge core -> switch).
+  for (std::size_t c = 0; c < spec.cores.size(); ++c) {
+    os << "  core_" << sanitize(spec.cores[c].name) << " -> sw"
+       << topo.switch_of_core[c] << " [dir=both,color=gray,arrowsize=0.5];\n";
+  }
+  // Inter-switch links.
+  for (const core::TopLink& l : topo.links) {
+    os << "  sw" << l.src_switch << " -> sw" << l.dst_switch;
+    if (l.crosses_island) {
+      os << " [style=dashed,label=\"fifo\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string floorplan_to_svg(const floorplan::Floorplan& fp, const soc::SocSpec& spec,
+                             const core::NocTopology* topo) {
+  constexpr double kScale = 80.0;  // px per mm
+  const double W = fp.chip_width_mm() * kScale;
+  const double H = fp.chip_height_mm() * kScale;
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << W << "\" height=\""
+     << H << "\" viewBox=\"0 0 " << W << " " << H << "\">\n";
+  os << "  <rect x=\"0\" y=\"0\" width=\"" << W << "\" height=\"" << H
+     << "\" fill=\"#f7f7f7\" stroke=\"black\"/>\n";
+  // SVG's y axis points down; flip so (0,0) is the chip's lower-left.
+  auto X = [kScale](double mm) { return mm * kScale; };
+  auto Y = [kScale, H](double mm) { return H - mm * kScale; };
+
+  static const char* kPalette[] = {"#cfe8ff", "#ffe3cf", "#d8f5d0", "#f5d0ea",
+                                   "#fff3b0", "#d0f0f5", "#e6d0f5", "#f5d6d0"};
+  for (std::size_t isl = 0; isl < fp.island_count(); ++isl) {
+    const floorplan::Rect& r = fp.island_rect(static_cast<soc::IslandId>(isl));
+    os << "  <rect x=\"" << X(r.x_mm) << "\" y=\"" << Y(r.y_mm + r.h_mm)
+       << "\" width=\"" << r.w_mm * kScale << "\" height=\"" << r.h_mm * kScale
+       << "\" fill=\"" << kPalette[isl % 8]
+       << "\" stroke=\"#555\" stroke-dasharray=\"4,2\"/>\n";
+    os << "  <text x=\"" << X(r.x_mm) + 3 << "\" y=\"" << Y(r.y_mm + r.h_mm) + 12
+       << "\" font-size=\"11\">" << spec.islands[isl].name
+       << (spec.islands[isl].can_shutdown ? "" : " *") << "</text>\n";
+  }
+  for (std::size_t c = 0; c < fp.core_count(); ++c) {
+    const floorplan::Rect& r = fp.core_rect(static_cast<soc::CoreId>(c));
+    os << "  <rect x=\"" << X(r.x_mm) << "\" y=\"" << Y(r.y_mm + r.h_mm)
+       << "\" width=\"" << r.w_mm * kScale << "\" height=\"" << r.h_mm * kScale
+       << "\" fill=\"white\" stroke=\"#333\"/>\n";
+    os << "  <text x=\"" << X(r.center().x_mm) << "\" y=\"" << Y(r.center().y_mm)
+       << "\" font-size=\"8\" text-anchor=\"middle\">" << spec.cores[c].name
+       << "</text>\n";
+  }
+  if (topo != nullptr) {
+    for (const core::TopLink& l : topo->links) {
+      const auto& a = topo->switches[static_cast<std::size_t>(l.src_switch)].pos;
+      const auto& b = topo->switches[static_cast<std::size_t>(l.dst_switch)].pos;
+      os << "  <line x1=\"" << X(a.x_mm) << "\" y1=\"" << Y(a.y_mm) << "\" x2=\""
+         << X(b.x_mm) << "\" y2=\"" << Y(b.y_mm) << "\" stroke=\""
+         << (l.crosses_island ? "#c33" : "#36c") << "\" stroke-width=\"1.5\""
+         << (l.crosses_island ? " stroke-dasharray=\"5,3\"" : "") << "/>\n";
+    }
+    for (std::size_t c = 0; c < spec.cores.size(); ++c) {
+      const auto& p = fp.core_rect(static_cast<soc::CoreId>(c)).center();
+      const auto& s =
+          topo->switches[static_cast<std::size_t>(topo->switch_of_core[c])].pos;
+      os << "  <line x1=\"" << X(p.x_mm) << "\" y1=\"" << Y(p.y_mm) << "\" x2=\""
+         << X(s.x_mm) << "\" y2=\"" << Y(s.y_mm)
+         << "\" stroke=\"#999\" stroke-width=\"0.7\"/>\n";
+    }
+    for (std::size_t s = 0; s < topo->switches.size(); ++s) {
+      const core::SwitchInst& sw = topo->switches[s];
+      const bool inter = sw.island == core::kIntermediateIsland;
+      os << "  <circle cx=\"" << X(sw.pos.x_mm) << "\" cy=\"" << Y(sw.pos.y_mm)
+         << "\" r=\"" << (inter ? 7 : 5) << "\" fill=\""
+         << (inter ? "#c33" : "#36c") << "\" stroke=\"black\"/>\n";
+      os << "  <text x=\"" << X(sw.pos.x_mm) + 8 << "\" y=\"" << Y(sw.pos.y_mm)
+         << "\" font-size=\"9\">sw" << s << "</text>\n";
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string design_points_to_csv(const core::SynthesisResult& result) {
+  std::ostringstream os;
+  os << "point,switches_total,intermediate,power_mw,leakage_mw,area_mm2,"
+        "avg_latency_cycles,max_latency_cycles,links,fifos,pareto\n";
+  std::set<std::size_t> pareto(result.pareto.begin(), result.pareto.end());
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const core::DesignPoint& p = result.points[i];
+    int total = p.intermediate_switches;
+    for (const int k : p.switches_per_island) total += k;
+    const core::Metrics& m = p.metrics;
+    os << i << ',' << total << ',' << p.intermediate_switches << ','
+       << m.noc_dynamic_w * 1e3 << ',' << m.noc_leakage_w * 1e3 << ','
+       << m.noc_area_mm2 << ',' << m.avg_latency_cycles << ','
+       << m.max_latency_cycles << ',' << m.link_count << ',' << m.fifo_count
+       << ',' << (pareto.count(i) != 0 ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_file: cannot open " + path);
+  out << text;
+  if (!out) throw std::runtime_error("write_file: write failed for " + path);
+}
+
+}  // namespace vinoc::io

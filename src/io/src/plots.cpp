@@ -1,0 +1,56 @@
+#include "vinoc/io/plots.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "vinoc/io/exports.hpp"
+
+namespace vinoc::io {
+
+std::string plot_data(const PlotSpec& plot) {
+  std::ostringstream os;
+  // One index block per series: robust for series with different x grids.
+  for (const Series& s : plot.series) {
+    os << "# series: " << s.name << '\n';
+    for (const auto& [x, y] : s.points) {
+      os << x << ' ' << y << '\n';
+    }
+    os << "\n\n";  // gnuplot index separator
+  }
+  return os.str();
+}
+
+std::string plot_script(const PlotSpec& plot, const std::string& data_file,
+                        const std::string& png_file) {
+  std::ostringstream os;
+  os << "set terminal pngcairo size 800,560 enhanced\n";
+  os << "set output '" << png_file << "'\n";
+  os << "set title '" << plot.title << "'\n";
+  os << "set xlabel '" << plot.xlabel << "'\n";
+  os << "set ylabel '" << plot.ylabel << "'\n";
+  os << "set grid\n";
+  os << "set key left top\n";
+  if (plot.x_log) os << "set logscale x\n";
+  if (plot.y_log) os << "set logscale y\n";
+  os << "plot ";
+  for (std::size_t i = 0; i < plot.series.size(); ++i) {
+    if (i > 0) os << ", \\\n     ";
+    os << "'" << data_file << "' index " << i
+       << " using 1:2 with linespoints title '" << plot.series[i].name << "'";
+  }
+  os << '\n';
+  return os.str();
+}
+
+void write_plot(const std::string& base_path, const PlotSpec& plot) {
+  if (plot.series.empty()) {
+    throw std::runtime_error("write_plot: no series");
+  }
+  const std::string dat = base_path + ".dat";
+  const std::string gp = base_path + ".gp";
+  const std::string png = base_path + ".png";
+  write_file(dat, plot_data(plot));
+  write_file(gp, plot_script(plot, dat, png));
+}
+
+}  // namespace vinoc::io

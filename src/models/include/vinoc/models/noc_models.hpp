@@ -1,0 +1,79 @@
+// Power / area / delay models of the NoC building blocks.
+#pragma once
+
+#include "vinoc/models/technology.hpp"
+
+namespace vinoc::models {
+
+/// Crossbar switch with `in_ports` x `out_ports`. Size for the frequency
+/// constraint is max(in, out) — the crossbar critical path scales with the
+/// larger dimension.
+class SwitchModel {
+ public:
+  explicit SwitchModel(const Technology& tech) : tech_(tech) {}
+
+  /// Maximum clock the switch can run at; decreasing in port count.
+  [[nodiscard]] double max_frequency_hz(int ports) const;
+
+  /// Largest port count operable at `freq_hz` (the paper's max_sw_size).
+  /// Returns at least 2 (a 1-port "switch" is meaningless) and caps at 64.
+  [[nodiscard]] int max_ports_at(double freq_hz) const;
+
+  /// Dynamic power: traffic-proportional energy + clocked idle power.
+  /// `aggregate_bw_bits_per_s` is the sum of all flow bandwidths traversing
+  /// the switch (each traversal moves each bit through the crossbar once).
+  [[nodiscard]] double dynamic_power_w(int in_ports, int out_ports, double freq_hz,
+                                       double aggregate_bw_bits_per_s) const;
+
+  [[nodiscard]] double leakage_w(int in_ports, int out_ports) const;
+  [[nodiscard]] double area_um2(int in_ports, int out_ports) const;
+
+ private:
+  Technology tech_;
+};
+
+/// Point-to-point link of `width_bits` wires and `length_mm` millimetres.
+class LinkModel {
+ public:
+  explicit LinkModel(const Technology& tech) : tech_(tech) {}
+
+  [[nodiscard]] double dynamic_power_w(double length_mm,
+                                       double aggregate_bw_bits_per_s) const;
+  [[nodiscard]] double leakage_w(double length_mm, int width_bits) const;
+  /// Propagation delay of the unpipelined wire [s].
+  [[nodiscard]] double wire_delay_s(double length_mm) const;
+  /// Longest unpipelined wire that still fits in one cycle at `freq_hz`.
+  [[nodiscard]] double max_unpipelined_length_mm(double freq_hz) const;
+  /// Peak sustainable bandwidth of the link [bits/s].
+  [[nodiscard]] double capacity_bits_per_s(int width_bits, double freq_hz) const;
+
+ private:
+  Technology tech_;
+};
+
+/// Network interface (core <-> switch adapter).
+class NiModel {
+ public:
+  explicit NiModel(const Technology& tech) : tech_(tech) {}
+  [[nodiscard]] double dynamic_power_w(double aggregate_bw_bits_per_s) const;
+  [[nodiscard]] double leakage_w() const { return tech_.ni_leakage_mw * 1e-3; }
+  [[nodiscard]] double area_um2() const { return tech_.ni_area_um2; }
+
+ private:
+  Technology tech_;
+};
+
+/// Bi-synchronous FIFO: voltage + frequency conversion between two islands.
+class BisyncFifoModel {
+ public:
+  explicit BisyncFifoModel(const Technology& tech) : tech_(tech) {}
+  [[nodiscard]] double dynamic_power_w(double aggregate_bw_bits_per_s) const;
+  [[nodiscard]] double leakage_w() const { return tech_.fifo_leakage_mw * 1e-3; }
+  [[nodiscard]] double area_um2() const { return tech_.fifo_area_um2; }
+  [[nodiscard]] int latency_cycles() const { return tech_.fifo_latency_cycles; }
+
+ private:
+  Technology tech_;
+};
+
+}  // namespace vinoc::models

@@ -1,0 +1,87 @@
+// 65 nm technology characterization for the NoC component models.
+//
+// The paper used the (proprietary) ×pipesLite component library characterized
+// at 65 nm [25], extended with bi-synchronous voltage/frequency converters.
+// We substitute an analytic model with constants calibrated to public
+// ×pipes/ORION-class 65 nm figures. The synthesis algorithm consumes only
+// *relative* costs, so the monotonic trends are what matters:
+//   * a switch with more ports burns more energy/bit, leaks more, is bigger,
+//     and has a longer crossbar critical path (lower attainable frequency);
+//   * a longer wire burns more energy/bit and adds delay;
+//   * an island crossing adds a bi-sync FIFO (energy + area + 4-cycle
+//     latency, per the paper's Section 5).
+//
+// Unit conventions (enforced by naming): power in W, energy in J, frequency
+// in Hz, bandwidth in bits/s, length in mm, area in um^2, delay in s.
+#pragma once
+
+namespace vinoc::models {
+
+struct Technology {
+  // --- Global -------------------------------------------------------------
+  double node_nm = 65.0;
+  double vdd_nominal_v = 1.0;
+  /// Switch frequencies are snapped up to multiples of this grid (a clock
+  /// generator cannot emit arbitrary frequencies).
+  double freq_grid_hz = 50.0e6;
+  /// Hard ceiling on any NoC clock at this node.
+  double max_freq_hz = 1.0e9;
+
+  // --- Switch (crossbar + input buffers + allocator) -----------------------
+  /// Crossbar critical path: cp(P) = base + per_log2port * log2(P) [ns].
+  /// f_max(P) = 1 / cp(P). Calibrated so a 5x5 switch closes ~1 GHz and a
+  /// 16x16 switch ~800 MHz, in line with published 65 nm xpipes numbers.
+  double sw_critical_path_base_ns = 0.65;
+  double sw_critical_path_per_log2port_ns = 0.15;
+  /// Energy to move one bit through a switch: e(P) = base + per_port * P [pJ].
+  double sw_energy_base_pj_per_bit = 0.20;
+  double sw_energy_per_port_pj_per_bit = 0.02;
+  /// Clock-tree + allocator + buffer idle dynamic power, proportional to
+  /// P * f [W/Hz] (~1.2 mW per port at 800 MHz). This is the term
+  /// island-ing saves: islands whose NI links carry little bandwidth clock
+  /// their switches slower (the paper's explanation for why the
+  /// communication-based partitioning beats the 1-island reference).
+  double sw_idle_power_per_port_w_per_hz = 1.5e-12;
+  /// Leakage: l(P) = base + per_port * P  [mW].
+  double sw_leakage_base_mw = 0.050;
+  double sw_leakage_per_port_mw = 0.020;
+  /// Area: a(P) = base + quad * P^2 + lin * P  [um^2]; quadratic term is the
+  /// crossbar, linear term the buffers/allocator slice.
+  double sw_area_base_um2 = 3000.0;
+  double sw_area_per_port2_um2 = 450.0;
+  double sw_area_per_port_um2 = 1200.0;
+  /// Cycles a head flit spends in a switch (input sample + traverse).
+  int sw_pipeline_cycles = 1;
+
+  // --- Link (full-swing wires with repeaters, over-the-cell routed) --------
+  double link_energy_pj_per_bit_mm = 0.15;
+  /// Repeated-wire propagation delay [ns/mm].
+  double wire_delay_ns_per_mm = 0.18;
+  /// Repeater leakage per signal wire [mW/mm]; multiplied by data width.
+  double link_leakage_mw_per_wire_mm = 0.0004;
+
+  // --- Network interface (protocol conversion + clock crossing to core) ----
+  double ni_energy_pj_per_bit = 0.30;
+  double ni_area_um2 = 12000.0;
+  double ni_leakage_mw = 0.060;
+
+  // --- Bi-synchronous FIFO (voltage + frequency conversion between VIs) ----
+  /// Per-bit cost of an island crossing: dual-clock FIFO plus level
+  /// shifters on every wire. Deliberately not cheap — this is what makes
+  /// high-bandwidth flows across islands costly (the paper's Figure 2
+  /// overhead for logical partitioning).
+  double fifo_energy_pj_per_bit = 0.50;
+  double fifo_area_um2 = 2500.0;
+  double fifo_leakage_mw = 0.025;
+  /// Latency of an island crossing, in cycles (paper, Section 5: "a 4 cycle
+  /// delay is incurred on the voltage-frequency converters").
+  int fifo_latency_cycles = 4;
+
+  /// Reference 65 nm parameters used by all experiments.
+  [[nodiscard]] static Technology cmos65nm() { return Technology{}; }
+};
+
+/// Rounds `freq_hz` up to the technology's frequency grid (at least one step).
+double snap_frequency_up(const Technology& tech, double freq_hz);
+
+}  // namespace vinoc::models

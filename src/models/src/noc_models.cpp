@@ -1,0 +1,97 @@
+#include "vinoc/models/noc_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vinoc::models {
+
+namespace {
+constexpr double kPjToJ = 1e-12;
+constexpr int kMaxSwitchPorts = 64;
+}  // namespace
+
+double snap_frequency_up(const Technology& tech, double freq_hz) {
+  if (freq_hz <= 0.0) return tech.freq_grid_hz;
+  const double steps = std::ceil(freq_hz / tech.freq_grid_hz - 1e-9);
+  return std::min(steps * tech.freq_grid_hz, tech.max_freq_hz);
+}
+
+double SwitchModel::max_frequency_hz(int ports) const {
+  if (ports < 1) throw std::invalid_argument("SwitchModel: ports must be >= 1");
+  const double cp_ns = tech_.sw_critical_path_base_ns +
+                       tech_.sw_critical_path_per_log2port_ns *
+                           std::log2(static_cast<double>(std::max(ports, 2)));
+  return std::min(1.0e9 / cp_ns, tech_.max_freq_hz);
+}
+
+int SwitchModel::max_ports_at(double freq_hz) const {
+  if (freq_hz <= 0.0) throw std::invalid_argument("SwitchModel: freq must be > 0");
+  int best = 2;
+  for (int p = 2; p <= kMaxSwitchPorts; ++p) {
+    if (max_frequency_hz(p) + 1.0 >= freq_hz) {
+      best = p;
+    } else {
+      break;  // max_frequency_hz is decreasing in p
+    }
+  }
+  return best;
+}
+
+double SwitchModel::dynamic_power_w(int in_ports, int out_ports, double freq_hz,
+                                    double aggregate_bw_bits_per_s) const {
+  const int ports = std::max(in_ports, out_ports);
+  const double e_bit = (tech_.sw_energy_base_pj_per_bit +
+                        tech_.sw_energy_per_port_pj_per_bit * ports) *
+                       kPjToJ;
+  const double traffic_w = e_bit * aggregate_bw_bits_per_s;
+  const double idle_w =
+      tech_.sw_idle_power_per_port_w_per_hz * (in_ports + out_ports) * freq_hz;
+  return traffic_w + idle_w;
+}
+
+double SwitchModel::leakage_w(int in_ports, int out_ports) const {
+  const int ports = std::max(in_ports, out_ports);
+  return (tech_.sw_leakage_base_mw + tech_.sw_leakage_per_port_mw * ports) * 1e-3;
+}
+
+double SwitchModel::area_um2(int in_ports, int out_ports) const {
+  const int ports = std::max(in_ports, out_ports);
+  const double p = static_cast<double>(ports);
+  return tech_.sw_area_base_um2 + tech_.sw_area_per_port2_um2 * p * p +
+         tech_.sw_area_per_port_um2 * p;
+}
+
+double LinkModel::dynamic_power_w(double length_mm,
+                                  double aggregate_bw_bits_per_s) const {
+  return tech_.link_energy_pj_per_bit_mm * kPjToJ * length_mm *
+         aggregate_bw_bits_per_s;
+}
+
+double LinkModel::leakage_w(double length_mm, int width_bits) const {
+  return tech_.link_leakage_mw_per_wire_mm * 1e-3 * length_mm * width_bits;
+}
+
+double LinkModel::wire_delay_s(double length_mm) const {
+  return tech_.wire_delay_ns_per_mm * 1e-9 * length_mm;
+}
+
+double LinkModel::max_unpipelined_length_mm(double freq_hz) const {
+  if (freq_hz <= 0.0) throw std::invalid_argument("LinkModel: freq must be > 0");
+  const double cycle_s = 1.0 / freq_hz;
+  return cycle_s / (tech_.wire_delay_ns_per_mm * 1e-9);
+}
+
+double LinkModel::capacity_bits_per_s(int width_bits, double freq_hz) const {
+  return static_cast<double>(width_bits) * freq_hz;
+}
+
+double NiModel::dynamic_power_w(double aggregate_bw_bits_per_s) const {
+  return tech_.ni_energy_pj_per_bit * kPjToJ * aggregate_bw_bits_per_s;
+}
+
+double BisyncFifoModel::dynamic_power_w(double aggregate_bw_bits_per_s) const {
+  return tech_.fifo_energy_pj_per_bit * kPjToJ * aggregate_bw_bits_per_s;
+}
+
+}  // namespace vinoc::models

@@ -1,0 +1,6 @@
+// Intentionally small: Technology is an aggregate of constants; the only
+// free function lives in noc_models.cpp to keep one TU per concept. This TU
+// exists so the target has a stable archive even if all models become inline.
+#include "vinoc/models/technology.hpp"
+
+namespace vinoc::models {}  // namespace vinoc::models

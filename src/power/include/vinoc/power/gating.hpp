@@ -1,0 +1,64 @@
+// SoC-level power accounting with island shutdown.
+//
+// Reproduces the paper's two text claims:
+//  * the VI-aware NoC costs ~3% of total SoC dynamic power and <0.5% area
+//    (bench_overhead_table compares against a shutdown-oblivious baseline);
+//  * gating unused islands recovers a large share of leakage — "even 25% or
+//    more reduction in overall system power" (bench_shutdown_savings).
+//
+// Model: in a use-case scenario only active cores burn dynamic power (idle
+// cores are clock-gated either way). Without power gating every core leaks
+// all the time; with gating, cores — and the NoC switches/NIs/FIFOs — of an
+// inactive island leak only the sleep-transistor retention fraction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vinoc/core/topology.hpp"
+#include "vinoc/models/technology.hpp"
+#include "vinoc/soc/soc_spec.hpp"
+
+namespace vinoc::power {
+
+struct GatingModel {
+  /// Fraction of leakage that survives power gating (sleep-transistor and
+  /// always-on retention logic).
+  double retention_fraction = 0.05;
+  /// Fraction of a scenario's *active-core* dynamic power actually drawn
+  /// (cores are not 100% busy); applied equally with/without gating.
+  double activity_factor = 1.0;
+};
+
+/// Static leakage of the NoC attributed to each island. Index
+/// spec.island_count() holds the intermediate NoC VI (never gated). FIFO
+/// leakage on a crossing link is attributed to the link's destination side.
+[[nodiscard]] std::vector<double> noc_leakage_by_island(
+    const core::NocTopology& topo, const soc::SocSpec& spec,
+    const models::Technology& tech, int link_width_bits = 32);
+
+struct ScenarioPower {
+  std::string name;
+  double time_fraction = 0.0;
+  double power_no_gating_w = 0.0;
+  double power_with_gating_w = 0.0;
+};
+
+struct ShutdownReport {
+  /// Time-weighted average SoC power (cores + NoC) over the scenarios.
+  double avg_power_no_gating_w = 0.0;
+  double avg_power_with_gating_w = 0.0;
+  double saved_w = 0.0;
+  double saved_fraction = 0.0;  ///< of avg_power_no_gating_w
+  std::vector<ScenarioPower> scenarios;
+};
+
+/// Evaluates spec.scenarios (un-covered time is treated as an implicit
+/// "all active" scenario). Throws std::invalid_argument if the spec has no
+/// scenarios or they are malformed.
+[[nodiscard]] ShutdownReport evaluate_shutdown_savings(
+    const soc::SocSpec& spec, const core::NocTopology& topo,
+    const models::Technology& tech, const GatingModel& gating = {},
+    int link_width_bits = 32);
+
+}  // namespace vinoc::power

@@ -1,0 +1,51 @@
+// Power-gating transition overhead (extension beyond the paper).
+//
+// The paper assumes islands can be gated whenever a use case idles them;
+// mechanisms are delegated to [5]-[8]. Re-powering an island is not free:
+// the sleep transistors must re-charge the virtual rails (energy roughly
+// proportional to the island's capacitance, for which its leakage is a
+// good proxy) and the wake takes tens of microseconds during which the
+// island burns power but does no work. This module charges that cost
+// against the gating savings and derives the break-even dwell time — the
+// classic question a power-management unit has to answer before gating.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vinoc/power/gating.hpp"
+
+namespace vinoc::power {
+
+struct TransitionModel {
+  /// Time to re-power an island (rail ramp + reset release) [s].
+  double wakeup_latency_s = 50e-6;
+  /// Energy to re-charge an island's rails per watt of island leakage
+  /// (leakage ~ total gate width ~ rail capacitance) [J/W].
+  double wakeup_energy_j_per_leak_w = 2.0e-3;
+  /// Average dwell time in one use-case scenario before switching [s].
+  double scenario_dwell_s = 1.0;
+};
+
+struct TransitionReport {
+  /// Expected island power-ups per second across the scenario rotation.
+  double wakeups_per_s = 0.0;
+  /// Average power spent on wake transitions [W].
+  double transition_power_w = 0.0;
+  /// Gating savings net of transition cost [W]; can go negative for
+  /// unrealistically short dwell times.
+  double net_saved_w = 0.0;
+  double net_saved_fraction = 0.0;
+  /// Dwell time at which transitions eat all gating savings [s].
+  double breakeven_dwell_s = 0.0;
+};
+
+/// Charges wake-up costs against `report` (from evaluate_shutdown_savings).
+/// Scenarios are assumed visited in proportion to their time fractions, in
+/// list order, cyclically; an island "wakes" on every scenario boundary
+/// where it goes inactive -> active. Throws on malformed inputs.
+TransitionReport evaluate_transition_overhead(const soc::SocSpec& spec,
+                                              const ShutdownReport& report,
+                                              const TransitionModel& model = {});
+
+}  // namespace vinoc::power

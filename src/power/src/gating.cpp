@@ -1,0 +1,112 @@
+#include "vinoc/power/gating.hpp"
+
+#include <stdexcept>
+
+namespace vinoc::power {
+
+std::vector<double> noc_leakage_by_island(const core::NocTopology& topo,
+                                          const soc::SocSpec& spec,
+                                          const models::Technology& tech,
+                                          int link_width_bits) {
+  const models::SwitchModel sw_model(tech);
+  const models::LinkModel link_model(tech);
+  const models::NiModel ni_model(tech);
+  const models::BisyncFifoModel fifo_model(tech);
+
+  const std::size_t n_isl = spec.islands.size();
+  std::vector<double> leak(n_isl + 1, 0.0);
+  auto slot = [n_isl](soc::IslandId isl) {
+    return isl == core::kIntermediateIsland ? n_isl : static_cast<std::size_t>(isl);
+  };
+
+  for (std::size_t s = 0; s < topo.switches.size(); ++s) {
+    const int in = topo.switch_ports_in(static_cast<int>(s));
+    const int out = topo.switch_ports_out(static_cast<int>(s));
+    leak[slot(topo.switches[s].island)] += sw_model.leakage_w(in, out);
+  }
+  for (std::size_t c = 0; c < spec.cores.size(); ++c) {
+    const auto isl = slot(spec.cores[c].island);
+    leak[isl] += ni_model.leakage_w();
+    leak[isl] += link_model.leakage_w(topo.ni_wire_mm.at(c), link_width_bits);
+  }
+  for (const core::TopLink& l : topo.links) {
+    const auto dst_isl = slot(topo.switches[static_cast<std::size_t>(l.dst_switch)].island);
+    leak[dst_isl] += link_model.leakage_w(l.length_mm, link_width_bits);
+    if (l.crosses_island) leak[dst_isl] += fifo_model.leakage_w();
+  }
+  return leak;
+}
+
+ShutdownReport evaluate_shutdown_savings(const soc::SocSpec& spec,
+                                         const core::NocTopology& topo,
+                                         const models::Technology& tech,
+                                         const GatingModel& gating,
+                                         int link_width_bits) {
+  if (spec.scenarios.empty()) {
+    throw std::invalid_argument("evaluate_shutdown_savings: spec has no scenarios");
+  }
+  if (gating.retention_fraction < 0.0 || gating.retention_fraction > 1.0 ||
+      gating.activity_factor < 0.0 || gating.activity_factor > 1.0) {
+    throw std::invalid_argument("evaluate_shutdown_savings: bad gating model");
+  }
+  const std::size_t n_isl = spec.islands.size();
+
+  // Island-level aggregates.
+  std::vector<double> island_dyn(n_isl, 0.0);
+  std::vector<double> island_leak(n_isl, 0.0);
+  for (const soc::CoreSpec& c : spec.cores) {
+    island_dyn[static_cast<std::size_t>(c.island)] += c.dynamic_power_w;
+    island_leak[static_cast<std::size_t>(c.island)] += c.leakage_power_w;
+  }
+  const std::vector<double> noc_leak =
+      noc_leakage_by_island(topo, spec, tech, link_width_bits);
+  const core::Metrics noc_metrics =
+      core::compute_metrics(topo, spec, tech, link_width_bits);
+
+  ShutdownReport report;
+  auto eval_scenario = [&](const std::string& name, double fraction,
+                           const std::vector<bool>& active) {
+    ScenarioPower sp;
+    sp.name = name;
+    sp.time_fraction = fraction;
+    for (std::size_t i = 0; i < n_isl; ++i) {
+      const double dyn = island_dyn[i] * gating.activity_factor;
+      const double leak_i = island_leak[i] + noc_leak[i];
+      if (active[i]) {
+        sp.power_no_gating_w += dyn + leak_i;
+        sp.power_with_gating_w += dyn + leak_i;
+      } else {
+        sp.power_no_gating_w += leak_i;  // idle but leaking
+        sp.power_with_gating_w += leak_i * gating.retention_fraction;
+      }
+    }
+    // NoC dynamic power and intermediate-VI leakage are always on.
+    sp.power_no_gating_w += noc_metrics.noc_dynamic_w + noc_leak[n_isl];
+    sp.power_with_gating_w += noc_metrics.noc_dynamic_w + noc_leak[n_isl];
+    report.avg_power_no_gating_w += fraction * sp.power_no_gating_w;
+    report.avg_power_with_gating_w += fraction * sp.power_with_gating_w;
+    report.scenarios.push_back(std::move(sp));
+  };
+
+  double covered = 0.0;
+  for (const soc::Scenario& s : spec.scenarios) {
+    if (s.island_active.size() != n_isl) {
+      throw std::invalid_argument("evaluate_shutdown_savings: scenario '" +
+                                  s.name + "' island_active size mismatch");
+    }
+    eval_scenario(s.name, s.time_fraction, s.island_active);
+    covered += s.time_fraction;
+  }
+  if (covered < 1.0 - 1e-9) {
+    eval_scenario("(uncovered: all active)", 1.0 - covered,
+                  std::vector<bool>(n_isl, true));
+  }
+
+  report.saved_w = report.avg_power_no_gating_w - report.avg_power_with_gating_w;
+  report.saved_fraction = report.avg_power_no_gating_w > 0.0
+                              ? report.saved_w / report.avg_power_no_gating_w
+                              : 0.0;
+  return report;
+}
+
+}  // namespace vinoc::power

@@ -1,0 +1,64 @@
+#include "vinoc/power/transitions.hpp"
+
+#include <stdexcept>
+
+namespace vinoc::power {
+
+TransitionReport evaluate_transition_overhead(const soc::SocSpec& spec,
+                                              const ShutdownReport& report,
+                                              const TransitionModel& model) {
+  if (spec.scenarios.empty()) {
+    throw std::invalid_argument("evaluate_transition_overhead: no scenarios");
+  }
+  if (model.scenario_dwell_s <= 0.0 || model.wakeup_latency_s < 0.0 ||
+      model.wakeup_energy_j_per_leak_w < 0.0) {
+    throw std::invalid_argument("evaluate_transition_overhead: bad model");
+  }
+
+  // Island leakage (cores only; the island's NoC share is second-order).
+  std::vector<double> island_leak(spec.islands.size(), 0.0);
+  for (const soc::CoreSpec& c : spec.cores) {
+    island_leak[static_cast<std::size_t>(c.island)] += c.leakage_power_w;
+  }
+
+  // One rotation visits each scenario once, in list order, cyclically.
+  const std::size_t n = spec.scenarios.size();
+  const double rotation_s = static_cast<double>(n) * model.scenario_dwell_s;
+  double energy_per_rotation_j = 0.0;
+  double wakeups_per_rotation = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const soc::Scenario& cur = spec.scenarios[s];
+    const soc::Scenario& next = spec.scenarios[(s + 1) % n];
+    if (cur.island_active.size() != spec.islands.size() ||
+        next.island_active.size() != spec.islands.size()) {
+      throw std::invalid_argument(
+          "evaluate_transition_overhead: scenario island_active size mismatch");
+    }
+    for (std::size_t isl = 0; isl < spec.islands.size(); ++isl) {
+      if (!spec.islands[isl].can_shutdown) continue;
+      if (!cur.island_active[isl] && next.island_active[isl]) {
+        ++wakeups_per_rotation;
+        // Rail recharge energy plus the wasted wake-latency interval at the
+        // island's (leakage) power level.
+        energy_per_rotation_j +=
+            island_leak[isl] * model.wakeup_energy_j_per_leak_w +
+            island_leak[isl] * model.wakeup_latency_s;
+      }
+    }
+  }
+
+  TransitionReport out;
+  out.wakeups_per_s = wakeups_per_rotation / rotation_s;
+  out.transition_power_w = energy_per_rotation_j / rotation_s;
+  const double saved = report.saved_w;
+  out.net_saved_w = saved - out.transition_power_w;
+  out.net_saved_fraction = report.avg_power_no_gating_w > 0.0
+                               ? out.net_saved_w / report.avg_power_no_gating_w
+                               : 0.0;
+  // transition_power = E / (n * dwell); break-even where it equals `saved`.
+  out.breakeven_dwell_s =
+      saved > 0.0 ? energy_per_rotation_j / (static_cast<double>(n) * saved) : 0.0;
+  return out;
+}
+
+}  // namespace vinoc::power

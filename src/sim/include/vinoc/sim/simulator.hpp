@@ -1,0 +1,78 @@
+// Cycle-based flit-level NoC simulator.
+//
+// Used to validate synthesized topologies: at low load the measured
+// head-flit latency must equal the analytic zero-load latency used in the
+// paper's Figure 3, and at the specified bandwidths no link may saturate
+// (the router's capacity accounting must have been sound).
+//
+// Model (virtual cut-through approximation):
+//  * a packet of `packet_flits` flits follows its flow's synthesized route;
+//  * every link (NI attach, inter-switch, switch->NI) is a FIFO server that
+//    forwards one flit per cycle; a crossing link's bi-sync FIFO adds the
+//    technology's conversion latency to the head flit;
+//  * each switch adds its pipeline latency to the head flit;
+//  * contention: a packet must wait for the link to finish serializing every
+//    packet that arrived before it (FIFO order, no preemption).
+//
+// Time is counted in cycles of the flow's source-island clock; frequency
+// ratios between islands are folded into per-link service rates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vinoc/core/topology.hpp"
+#include "vinoc/models/technology.hpp"
+#include "vinoc/soc/soc_spec.hpp"
+
+namespace vinoc::sim {
+
+struct SimOptions {
+  double duration_cycles = 50'000;
+  double warmup_cycles = 5'000;  ///< packets injected before this are dropped
+                                 ///< from the statistics
+  int packet_flits = 8;
+  /// If true, interarrival times are exponential (Bernoulli-like traffic);
+  /// otherwise packets are injected strictly periodically.
+  bool random_arrivals = false;
+  /// Global multiplier on every flow's injection rate (1.0 = the spec'd
+  /// bandwidth); used by saturation sweeps.
+  double injection_scale = 1.0;
+  int link_width_bits = 32;
+  unsigned seed = 42;
+};
+
+struct FlowSimStats {
+  int packets_delivered = 0;
+  double avg_latency_cycles = 0.0;  ///< head-flit, NI output to NI input
+  double max_latency_cycles = 0.0;
+  double offered_load = 0.0;  ///< flow bw / bottleneck link capacity
+};
+
+struct SimReport {
+  std::vector<FlowSimStats> flows;  ///< parallel to SocSpec::flows
+  double avg_latency_cycles = 0.0;  ///< over delivered packets of all flows
+  double max_link_utilization = 0.0;
+  std::vector<double> link_utilization;  ///< parallel to topology links
+  std::int64_t packets_delivered = 0;
+  bool saturated = false;  ///< some link's demand exceeds its capacity
+};
+
+/// Simulates `spec`'s traffic over the synthesized `topo`.
+/// Throws std::invalid_argument on malformed inputs (routes missing, etc.).
+[[nodiscard]] SimReport simulate(const core::NocTopology& topo,
+                                 const soc::SocSpec& spec,
+                                 const models::Technology& tech,
+                                 const SimOptions& options = {});
+
+/// Largest injection-scale multiplier (of the spec'd bandwidths) the
+/// topology sustains without any link/NI demand exceeding capacity — the
+/// design's bandwidth headroom, computed exactly as the minimum
+/// capacity/demand ratio over all links and NI attachments. A correctly
+/// synthesized design has headroom >= 1 (the router's admission checks).
+[[nodiscard]] double find_saturation_scale(const core::NocTopology& topo,
+                                           const soc::SocSpec& spec,
+                                           int link_width_bits = 32);
+
+}  // namespace vinoc::sim

@@ -1,0 +1,253 @@
+#include "vinoc/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <random>
+#include <stdexcept>
+
+namespace vinoc::sim {
+
+namespace {
+
+/// One hop of a packet's path. `resource` < 0 means a pure-latency stage
+/// (switch pipeline) with no serialization/contention.
+struct Stage {
+  int resource = -1;
+  double head_s = 0.0;      ///< added to the head flit
+  double per_flit_s = 0.0;  ///< serialization time per flit
+};
+
+struct FlowPlan {
+  std::vector<Stage> stages;
+  double interarrival_s = 0.0;
+  double src_freq_hz = 0.0;
+  double bottleneck_capacity = 0.0;  ///< bits/s
+};
+
+double freq_of_switch(const core::NocTopology& topo, int sw) {
+  return topo.switches[static_cast<std::size_t>(sw)].freq_hz;
+}
+
+}  // namespace
+
+SimReport simulate(const core::NocTopology& topo, const soc::SocSpec& spec,
+                   const models::Technology& tech, const SimOptions& options) {
+  if (topo.routes.size() != spec.flows.size()) {
+    throw std::invalid_argument("simulate: topology routes do not match spec flows");
+  }
+  if (options.packet_flits < 1 || options.duration_cycles <= 0.0 ||
+      options.injection_scale <= 0.0) {
+    throw std::invalid_argument("simulate: bad options");
+  }
+
+  const std::size_t n_links = topo.links.size();
+  const std::size_t n_cores = spec.cores.size();
+  // Resource ids: [0, n_links) inter-switch links, then NI-out and NI-in
+  // links per core.
+  const std::size_t n_resources = n_links + 2 * n_cores;
+  auto ni_out_res = [n_links](soc::CoreId c) {
+    return static_cast<int>(n_links + static_cast<std::size_t>(c));
+  };
+  auto ni_in_res = [n_links, n_cores](soc::CoreId c) {
+    return static_cast<int>(n_links + n_cores + static_cast<std::size_t>(c));
+  };
+
+  // Build per-flow stage plans.
+  std::vector<FlowPlan> plans(spec.flows.size());
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    const soc::Flow& flow = spec.flows[f];
+    const core::FlowRoute& route = topo.routes[f];
+    FlowPlan& plan = plans[f];
+    const double f_src = freq_of_switch(topo, route.src_switch);
+    const double f_dst = freq_of_switch(topo, route.dst_switch);
+    plan.src_freq_hz = f_src;
+
+    const double width = options.link_width_bits;
+    plan.bottleneck_capacity = width * f_src;
+
+    // NI-out link + source switch pipeline.
+    plan.stages.push_back({ni_out_res(flow.src), 1.0 / f_src, 1.0 / f_src});
+    plan.stages.push_back({-1, tech.sw_pipeline_cycles / f_src, 0.0});
+
+    for (const int l : route.links) {
+      const core::TopLink& link = topo.links[static_cast<std::size_t>(l)];
+      const double f_link = std::min(freq_of_switch(topo, link.src_switch),
+                                     freq_of_switch(topo, link.dst_switch));
+      const double link_cycles =
+          link.crosses_island ? static_cast<double>(tech.fifo_latency_cycles) : 1.0;
+      plan.stages.push_back({l, link_cycles / f_link, 1.0 / f_link});
+      const double f_sw = freq_of_switch(topo, link.dst_switch);
+      plan.stages.push_back({-1, tech.sw_pipeline_cycles / f_sw, 0.0});
+      plan.bottleneck_capacity = std::min(plan.bottleneck_capacity, width * f_link);
+    }
+    plan.stages.push_back({ni_in_res(flow.dst), 1.0 / f_dst, 1.0 / f_dst});
+
+    const double bits_per_packet = options.packet_flits * width;
+    const double rate = flow.bandwidth_bits_per_s * options.injection_scale;
+    plan.interarrival_s = bits_per_packet / rate;
+  }
+
+  // Demand-based saturation check (analytic, exact).
+  SimReport report;
+  report.link_utilization.assign(n_links, 0.0);
+  {
+    std::vector<double> demand(n_resources, 0.0);
+    std::vector<double> capacity(n_resources, 0.0);
+    for (std::size_t l = 0; l < n_links; ++l) {
+      const core::TopLink& link = topo.links[l];
+      capacity[l] = options.link_width_bits *
+                    std::min(freq_of_switch(topo, link.src_switch),
+                             freq_of_switch(topo, link.dst_switch));
+      demand[l] = link.carried_bw_bits_per_s * options.injection_scale;
+    }
+    for (std::size_t c = 0; c < n_cores; ++c) {
+      const int sw = topo.switch_of_core[c];
+      const double cap = options.link_width_bits * freq_of_switch(topo, sw);
+      capacity[static_cast<std::size_t>(ni_out_res(static_cast<soc::CoreId>(c)))] = cap;
+      capacity[static_cast<std::size_t>(ni_in_res(static_cast<soc::CoreId>(c)))] = cap;
+    }
+    for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+      const double bw = spec.flows[f].bandwidth_bits_per_s * options.injection_scale;
+      demand[static_cast<std::size_t>(ni_out_res(spec.flows[f].src))] += bw;
+      demand[static_cast<std::size_t>(ni_in_res(spec.flows[f].dst))] += bw;
+    }
+    for (std::size_t r = 0; r < n_resources; ++r) {
+      if (capacity[r] > 0.0 && demand[r] > capacity[r] * (1.0 + 1e-9)) {
+        report.saturated = true;
+      }
+    }
+  }
+
+  // Event-driven run. Times in seconds; duration measured in cycles of the
+  // fastest island clock (so "duration_cycles" is comparable across runs).
+  double f_max = tech.freq_grid_hz;
+  for (const core::SwitchInst& s : topo.switches) f_max = std::max(f_max, s.freq_hz);
+  const double t_end = options.duration_cycles / f_max;
+  const double t_warm = options.warmup_cycles / f_max;
+
+  struct Event {
+    double time;
+    std::int64_t seq;   ///< tie-break for determinism
+    int flow;
+    int stage;
+    double injected_at;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> events;
+  std::int64_t next_seq = 0;
+
+  std::mt19937 rng(options.seed);
+  std::exponential_distribution<double> expo(1.0);
+
+  // Pre-generate injections.
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    const FlowPlan& plan = plans[f];
+    // Desynchronize periodic flows so they do not all hit t=0 together.
+    double t = options.random_arrivals
+                   ? expo(rng) * plan.interarrival_s
+                   : plan.interarrival_s * (static_cast<double>(f % 97) / 97.0);
+    while (t < t_end) {
+      events.push({t, next_seq++, static_cast<int>(f), 0, t});
+      t += options.random_arrivals ? expo(rng) * plan.interarrival_s
+                                   : plan.interarrival_s;
+    }
+  }
+
+  std::vector<double> free_at(n_resources, 0.0);
+  std::vector<double> busy_s(n_resources, 0.0);
+  report.flows.assign(spec.flows.size(), FlowSimStats{});
+  double latency_sum_cycles = 0.0;
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const FlowPlan& plan = plans[static_cast<std::size_t>(ev.flow)];
+    const Stage& st = plan.stages[static_cast<std::size_t>(ev.stage)];
+
+    double head_done = ev.time + st.head_s;
+    if (st.resource >= 0) {
+      const auto r = static_cast<std::size_t>(st.resource);
+      const double start = std::max(ev.time, free_at[r]);
+      head_done = start + st.head_s;
+      const double serialize = st.per_flit_s * options.packet_flits;
+      free_at[r] = start + serialize;
+      busy_s[r] += serialize;
+    }
+
+    if (ev.stage + 1 < static_cast<int>(plan.stages.size())) {
+      events.push({head_done, next_seq++, ev.flow, ev.stage + 1, ev.injected_at});
+      continue;
+    }
+    // Delivered.
+    if (ev.injected_at >= t_warm) {
+      FlowSimStats& fs = report.flows[static_cast<std::size_t>(ev.flow)];
+      const double lat_cycles = (head_done - ev.injected_at) * plan.src_freq_hz;
+      ++fs.packets_delivered;
+      fs.avg_latency_cycles += lat_cycles;  // sum; divided below
+      fs.max_latency_cycles = std::max(fs.max_latency_cycles, lat_cycles);
+      latency_sum_cycles += lat_cycles;
+      ++report.packets_delivered;
+    }
+  }
+
+  for (std::size_t f = 0; f < report.flows.size(); ++f) {
+    FlowSimStats& fs = report.flows[f];
+    if (fs.packets_delivered > 0) {
+      fs.avg_latency_cycles /= fs.packets_delivered;
+    }
+    fs.offered_load = plans[f].bottleneck_capacity > 0.0
+                          ? spec.flows[f].bandwidth_bits_per_s *
+                                options.injection_scale / plans[f].bottleneck_capacity
+                          : 0.0;
+  }
+  if (report.packets_delivered > 0) {
+    report.avg_latency_cycles =
+        latency_sum_cycles / static_cast<double>(report.packets_delivered);
+  }
+  const double span = t_end;
+  for (std::size_t l = 0; l < n_links; ++l) {
+    report.link_utilization[l] = span > 0.0 ? busy_s[l] / span : 0.0;
+    report.max_link_utilization =
+        std::max(report.max_link_utilization, report.link_utilization[l]);
+  }
+  return report;
+}
+
+double find_saturation_scale(const core::NocTopology& topo,
+                             const soc::SocSpec& spec, int link_width_bits) {
+  if (topo.routes.size() != spec.flows.size()) {
+    throw std::invalid_argument(
+        "find_saturation_scale: topology routes do not match spec flows");
+  }
+  double headroom = std::numeric_limits<double>::infinity();
+  auto consider = [&headroom](double capacity, double demand) {
+    if (demand > 0.0) headroom = std::min(headroom, capacity / demand);
+  };
+  for (const core::TopLink& l : topo.links) {
+    const double cap = link_width_bits *
+                       std::min(freq_of_switch(topo, l.src_switch),
+                                freq_of_switch(topo, l.dst_switch));
+    consider(cap, l.carried_bw_bits_per_s);
+  }
+  std::vector<double> ni_in(spec.cores.size(), 0.0);
+  std::vector<double> ni_out(spec.cores.size(), 0.0);
+  for (const soc::Flow& f : spec.flows) {
+    ni_out[static_cast<std::size_t>(f.src)] += f.bandwidth_bits_per_s;
+    ni_in[static_cast<std::size_t>(f.dst)] += f.bandwidth_bits_per_s;
+  }
+  for (std::size_t c = 0; c < spec.cores.size(); ++c) {
+    const double cap =
+        link_width_bits * freq_of_switch(topo, topo.switch_of_core[c]);
+    consider(cap, ni_in[c]);
+    consider(cap, ni_out[c]);
+  }
+  return headroom;
+}
+
+}  // namespace vinoc::sim

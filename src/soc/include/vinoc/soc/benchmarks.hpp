@@ -1,0 +1,80 @@
+// Reconstructed SoC benchmarks.
+//
+// The paper evaluates on an industrial 26-core mobile communication +
+// multimedia SoC ("several processors, DSPs, caches, DMA controller,
+// integrated memory, video decoder engines and a multitude of peripheral I/O
+// ports") plus "a variety of SoC benchmarks", none of which are public. The
+// specs here are reconstructions: core mixes, traffic structure (few heavy
+// memory/multimedia flows + many light control flows) and power/area budgets
+// follow the paper's narrative and typical published SoC numbers of that
+// era. DESIGN.md documents the substitution.
+//
+// Every benchmark is returned with a single voltage island (the paper's
+// 1-island reference point); experiments re-island it via vinoc/soc/islanding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vinoc/soc/islanding.hpp"
+#include "vinoc/soc/soc_spec.hpp"
+
+namespace vinoc::soc {
+
+/// A benchmark: the single-island SoC plus its device-level use cases
+/// (needed by the shutdown-savings accounting).
+struct Benchmark {
+  SocSpec soc;                     ///< islands = {1 island, non-shutdown}
+  std::vector<UseCase> use_cases;  ///< time fractions sum to <= 1
+};
+
+/// D26: 26-core mobile communication & multimedia SoC — the paper's main
+/// case study (Figures 2-5). Host CPU + L2, audio/baseband DSPs, 2D GPU,
+/// video decode pipeline, imaging, display, modem/GPS, crypto, DMA, on-chip
+/// SRAMs + DRAM controller, and peripheral I/O.
+Benchmark make_d26_media_soc();
+
+/// D16: 16-core automotive control SoC (lockstep CPUs, CAN/LIN peripherals,
+/// sensor fusion DSP). Small, latency-tight flows.
+Benchmark make_d16_auto_soc();
+
+/// D36: 36-core set-top/TV SoC (dual CPU, video decode/encode, transport
+/// stream demux, scaler, HDMI, Ethernet). Heavier multimedia traffic.
+Benchmark make_d36_settop_soc();
+
+/// D64: 64-core tiled compute fabric (16 clusters of CPU+SRAM+DMA around a
+/// shared DRAM spine); stresses the synthesizer's scalability.
+Benchmark make_d64_tile_soc();
+
+/// D24: 24-core imaging/drone SoC (stereo camera pipes, optical flow, CNN
+/// accelerator, flight-control CPU). Streaming-pipeline-heavy traffic with
+/// tight latency budgets on the control loop.
+Benchmark make_d24_imaging_soc();
+
+/// All named benchmarks above, in a fixed order (used by the overhead table).
+std::vector<Benchmark> all_benchmarks();
+
+/// Parameters for the synthetic SoC generator.
+struct SyntheticParams {
+  int cores = 24;
+  /// Number of "hub" cores (memories/controllers) that attract traffic.
+  int hubs = 3;
+  /// Average outgoing flows per non-hub core (>= 1; each core always talks
+  /// to at least one hub).
+  double flows_per_core = 2.0;
+  /// Heavy-flow bandwidth range [bits/s]; automatically scaled down when
+  /// many clients share a hub so the hub's NI link stays realizable.
+  double hub_bw_lo = 1.6e9;
+  double hub_bw_hi = 6.4e9;
+  /// Peer-flow bandwidth range [bits/s].
+  double peer_bw_lo = 0.08e9;
+  double peer_bw_hi = 1.6e9;
+  double latency_budget_cycles = 25.0;
+  unsigned seed = 7;
+};
+
+/// Deterministic synthetic SoC with hub-and-spoke + peer traffic, sized so
+/// the NoC is a few percent of SoC power (like real designs).
+Benchmark make_synthetic_soc(const SyntheticParams& params);
+
+}  // namespace vinoc::soc

@@ -1,0 +1,598 @@
+#include "vinoc/soc/benchmarks.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace vinoc::soc {
+
+namespace {
+
+constexpr double kMBps = 8.0e6;  ///< bits/s per MB/s
+
+/// Leakage calibration: the per-core leak_mw figures below are scaled so
+/// that chip-level leakage lands at ~40-45% of total power under full
+/// activity, matching the 65 nm-era figure the paper cites ([6]: "leakage
+/// power can be responsible for 40% or more of the total system power").
+constexpr double kLeakageCalibration = 1.6;
+
+/// Appends a core; power given in mW, clock in MHz for readability.
+CoreId add_core(SocSpec& soc, std::string name, CoreKind kind, double w_mm,
+                double h_mm, double dyn_mw, double leak_mw, double clock_mhz) {
+  CoreSpec c;
+  c.name = std::move(name);
+  c.kind = kind;
+  c.island = 0;
+  c.width_mm = w_mm;
+  c.height_mm = h_mm;
+  c.dynamic_power_w = dyn_mw * 1e-3;
+  c.leakage_power_w = leak_mw * kLeakageCalibration * 1e-3;
+  c.clock_hz = clock_mhz * 1e6;
+  soc.cores.push_back(std::move(c));
+  return static_cast<CoreId>(soc.cores.size()) - 1;
+}
+
+/// Appends a flow by core name; bandwidth in MB/s.
+void add_flow(SocSpec& soc, const std::string& src, const std::string& dst,
+              double mbps, double lat_cycles) {
+  const CoreId s = soc.find_core(src);
+  const CoreId d = soc.find_core(dst);
+  if (s < 0 || d < 0) {
+    throw std::logic_error("benchmark flow references unknown core: " + src +
+                           " -> " + dst);
+  }
+  Flow f;
+  f.src = s;
+  f.dst = d;
+  f.bandwidth_bits_per_s = mbps * kMBps;
+  f.max_latency_cycles = lat_cycles;
+  f.label = src + "->" + dst;
+  soc.flows.push_back(std::move(f));
+}
+
+void add_bidir(SocSpec& soc, const std::string& a, const std::string& b,
+               double mbps_ab, double mbps_ba, double lat_cycles) {
+  add_flow(soc, a, b, mbps_ab, lat_cycles);
+  add_flow(soc, b, a, mbps_ba, lat_cycles);
+}
+
+SocSpec single_island_shell(std::string name) {
+  SocSpec soc;
+  soc.name = std::move(name);
+  VoltageIsland vi;
+  vi.name = "VI0";
+  vi.vdd_v = 1.0;
+  vi.can_shutdown = false;
+  soc.islands.push_back(std::move(vi));
+  return soc;
+}
+
+}  // namespace
+
+Benchmark make_d26_media_soc() {
+  SocSpec soc = single_island_shell("d26_media");
+
+  // --- Cores (26) ----------------------------------------------------------
+  // name               kind                 w    h    dyn_mW leak_mW  MHz
+  add_core(soc, "arm_cpu",     CoreKind::kCpu,        2.2, 2.2, 480, 190, 600);
+  add_core(soc, "l2_cache",    CoreKind::kCache,      1.8, 1.8, 140,  90, 600);
+  add_core(soc, "dsp_audio",   CoreKind::kDsp,        1.5, 1.5, 110,  45, 300);
+  add_core(soc, "dsp_baseband",CoreKind::kDsp,        1.7, 1.7, 170,  70, 400);
+  add_core(soc, "gpu2d",       CoreKind::kGpu,        1.8, 1.8, 180,  80, 300);
+  add_core(soc, "video_dec",   CoreKind::kVideo,      2.0, 2.0, 240, 100, 250);
+  add_core(soc, "video_post",  CoreKind::kVideo,      1.4, 1.4,  90,  40, 250);
+  add_core(soc, "isp",         CoreKind::kImaging,    1.6, 1.6, 140,  60, 250);
+  add_core(soc, "camera_if",   CoreKind::kImaging,    0.8, 0.8,  35,  15, 200);
+  add_core(soc, "display_ctrl",CoreKind::kDisplay,    1.2, 1.2,  80,  35, 200);
+  add_core(soc, "audio_io",    CoreKind::kAudio,      0.7, 0.7,  20,   8, 100);
+  add_core(soc, "modem",       CoreKind::kModem,      2.4, 2.4, 300, 130, 400);
+  add_core(soc, "gps",         CoreKind::kModem,      1.0, 1.0,  60,  25, 200);
+  add_core(soc, "crypto",      CoreKind::kCrypto,     0.9, 0.9,  55,  22, 300);
+  add_core(soc, "dma",         CoreKind::kDma,        0.8, 0.8,  45,  18, 400);
+  add_core(soc, "sram0",       CoreKind::kMemory,     1.4, 1.4,  35,  60, 400);
+  add_core(soc, "sram1",       CoreKind::kMemory,     1.4, 1.4,  35,  60, 400);
+  add_core(soc, "sram2",       CoreKind::kMemory,     1.2, 1.2,  28,  48, 300);
+  add_core(soc, "dram_ctrl",   CoreKind::kMemController, 1.6, 1.6, 160, 70, 400);
+  add_core(soc, "boot_rom",    CoreKind::kMemory,     0.8, 0.8,   8,  10, 200);
+  add_core(soc, "usb",         CoreKind::kPeripheral, 0.9, 0.9,  40,  16, 120);
+  add_core(soc, "sdcard",      CoreKind::kPeripheral, 0.7, 0.7,  25,  10, 100);
+  add_core(soc, "uart",        CoreKind::kPeripheral, 0.4, 0.4,   5,   2, 100);
+  add_core(soc, "spi",         CoreKind::kPeripheral, 0.4, 0.4,   6,   2, 100);
+  add_core(soc, "i2c",         CoreKind::kPeripheral, 0.4, 0.4,   5,   2, 100);
+  add_core(soc, "gpio_timer",  CoreKind::kPeripheral, 0.5, 0.5,   8,   3, 100);
+
+  // --- Flows ---------------------------------------------------------------
+  // Memory hierarchy (heavy, tight latency). The DRAM controller is the
+  // traffic hub; its aggregate inbound bandwidth (~3.1 GB/s) sets the
+  // fastest island clock (~800 MHz at 32-bit links).
+  add_bidir(soc, "arm_cpu", "l2_cache", 1600, 1600, 14);
+  add_bidir(soc, "l2_cache", "dram_ctrl", 700, 700, 16);
+  add_bidir(soc, "arm_cpu", "sram0", 400, 400, 16);
+  add_flow(soc, "boot_rom", "arm_cpu", 90, 30);
+
+  // Video decode pipeline.
+  add_bidir(soc, "video_dec", "dram_ctrl", 900, 420, 16);
+  add_flow(soc, "video_dec", "video_post", 760, 16);
+  add_flow(soc, "video_post", "dram_ctrl", 200, 18);
+  add_flow(soc, "video_post", "display_ctrl", 640, 16);
+  add_flow(soc, "dram_ctrl", "display_ctrl", 640, 16);
+  add_bidir(soc, "gpu2d", "dram_ctrl", 380, 350, 16);
+  add_flow(soc, "gpu2d", "display_ctrl", 240, 18);
+
+  // Imaging pipeline.
+  add_flow(soc, "camera_if", "isp", 620, 16);
+  add_flow(soc, "isp", "sram1", 420, 16);
+  add_bidir(soc, "isp", "dram_ctrl", 350, 150, 16);
+
+  // Audio + baseband.
+  add_bidir(soc, "dsp_audio", "sram2", 210, 210, 16);
+  add_bidir(soc, "dsp_audio", "audio_io", 48, 48, 24);
+  add_bidir(soc, "dsp_baseband", "modem", 310, 310, 14);
+  add_bidir(soc, "dsp_baseband", "sram2", 260, 260, 16);
+  add_flow(soc, "gps", "dsp_baseband", 36, 24);
+  add_bidir(soc, "modem", "dram_ctrl", 180, 120, 18);
+
+  // Crypto + DMA-driven I/O.
+  add_bidir(soc, "crypto", "dram_ctrl", 150, 150, 18);
+  add_flow(soc, "arm_cpu", "crypto", 90, 20);
+  add_bidir(soc, "dma", "dram_ctrl", 300, 300, 16);
+  add_flow(soc, "dma", "sram0", 210, 16);
+  add_bidir(soc, "dma", "usb", 150, 150, 22);
+  add_bidir(soc, "dma", "sdcard", 190, 190, 22);
+
+  // CPU control plane (light, relaxed latency).
+  add_flow(soc, "arm_cpu", "video_dec", 48, 26);
+  add_flow(soc, "arm_cpu", "isp", 24, 26);
+  add_flow(soc, "arm_cpu", "modem", 40, 26);
+  add_flow(soc, "arm_cpu", "display_ctrl", 22, 26);
+  add_flow(soc, "arm_cpu", "dsp_audio", 20, 26);
+  add_flow(soc, "arm_cpu", "dsp_baseband", 24, 26);
+  add_flow(soc, "arm_cpu", "gpu2d", 96, 24);
+  add_flow(soc, "arm_cpu", "dma", 48, 24);
+  add_bidir(soc, "arm_cpu", "uart", 4, 4, 40);
+  add_bidir(soc, "arm_cpu", "spi", 18, 18, 40);
+  add_bidir(soc, "arm_cpu", "i2c", 4, 4, 40);
+  add_bidir(soc, "arm_cpu", "gpio_timer", 6, 6, 40);
+  add_flow(soc, "usb", "arm_cpu", 24, 30);
+  add_flow(soc, "gps", "arm_cpu", 8, 40);
+
+  // --- Use cases -------------------------------------------------------------
+  Benchmark bench;
+  bench.use_cases = {
+      // Suspend-to-RAM: even the host CPU island is power-collapsed; the
+      // always-on memory island self-refreshes and GPIO/timers wake the chip.
+      {"idle", 0.40, {"sram0", "dram_ctrl", "gpio_timer"}},
+      {"audio_playback", 0.20,
+       {"arm_cpu", "l2_cache", "sram0", "sram2", "dram_ctrl", "dsp_audio",
+        "audio_io", "sdcard", "dma"}},
+      {"video_playback", 0.15,
+       {"arm_cpu", "l2_cache", "sram0", "dram_ctrl", "video_dec", "video_post",
+        "display_ctrl", "gpu2d", "dsp_audio", "audio_io", "dma"}},
+      {"camera", 0.10,
+       {"arm_cpu", "l2_cache", "sram0", "sram1", "dram_ctrl", "camera_if",
+        "isp", "display_ctrl", "gpu2d", "dma"}},
+      {"voice_call", 0.15,
+       {"arm_cpu", "l2_cache", "sram0", "sram2", "dram_ctrl", "modem",
+        "dsp_baseband", "dsp_audio", "audio_io", "crypto"}},
+  };
+  bench.soc = std::move(soc);
+  return bench;
+}
+
+Benchmark make_d16_auto_soc() {
+  SocSpec soc = single_island_shell("d16_auto");
+
+  add_core(soc, "cpu_lock0",  CoreKind::kCpu,        1.8, 1.8, 320, 120, 400);
+  add_core(soc, "cpu_lock1",  CoreKind::kCpu,        1.8, 1.8, 320, 120, 400);
+  add_core(soc, "safety_mgr", CoreKind::kOther,      0.8, 0.8,  40,  15, 200);
+  add_core(soc, "sensor_dsp", CoreKind::kDsp,        1.5, 1.5, 150,  60, 300);
+  add_core(soc, "radar_if",   CoreKind::kImaging,    1.0, 1.0,  70,  28, 250);
+  add_core(soc, "can0",       CoreKind::kPeripheral, 0.5, 0.5,  10,   4, 100);
+  add_core(soc, "can1",       CoreKind::kPeripheral, 0.5, 0.5,  10,   4, 100);
+  add_core(soc, "lin",        CoreKind::kPeripheral, 0.4, 0.4,   6,   2, 100);
+  add_core(soc, "flexray",    CoreKind::kPeripheral, 0.6, 0.6,  18,   7, 150);
+  add_core(soc, "eth_avb",    CoreKind::kPeripheral, 0.8, 0.8,  45,  18, 200);
+  add_core(soc, "sram_a",     CoreKind::kMemory,     1.2, 1.2,  30,  50, 400);
+  add_core(soc, "sram_b",     CoreKind::kMemory,     1.2, 1.2,  30,  50, 400);
+  add_core(soc, "flash_ctrl", CoreKind::kMemController, 1.0, 1.0, 60, 25, 200);
+  add_core(soc, "dma",        CoreKind::kDma,        0.7, 0.7,  35,  14, 300);
+  add_core(soc, "crypto_hsm", CoreKind::kCrypto,     0.9, 0.9,  50,  20, 300);
+  add_core(soc, "gpio_timer", CoreKind::kPeripheral, 0.5, 0.5,   8,   3, 100);
+
+  add_bidir(soc, "cpu_lock0", "sram_a", 640, 640, 12);
+  add_bidir(soc, "cpu_lock1", "sram_a", 640, 640, 12);
+  add_bidir(soc, "cpu_lock0", "flash_ctrl", 160, 80, 18);
+  add_bidir(soc, "cpu_lock1", "flash_ctrl", 160, 80, 18);
+  add_flow(soc, "cpu_lock0", "safety_mgr", 24, 16);
+  add_flow(soc, "cpu_lock1", "safety_mgr", 24, 16);
+  add_bidir(soc, "sensor_dsp", "sram_b", 420, 420, 14);
+  add_flow(soc, "radar_if", "sensor_dsp", 380, 14);
+  add_flow(soc, "sensor_dsp", "cpu_lock0", 120, 16);
+  add_bidir(soc, "dma", "sram_b", 260, 260, 16);
+  add_bidir(soc, "dma", "eth_avb", 180, 180, 20);
+  add_bidir(soc, "cpu_lock0", "can0", 6, 6, 30);
+  add_bidir(soc, "cpu_lock0", "can1", 6, 6, 30);
+  add_bidir(soc, "cpu_lock1", "lin", 3, 3, 36);
+  add_bidir(soc, "cpu_lock1", "flexray", 14, 14, 26);
+  add_bidir(soc, "crypto_hsm", "sram_a", 90, 90, 20);
+  add_flow(soc, "cpu_lock0", "crypto_hsm", 36, 22);
+  add_flow(soc, "eth_avb", "cpu_lock1", 60, 22);
+  add_bidir(soc, "cpu_lock0", "gpio_timer", 4, 4, 40);
+
+  Benchmark bench;
+  bench.use_cases = {
+      {"parked", 0.55, {"cpu_lock0", "sram_a", "can0", "gpio_timer", "flash_ctrl"}},
+      {"driving", 0.40,
+       {"cpu_lock0", "cpu_lock1", "safety_mgr", "sensor_dsp", "radar_if",
+        "sram_a", "sram_b", "flash_ctrl", "dma", "can0", "can1", "flexray",
+        "eth_avb", "gpio_timer"}},
+      {"ota_update", 0.05,
+       {"cpu_lock0", "sram_a", "flash_ctrl", "crypto_hsm", "eth_avb", "dma"}},
+  };
+  bench.soc = std::move(soc);
+  return bench;
+}
+
+Benchmark make_d36_settop_soc() {
+  SocSpec soc = single_island_shell("d36_settop");
+
+  add_core(soc, "cpu0",        CoreKind::kCpu,        2.0, 2.0, 420, 170, 600);
+  add_core(soc, "cpu1",        CoreKind::kCpu,        2.0, 2.0, 420, 170, 600);
+  add_core(soc, "l2_cache",    CoreKind::kCache,      1.8, 1.8, 150,  95, 600);
+  add_core(soc, "gpu3d",       CoreKind::kGpu,        2.6, 2.6, 380, 160, 400);
+  add_core(soc, "vdec_h264",   CoreKind::kVideo,      2.0, 2.0, 260, 110, 300);
+  add_core(soc, "vdec_mpeg2",  CoreKind::kVideo,      1.6, 1.6, 150,  65, 250);
+  add_core(soc, "venc",        CoreKind::kVideo,      1.8, 1.8, 220,  90, 300);
+  add_core(soc, "scaler",      CoreKind::kVideo,      1.2, 1.2,  90,  38, 250);
+  add_core(soc, "deinterlace", CoreKind::kVideo,      1.2, 1.2,  85,  36, 250);
+  add_core(soc, "osd_blend",   CoreKind::kDisplay,    1.0, 1.0,  60,  25, 250);
+  add_core(soc, "hdmi_tx",     CoreKind::kDisplay,    1.0, 1.0,  70,  28, 300);
+  add_core(soc, "ts_demux0",   CoreKind::kOther,      0.9, 0.9,  45,  18, 200);
+  add_core(soc, "ts_demux1",   CoreKind::kOther,      0.9, 0.9,  45,  18, 200);
+  add_core(soc, "tuner_if0",   CoreKind::kModem,      0.8, 0.8,  40,  16, 200);
+  add_core(soc, "tuner_if1",   CoreKind::kModem,      0.8, 0.8,  40,  16, 200);
+  add_core(soc, "audio_dsp",   CoreKind::kDsp,        1.4, 1.4, 120,  50, 300);
+  add_core(soc, "audio_out",   CoreKind::kAudio,      0.6, 0.6,  18,   7, 100);
+  add_core(soc, "crypto_ca",   CoreKind::kCrypto,     0.9, 0.9,  55,  22, 300);
+  add_core(soc, "eth_mac",     CoreKind::kPeripheral, 0.8, 0.8,  50,  20, 200);
+  add_core(soc, "usb0",        CoreKind::kPeripheral, 0.9, 0.9,  40,  16, 120);
+  add_core(soc, "usb1",        CoreKind::kPeripheral, 0.9, 0.9,  40,  16, 120);
+  add_core(soc, "sata",        CoreKind::kPeripheral, 1.0, 1.0,  55,  22, 200);
+  add_core(soc, "dma0",        CoreKind::kDma,        0.7, 0.7,  40,  16, 400);
+  add_core(soc, "dma1",        CoreKind::kDma,        0.7, 0.7,  40,  16, 400);
+  add_core(soc, "dram_ctrl0",  CoreKind::kMemController, 1.6, 1.6, 170, 75, 400);
+  add_core(soc, "dram_ctrl1",  CoreKind::kMemController, 1.6, 1.6, 170, 75, 400);
+  add_core(soc, "sram0",       CoreKind::kMemory,     1.3, 1.3,  32,  55, 400);
+  add_core(soc, "sram1",       CoreKind::kMemory,     1.3, 1.3,  32,  55, 400);
+  add_core(soc, "boot_rom",    CoreKind::kMemory,     0.7, 0.7,   8,  10, 200);
+  add_core(soc, "smartcard",   CoreKind::kPeripheral, 0.4, 0.4,   6,   2, 100);
+  add_core(soc, "uart",        CoreKind::kPeripheral, 0.4, 0.4,   5,   2, 100);
+  add_core(soc, "spi_flash",   CoreKind::kPeripheral, 0.5, 0.5,  12,   5, 100);
+  add_core(soc, "i2c",         CoreKind::kPeripheral, 0.4, 0.4,   5,   2, 100);
+  add_core(soc, "gpio",        CoreKind::kPeripheral, 0.4, 0.4,   6,   2, 100);
+  add_core(soc, "ir_rx",       CoreKind::kPeripheral, 0.3, 0.3,   3,   1, 100);
+  add_core(soc, "pwm_fan",     CoreKind::kPeripheral, 0.3, 0.3,   3,   1, 100);
+
+  add_bidir(soc, "cpu0", "l2_cache", 1300, 1300, 14);
+  add_bidir(soc, "cpu1", "l2_cache", 1300, 1300, 14);
+  add_bidir(soc, "l2_cache", "dram_ctrl0", 900, 900, 16);
+  add_bidir(soc, "gpu3d", "dram_ctrl1", 1200, 1000, 16);
+  add_flow(soc, "gpu3d", "osd_blend", 260, 18);
+  add_bidir(soc, "vdec_h264", "dram_ctrl0", 1100, 480, 16);
+  add_bidir(soc, "vdec_mpeg2", "dram_ctrl1", 600, 260, 16);
+  add_bidir(soc, "venc", "dram_ctrl1", 800, 380, 16);
+  add_flow(soc, "vdec_h264", "deinterlace", 560, 16);
+  add_flow(soc, "deinterlace", "scaler", 560, 16);
+  add_flow(soc, "scaler", "osd_blend", 620, 16);
+  add_flow(soc, "osd_blend", "hdmi_tx", 700, 14);
+  add_flow(soc, "dram_ctrl0", "osd_blend", 280, 18);
+  add_flow(soc, "tuner_if0", "ts_demux0", 120, 20);
+  add_flow(soc, "tuner_if1", "ts_demux1", 120, 20);
+  add_flow(soc, "ts_demux0", "crypto_ca", 110, 20);
+  add_flow(soc, "ts_demux1", "crypto_ca", 110, 20);
+  add_flow(soc, "crypto_ca", "vdec_h264", 100, 18);
+  add_flow(soc, "crypto_ca", "vdec_mpeg2", 60, 18);
+  add_flow(soc, "ts_demux0", "sram0", 90, 18);
+  add_bidir(soc, "audio_dsp", "sram1", 220, 220, 16);
+  add_flow(soc, "ts_demux0", "audio_dsp", 40, 20);
+  add_flow(soc, "audio_dsp", "audio_out", 50, 22);
+  add_bidir(soc, "dma0", "dram_ctrl0", 420, 420, 16);
+  add_bidir(soc, "dma1", "dram_ctrl1", 420, 420, 16);
+  add_bidir(soc, "dma0", "sata", 320, 320, 20);
+  add_bidir(soc, "dma0", "usb0", 150, 150, 22);
+  add_bidir(soc, "dma1", "usb1", 150, 150, 22);
+  add_bidir(soc, "dma1", "eth_mac", 240, 240, 20);
+  add_flow(soc, "boot_rom", "cpu0", 80, 30);
+  add_flow(soc, "spi_flash", "cpu0", 40, 30);
+  add_flow(soc, "cpu0", "venc", 40, 26);
+  add_flow(soc, "cpu0", "vdec_h264", 44, 26);
+  add_flow(soc, "cpu1", "gpu3d", 90, 24);
+  add_flow(soc, "cpu1", "scaler", 20, 28);
+  add_flow(soc, "cpu0", "ts_demux0", 18, 28);
+  add_flow(soc, "cpu0", "ts_demux1", 18, 28);
+  add_bidir(soc, "cpu0", "uart", 4, 4, 40);
+  add_bidir(soc, "cpu0", "i2c", 4, 4, 40);
+  add_bidir(soc, "cpu1", "gpio", 5, 5, 40);
+  add_flow(soc, "ir_rx", "cpu0", 1, 48);
+  add_flow(soc, "cpu1", "pwm_fan", 1, 48);
+  add_bidir(soc, "cpu0", "smartcard", 2, 2, 44);
+  add_bidir(soc, "crypto_ca", "sram0", 80, 80, 20);
+
+  Benchmark bench;
+  bench.use_cases = {
+      {"standby", 0.45, {"cpu0", "sram0", "dram_ctrl0", "ir_rx", "gpio"}},
+      {"live_tv", 0.30,
+       {"cpu0", "cpu1", "l2_cache", "tuner_if0", "ts_demux0", "crypto_ca",
+        "vdec_h264", "deinterlace", "scaler", "osd_blend", "hdmi_tx",
+        "audio_dsp", "audio_out", "dram_ctrl0", "dram_ctrl1", "sram0", "sram1",
+        "gpu3d"}},
+      {"record_and_watch", 0.15,
+       {"cpu0", "cpu1", "l2_cache", "tuner_if0", "tuner_if1", "ts_demux0",
+        "ts_demux1", "crypto_ca", "vdec_h264", "vdec_mpeg2", "venc",
+        "deinterlace", "scaler", "osd_blend", "hdmi_tx", "audio_dsp",
+        "audio_out", "dram_ctrl0", "dram_ctrl1", "sram0", "sram1", "dma0",
+        "sata"}},
+      {"streaming", 0.10,
+       {"cpu0", "cpu1", "l2_cache", "eth_mac", "dma1", "crypto_ca",
+        "vdec_h264", "scaler", "osd_blend", "hdmi_tx", "audio_dsp",
+        "audio_out", "dram_ctrl0", "sram0", "sram1", "gpu3d"}},
+  };
+  bench.soc = std::move(soc);
+  return bench;
+}
+
+Benchmark make_d64_tile_soc() {
+  SocSpec soc = single_island_shell("d64_tile");
+
+  // 16 clusters x (cpu + sram + dma) = 48 cores, 2 DRAM controllers,
+  // 8 accelerators, 6 shared services = 64 cores.
+  for (int t = 0; t < 16; ++t) {
+    const std::string id = std::to_string(t);
+    add_core(soc, "tile_cpu" + id, CoreKind::kCpu, 1.2, 1.2, 140, 55, 400);
+    add_core(soc, "tile_mem" + id, CoreKind::kMemory, 0.9, 0.9, 18, 30, 400);
+    add_core(soc, "tile_dma" + id, CoreKind::kDma, 0.5, 0.5, 16, 7, 400);
+  }
+  add_core(soc, "dram_west", CoreKind::kMemController, 1.6, 1.6, 170, 75, 400);
+  add_core(soc, "dram_east", CoreKind::kMemController, 1.6, 1.6, 170, 75, 400);
+  for (int a = 0; a < 8; ++a) {
+    add_core(soc, "accel" + std::to_string(a), CoreKind::kDsp, 1.4, 1.4, 130, 55, 350);
+  }
+  add_core(soc, "host_if",  CoreKind::kPeripheral, 0.9, 0.9, 45, 18, 200);
+  add_core(soc, "eth_mac",  CoreKind::kPeripheral, 0.8, 0.8, 50, 20, 200);
+  add_core(soc, "boot_rom", CoreKind::kMemory, 0.7, 0.7, 8, 10, 200);
+  add_core(soc, "sys_ctrl", CoreKind::kOther, 0.6, 0.6, 20, 8, 200);
+  add_core(soc, "uart",     CoreKind::kPeripheral, 0.4, 0.4, 5, 2, 100);
+  add_core(soc, "gpio",     CoreKind::kPeripheral, 0.4, 0.4, 6, 2, 100);
+
+  for (int t = 0; t < 16; ++t) {
+    const std::string id = std::to_string(t);
+    add_bidir(soc, "tile_cpu" + id, "tile_mem" + id, 520, 520, 12);
+    add_bidir(soc, "tile_dma" + id, "tile_mem" + id, 180, 180, 16);
+    const std::string dram = (t % 2 == 0) ? "dram_west" : "dram_east";
+    add_bidir(soc, "tile_cpu" + id, dram, 150, 150, 20);
+    add_bidir(soc, "tile_dma" + id, dram, 90, 90, 22);
+    // Nearest-neighbour pipeline traffic around the ring of tiles.
+    const std::string next = std::to_string((t + 1) % 16);
+    add_flow(soc, "tile_cpu" + id, "tile_mem" + next, 90, 24);
+  }
+  for (int a = 0; a < 8; ++a) {
+    const std::string id = std::to_string(a);
+    const std::string dram = (a % 2 == 0) ? "dram_west" : "dram_east";
+    add_bidir(soc, "accel" + id, dram, 300, 240, 18);
+    add_flow(soc, "tile_cpu" + std::to_string(a * 2), "accel" + id, 110, 22);
+    add_flow(soc, "accel" + id, "tile_mem" + std::to_string(a * 2 + 1), 130, 22);
+  }
+  add_bidir(soc, "host_if", "dram_west", 260, 260, 24);
+  add_bidir(soc, "eth_mac", "dram_east", 240, 240, 24);
+  add_flow(soc, "boot_rom", "tile_cpu0", 60, 32);
+  add_flow(soc, "sys_ctrl", "tile_cpu0", 10, 36);
+  add_bidir(soc, "tile_cpu0", "uart", 3, 3, 44);
+  add_bidir(soc, "tile_cpu0", "gpio", 4, 4, 44);
+
+  Benchmark bench;
+  std::vector<std::string> half_active = {"dram_west", "dram_east", "host_if",
+                                          "sys_ctrl", "boot_rom"};
+  for (int t = 0; t < 8; ++t) {
+    const std::string id = std::to_string(t);
+    half_active.push_back("tile_cpu" + id);
+    half_active.push_back("tile_mem" + id);
+    half_active.push_back("tile_dma" + id);
+  }
+  std::vector<std::string> all_active = half_active;
+  for (int t = 8; t < 16; ++t) {
+    const std::string id = std::to_string(t);
+    all_active.push_back("tile_cpu" + id);
+    all_active.push_back("tile_mem" + id);
+    all_active.push_back("tile_dma" + id);
+  }
+  for (int a = 0; a < 8; ++a) all_active.push_back("accel" + std::to_string(a));
+  bench.use_cases = {
+      {"light_load", 0.50, half_active},
+      {"full_load", 0.30, all_active},
+      {"idle", 0.20, {"dram_west", "sys_ctrl", "tile_cpu0", "tile_mem0"}},
+  };
+  bench.soc = std::move(soc);
+  return bench;
+}
+
+Benchmark make_d24_imaging_soc() {
+  SocSpec soc = single_island_shell("d24_imaging");
+
+  add_core(soc, "flight_cpu",  CoreKind::kCpu,        1.8, 1.8, 350, 140, 500);
+  add_core(soc, "nav_cpu",     CoreKind::kCpu,        1.5, 1.5, 220,  90, 400);
+  add_core(soc, "l2_cache",    CoreKind::kCache,      1.4, 1.4, 110,  70, 500);
+  add_core(soc, "cam_left",    CoreKind::kImaging,    0.9, 0.9,  45,  18, 200);
+  add_core(soc, "cam_right",   CoreKind::kImaging,    0.9, 0.9,  45,  18, 200);
+  add_core(soc, "isp_left",    CoreKind::kImaging,    1.5, 1.5, 140,  60, 300);
+  add_core(soc, "isp_right",   CoreKind::kImaging,    1.5, 1.5, 140,  60, 300);
+  add_core(soc, "stereo_match",CoreKind::kVideo,      1.8, 1.8, 210,  90, 300);
+  add_core(soc, "optical_flow",CoreKind::kVideo,      1.6, 1.6, 180,  75, 300);
+  add_core(soc, "cnn_accel",   CoreKind::kDsp,        2.4, 2.4, 380, 160, 400);
+  add_core(soc, "cnn_weights", CoreKind::kMemory,     1.6, 1.6,  40,  70, 400);
+  add_core(soc, "venc_h264",   CoreKind::kVideo,      1.6, 1.6, 170,  70, 300);
+  add_core(soc, "imu_fusion",  CoreKind::kDsp,        1.0, 1.0,  80,  32, 300);
+  add_core(soc, "motor_ctrl",  CoreKind::kOther,      0.7, 0.7,  30,  12, 200);
+  add_core(soc, "gps_if",      CoreKind::kModem,      0.7, 0.7,  30,  12, 200);
+  add_core(soc, "radio_link",  CoreKind::kModem,      1.2, 1.2, 140,  60, 300);
+  add_core(soc, "crypto",      CoreKind::kCrypto,     0.8, 0.8,  45,  18, 300);
+  add_core(soc, "dma",         CoreKind::kDma,        0.7, 0.7,  40,  16, 400);
+  add_core(soc, "sram0",       CoreKind::kMemory,     1.3, 1.3,  32,  55, 400);
+  add_core(soc, "sram1",       CoreKind::kMemory,     1.3, 1.3,  32,  55, 400);
+  add_core(soc, "dram_ctrl",   CoreKind::kMemController, 1.5, 1.5, 150, 65, 400);
+  add_core(soc, "sd_storage",  CoreKind::kPeripheral, 0.7, 0.7,  25,  10, 100);
+  add_core(soc, "uart_debug",  CoreKind::kPeripheral, 0.4, 0.4,   5,   2, 100);
+  add_core(soc, "gpio_pwm",    CoreKind::kPeripheral, 0.5, 0.5,   8,   3, 100);
+
+  // Stereo vision pipeline (streaming, latency-sensitive).
+  add_flow(soc, "cam_left", "isp_left", 540, 14);
+  add_flow(soc, "cam_right", "isp_right", 540, 14);
+  add_flow(soc, "isp_left", "stereo_match", 480, 14);
+  add_flow(soc, "isp_right", "stereo_match", 480, 14);
+  add_flow(soc, "stereo_match", "sram0", 380, 14);
+  add_flow(soc, "isp_left", "optical_flow", 300, 14);
+  add_flow(soc, "optical_flow", "sram0", 220, 16);
+  add_bidir(soc, "stereo_match", "dram_ctrl", 320, 160, 16);
+  // CNN inference.
+  add_bidir(soc, "cnn_accel", "cnn_weights", 900, 900, 12);
+  add_bidir(soc, "cnn_accel", "dram_ctrl", 620, 260, 16);
+  add_flow(soc, "sram0", "cnn_accel", 340, 14);
+  add_flow(soc, "cnn_accel", "nav_cpu", 90, 16);
+  // Flight control loop (light but tight).
+  add_bidir(soc, "flight_cpu", "l2_cache", 1100, 1100, 12);
+  add_bidir(soc, "l2_cache", "dram_ctrl", 520, 520, 16);
+  add_flow(soc, "imu_fusion", "flight_cpu", 60, 12);
+  add_flow(soc, "flight_cpu", "motor_ctrl", 40, 12);
+  add_flow(soc, "gps_if", "imu_fusion", 20, 20);
+  add_bidir(soc, "nav_cpu", "sram1", 420, 420, 14);
+  add_flow(soc, "nav_cpu", "flight_cpu", 110, 14);
+  // Video downlink + storage.
+  add_flow(soc, "isp_left", "venc_h264", 420, 18);
+  add_bidir(soc, "venc_h264", "dram_ctrl", 380, 170, 18);
+  add_flow(soc, "venc_h264", "crypto", 160, 20);
+  add_flow(soc, "crypto", "radio_link", 150, 20);
+  add_bidir(soc, "dma", "dram_ctrl", 300, 300, 18);
+  add_bidir(soc, "dma", "sd_storage", 180, 180, 22);
+  add_bidir(soc, "flight_cpu", "radio_link", 60, 60, 20);
+  // Control plane.
+  add_flow(soc, "flight_cpu", "cnn_accel", 36, 22);
+  add_flow(soc, "flight_cpu", "stereo_match", 24, 22);
+  add_flow(soc, "nav_cpu", "venc_h264", 20, 24);
+  add_bidir(soc, "flight_cpu", "uart_debug", 3, 3, 40);
+  add_bidir(soc, "flight_cpu", "gpio_pwm", 5, 5, 30);
+
+  Benchmark bench;
+  bench.use_cases = {
+      {"ground_idle", 0.30,
+       {"flight_cpu", "l2_cache", "sram0", "dram_ctrl", "gpio_pwm",
+        "uart_debug", "radio_link"}},
+      {"hover", 0.25,
+       {"flight_cpu", "nav_cpu", "l2_cache", "sram0", "sram1", "dram_ctrl",
+        "imu_fusion", "motor_ctrl", "gps_if", "cam_left", "isp_left",
+        "optical_flow", "radio_link", "gpio_pwm"}},
+      {"autonomous_flight", 0.30,
+       {"flight_cpu", "nav_cpu", "l2_cache", "sram0", "sram1", "dram_ctrl",
+        "imu_fusion", "motor_ctrl", "gps_if", "cam_left", "cam_right",
+        "isp_left", "isp_right", "stereo_match", "optical_flow", "cnn_accel",
+        "cnn_weights", "radio_link", "gpio_pwm"}},
+      {"record_and_stream", 0.15,
+       {"flight_cpu", "nav_cpu", "l2_cache", "sram0", "dram_ctrl",
+        "imu_fusion", "motor_ctrl", "cam_left", "isp_left", "venc_h264",
+        "crypto", "radio_link", "dma", "sd_storage", "gpio_pwm"}},
+  };
+  bench.soc = std::move(soc);
+  return bench;
+}
+
+std::vector<Benchmark> all_benchmarks() {
+  std::vector<Benchmark> out;
+  out.push_back(make_d26_media_soc());
+  out.push_back(make_d16_auto_soc());
+  out.push_back(make_d36_settop_soc());
+  out.push_back(make_d64_tile_soc());
+  out.push_back(make_d24_imaging_soc());
+  return out;
+}
+
+Benchmark make_synthetic_soc(const SyntheticParams& params) {
+  if (params.cores < 4 || params.hubs < 1 || params.hubs >= params.cores) {
+    throw std::invalid_argument("make_synthetic_soc: bad core/hub counts");
+  }
+  SocSpec soc = single_island_shell("synthetic_c" + std::to_string(params.cores) +
+                                    "_s" + std::to_string(params.seed));
+  std::mt19937 rng(params.seed);
+  // Scale hub flow bandwidths so a hub's aggregate NI traffic stays below
+  // ~60% of the fastest attainable link (1 GHz x 32 bit); otherwise designs
+  // with many clients per hub are unsynthesizable at any clock.
+  const int clients_per_hub =
+      (params.cores - params.hubs + params.hubs - 1) / params.hubs;
+  const double mean_hub_bw = (params.hub_bw_lo + params.hub_bw_hi) / 2.0;
+  const double hub_scale =
+      std::min(1.0, 0.6 * 32.0e9 / (clients_per_hub * mean_hub_bw));
+  std::uniform_real_distribution<double> hub_bw(params.hub_bw_lo * hub_scale,
+                                                params.hub_bw_hi * hub_scale);
+  std::uniform_real_distribution<double> peer_bw(params.peer_bw_lo, params.peer_bw_hi);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  for (int h = 0; h < params.hubs; ++h) {
+    add_core(soc, "hub" + std::to_string(h), CoreKind::kMemory, 1.5, 1.5, 60,
+             70, 400);
+  }
+  const int clients = params.cores - params.hubs;
+  for (int c = 0; c < clients; ++c) {
+    const CoreKind kind = (c % 5 == 0)   ? CoreKind::kDsp
+                          : (c % 5 == 1) ? CoreKind::kVideo
+                          : (c % 5 == 2) ? CoreKind::kCpu
+                          : (c % 5 == 3) ? CoreKind::kImaging
+                                         : CoreKind::kPeripheral;
+    const double dyn = kind == CoreKind::kPeripheral ? 20.0 : 180.0;
+    add_core(soc, "core" + std::to_string(c), kind, 1.2, 1.2, dyn, dyn * 0.4,
+             300);
+  }
+
+  auto add_raw_flow = [&soc](CoreId s, CoreId d, double bw_bits, double lat) {
+    Flow f;
+    f.src = s;
+    f.dst = d;
+    f.bandwidth_bits_per_s = bw_bits;
+    f.max_latency_cycles = lat;
+    f.label = soc.cores[static_cast<std::size_t>(s)].name + "->" +
+              soc.cores[static_cast<std::size_t>(d)].name;
+    soc.flows.push_back(std::move(f));
+  };
+
+  for (int c = 0; c < clients; ++c) {
+    const auto core_id = static_cast<CoreId>(params.hubs + c);
+    const auto hub_id = static_cast<CoreId>(c % params.hubs);
+    const double bw = hub_bw(rng);
+    add_raw_flow(core_id, hub_id, bw, params.latency_budget_cycles);
+    add_raw_flow(hub_id, core_id, bw * 0.6, params.latency_budget_cycles);
+    // Extra peer flows to random other clients.
+    const double extra = params.flows_per_core - 1.0;
+    int peers = static_cast<int>(extra);
+    if (unit(rng) < extra - peers) ++peers;
+    for (int p = 0; p < peers; ++p) {
+      std::uniform_int_distribution<int> pick(0, clients - 1);
+      int other = pick(rng);
+      if (other == c) other = (other + 1) % clients;
+      add_raw_flow(core_id, static_cast<CoreId>(params.hubs + other), peer_bw(rng),
+                   params.latency_budget_cycles * 1.5);
+    }
+  }
+
+  Benchmark bench;
+  // Two coarse use cases so shutdown accounting has something to chew on.
+  std::vector<std::string> half;
+  std::vector<std::string> all;
+  for (const CoreSpec& c : bench.soc.cores) (void)c;  // (filled below)
+  for (std::size_t i = 0; i < soc.cores.size(); ++i) {
+    all.push_back(soc.cores[i].name);
+    if (i < soc.cores.size() / 2 ||
+        soc.cores[i].kind == CoreKind::kMemory) {
+      half.push_back(soc.cores[i].name);
+    }
+  }
+  bench.use_cases = {{"half_load", 0.6, half}, {"full_load", 0.4, all}};
+  bench.soc = std::move(soc);
+  return bench;
+}
+
+}  // namespace vinoc::soc

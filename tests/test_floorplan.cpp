@@ -1,0 +1,137 @@
+// Tests for the island-aware floorplanner.
+#include <gtest/gtest.h>
+
+#include "vinoc/floorplan/floorplan.hpp"
+#include "vinoc/soc/benchmarks.hpp"
+#include "vinoc/soc/islanding.hpp"
+
+namespace vinoc::floorplan {
+namespace {
+
+TEST(Geometry, ManhattanDistance) {
+  EXPECT_DOUBLE_EQ(manhattan_mm({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan_mm({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(manhattan_mm({-1, 2}, {2, -2}), 7.0);
+}
+
+TEST(Geometry, RectBasics) {
+  const Rect r{1.0, 2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(r.center().x_mm, 3.0);
+  EXPECT_DOUBLE_EQ(r.center().y_mm, 5.0);
+  EXPECT_DOUBLE_EQ(r.area_mm2(), 24.0);
+  EXPECT_TRUE(r.contains({1.0, 2.0}));
+  EXPECT_TRUE(r.contains({5.0, 8.0}));
+  EXPECT_FALSE(r.contains({5.1, 8.0}));
+}
+
+TEST(Geometry, RectOverlap) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{1, 1, 2, 2};
+  const Rect c{2, 0, 2, 2};  // touching edge, not overlapping
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Centroid, UnweightedAndWeighted) {
+  const std::vector<Point> pts = {{0, 0}, {2, 0}, {0, 2}, {2, 2}};
+  const Point c = weighted_centroid(pts);
+  EXPECT_DOUBLE_EQ(c.x_mm, 1.0);
+  EXPECT_DOUBLE_EQ(c.y_mm, 1.0);
+  const Point w = weighted_centroid(pts, {1.0, 0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(w.x_mm, 0.0);
+  EXPECT_DOUBLE_EQ(w.y_mm, 0.0);
+}
+
+TEST(Centroid, AllZeroWeightsFallBackToUnweighted) {
+  const std::vector<Point> pts = {{0, 0}, {4, 0}};
+  const Point c = weighted_centroid(pts, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(c.x_mm, 2.0);
+}
+
+TEST(Centroid, BadInputsThrow) {
+  EXPECT_THROW((void)weighted_centroid({}), std::invalid_argument);
+  EXPECT_THROW((void)weighted_centroid({{0, 0}}, {1.0, 2.0}), std::invalid_argument);
+}
+
+class FloorplanD26Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(FloorplanD26Test, ValidAcrossIslandCounts) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec =
+      soc::with_logical_islands(d26.soc, GetParam(), d26.use_cases);
+  const Floorplan fp = Floorplan::build(spec);
+  EXPECT_TRUE(fp.validate(spec).empty());
+  EXPECT_EQ(fp.core_count(), spec.core_count());
+  EXPECT_EQ(fp.island_count(), spec.island_count());
+  // Whitespace: chip must be larger than the sum of core areas but not
+  // absurdly so.
+  EXPECT_GT(fp.chip_area_mm2(), spec.total_core_area_mm2());
+  EXPECT_LT(fp.chip_area_mm2(), spec.total_core_area_mm2() * 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FloorplanD26Test,
+                         ::testing::Values(1, 2, 4, 6, 7, 26));
+
+TEST(Floorplan, AspectRatioReasonable) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  for (const int k : {1, 6, 26}) {
+    const soc::SocSpec spec = soc::with_logical_islands(d26.soc, k, d26.use_cases);
+    const Floorplan fp = Floorplan::build(spec);
+    const double aspect = std::max(fp.chip_width_mm(), fp.chip_height_mm()) /
+                          std::min(fp.chip_width_mm(), fp.chip_height_mm());
+    EXPECT_LT(aspect, 2.2) << "k=" << k;
+  }
+}
+
+TEST(Floorplan, ClampToIslandKeepsPointInside) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+  const Floorplan fp = Floorplan::build(spec);
+  for (std::size_t isl = 0; isl < spec.island_count(); ++isl) {
+    const Point p = fp.clamp_to_island({-100.0, 1000.0},
+                                       static_cast<soc::IslandId>(isl));
+    EXPECT_TRUE(fp.island_rect(static_cast<soc::IslandId>(isl)).contains(p));
+  }
+  // Intermediate island (-1) clamps to the chip.
+  const Point q = fp.clamp_to_island({1e6, 1e6}, -1);
+  EXPECT_LE(q.x_mm, fp.chip_width_mm() + 1e-9);
+  EXPECT_LE(q.y_mm, fp.chip_height_mm() + 1e-9);
+}
+
+TEST(Floorplan, DeterministicRebuild) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 4, d26.use_cases);
+  const Floorplan a = Floorplan::build(spec);
+  const Floorplan b = Floorplan::build(spec);
+  for (std::size_t c = 0; c < spec.core_count(); ++c) {
+    EXPECT_DOUBLE_EQ(a.core_rect(static_cast<soc::CoreId>(c)).x_mm,
+                     b.core_rect(static_cast<soc::CoreId>(c)).x_mm);
+  }
+}
+
+TEST(Floorplan, WhitespaceOptionRespected) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 4, d26.use_cases);
+  FloorplanOptions tight;
+  tight.whitespace = 1.05;
+  FloorplanOptions loose;
+  loose.whitespace = 1.6;
+  const Floorplan a = Floorplan::build(spec, tight);
+  const Floorplan b = Floorplan::build(spec, loose);
+  EXPECT_LT(a.chip_area_mm2(), b.chip_area_mm2());
+  EXPECT_THROW((void)Floorplan::build(spec, FloorplanOptions{0.9, 0.3}),
+               std::invalid_argument);
+}
+
+TEST(Floorplan, AllBenchmarksFloorplanCleanly) {
+  for (const soc::Benchmark& bm : soc::all_benchmarks()) {
+    for (const int k : {1, 4}) {
+      const soc::SocSpec spec = soc::with_logical_islands(bm.soc, k, bm.use_cases);
+      const Floorplan fp = Floorplan::build(spec);
+      EXPECT_TRUE(fp.validate(spec).empty()) << bm.soc.name << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vinoc::floorplan

@@ -1,0 +1,177 @@
+// Cross-module integration tests: the full pipeline from benchmark spec to
+// synthesized topology, simulation, power gating, and export — the flows the
+// paper's experiments exercise.
+#include <gtest/gtest.h>
+
+#include "vinoc/core/shutdown_safety.hpp"
+#include "vinoc/core/synthesis.hpp"
+#include "vinoc/io/exports.hpp"
+#include "vinoc/io/spec_format.hpp"
+#include "vinoc/power/gating.hpp"
+#include "vinoc/sim/simulator.hpp"
+#include "vinoc/soc/benchmarks.hpp"
+#include "vinoc/soc/islanding.hpp"
+
+namespace vinoc {
+namespace {
+
+// ---- Figure 2/3 trends, asserted as tests ---------------------------------
+
+TEST(PaperTrends, LogicalPartitioningPaysCrossingOverheadAtManyIslands) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  core::SynthesisOptions options;
+  const auto power_at = [&](int k) {
+    const soc::SocSpec spec = soc::with_logical_islands(d26.soc, k, d26.use_cases);
+    const core::SynthesisResult r = core::synthesize(spec, options);
+    EXPECT_FALSE(r.points.empty()) << "k=" << k;
+    return r.points.empty() ? 0.0
+                            : r.best_power().metrics.paper_noc_dynamic_w();
+  };
+  const double ref = power_at(1);
+  const double at7 = power_at(7);
+  const double at26 = power_at(26);
+  // Paper Fig. 2: logical partitioning costs more than the reference at high
+  // island counts, and the all-singleton design is the most expensive.
+  EXPECT_GT(at7, ref * 1.02);
+  EXPECT_GT(at26, ref * 1.10);
+}
+
+TEST(PaperTrends, CommunicationPartitioningBeatsLogical) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  core::SynthesisOptions options;
+  for (const int k : {3, 4, 5, 6}) {
+    const core::SynthesisResult log_r = core::synthesize(
+        soc::with_logical_islands(d26.soc, k, d26.use_cases), options);
+    const core::SynthesisResult com_r = core::synthesize(
+        soc::with_communication_islands(d26.soc, k, d26.use_cases), options);
+    ASSERT_FALSE(log_r.points.empty());
+    ASSERT_FALSE(com_r.points.empty());
+    EXPECT_LT(com_r.best_power().metrics.paper_noc_dynamic_w(),
+              log_r.best_power().metrics.paper_noc_dynamic_w())
+        << "k=" << k;
+  }
+}
+
+TEST(PaperTrends, LatencyRisesWithIslandCount) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  core::SynthesisOptions options;
+  const auto latency_at = [&](int k) {
+    const soc::SocSpec spec = soc::with_logical_islands(d26.soc, k, d26.use_cases);
+    const core::SynthesisResult r = core::synthesize(spec, options);
+    EXPECT_FALSE(r.points.empty());
+    return r.points.empty() ? 0.0 : r.best_power().metrics.avg_latency_cycles;
+  };
+  const double l1 = latency_at(1);
+  const double l7 = latency_at(7);
+  const double l26 = latency_at(26);
+  EXPECT_LT(l1, 5.0);       // paper: ~3.2 cycles at one island
+  EXPECT_GT(l7, l1);        // rises with crossings
+  EXPECT_GE(l26, 8.0 - 1e-9);  // every flow pays the 4-cycle converter
+  EXPECT_GT(l26, l1 * 1.5);    // roughly doubles, as in Fig. 3
+}
+
+// ---- Overhead and savings claims ------------------------------------------
+
+TEST(PaperClaims, ShutdownSupportOverheadIsSmall) {
+  // VI-aware NoC vs. shutdown-oblivious baseline on D26: the extra dynamic
+  // power must be a few percent of total SoC dynamic power (paper: ~3%).
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  core::SynthesisOptions options;
+  const core::SynthesisResult base = core::synthesize(
+      soc::with_logical_islands(d26.soc, 1, d26.use_cases), options);
+  const core::SynthesisResult vi = core::synthesize(
+      soc::with_logical_islands(d26.soc, 6, d26.use_cases), options);
+  ASSERT_FALSE(base.points.empty());
+  ASSERT_FALSE(vi.points.empty());
+  const double soc_dyn = d26.soc.total_core_dynamic_w() +
+                         base.best_power().metrics.noc_dynamic_w;
+  const double overhead = (vi.best_power().metrics.noc_dynamic_w -
+                           base.best_power().metrics.noc_dynamic_w) /
+                          soc_dyn;
+  EXPECT_GE(overhead, -0.01);
+  EXPECT_LE(overhead, 0.06);  // "a 3% overhead" — allow 0..6%
+}
+
+TEST(PaperClaims, AreaOverheadUnderOnePercent) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  core::SynthesisOptions options;
+  const core::SynthesisResult base = core::synthesize(
+      soc::with_logical_islands(d26.soc, 1, d26.use_cases), options);
+  const core::SynthesisResult vi = core::synthesize(
+      soc::with_logical_islands(d26.soc, 6, d26.use_cases), options);
+  ASSERT_FALSE(base.points.empty());
+  ASSERT_FALSE(vi.points.empty());
+  const double soc_area = d26.soc.total_core_area_mm2() +
+                          base.best_power().metrics.noc_area_mm2;
+  const double overhead = (vi.best_power().metrics.noc_area_mm2 -
+                           base.best_power().metrics.noc_area_mm2) /
+                          soc_area;
+  EXPECT_LE(overhead, 0.01);  // paper: < 0.5%; we allow < 1%
+}
+
+// ---- Full pipeline ----------------------------------------------------------
+
+TEST(Pipeline, SpecTextToTopologyToSimulationToGating) {
+  // Round-trip the D26 spec through the text format, synthesize, simulate,
+  // evaluate gating, export everything — nothing may throw or disagree.
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec orig = soc::with_logical_islands(d26.soc, 5, d26.use_cases);
+
+  const std::string text = io::write_soc_spec(orig);
+  const io::ParseResult parsed = io::parse_soc_spec_string(text);
+  ASSERT_TRUE(parsed.ok) << (parsed.errors.empty()
+                                 ? "?"
+                                 : parsed.errors.front().message);
+
+  core::SynthesisOptions options;
+  const core::SynthesisResult result = core::synthesize(parsed.spec, options);
+  ASSERT_FALSE(result.points.empty());
+  const core::DesignPoint& best = result.best_power();
+
+  EXPECT_TRUE(best.topology.validate(parsed.spec).empty());
+  EXPECT_TRUE(core::verify_shutdown_safety(best.topology, parsed.spec).empty());
+
+  sim::SimOptions sopts;
+  sopts.duration_cycles = 20'000;
+  sopts.warmup_cycles = 2'000;
+  const sim::SimReport sr =
+      sim::simulate(best.topology, parsed.spec, options.tech, sopts);
+  EXPECT_FALSE(sr.saturated);
+  EXPECT_GT(sr.packets_delivered, 0);
+
+  const power::ShutdownReport pr =
+      power::evaluate_shutdown_savings(parsed.spec, best.topology, options.tech);
+  EXPECT_GT(pr.saved_fraction, 0.0);
+
+  EXPECT_FALSE(io::topology_to_dot(best.topology, parsed.spec).empty());
+  EXPECT_FALSE(
+      io::floorplan_to_svg(result.floorplan, parsed.spec, &best.topology).empty());
+  EXPECT_FALSE(io::design_points_to_csv(result).empty());
+}
+
+TEST(Pipeline, AllNamedBenchmarksSynthesizeAtSeveralIslandings) {
+  for (const soc::Benchmark& bm : soc::all_benchmarks()) {
+    for (const int k : {1, 4}) {
+      const soc::SocSpec spec = soc::with_logical_islands(bm.soc, k, bm.use_cases);
+      const core::SynthesisResult r = core::synthesize(spec);
+      ASSERT_FALSE(r.points.empty()) << bm.soc.name << " k=" << k;
+      EXPECT_TRUE(core::verify_shutdown_safety(r.best_power().topology, spec).empty())
+          << bm.soc.name << " k=" << k;
+    }
+  }
+}
+
+TEST(Pipeline, SyntheticGeneratorFeedsSynthesis) {
+  soc::SyntheticParams params;
+  params.cores = 28;
+  params.hubs = 3;
+  params.seed = 21;
+  const soc::Benchmark bm = soc::make_synthetic_soc(params);
+  const soc::SocSpec spec = soc::with_communication_islands(bm.soc, 5, bm.use_cases);
+  const core::SynthesisResult r = core::synthesize(spec);
+  ASSERT_FALSE(r.points.empty());
+  EXPECT_TRUE(core::verify_shutdown_safety(r.best_power().topology, spec).empty());
+}
+
+}  // namespace
+}  // namespace vinoc

@@ -1,0 +1,198 @@
+// Tests for the I/O module: exports (DOT/SVG/CSV) and the text spec format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "vinoc/core/synthesis.hpp"
+#include "vinoc/io/exports.hpp"
+#include "vinoc/io/spec_format.hpp"
+#include "vinoc/soc/benchmarks.hpp"
+#include "vinoc/soc/islanding.hpp"
+
+namespace vinoc::io {
+namespace {
+
+const char* kGoodSpec = R"(# tiny test SoC
+soc demo
+island vi_main 1.0 always_on
+island vi_acc  0.9 shutdown
+
+core cpu    cpu    vi_main 1.5 1.5 300 120 400
+core mem    memory vi_main 1.2 1.2  40  60 400
+core accel  dsp    vi_acc  1.4 1.4 150  60 300
+core uart   peripheral vi_acc 0.4 0.4 5 2 100
+
+flow cpu mem    800 12
+flow mem cpu    800 12
+flow accel mem  400 18
+flow cpu accel   50 24
+flow cpu uart     2 40
+
+scenario busy 0.5 vi_main vi_acc
+scenario idle 0.5 vi_main
+)";
+
+TEST(SpecFormat, ParsesValidSpec) {
+  const ParseResult r = parse_soc_spec_string(kGoodSpec);
+  ASSERT_TRUE(r.ok) << (r.errors.empty() ? "?" : r.errors.front().message);
+  EXPECT_EQ(r.spec.name, "demo");
+  EXPECT_EQ(r.spec.islands.size(), 2u);
+  EXPECT_FALSE(r.spec.islands[0].can_shutdown);
+  EXPECT_TRUE(r.spec.islands[1].can_shutdown);
+  EXPECT_EQ(r.spec.cores.size(), 4u);
+  EXPECT_EQ(r.spec.cores[0].kind, soc::CoreKind::kCpu);
+  EXPECT_DOUBLE_EQ(r.spec.cores[0].dynamic_power_w, 0.3);
+  EXPECT_EQ(r.spec.flows.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.spec.flows[0].bandwidth_bits_per_s, 800 * 8e6);
+  ASSERT_EQ(r.spec.scenarios.size(), 2u);
+  EXPECT_TRUE(r.spec.scenarios[1].island_active[0]);
+  EXPECT_FALSE(r.spec.scenarios[1].island_active[1]);
+}
+
+TEST(SpecFormat, RoundTripsThroughWriter) {
+  const ParseResult first = parse_soc_spec_string(kGoodSpec);
+  ASSERT_TRUE(first.ok);
+  const std::string text = write_soc_spec(first.spec);
+  const ParseResult second = parse_soc_spec_string(text);
+  ASSERT_TRUE(second.ok) << (second.errors.empty() ? "?" : second.errors.front().message);
+  EXPECT_EQ(second.spec.cores.size(), first.spec.cores.size());
+  EXPECT_EQ(second.spec.flows.size(), first.spec.flows.size());
+  EXPECT_EQ(second.spec.scenarios.size(), first.spec.scenarios.size());
+  for (std::size_t f = 0; f < first.spec.flows.size(); ++f) {
+    EXPECT_NEAR(second.spec.flows[f].bandwidth_bits_per_s,
+                first.spec.flows[f].bandwidth_bits_per_s, 1.0);
+  }
+}
+
+TEST(SpecFormat, ReportsAllErrorsWithLineNumbers) {
+  const char* bad = R"(soc broken
+island vi0 1.0 shutdown
+core a cpu vi0 1 1 10 5 100
+core b bogus_kind vi0 1 1 10 5 100
+flow a nosuch 100 10
+flow a b notanumber 10
+junk directive
+)";
+  const ParseResult r = parse_soc_spec_string(bad);
+  EXPECT_FALSE(r.ok);
+  ASSERT_GE(r.errors.size(), 4u);
+  // Each error carries the offending line.
+  for (const ParseError& e : r.errors) {
+    EXPECT_GT(e.line, 0);
+    EXPECT_FALSE(e.message.empty());
+  }
+}
+
+TEST(SpecFormat, SemanticValidationRunsAfterParse) {
+  const char* dup = R"(soc d
+island vi0 1.0 always_on
+core a cpu vi0 1 1 10 5 100
+core a cpu vi0 1 1 10 5 100
+flow a a 100 10
+)";
+  const ParseResult r = parse_soc_spec_string(dup);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(SpecFormat, MissingFileReported) {
+  const ParseResult r = parse_soc_spec_file("/nonexistent/path/x.soc");
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].message.find("cannot open"), std::string::npos);
+}
+
+TEST(SpecFormat, CoreKindTokens) {
+  soc::CoreKind kind = soc::CoreKind::kOther;
+  EXPECT_TRUE(parse_core_kind("mem_ctrl", kind));
+  EXPECT_EQ(kind, soc::CoreKind::kMemController);
+  EXPECT_FALSE(parse_core_kind("warp_drive", kind));
+}
+
+TEST(SpecFormat, ParsedSpecSynthesizes) {
+  const ParseResult r = parse_soc_spec_string(kGoodSpec);
+  ASSERT_TRUE(r.ok);
+  const core::SynthesisResult result = core::synthesize(r.spec);
+  EXPECT_FALSE(result.points.empty());
+}
+
+struct Synthesized {
+  soc::SocSpec spec;
+  core::SynthesisResult result;
+
+  Synthesized() {
+    const soc::Benchmark d26 = soc::make_d26_media_soc();
+    spec = soc::with_logical_islands(d26.soc, 6, d26.use_cases);
+    result = core::synthesize(spec, core::SynthesisOptions{});
+  }
+};
+
+TEST(Exports, DotContainsAllSwitchesCoresAndFifoMarks) {
+  const Synthesized s;
+  ASSERT_FALSE(s.result.points.empty());
+  const core::NocTopology& topo = s.result.best_power().topology;
+  const std::string dot = topology_to_dot(topo, s.spec);
+  EXPECT_NE(dot.find("digraph noc"), std::string::npos);
+  for (const soc::CoreSpec& c : s.spec.cores) {
+    EXPECT_NE(dot.find(c.name), std::string::npos) << c.name;
+  }
+  for (std::size_t sw = 0; sw < topo.switches.size(); ++sw) {
+    EXPECT_NE(dot.find("sw" + std::to_string(sw)), std::string::npos);
+  }
+  bool has_crossing = false;
+  for (const core::TopLink& l : topo.links) has_crossing |= l.crosses_island;
+  if (has_crossing) {
+    EXPECT_NE(dot.find("fifo"), std::string::npos);
+  }
+  // Island clusters present.
+  EXPECT_NE(dot.find("cluster_isl0"), std::string::npos);
+}
+
+TEST(Exports, SvgWellFormedAndContainsGeometry) {
+  const Synthesized s;
+  ASSERT_FALSE(s.result.points.empty());
+  const std::string svg = floorplan_to_svg(s.result.floorplan, s.spec,
+                                           &s.result.best_power().topology);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);  // switches
+  EXPECT_NE(svg.find("<line"), std::string::npos);    // links
+  // One rect per core plus island regions plus the die outline.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_GE(rects, s.spec.core_count() + s.spec.island_count() + 1);
+}
+
+TEST(Exports, SvgWithoutTopologyOmitsNoc) {
+  const Synthesized s;
+  const std::string svg = floorplan_to_svg(s.result.floorplan, s.spec, nullptr);
+  EXPECT_EQ(svg.find("<circle"), std::string::npos);
+}
+
+TEST(Exports, CsvHasOneRowPerPointAndMarksPareto) {
+  const Synthesized s;
+  ASSERT_FALSE(s.result.points.empty());
+  const std::string csv = design_points_to_csv(s.result);
+  std::size_t lines = 0;
+  for (const char c : csv) lines += (c == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, s.result.points.size() + 1);  // header + rows
+  EXPECT_NE(csv.find("power_mw"), std::string::npos);
+  EXPECT_NE(csv.find(",1\n"), std::string::npos);  // at least one pareto row
+}
+
+TEST(Exports, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/vinoc_io_test.txt";
+  write_file(path, "hello vinoc\n");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello vinoc\n");
+  std::remove(path.c_str());
+  EXPECT_THROW(write_file("/nonexistent_dir_zzz/f.txt", "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vinoc::io

@@ -1,0 +1,155 @@
+// Tests for the regular 2D-mesh baseline.
+#include <gtest/gtest.h>
+
+#include "vinoc/core/deadlock.hpp"
+#include "vinoc/core/mesh_baseline.hpp"
+#include "vinoc/core/synthesis.hpp"
+#include "vinoc/sim/simulator.hpp"
+#include "vinoc/soc/benchmarks.hpp"
+#include "vinoc/soc/islanding.hpp"
+
+namespace vinoc::core {
+namespace {
+
+soc::SocSpec d26_flat() {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  return soc::with_logical_islands(d26.soc, 1, d26.use_cases);
+}
+
+TEST(MeshBaseline, GridCoversAllCores) {
+  const soc::SocSpec spec = d26_flat();
+  const MeshResult mesh = synthesize_mesh_baseline(spec);
+  ASSERT_TRUE(mesh.ok) << mesh.failure_reason;
+  EXPECT_GE(mesh.rows * mesh.cols, static_cast<int>(spec.core_count()));
+  EXPECT_LE((mesh.rows - 1) * mesh.cols, static_cast<int>(spec.core_count()));
+  EXPECT_EQ(mesh.topology.switches.size(),
+            static_cast<std::size_t>(mesh.rows * mesh.cols));
+  // One core per switch at most.
+  for (const SwitchInst& sw : mesh.topology.switches) {
+    EXPECT_LE(sw.cores.size(), 1u);
+  }
+}
+
+TEST(MeshBaseline, TopologyStructurallyValid) {
+  const soc::SocSpec spec = d26_flat();
+  const MeshResult mesh = synthesize_mesh_baseline(spec);
+  ASSERT_TRUE(mesh.ok);
+  EXPECT_TRUE(mesh.topology.validate(spec).empty());
+}
+
+TEST(MeshBaseline, XyRoutingIsDeadlockFree) {
+  // Dimension-order routing is the textbook deadlock-free scheme; our CDG
+  // verifier must agree (cross-check of both components).
+  for (const soc::Benchmark& bm : soc::all_benchmarks()) {
+    const soc::SocSpec spec = soc::with_logical_islands(bm.soc, 1, bm.use_cases);
+    const MeshResult mesh = synthesize_mesh_baseline(spec);
+    ASSERT_TRUE(mesh.ok) << bm.soc.name;
+    EXPECT_TRUE(is_deadlock_free(mesh.topology)) << bm.soc.name;
+  }
+}
+
+TEST(MeshBaseline, RouteHopsMatchManhattanSlotDistance) {
+  const soc::SocSpec spec = d26_flat();
+  const MeshResult mesh = synthesize_mesh_baseline(spec);
+  ASSERT_TRUE(mesh.ok);
+  const int cols = mesh.cols;
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    const FlowRoute& r = mesh.topology.routes[f];
+    const int a = r.src_switch;
+    const int b = r.dst_switch;
+    const int dist = std::abs(a / cols - b / cols) + std::abs(a % cols - b % cols);
+    EXPECT_EQ(static_cast<int>(r.links.size()), dist) << "flow " << f;
+  }
+}
+
+TEST(MeshBaseline, HeavyCommunicatorsPlacedClose) {
+  const soc::SocSpec spec = d26_flat();
+  const MeshResult mesh = synthesize_mesh_baseline(spec);
+  ASSERT_TRUE(mesh.ok);
+  // The heaviest pair (arm_cpu <-> l2_cache) must be adjacent in the grid.
+  const int a = mesh.topology.switch_of_core[static_cast<std::size_t>(
+      spec.find_core("arm_cpu"))];
+  const int b = mesh.topology.switch_of_core[static_cast<std::size_t>(
+      spec.find_core("l2_cache"))];
+  const int cols = mesh.cols;
+  const int dist = std::abs(a / cols - b / cols) + std::abs(a % cols - b % cols);
+  EXPECT_LE(dist, 1);
+}
+
+TEST(MeshBaseline, CustomSynthesisBeatsMeshOnPower) {
+  const soc::SocSpec spec = d26_flat();
+  const MeshResult mesh = synthesize_mesh_baseline(spec);
+  ASSERT_TRUE(mesh.ok);
+  const SynthesisResult custom = synthesize(spec);
+  ASSERT_FALSE(custom.points.empty());
+  EXPECT_LT(custom.best_power().metrics.noc_dynamic_w,
+            mesh.metrics.noc_dynamic_w);
+  EXPECT_LT(custom.best_latency().metrics.avg_latency_cycles,
+            mesh.metrics.avg_latency_cycles);
+}
+
+TEST(MeshBaseline, UtilizationConsistentWithSimulator) {
+  const soc::SocSpec spec = d26_flat();
+  const MeshResult mesh = synthesize_mesh_baseline(spec);
+  ASSERT_TRUE(mesh.ok);
+  ASSERT_LE(mesh.max_link_utilization, 1.0);  // D26 fits a 32-bit mesh
+  // The saturation headroom also accounts NI attach links, so it can only
+  // be tighter than (or equal to) the inverse mesh-link utilization.
+  const double headroom = sim::find_saturation_scale(mesh.topology, spec);
+  EXPECT_GT(headroom, 1.0 - 1e-9);  // D26 traffic fits with margin
+  EXPECT_LE(headroom, 1.0 / mesh.max_link_utilization + 1e-9);
+  sim::SimOptions opts;
+  opts.duration_cycles = 20'000;
+  opts.warmup_cycles = 2'000;
+  const sim::SimReport report = sim::simulate(
+      mesh.topology, spec, models::Technology::cmos65nm(), opts);
+  EXPECT_FALSE(report.saturated);
+  EXPECT_GT(report.packets_delivered, 0);
+}
+
+TEST(MeshBaseline, RejectsMultiIslandSpec) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 4, d26.use_cases);
+  const MeshResult mesh = synthesize_mesh_baseline(spec);
+  EXPECT_FALSE(mesh.ok);
+  EXPECT_NE(mesh.failure_reason.find("single-island"), std::string::npos);
+}
+
+TEST(MeshBaseline, ExplicitChipDimensionsRespected) {
+  const soc::SocSpec spec = d26_flat();
+  MeshOptions opts;
+  opts.chip_w_mm = 12.0;
+  opts.chip_h_mm = 6.0;
+  const MeshResult mesh = synthesize_mesh_baseline(spec, opts);
+  ASSERT_TRUE(mesh.ok);
+  for (const SwitchInst& sw : mesh.topology.switches) {
+    EXPECT_LE(sw.pos.x_mm, 12.0);
+    EXPECT_LE(sw.pos.y_mm, 6.0);
+  }
+  // Horizontal links span the wider pitch.
+  double max_len = 0.0;
+  for (const TopLink& l : mesh.topology.links) {
+    max_len = std::max(max_len, l.length_mm);
+  }
+  EXPECT_NEAR(max_len, 12.0 / mesh.cols, 1e-9);
+}
+
+class MeshAllBenchmarksTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MeshAllBenchmarksTest, ValidRoutedAndEvaluated) {
+  const std::vector<soc::Benchmark> suite = soc::all_benchmarks();
+  ASSERT_LT(GetParam(), suite.size());
+  const soc::Benchmark& bm = suite[GetParam()];
+  const soc::SocSpec spec = soc::with_logical_islands(bm.soc, 1, bm.use_cases);
+  const MeshResult mesh = synthesize_mesh_baseline(spec);
+  ASSERT_TRUE(mesh.ok) << bm.soc.name;
+  EXPECT_TRUE(mesh.topology.validate(spec).empty()) << bm.soc.name;
+  EXPECT_GT(mesh.metrics.noc_dynamic_w, 0.0);
+  EXPECT_GT(mesh.metrics.avg_latency_cycles, 3.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, MeshAllBenchmarksTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace vinoc::core

@@ -1,0 +1,157 @@
+// Unit + property tests for the 65 nm NoC component models. The synthesis
+// algorithm relies on these monotonicities, so they are pinned here.
+#include <gtest/gtest.h>
+
+#include "vinoc/models/noc_models.hpp"
+#include "vinoc/models/technology.hpp"
+
+namespace vinoc::models {
+namespace {
+
+class SwitchModelTest : public ::testing::Test {
+ protected:
+  Technology tech = Technology::cmos65nm();
+  SwitchModel sw{tech};
+};
+
+TEST_F(SwitchModelTest, MaxFrequencyDecreasesWithPorts) {
+  double prev = sw.max_frequency_hz(2);
+  for (int p = 3; p <= 64; ++p) {
+    const double f = sw.max_frequency_hz(p);
+    EXPECT_LE(f, prev + 1e-6) << "ports " << p;
+    prev = f;
+  }
+}
+
+TEST_F(SwitchModelTest, MaxFrequencyCappedAtTechLimit) {
+  EXPECT_LE(sw.max_frequency_hz(2), tech.max_freq_hz);
+}
+
+TEST_F(SwitchModelTest, MaxPortsInvertsMaxFrequency) {
+  for (int p = 2; p <= 32; ++p) {
+    const double f = sw.max_frequency_hz(p);
+    const int back = sw.max_ports_at(f);
+    EXPECT_GE(back, p) << "a switch of size " << p << " must fit at its own f_max";
+  }
+}
+
+TEST_F(SwitchModelTest, MaxPortsAtLowFrequencyIsLarge) {
+  EXPECT_GE(sw.max_ports_at(100e6), 32);
+}
+
+TEST_F(SwitchModelTest, MaxPortsNeverBelowTwo) {
+  EXPECT_GE(sw.max_ports_at(tech.max_freq_hz), 2);
+}
+
+TEST_F(SwitchModelTest, DynamicPowerIncreasesWithTrafficAndPorts) {
+  const double p_small = sw.dynamic_power_w(4, 4, 500e6, 1e9);
+  const double p_more_traffic = sw.dynamic_power_w(4, 4, 500e6, 2e9);
+  const double p_more_ports = sw.dynamic_power_w(8, 8, 500e6, 1e9);
+  EXPECT_GT(p_more_traffic, p_small);
+  EXPECT_GT(p_more_ports, p_small);
+}
+
+TEST_F(SwitchModelTest, IdlePowerScalesWithFrequency) {
+  const double slow = sw.dynamic_power_w(4, 4, 100e6, 0.0);
+  const double fast = sw.dynamic_power_w(4, 4, 800e6, 0.0);
+  EXPECT_NEAR(fast / slow, 8.0, 1e-6);
+}
+
+TEST_F(SwitchModelTest, LeakageAndAreaGrowWithPorts) {
+  EXPECT_GT(sw.leakage_w(8, 8), sw.leakage_w(4, 4));
+  EXPECT_GT(sw.area_um2(8, 8), sw.area_um2(4, 4));
+  // Crossbar area grows superlinearly.
+  const double a4 = sw.area_um2(4, 4);
+  const double a16 = sw.area_um2(16, 16);
+  EXPECT_GT(a16, 4.0 * (a4 - tech.sw_area_base_um2));
+}
+
+TEST_F(SwitchModelTest, AsymmetricSwitchSizedByLargerSide) {
+  EXPECT_DOUBLE_EQ(sw.area_um2(2, 8), sw.area_um2(8, 8));
+  EXPECT_DOUBLE_EQ(sw.leakage_w(8, 2), sw.leakage_w(8, 8));
+}
+
+TEST_F(SwitchModelTest, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)sw.max_frequency_hz(0), std::invalid_argument);
+  EXPECT_THROW((void)sw.max_ports_at(0.0), std::invalid_argument);
+}
+
+class LinkModelTest : public ::testing::Test {
+ protected:
+  Technology tech = Technology::cmos65nm();
+  LinkModel link{tech};
+};
+
+TEST_F(LinkModelTest, PowerProportionalToLengthAndBandwidth) {
+  const double base = link.dynamic_power_w(1.0, 1e9);
+  EXPECT_NEAR(link.dynamic_power_w(2.0, 1e9), 2.0 * base, 1e-15);
+  EXPECT_NEAR(link.dynamic_power_w(1.0, 2e9), 2.0 * base, 1e-15);
+}
+
+TEST_F(LinkModelTest, DelayAndMaxLengthConsistent) {
+  const double f = 500e6;
+  const double max_len = link.max_unpipelined_length_mm(f);
+  EXPECT_NEAR(link.wire_delay_s(max_len), 1.0 / f, 1e-12);
+}
+
+TEST_F(LinkModelTest, CapacityIsWidthTimesFrequency) {
+  EXPECT_DOUBLE_EQ(link.capacity_bits_per_s(32, 500e6), 1.6e10);
+  EXPECT_DOUBLE_EQ(link.capacity_bits_per_s(64, 250e6), 1.6e10);
+}
+
+TEST_F(LinkModelTest, LeakageScalesWithWidthAndLength) {
+  EXPECT_NEAR(link.leakage_w(2.0, 64), 4.0 * link.leakage_w(1.0, 32), 1e-15);
+}
+
+TEST_F(LinkModelTest, InvalidFrequencyThrows) {
+  EXPECT_THROW((void)link.max_unpipelined_length_mm(0.0), std::invalid_argument);
+}
+
+TEST(NiModel, PowerAndConstants) {
+  const Technology tech = Technology::cmos65nm();
+  const NiModel ni(tech);
+  EXPECT_GT(ni.dynamic_power_w(1e9), 0.0);
+  EXPECT_NEAR(ni.dynamic_power_w(2e9), 2.0 * ni.dynamic_power_w(1e9), 1e-15);
+  EXPECT_GT(ni.leakage_w(), 0.0);
+  EXPECT_GT(ni.area_um2(), 0.0);
+}
+
+TEST(BisyncFifoModel, FourCycleLatencyPerPaper) {
+  const Technology tech = Technology::cmos65nm();
+  const BisyncFifoModel fifo(tech);
+  // Paper, Section 5: "a 4 cycle delay is incurred on the voltage-frequency
+  // converters".
+  EXPECT_EQ(fifo.latency_cycles(), 4);
+  EXPECT_GT(fifo.dynamic_power_w(1e9), 0.0);
+  EXPECT_GT(fifo.leakage_w(), 0.0);
+}
+
+TEST(SnapFrequency, RoundsUpToGrid) {
+  const Technology tech = Technology::cmos65nm();
+  EXPECT_DOUBLE_EQ(snap_frequency_up(tech, 1.0), tech.freq_grid_hz);
+  EXPECT_DOUBLE_EQ(snap_frequency_up(tech, 50e6), 50e6);
+  EXPECT_DOUBLE_EQ(snap_frequency_up(tech, 51e6), 100e6);
+  EXPECT_DOUBLE_EQ(snap_frequency_up(tech, 449e6), 450e6);
+  EXPECT_DOUBLE_EQ(snap_frequency_up(tech, 0.0), tech.freq_grid_hz);
+  // Never beyond the technology ceiling.
+  EXPECT_DOUBLE_EQ(snap_frequency_up(tech, 5e9), tech.max_freq_hz);
+}
+
+// Property sweep: the crossing cost (FIFO energy/bit) must exceed the plain
+// link cost per mm for short links — otherwise the synthesis has no reason
+// to keep heavy flows inside an island and Figure 2's overhead vanishes.
+class CrossingCostTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CrossingCostTest, CrossingMoreExpensiveThanShortIntraLink) {
+  const Technology tech = Technology::cmos65nm();
+  const LinkModel link(tech);
+  const BisyncFifoModel fifo(tech);
+  const double bw = GetParam();
+  EXPECT_GT(fifo.dynamic_power_w(bw), link.dynamic_power_w(1.0, bw));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, CrossingCostTest,
+                         ::testing::Values(1e8, 1e9, 5e9, 2e10));
+
+}  // namespace
+}  // namespace vinoc::models

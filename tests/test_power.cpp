@@ -1,0 +1,141 @@
+// Tests for the power-gating accounting (vinoc::power).
+#include <gtest/gtest.h>
+
+#include "vinoc/core/synthesis.hpp"
+#include "vinoc/power/gating.hpp"
+#include "vinoc/soc/benchmarks.hpp"
+#include "vinoc/soc/islanding.hpp"
+
+namespace vinoc::power {
+namespace {
+
+struct GatingFixture {
+  soc::SocSpec spec;
+  core::SynthesisResult result;
+  models::Technology tech = models::Technology::cmos65nm();
+
+  explicit GatingFixture(int islands = 6) {
+    const soc::Benchmark d26 = soc::make_d26_media_soc();
+    spec = soc::with_logical_islands(d26.soc, islands, d26.use_cases);
+    result = core::synthesize(spec, core::SynthesisOptions{});
+  }
+  const core::NocTopology& topo() const { return result.best_power().topology; }
+};
+
+TEST(NocLeakageByIsland, SumsToTotalNocLeakage) {
+  const GatingFixture s;
+  ASSERT_FALSE(s.result.points.empty());
+  const auto by_island = noc_leakage_by_island(s.topo(), s.spec, s.tech);
+  ASSERT_EQ(by_island.size(), s.spec.island_count() + 1);
+  double sum = 0.0;
+  for (const double w : by_island) sum += w;
+  const core::Metrics m = core::compute_metrics(s.topo(), s.spec, s.tech);
+  EXPECT_NEAR(sum, m.noc_leakage_w, 1e-12);
+  for (const double w : by_island) EXPECT_GE(w, 0.0);
+}
+
+TEST(ShutdownSavings, GatingNeverIncreasesPower) {
+  const GatingFixture s;
+  ASSERT_FALSE(s.result.points.empty());
+  const ShutdownReport r = evaluate_shutdown_savings(s.spec, s.topo(), s.tech);
+  EXPECT_LE(r.avg_power_with_gating_w, r.avg_power_no_gating_w + 1e-12);
+  EXPECT_GE(r.saved_fraction, 0.0);
+  EXPECT_LE(r.saved_fraction, 1.0);
+  for (const ScenarioPower& sc : r.scenarios) {
+    EXPECT_LE(sc.power_with_gating_w, sc.power_no_gating_w + 1e-12);
+  }
+}
+
+TEST(ShutdownSavings, D26ReachesPaperBallpark) {
+  // Paper, Section 5: shutdown "can lead to even 25% or more reduction in
+  // overall system power". Our D26 at the finest logical islanding must
+  // land in that regime.
+  const GatingFixture s(7);
+  ASSERT_FALSE(s.result.points.empty());
+  const ShutdownReport r = evaluate_shutdown_savings(s.spec, s.topo(), s.tech);
+  EXPECT_GE(r.saved_fraction, 0.20);
+  EXPECT_LE(r.saved_fraction, 0.45);
+}
+
+TEST(ShutdownSavings, SingleIslandSavesNothing) {
+  // With one (always-on) island nothing can be gated.
+  const GatingFixture s(1);
+  ASSERT_FALSE(s.result.points.empty());
+  const ShutdownReport r = evaluate_shutdown_savings(s.spec, s.topo(), s.tech);
+  EXPECT_NEAR(r.saved_fraction, 0.0, 1e-9);
+}
+
+TEST(ShutdownSavings, MoreIslandsNeverSaveLess) {
+  // Finer islanding can only improve (or match) the gating opportunities,
+  // modulo the slightly different NoC; allow a small tolerance.
+  const GatingFixture coarse(2);
+  const GatingFixture fine(7);
+  ASSERT_FALSE(coarse.result.points.empty());
+  ASSERT_FALSE(fine.result.points.empty());
+  const double s2 =
+      evaluate_shutdown_savings(coarse.spec, coarse.topo(), coarse.tech).saved_w;
+  const double s7 =
+      evaluate_shutdown_savings(fine.spec, fine.topo(), fine.tech).saved_w;
+  EXPECT_GE(s7, s2 * 0.9);
+}
+
+TEST(ShutdownSavings, RetentionFractionBoundsSavings) {
+  const GatingFixture s(6);
+  ASSERT_FALSE(s.result.points.empty());
+  GatingModel leaky;
+  leaky.retention_fraction = 0.5;
+  GatingModel ideal;
+  ideal.retention_fraction = 0.0;
+  const double saved_leaky =
+      evaluate_shutdown_savings(s.spec, s.topo(), s.tech, leaky).saved_w;
+  const double saved_ideal =
+      evaluate_shutdown_savings(s.spec, s.topo(), s.tech, ideal).saved_w;
+  EXPECT_LT(saved_leaky, saved_ideal);
+}
+
+TEST(ShutdownSavings, UncoveredTimeTreatedAsAllActive) {
+  GatingFixture s(6);
+  ASSERT_FALSE(s.result.points.empty());
+  // Keep only the idle scenario at 40%: the remaining 60% must be charged
+  // as an implicit all-active scenario.
+  s.spec.scenarios.resize(1);
+  const ShutdownReport r = evaluate_shutdown_savings(s.spec, s.topo(), s.tech);
+  ASSERT_EQ(r.scenarios.size(), 2u);
+  EXPECT_NEAR(r.scenarios[1].time_fraction, 0.6, 1e-9);
+  // The implicit scenario gates nothing.
+  EXPECT_NEAR(r.scenarios[1].power_with_gating_w, r.scenarios[1].power_no_gating_w,
+              1e-9);
+}
+
+TEST(ShutdownSavings, RejectsBadInputs) {
+  GatingFixture s(6);
+  ASSERT_FALSE(s.result.points.empty());
+  soc::SocSpec no_scenarios = s.spec;
+  no_scenarios.scenarios.clear();
+  EXPECT_THROW((void)evaluate_shutdown_savings(no_scenarios, s.topo(), s.tech),
+               std::invalid_argument);
+  GatingModel bad;
+  bad.retention_fraction = 1.5;
+  EXPECT_THROW((void)evaluate_shutdown_savings(s.spec, s.topo(), s.tech, bad),
+               std::invalid_argument);
+}
+
+TEST(ShutdownSavings, AlwaysOnIslandsNeverGated) {
+  const GatingFixture s(6);
+  ASSERT_FALSE(s.result.points.empty());
+  // The memory island's leakage must be charged in full in every scenario:
+  // compare against a spec where that island were (hypothetically) gated.
+  const ShutdownReport r = evaluate_shutdown_savings(s.spec, s.topo(), s.tech);
+  double mem_leak = 0.0;
+  for (const soc::CoreSpec& c : s.spec.cores) {
+    if (!s.spec.islands[static_cast<std::size_t>(c.island)].can_shutdown) {
+      mem_leak += c.leakage_power_w;
+    }
+  }
+  for (const ScenarioPower& sc : r.scenarios) {
+    EXPECT_GE(sc.power_with_gating_w, mem_leak - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vinoc::power

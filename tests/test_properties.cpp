@@ -1,0 +1,120 @@
+// Randomized end-to-end property tests: for a grid of random synthetic SoCs
+// and islanding variants, every design point the synthesizer saves must
+// satisfy the full invariant set the paper's claims rest on:
+//   1. the topology is structurally consistent (validate());
+//   2. shutdown safety: no flow transits a third gateable island;
+//   3. no routing deadlock (CDG acyclic);
+//   4. every flow meets its latency budget;
+//   5. bandwidth headroom >= 1 (no over-committed link or NI);
+//   6. switch port counts respect the frequency-derived caps;
+//   7. the reported cut/power metrics are internally consistent.
+#include <gtest/gtest.h>
+
+#include "vinoc/core/deadlock.hpp"
+#include "vinoc/core/shutdown_safety.hpp"
+#include "vinoc/core/synthesis.hpp"
+#include "vinoc/sim/simulator.hpp"
+#include "vinoc/soc/benchmarks.hpp"
+#include "vinoc/soc/islanding.hpp"
+
+namespace vinoc {
+namespace {
+
+struct Case {
+  int cores;
+  int hubs;
+  unsigned seed;
+  int islands;
+  bool comm;  ///< communication-based (vs. logical) islanding
+};
+
+class RandomSocPropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RandomSocPropertyTest, AllInvariantsHoldOnEveryDesignPoint) {
+  const Case c = GetParam();
+  soc::SyntheticParams params;
+  params.cores = c.cores;
+  params.hubs = c.hubs;
+  params.seed = c.seed;
+  params.flows_per_core = 2.2;
+  const soc::Benchmark bm = soc::make_synthetic_soc(params);
+  const soc::SocSpec spec =
+      c.comm ? soc::with_communication_islands(bm.soc, c.islands, bm.use_cases)
+             : soc::with_logical_islands(bm.soc, c.islands, bm.use_cases);
+  ASSERT_TRUE(spec.validate().empty());
+
+  const core::SynthesisResult result = core::synthesize(spec);
+  ASSERT_FALSE(result.points.empty())
+      << "cores=" << c.cores << " seed=" << c.seed << " islands=" << c.islands;
+
+  for (const core::DesignPoint& p : result.points) {
+    // 1. structural consistency
+    const auto problems = p.topology.validate(spec);
+    EXPECT_TRUE(problems.empty())
+        << (problems.empty() ? "" : problems.front());
+    // 2. shutdown safety
+    EXPECT_TRUE(core::verify_shutdown_safety(p.topology, spec).empty());
+    // 3. deadlock freedom
+    EXPECT_TRUE(core::is_deadlock_free(p.topology));
+    // 4. latency budgets
+    for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+      EXPECT_LE(p.topology.routes[f].latency_cycles,
+                spec.flows[f].max_latency_cycles + 1e-9);
+    }
+    // 5. bandwidth headroom
+    EXPECT_GE(sim::find_saturation_scale(p.topology, spec), 1.0 - 1e-9);
+    // 6. port caps
+    for (std::size_t s = 0; s < p.topology.switches.size(); ++s) {
+      const soc::IslandId isl = p.topology.switches[s].island;
+      const int cap =
+          isl == core::kIntermediateIsland
+              ? result.intermediate_params.max_sw_size
+              : result.island_params[static_cast<std::size_t>(isl)].max_sw_size;
+      EXPECT_LE(p.topology.switch_ports_in(static_cast<int>(s)), cap);
+      EXPECT_LE(p.topology.switch_ports_out(static_cast<int>(s)), cap);
+    }
+    // 7. metric consistency
+    const core::Metrics fresh =
+        core::compute_metrics(p.topology, spec, core::SynthesisOptions{}.tech);
+    EXPECT_NEAR(fresh.noc_dynamic_w, p.metrics.noc_dynamic_w,
+                1e-9 * std::max(1.0, p.metrics.noc_dynamic_w));
+    EXPECT_NEAR(fresh.avg_latency_cycles, p.metrics.avg_latency_cycles, 1e-9);
+  }
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  unsigned seed = 1000;
+  for (const int cores : {10, 16, 24, 40}) {
+    for (const int islands : {2, 3, 5}) {
+      for (const bool comm : {false, true}) {
+        cases.push_back(Case{cores, std::max(1, cores / 10), ++seed, islands, comm});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RandomSocPropertyTest,
+                         ::testing::ValuesIn(make_cases()));
+
+// Separately: the synthesizer's determinism over the same random SoC.
+TEST(RandomSocDeterminism, IdenticalResultsAcrossRuns) {
+  soc::SyntheticParams params;
+  params.cores = 20;
+  params.seed = 77;
+  const soc::Benchmark bm = soc::make_synthetic_soc(params);
+  const soc::SocSpec spec = soc::with_logical_islands(bm.soc, 4, bm.use_cases);
+  const core::SynthesisResult a = core::synthesize(spec);
+  const core::SynthesisResult b = core::synthesize(spec);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points[i].metrics.noc_dynamic_w,
+                     b.points[i].metrics.noc_dynamic_w);
+    EXPECT_EQ(a.points[i].topology.links.size(), b.points[i].topology.links.size());
+  }
+  EXPECT_EQ(a.pareto, b.pareto);
+}
+
+}  // namespace
+}  // namespace vinoc

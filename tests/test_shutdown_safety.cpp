@@ -1,0 +1,168 @@
+// Tests for the shutdown-safety verifier — the property the whole paper is
+// about. Includes an adversarial case: a hand-built topology that routes a
+// flow through a third island must be flagged.
+#include <gtest/gtest.h>
+
+#include "vinoc/core/shutdown_safety.hpp"
+#include "vinoc/core/synthesis.hpp"
+#include "vinoc/soc/benchmarks.hpp"
+#include "vinoc/soc/islanding.hpp"
+
+namespace vinoc::core {
+namespace {
+
+/// Three islands, one core + one switch each, flow core0 -> core2.
+struct UnsafeFixture {
+  soc::SocSpec spec;
+  NocTopology topo;
+
+  UnsafeFixture() {
+    for (int i = 0; i < 3; ++i) {
+      spec.islands.push_back({"vi" + std::to_string(i), 1.0, true});
+      soc::CoreSpec c;
+      c.name = "core" + std::to_string(i);
+      c.island = i;
+      spec.cores.push_back(c);
+      SwitchInst sw;
+      sw.island = i;
+      sw.freq_hz = 400e6;
+      sw.cores = {static_cast<soc::CoreId>(i)};
+      topo.switches.push_back(sw);
+      topo.switch_of_core.push_back(i);
+      topo.ni_wire_mm.push_back(0.5);
+    }
+    topo.island_freq_hz = {400e6, 400e6, 400e6};
+    soc::Flow f;
+    f.src = 0;
+    f.dst = 2;
+    f.bandwidth_bits_per_s = 1e9;
+    f.max_latency_cycles = 40;
+    f.label = "c0->c2";
+    spec.flows.push_back(f);
+  }
+
+  /// Routes the flow through switch `mid` (island 1) — the unsafe detour.
+  void route_through_middle() {
+    TopLink l1;
+    l1.src_switch = 0;
+    l1.dst_switch = 1;
+    l1.crosses_island = true;
+    l1.carried_bw_bits_per_s = 1e9;
+    l1.flows = {0};
+    TopLink l2 = l1;
+    l2.src_switch = 1;
+    l2.dst_switch = 2;
+    topo.links = {l1, l2};
+    FlowRoute r;
+    r.src_switch = 0;
+    r.dst_switch = 2;
+    r.links = {0, 1};
+    r.crossings = 2;
+    r.latency_cycles = 13;
+    topo.routes = {r};
+  }
+
+  /// Routes the flow directly (safe).
+  void route_direct() {
+    TopLink l;
+    l.src_switch = 0;
+    l.dst_switch = 2;
+    l.crosses_island = true;
+    l.carried_bw_bits_per_s = 1e9;
+    l.flows = {0};
+    topo.links = {l};
+    FlowRoute r;
+    r.src_switch = 0;
+    r.dst_switch = 2;
+    r.links = {0};
+    r.crossings = 1;
+    r.latency_cycles = 8;
+    topo.routes = {r};
+  }
+};
+
+TEST(ShutdownSafety, DirectRouteIsSafe) {
+  UnsafeFixture fx;
+  fx.route_direct();
+  EXPECT_TRUE(verify_shutdown_safety(fx.topo, fx.spec).empty());
+}
+
+TEST(ShutdownSafety, TransitThroughThirdIslandFlagged) {
+  UnsafeFixture fx;
+  fx.route_through_middle();
+  const auto violations = verify_shutdown_safety(fx.topo, fx.spec);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("vi1"), std::string::npos);
+}
+
+TEST(ShutdownSafety, TransitThroughAlwaysOnIslandAllowed) {
+  // If the middle island cannot be shut down, routing through it is legal
+  // (that is exactly what the intermediate NoC VI is).
+  UnsafeFixture fx;
+  fx.spec.islands[1].can_shutdown = false;
+  fx.route_through_middle();
+  EXPECT_TRUE(verify_shutdown_safety(fx.topo, fx.spec).empty());
+}
+
+TEST(ShutdownSafety, IntermediateSwitchWithCoresFlagged) {
+  UnsafeFixture fx;
+  fx.route_direct();
+  SwitchInst bad;
+  bad.island = kIntermediateIsland;
+  bad.cores = {0};  // a core on an indirect switch: forbidden
+  fx.topo.switches.push_back(bad);
+  const auto violations = verify_shutdown_safety(fx.topo, fx.spec);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("intermediate"), std::string::npos);
+}
+
+TEST(FlowsBlockedByShutdown, ExactlyTerminatingFlowsForSafeTopology) {
+  UnsafeFixture fx;
+  fx.route_direct();
+  // Island 0: the flow originates there => blocked. Island 1: untouched.
+  EXPECT_EQ(flows_blocked_by_shutdown(fx.topo, fx.spec, 0).size(), 1u);
+  EXPECT_TRUE(flows_blocked_by_shutdown(fx.topo, fx.spec, 1).empty());
+  EXPECT_EQ(flows_blocked_by_shutdown(fx.topo, fx.spec, 2).size(), 1u);
+}
+
+TEST(FlowsBlockedByShutdown, DetourShowsUpAsBlockage) {
+  UnsafeFixture fx;
+  fx.route_through_middle();
+  EXPECT_EQ(flows_blocked_by_shutdown(fx.topo, fx.spec, 1).size(), 1u);
+}
+
+// The paper's core guarantee, verified end-to-end: on every synthesized
+// design point of every islanding variant, gating any shutdown-capable
+// island blocks exactly the flows that terminate in it.
+class EndToEndSafetyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EndToEndSafetyTest, GatingBlocksOnlyTerminatingFlows) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec =
+      soc::with_logical_islands(d26.soc, GetParam(), d26.use_cases);
+  const SynthesisResult result = synthesize(spec);
+  ASSERT_FALSE(result.points.empty());
+  for (const DesignPoint& p : result.points) {
+    for (std::size_t isl = 0; isl < spec.island_count(); ++isl) {
+      if (!spec.islands[isl].can_shutdown) continue;
+      const auto blocked = flows_blocked_by_shutdown(
+          p.topology, spec, static_cast<soc::IslandId>(isl));
+      for (const int f : blocked) {
+        const soc::Flow& flow = spec.flows[static_cast<std::size_t>(f)];
+        const bool terminates =
+            spec.cores[static_cast<std::size_t>(flow.src)].island ==
+                static_cast<soc::IslandId>(isl) ||
+            spec.cores[static_cast<std::size_t>(flow.dst)].island ==
+                static_cast<soc::IslandId>(isl);
+        EXPECT_TRUE(terminates)
+            << "flow " << flow.label << " transits island " << isl;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IslandCounts, EndToEndSafetyTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace vinoc::core

@@ -1,0 +1,275 @@
+// vinoc — command-line front end to the synthesis flow.
+//
+//   vinoc synth  <spec.soc> [--islands N] [--strategy logical|comm|spec]
+//                [--alpha A] [--alpha-power P] [--width BITS]
+//                [--no-intermediate] [--out PREFIX]
+//   vinoc sweep  <spec.soc> [--widths 32,64,...] [--islands N] [--strategy S]
+//   vinoc sim    <spec.soc> [--islands N] [--strategy S] [--scale X]
+//   vinoc gate   <spec.soc> [--islands N] [--strategy S]
+//
+// `--strategy spec` (default) keeps the island assignment from the file;
+// `logical`/`comm` re-island the cores with the requested island count.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "vinoc/core/deadlock.hpp"
+#include "vinoc/core/explore.hpp"
+#include "vinoc/core/shutdown_safety.hpp"
+#include "vinoc/core/synthesis.hpp"
+#include "vinoc/io/exports.hpp"
+#include "vinoc/io/spec_format.hpp"
+#include "vinoc/power/gating.hpp"
+#include "vinoc/power/transitions.hpp"
+#include "vinoc/sim/simulator.hpp"
+#include "vinoc/soc/islanding.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+struct Args {
+  std::string command;
+  std::string spec_path;
+  int islands = 0;  // 0 = keep file islands
+  std::string strategy = "spec";
+  double alpha = 0.6;
+  double alpha_power = 0.7;
+  int width = 32;
+  std::vector<int> widths = {16, 32, 64, 128};
+  bool intermediate = true;
+  double scale = 1.0;
+  std::string out = "vinoc_out";
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vinoc <synth|sweep|sim|gate> <spec.soc> [options]\n"
+               "  --islands N           re-island into N voltage islands\n"
+               "  --strategy S          spec | logical | comm (default spec)\n"
+               "  --alpha A             Definition-1 weight (default 0.6)\n"
+               "  --alpha-power P       router cost weight (default 0.7)\n"
+               "  --width BITS          link data width (default 32)\n"
+               "  --widths A,B,...      widths for 'sweep'\n"
+               "  --no-intermediate     forbid the intermediate NoC VI\n"
+               "  --scale X             injection scale for 'sim' (default 1)\n"
+               "  --out PREFIX          output file prefix (default vinoc_out)\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 3) return false;
+  args.command = argv[1];
+  args.spec_path = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (flag == "--islands") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.islands = std::atoi(v);
+    } else if (flag == "--strategy") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.strategy = v;
+    } else if (flag == "--alpha") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.alpha = std::atof(v);
+    } else if (flag == "--alpha-power") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.alpha_power = std::atof(v);
+    } else if (flag == "--width") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.width = std::atoi(v);
+    } else if (flag == "--widths") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.widths.clear();
+      for (const char* p = v; *p != '\0';) {
+        args.widths.push_back(std::atoi(p));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else if (flag == "--no-intermediate") {
+      args.intermediate = false;
+    } else if (flag == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.scale = std::atof(v);
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.out = v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+soc::SocSpec load_spec(const Args& args, bool& ok) {
+  ok = false;
+  const io::ParseResult parsed = io::parse_soc_spec_file(args.spec_path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "failed to parse %s:\n", args.spec_path.c_str());
+    for (const io::ParseError& e : parsed.errors) {
+      std::fprintf(stderr, "  line %d: %s\n", e.line, e.message.c_str());
+    }
+    return {};
+  }
+  ok = true;
+  if (args.strategy == "spec" || args.islands == 0) return parsed.spec;
+  if (args.strategy == "logical") {
+    return soc::with_logical_islands(parsed.spec, args.islands);
+  }
+  if (args.strategy == "comm") {
+    return soc::with_communication_islands(parsed.spec, args.islands);
+  }
+  std::fprintf(stderr, "unknown strategy '%s'\n", args.strategy.c_str());
+  ok = false;
+  return {};
+}
+
+core::SynthesisOptions options_from(const Args& args) {
+  core::SynthesisOptions options;
+  options.alpha = args.alpha;
+  options.alpha_power = args.alpha_power;
+  options.link_width_bits = args.width;
+  options.allow_intermediate_island = args.intermediate;
+  return options;
+}
+
+int cmd_synth(const Args& args, const soc::SocSpec& spec) {
+  const core::SynthesisResult result = core::synthesize(spec, options_from(args));
+  std::printf("%s: %d configs explored, %zu design points (%.3f s)\n",
+              spec.name.c_str(), result.stats.configs_explored,
+              result.points.size(), result.stats.elapsed_seconds);
+  if (result.points.empty()) {
+    std::fprintf(stderr, "no feasible design point\n");
+    return 1;
+  }
+  const core::DesignPoint& best = result.best_power();
+  std::printf("best power point: %.2f mW dynamic, %.3f mW leakage, "
+              "%.4f mm^2, %.2f cycles avg latency\n",
+              best.metrics.noc_dynamic_w * 1e3, best.metrics.noc_leakage_w * 1e3,
+              best.metrics.noc_area_mm2, best.metrics.avg_latency_cycles);
+  std::printf("shutdown safety: %s; deadlock free: %s\n",
+              core::verify_shutdown_safety(best.topology, spec).empty() ? "OK"
+                                                                        : "VIOLATED",
+              core::is_deadlock_free(best.topology) ? "yes" : "NO");
+  io::write_file(args.out + ".dot", io::topology_to_dot(best.topology, spec));
+  io::write_file(args.out + ".svg",
+                 io::floorplan_to_svg(result.floorplan, spec, &best.topology));
+  io::write_file(args.out + ".csv", io::design_points_to_csv(result));
+  std::printf("wrote %s.{dot,svg,csv}\n", args.out.c_str());
+  return 0;
+}
+
+int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
+  const core::WidthSweepResult sweep =
+      core::explore_link_widths(spec, args.widths, options_from(args));
+  std::printf("%-8s %-10s %-18s %-18s\n", "width", "points", "best power [mW]",
+              "best latency [cy]");
+  for (const core::WidthSweepEntry& e : sweep.entries) {
+    if (!e.feasible) {
+      std::printf("%-8d infeasible (NI link exceeds capacity)\n", e.width_bits);
+      continue;
+    }
+    if (e.result.points.empty()) {
+      std::printf("%-8d 0\n", e.width_bits);
+      continue;
+    }
+    std::printf("%-8d %-10zu %-18.2f %-18.2f\n", e.width_bits,
+                e.result.points.size(),
+                e.result.best_power().metrics.noc_dynamic_w * 1e3,
+                e.result.best_latency().metrics.avg_latency_cycles);
+  }
+  std::printf("global pareto (power asc):\n");
+  for (const core::GlobalPointRef& ref : sweep.pareto) {
+    const core::Metrics& m = sweep.point(ref).metrics;
+    std::printf("  %3d-bit  %8.2f mW  %6.2f cycles\n", sweep.width_of(ref),
+                m.noc_dynamic_w * 1e3, m.avg_latency_cycles);
+  }
+  return 0;
+}
+
+int cmd_sim(const Args& args, const soc::SocSpec& spec) {
+  const core::SynthesisOptions options = options_from(args);
+  const core::SynthesisResult result = core::synthesize(spec, options);
+  if (result.points.empty()) {
+    std::fprintf(stderr, "no feasible design point\n");
+    return 1;
+  }
+  sim::SimOptions sopts;
+  sopts.injection_scale = args.scale;
+  const sim::SimReport report =
+      sim::simulate(result.best_power().topology, spec, options.tech, sopts);
+  std::printf("injection x%.2f: %lld packets, avg latency %.2f cycles, "
+              "max link util %.2f, %s\n",
+              args.scale, static_cast<long long>(report.packets_delivered),
+              report.avg_latency_cycles, report.max_link_utilization,
+              report.saturated ? "SATURATED" : "stable");
+  return 0;
+}
+
+int cmd_gate(const Args& args, const soc::SocSpec& spec) {
+  if (spec.scenarios.empty()) {
+    std::fprintf(stderr, "spec has no scenarios; add 'scenario' lines\n");
+    return 1;
+  }
+  const core::SynthesisOptions options = options_from(args);
+  const core::SynthesisResult result = core::synthesize(spec, options);
+  if (result.points.empty()) {
+    std::fprintf(stderr, "no feasible design point\n");
+    return 1;
+  }
+  const power::ShutdownReport report = power::evaluate_shutdown_savings(
+      spec, result.best_power().topology, options.tech);
+  for (const power::ScenarioPower& s : report.scenarios) {
+    std::printf("%-24s %4.0f%%: %8.1f -> %8.1f mW\n", s.name.c_str(),
+                s.time_fraction * 100.0, s.power_no_gating_w * 1e3,
+                s.power_with_gating_w * 1e3);
+  }
+  const power::TransitionReport trans =
+      power::evaluate_transition_overhead(spec, report);
+  std::printf("gating saves %.1f%% (%.1f%% net of wake-up costs; "
+              "break-even dwell %.2f ms)\n",
+              report.saved_fraction * 100.0, trans.net_saved_fraction * 100.0,
+              trans.breakeven_dwell_s * 1e3);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+  bool ok = false;
+  const soc::SocSpec spec = load_spec(args, ok);
+  if (!ok) return 1;
+  {
+    const auto problems = spec.validate();
+    if (!problems.empty()) {
+      std::fprintf(stderr, "invalid spec: %s\n", problems.front().c_str());
+      return 1;
+    }
+  }
+  try {
+    if (args.command == "synth") return cmd_synth(args, spec);
+    if (args.command == "sweep") return cmd_sweep(args, spec);
+    if (args.command == "sim") return cmd_sim(args, spec);
+    if (args.command == "gate") return cmd_gate(args, spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
