@@ -10,7 +10,17 @@
 // connected". We sweep synthetic SoCs from 8 to 96 cores and report the
 // full design-space exploration time, plus per-size google-benchmark
 // timings.
+//
+// The second table measures the staged engine's thread scaling
+// (SynthesisOptions::threads) on a multi-island spec, verifies the parallel
+// runs reproduce the sequential design space exactly, and emits one
+// machine-readable JSON line per measurement (between the BEGIN/END JSONL
+// markers) so results can be collected across machines without parsing the
+// human table.
 #include "bench_util.hpp"
+
+#include <chrono>
+#include <thread>
 
 namespace {
 
@@ -44,6 +54,76 @@ void print_table() {
               " machine; our exploration is seconds per design at these sizes)\n\n");
 }
 
+/// Same saved design space? (cheap structural check: counts + exact power
+/// and latency of every point, which are bit-identical by design).
+bool same_design_space(const core::SynthesisResult& a,
+                       const core::SynthesisResult& b) {
+  if (a.points.size() != b.points.size() || a.pareto != b.pareto) return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (a.points[i].metrics.noc_dynamic_w != b.points[i].metrics.noc_dynamic_w ||
+        a.points[i].metrics.avg_latency_cycles !=
+            b.points[i].metrics.avg_latency_cycles) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_thread_scaling() {
+  bench::print_header(
+      "Synthesis thread scaling (staged parallel exploration engine)",
+      "extension: SynthesisOptions::threads over the Section 5 runtime remark");
+
+  const int cores = 48;
+  const int islands = 6;
+  const soc::SocSpec spec = make_case(cores, islands);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+
+  std::vector<int> thread_counts = {1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+
+  std::printf("%-8s %-12s %-10s %-10s\n", "threads", "runtime [s]", "speedup",
+              "identical");
+  std::printf("(spec: %d cores, %d VIs, %zu flows; hardware_concurrency=%d)\n",
+              cores, islands, spec.flows.size(), hw);
+
+  core::SynthesisOptions base;
+  base.threads = 1;
+  const core::SynthesisResult reference = core::synthesize(spec, base);
+  struct Row {
+    int threads;
+    double seconds;
+    bool identical;
+  };
+  std::vector<Row> rows;
+  for (const int t : thread_counts) {
+    core::SynthesisOptions options;
+    options.threads = t;
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::SynthesisResult r = core::synthesize(spec, options);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    rows.push_back({t, secs, same_design_space(reference, r)});
+    std::printf("%-8d %-12.3f %-10.2f %-10s\n", t, secs, rows.front().seconds / secs,
+                rows.back().identical ? "yes" : "NO");
+  }
+
+  // Machine-readable export: one JSON object per line, stable keys.
+  std::printf("--- BEGIN JSONL (synthesis_thread_scaling) ---\n");
+  for (const Row& row : rows) {
+    std::printf(
+        "{\"benchmark\":\"synthesis_thread_scaling\",\"cores\":%d,"
+        "\"islands\":%d,\"flows\":%zu,\"hardware_concurrency\":%d,"
+        "\"threads\":%d,\"runtime_s\":%.6f,\"speedup_vs_1\":%.4f,"
+        "\"design_points\":%zu,\"identical_to_sequential\":%s}\n",
+        cores, islands, spec.flows.size(), hw, row.threads, row.seconds,
+        rows.front().seconds / row.seconds, reference.points.size(),
+        row.identical ? "true" : "false");
+  }
+  std::printf("--- END JSONL ---\n\n");
+}
+
 void BM_SynthesizeSynthetic(benchmark::State& state) {
   const int cores = static_cast<int>(state.range(0));
   const soc::SocSpec spec = make_case(cores, std::min(6, cores / 3));
@@ -58,10 +138,21 @@ BENCHMARK(BM_SynthesizeSynthetic)
     ->Unit(benchmark::kMillisecond)
     ->Complexity();
 
+/// Thread-count sweep under google-benchmark as well, so the scaling shows
+/// up in the standard --benchmark_format=json export.
+void BM_SynthesizeThreads(benchmark::State& state) {
+  const soc::SocSpec spec = make_case(48, 6);
+  core::SynthesisOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  vinoc::bench::time_synthesis(state, spec, options);
+}
+BENCHMARK(BM_SynthesizeThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   print_table();
+  print_thread_scaling();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

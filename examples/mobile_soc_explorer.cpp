@@ -21,6 +21,9 @@ using namespace vinoc;
 
 void explore(const soc::SocSpec& spec, const char* tag) {
   core::SynthesisOptions options;
+  // Fan the candidate sweep out over all cores; the saved design space is
+  // bit-identical to a sequential run (threads = 1), only faster.
+  options.threads = 0;
   const core::SynthesisResult result = core::synthesize(spec, options);
   std::printf("\n--- %s: %zu islands, %d configs explored, %zu design points, "
               "%.3f s ---\n",

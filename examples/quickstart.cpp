@@ -77,6 +77,9 @@ int main() {
 
   vinoc::core::SynthesisOptions options;
   options.alpha = 0.6;
+  // Evaluate candidates on all hardware threads; results do not depend on
+  // the thread count, so this is safe to leave on everywhere.
+  options.threads = 0;
   const vinoc::core::SynthesisResult result = vinoc::core::synthesize(spec, options);
 
   std::printf("tiny8: explored %d configs, saved %d design points (%.3f s)\n",

@@ -1,0 +1,116 @@
+// Stage boundary of the staged exploration engine.
+//
+// Algorithm 1 is a sweep: an outer loop over per-island switch counts, an
+// inner loop over intermediate-VI switch counts (and, one level up in
+// explore_link_widths(), a sweep over link widths). This header splits the
+// sweep into two pure stages that communicate only through value types:
+//
+//   1. ENUMERATION — enumerate_candidates() walks the (outer x inner) index
+//      space and emits the deduplicated CandidateConfig list, in the exact
+//      order the classic sequential loop would visit it. Cheap, sequential.
+//   2. EVALUATION — evaluate_candidate() turns one CandidateConfig into a
+//      CandidateOutcome: look up the precomputed partitions, place switches,
+//      route all flows, compact/refine the topology, compute metrics. It
+//      reads only const shared state (EvalContext) and touches no globals,
+//      so any number of candidates can be evaluated concurrently.
+//
+// Between the stages sits compute_partitions(): the per-(island, k) min-cut
+// partitions every candidate needs, memoized so partitioning runs once per
+// island/switch-count pair instead of once per inner-loop iteration.
+//
+// synthesize() then merges outcomes back IN ENUMERATION ORDER — duplicate
+// suppression, stats counters and the saved-point list all follow candidate
+// index — which is what makes the parallel run bit-identical to the
+// sequential one.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "vinoc/core/synthesis.hpp"
+
+namespace vinoc::exec {
+class ThreadPool;
+}  // namespace vinoc::exec
+
+namespace vinoc::core {
+
+/// One point of the sweep's index space, produced by the enumeration stage.
+/// `intermediate_switches` is the k_int OFFERED to the router; the router
+/// may use fewer (the evaluation stage compacts unused ones away).
+struct CandidateConfig {
+  std::vector<int> switches_per_island;
+  int intermediate_switches = 0;
+};
+
+/// Enumerates the (outer x inner) sweep for `spec`: outer iterations i with
+/// per-island switch counts k_j = min(min_sw_j + (i-1), |V_j|) (documented
+/// deviation, see synthesis.hpp), deduplicated once every island saturates;
+/// inner iterations k_int = 0..max_int. Pure; order matches the classic
+/// sequential loop.
+[[nodiscard]] std::vector<CandidateConfig> enumerate_candidates(
+    const soc::SocSpec& spec, const std::vector<IslandNocParams>& island_params,
+    const SynthesisOptions& options);
+
+/// Cores-per-switch assignment of one island for a given switch count.
+struct IslandPartition {
+  std::vector<std::vector<soc::CoreId>> blocks;  ///< cores per switch
+};
+
+/// (island, switch count) -> partition, computed once per distinct pair.
+using PartitionKey = std::pair<soc::IslandId, int>;
+using PartitionTable = std::map<PartitionKey, IslandPartition>;
+
+/// Runs the min-cut partitioner once for every distinct (island, switch
+/// count) pair referenced by `candidates`, fanning the independent min-cut
+/// problems out over `pool`. The returned table is immutable afterwards and
+/// safely shared by concurrent evaluations.
+[[nodiscard]] PartitionTable compute_partitions(
+    const soc::SocSpec& spec, const SynthesisOptions& options,
+    const std::vector<IslandNocParams>& island_params,
+    const std::vector<CandidateConfig>& candidates, exec::ThreadPool& pool);
+
+/// Everything the evaluation stage reads. All referenced objects are owned
+/// by the caller, fully built before evaluation starts, and never mutated
+/// while evaluations run — evaluate_candidate() is thread-safe by
+/// construction.
+struct EvalContext {
+  const soc::SocSpec& spec;
+  const floorplan::Floorplan& floorplan;
+  const std::vector<IslandNocParams>& island_params;
+  const IslandNocParams& intermediate_params;
+  const PartitionTable& partitions;
+  const std::vector<double>& core_traffic;  ///< per-core aggregate bandwidth
+  const SynthesisOptions& options;
+};
+
+enum class EvalStatus {
+  kRouted,              ///< all flows routed within budget; point is valid
+  kRejectedLatency,     ///< router failed on a latency budget
+  kRejectedUnroutable,  ///< router failed structurally (ports/admissibility)
+};
+
+/// Result of evaluating one candidate. `point`, `signature` and
+/// `deadlock_free` are meaningful only when status == kRouted.
+struct CandidateOutcome {
+  EvalStatus status = EvalStatus::kRejectedUnroutable;
+  DesignPoint point;
+  /// Structural design signature for order-dependent deduplication, which
+  /// therefore happens in the index-ordered merge, not here.
+  std::vector<int> signature;
+  bool deadlock_free = true;
+};
+
+/// Evaluation stage for one candidate: build switches from the partition
+/// table, route all flows, compact unused intermediate switches, check
+/// deadlock freedom, refine intermediate positions and compute metrics.
+/// Pure w.r.t. `ctx` (const access only); deterministic per candidate.
+[[nodiscard]] CandidateOutcome evaluate_candidate(const EvalContext& ctx,
+                                                  const CandidateConfig& cand);
+
+/// Per-core total traffic (sum of inbound + outbound flow bandwidth), used
+/// to weight switch placement.
+[[nodiscard]] std::vector<double> compute_core_traffic(const soc::SocSpec& spec);
+
+}  // namespace vinoc::core

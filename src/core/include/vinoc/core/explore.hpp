@@ -42,9 +42,16 @@ struct WidthSweepResult {
   }
 };
 
-/// Runs synthesize() once per width (infeasible widths are recorded, not
-/// fatal) and merges the design spaces. `widths` must be non-empty and
-/// positive. `base_options.link_width_bits` is ignored.
+/// Runs synthesize() once per width and merges the design spaces. `widths`
+/// must be non-empty and positive. `base_options.link_width_bits` is
+/// ignored. Widths at which an NI link exceeds attainable bandwidth
+/// (synthesize() throws InfeasibleWidthError) are recorded as infeasible
+/// entries, not fatal; every other error — invalid spec, bad alpha weights —
+/// propagates to the caller.
+///
+/// The sweep runs on one pool of base_options.threads strands shared by the
+/// per-width loop and each width's internal candidate sweep; results are
+/// bit-identical for every thread count (see synthesis.hpp).
 WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
                                      const std::vector<int>& widths,
                                      const SynthesisOptions& base_options = {});

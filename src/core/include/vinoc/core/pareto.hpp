@@ -1,0 +1,46 @@
+// Shared (power, latency) Pareto-front rule.
+//
+// Both synthesize() (per-run front over its design points) and
+// explore_link_widths() (global front across all widths) keep the same
+// front: sort candidates by ascending noc_dynamic_w (ties broken by
+// ascending avg_latency_cycles), then keep the strictly-latency-improving
+// prefix points, with a 1e-12 absolute slack so floating-point noise does
+// not admit duplicates. Extracted here so the two call sites cannot drift.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace vinoc::core {
+
+/// Computes the Pareto front over `refs`. `metrics_of(ref)` must return
+/// (a reference to) an object exposing `noc_dynamic_w` and
+/// `avg_latency_cycles` (i.e. core::Metrics). Returns the front sorted by
+/// increasing power. Deterministic: the sort order is a total function of
+/// the input sequence, so equal inputs give equal fronts.
+template <typename Ref, typename MetricsOf>
+[[nodiscard]] std::vector<Ref> pareto_front(std::vector<Ref> refs,
+                                            MetricsOf&& metrics_of) {
+  std::sort(refs.begin(), refs.end(), [&metrics_of](const Ref& a, const Ref& b) {
+    const auto& ma = metrics_of(a);
+    const auto& mb = metrics_of(b);
+    if (ma.noc_dynamic_w != mb.noc_dynamic_w) {
+      return ma.noc_dynamic_w < mb.noc_dynamic_w;
+    }
+    return ma.avg_latency_cycles < mb.avg_latency_cycles;
+  });
+  std::vector<Ref> front;
+  double best_lat = std::numeric_limits<double>::infinity();
+  for (const Ref& ref : refs) {
+    const auto& m = metrics_of(ref);
+    if (m.avg_latency_cycles < best_lat - 1e-12) {
+      front.push_back(ref);
+      best_lat = m.avg_latency_cycles;
+    }
+  }
+  return front;
+}
+
+}  // namespace vinoc::core

@@ -18,7 +18,10 @@
 // we use k = min(min_sw_j + (i-1), |Vj|) so the minimum is explored first.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,7 +31,32 @@
 #include "vinoc/models/technology.hpp"
 #include "vinoc/soc/soc_spec.hpp"
 
+namespace vinoc::exec {
+class ThreadPool;
+}  // namespace vinoc::exec
+
 namespace vinoc::core {
+
+/// Thrown by synthesize() when the requested link width is infeasible for
+/// the spec: some NI link's bandwidth exceeds what any switch frequency can
+/// sustain at that width. Distinct from plain std::invalid_argument so width
+/// sweeps (explore_link_widths) can record the feasibility boundary while
+/// still propagating genuine spec/option errors.
+struct InfeasibleWidthError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Progress of one synthesize() run, reported after each candidate finishes
+/// evaluation. `completed` counts evaluated candidates, `total` is the size
+/// of the enumerated candidate list (== stats.configs_explored at the end).
+/// `link_width_bits` identifies the run, so a renderer fed by a concurrent
+/// width sweep (explore_link_widths) can tell the interleaved per-width
+/// streams apart — `completed` is monotonic per width, not across widths.
+struct SynthesisProgress {
+  std::size_t completed = 0;
+  std::size_t total = 0;
+  int link_width_bits = 0;
+};
 
 struct SynthesisOptions {
   /// Definition 1's alpha: bandwidth vs. latency weight in VCG edge weights.
@@ -55,6 +83,17 @@ struct SynthesisOptions {
   /// the paper: with this on (default), every saved point is provably free
   /// of routing deadlock.
   bool enforce_deadlock_freedom = true;
+  /// Worker strands for the candidate-evaluation stage: 1 = fully
+  /// sequential (default), 0 = hardware concurrency, N = exactly N.
+  /// Results are bit-identical for every value (candidates are evaluated
+  /// independently and merged in enumeration order), so this is purely a
+  /// wall-clock knob.
+  int threads = 1;
+  /// Optional progress hook, invoked after each candidate evaluation with
+  /// monotonically increasing `completed`. With threads != 1 it is called
+  /// from worker threads (serialised by an internal mutex); keep it cheap
+  /// and do not call back into the synthesis API from inside it.
+  std::function<void(const SynthesisProgress&)> on_progress;
 };
 
 /// One saved design point (a full topology plus its evaluation).
@@ -94,8 +133,25 @@ struct SynthesisResult {
 };
 
 /// Runs Algorithm 1 on `spec` (throws std::invalid_argument if
-/// spec.validate() reports problems).
+/// spec.validate() reports problems, InfeasibleWidthError if an NI link
+/// cannot be sustained at options.link_width_bits).
+///
+/// Staged engine: candidates are first ENUMERATED (pure, sequential — the
+/// (outer x inner) sweep of the paper, deduplicated on saturation), their
+/// per-(island, switch-count) min-cut partitions computed once each, then
+/// every candidate is EVALUATED independently (partition lookup -> switch
+/// placement -> routing -> metrics) across options.threads strands and
+/// merged back in enumeration order, so the result does not depend on the
+/// thread count. See vinoc/core/candidates.hpp for the stage boundary.
 SynthesisResult synthesize(const soc::SocSpec& spec,
                            const SynthesisOptions& options = {});
+
+/// Same, but evaluates candidates on an existing pool instead of creating
+/// one from options.threads. Used by explore_link_widths() so the width
+/// sweep and every per-width candidate sweep share one set of workers;
+/// nested use is safe (see vinoc/exec/thread_pool.hpp).
+SynthesisResult synthesize(const soc::SocSpec& spec,
+                           const SynthesisOptions& options,
+                           exec::ThreadPool& pool);
 
 }  // namespace vinoc::core

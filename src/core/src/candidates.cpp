@@ -1,0 +1,341 @@
+#include "vinoc/core/candidates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "vinoc/core/deadlock.hpp"
+#include "vinoc/core/router.hpp"
+#include "vinoc/core/vcg.hpp"
+#include "vinoc/exec/parallel_for.hpp"
+#include "vinoc/partition/kway.hpp"
+
+namespace vinoc::core {
+
+namespace {
+
+bool has_cross_island_flows(const soc::SocSpec& spec) {
+  for (const soc::Flow& f : spec.flows) {
+    if (spec.cores[static_cast<std::size_t>(f.src)].island !=
+        spec.cores[static_cast<std::size_t>(f.dst)].island) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Min-cut partition of one island's VCG into `switch_count` blocks (empty
+/// blocks dropped). Deterministic for a fixed options.partition_seed.
+IslandPartition partition_island(const soc::SocSpec& spec,
+                                 const SynthesisOptions& opts,
+                                 const std::vector<IslandNocParams>& params,
+                                 const VcgScaling& scaling, soc::IslandId island,
+                                 int switch_count) {
+  const auto cores = spec.cores_in_island(island);
+  IslandPartition part;
+  part.blocks.resize(static_cast<std::size_t>(switch_count));
+  if (!cores.empty()) {
+    const graph::Digraph vcg = build_vcg(spec, island, opts.alpha, scaling);
+    partition::KwayOptions kopts;
+    kopts.blocks = switch_count;
+    const int max_size =
+        params[static_cast<std::size_t>(island)].max_sw_size - opts.port_reserve;
+    kopts.max_block_size = static_cast<std::size_t>(std::max(max_size, 1));
+    kopts.seed = opts.partition_seed;
+    const partition::PartitionResult res = partition::kway_mincut(vcg, kopts);
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+      part.blocks[static_cast<std::size_t>(res.block_of[i])].push_back(cores[i]);
+    }
+  }
+  // Drop empty blocks (the partitioner may not use all of them when the
+  // island has fewer cores than requested switches).
+  part.blocks.erase(std::remove_if(part.blocks.begin(), part.blocks.end(),
+                                   [](const auto& b) { return b.empty(); }),
+                    part.blocks.end());
+  return part;
+}
+
+/// Builds the switch set for one configuration: one switch per partition
+/// block at the traffic-weighted centroid of its cores (clamped into the
+/// island region), plus `k_int` intermediate switches around the chip centre.
+void build_switches(NocTopology& topo, const EvalContext& ctx,
+                    const std::vector<const IslandPartition*>& parts, int k_int) {
+  const soc::SocSpec& spec = ctx.spec;
+  const floorplan::Floorplan& fp = ctx.floorplan;
+  topo = NocTopology{};
+  topo.switch_of_core.assign(spec.cores.size(), -1);
+  topo.island_freq_hz.resize(spec.islands.size());
+  for (std::size_t isl = 0; isl < spec.islands.size(); ++isl) {
+    topo.island_freq_hz[isl] = ctx.island_params[isl].freq_hz;
+  }
+  topo.intermediate_freq_hz = ctx.intermediate_params.freq_hz;
+
+  for (std::size_t isl = 0; isl < spec.islands.size(); ++isl) {
+    for (const auto& block : parts[isl]->blocks) {
+      SwitchInst sw;
+      sw.island = static_cast<soc::IslandId>(isl);
+      sw.freq_hz = ctx.island_params[isl].freq_hz;
+      std::vector<floorplan::Point> pts;
+      std::vector<double> wts;
+      for (const soc::CoreId c : block) {
+        pts.push_back(fp.core_rect(c).center());
+        wts.push_back(ctx.core_traffic[static_cast<std::size_t>(c)]);
+      }
+      sw.pos = fp.clamp_to_island(floorplan::weighted_centroid(pts, wts),
+                                  static_cast<soc::IslandId>(isl));
+      sw.cores = block;
+      const int sw_id = static_cast<int>(topo.switches.size());
+      for (const soc::CoreId c : block) {
+        topo.switch_of_core[static_cast<std::size_t>(c)] = sw_id;
+      }
+      topo.switches.push_back(std::move(sw));
+    }
+  }
+
+  // Intermediate switches: spread on a small ring around the chip centre so
+  // multiple indirect switches do not collapse onto the same point (their
+  // positions are refined after routing).
+  const floorplan::Point center{fp.chip_width_mm() / 2.0, fp.chip_height_mm() / 2.0};
+  const double ring = std::min(fp.chip_width_mm(), fp.chip_height_mm()) / 6.0;
+  for (int k = 0; k < k_int; ++k) {
+    SwitchInst sw;
+    sw.island = kIntermediateIsland;
+    sw.freq_hz = ctx.intermediate_params.freq_hz;
+    const double angle = 2.0 * 3.14159265358979323846 * k / std::max(k_int, 1);
+    sw.pos = fp.clamp_to_island(
+        {center.x_mm + ring * std::cos(angle), center.y_mm + ring * std::sin(angle)},
+        kIntermediateIsland);
+    topo.switches.push_back(std::move(sw));
+  }
+
+  // NI attach wires: core centre to its switch.
+  topo.ni_wire_mm.resize(spec.cores.size());
+  for (std::size_t c = 0; c < spec.cores.size(); ++c) {
+    const int sw = topo.switch_of_core[c];
+    topo.ni_wire_mm[c] = floorplan::manhattan_mm(
+        fp.core_rect(static_cast<soc::CoreId>(c)).center(),
+        topo.switches[static_cast<std::size_t>(sw)].pos);
+  }
+}
+
+/// Moves each intermediate switch to the traffic-weighted centroid of its
+/// link partners and refreshes wire lengths (latencies are length-free, so
+/// routes stay valid; only the power numbers improve).
+void refine_intermediate_positions(NocTopology& topo, const floorplan::Floorplan& fp,
+                                   const soc::SocSpec& spec) {
+  for (std::size_t s = 0; s < topo.switches.size(); ++s) {
+    SwitchInst& sw = topo.switches[s];
+    if (sw.island != kIntermediateIsland) continue;
+    std::vector<floorplan::Point> pts;
+    std::vector<double> wts;
+    for (const TopLink& l : topo.links) {
+      if (l.src_switch == static_cast<int>(s)) {
+        pts.push_back(topo.switches[static_cast<std::size_t>(l.dst_switch)].pos);
+        wts.push_back(l.carried_bw_bits_per_s);
+      } else if (l.dst_switch == static_cast<int>(s)) {
+        pts.push_back(topo.switches[static_cast<std::size_t>(l.src_switch)].pos);
+        wts.push_back(l.carried_bw_bits_per_s);
+      }
+    }
+    if (pts.empty()) continue;
+    sw.pos = fp.clamp_to_island(floorplan::weighted_centroid(pts, wts),
+                                kIntermediateIsland);
+  }
+  for (TopLink& l : topo.links) {
+    l.length_mm = floorplan::manhattan_mm(
+        topo.switches[static_cast<std::size_t>(l.src_switch)].pos,
+        topo.switches[static_cast<std::size_t>(l.dst_switch)].pos);
+  }
+  for (std::size_t c = 0; c < spec.cores.size(); ++c) {
+    const int sw = topo.switch_of_core[c];
+    topo.ni_wire_mm[c] = floorplan::manhattan_mm(
+        fp.core_rect(static_cast<soc::CoreId>(c)).center(),
+        topo.switches[static_cast<std::size_t>(sw)].pos);
+  }
+}
+
+/// Drops intermediate switches that ended up with no links (the router may
+/// need fewer than the sweep offered) and remaps all indices. Returns the
+/// number of intermediate switches kept. Designs then deduplicate cleanly
+/// across k_int values.
+int compact_unused_intermediate(NocTopology& topo) {
+  const std::size_t n = topo.switches.size();
+  std::vector<bool> used(n, false);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (topo.switches[s].island != kIntermediateIsland) used[s] = true;
+  }
+  for (const TopLink& l : topo.links) {
+    used[static_cast<std::size_t>(l.src_switch)] = true;
+    used[static_cast<std::size_t>(l.dst_switch)] = true;
+  }
+  std::vector<int> remap(n, -1);
+  int next = 0;
+  int kept_intermediate = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!used[s]) continue;
+    remap[s] = next++;
+    if (topo.switches[s].island == kIntermediateIsland) ++kept_intermediate;
+  }
+  if (next == static_cast<int>(n)) return kept_intermediate;  // nothing to drop
+
+  std::vector<SwitchInst> switches;
+  switches.reserve(static_cast<std::size_t>(next));
+  for (std::size_t s = 0; s < n; ++s) {
+    if (used[s]) switches.push_back(std::move(topo.switches[s]));
+  }
+  topo.switches = std::move(switches);
+  for (TopLink& l : topo.links) {
+    l.src_switch = remap[static_cast<std::size_t>(l.src_switch)];
+    l.dst_switch = remap[static_cast<std::size_t>(l.dst_switch)];
+  }
+  for (int& s : topo.switch_of_core) s = remap[static_cast<std::size_t>(s)];
+  for (FlowRoute& r : topo.routes) {
+    r.src_switch = remap[static_cast<std::size_t>(r.src_switch)];
+    r.dst_switch = remap[static_cast<std::size_t>(r.dst_switch)];
+  }
+  return kept_intermediate;
+}
+
+/// Structural signature for design-point deduplication: per-island switch
+/// counts, attachment, and the link list.
+std::vector<int> design_signature(const NocTopology& topo) {
+  std::vector<int> sig;
+  sig.push_back(static_cast<int>(topo.switches.size()));
+  for (const int s : topo.switch_of_core) sig.push_back(s);
+  for (const TopLink& l : topo.links) {
+    sig.push_back(l.src_switch);
+    sig.push_back(l.dst_switch);
+  }
+  return sig;
+}
+
+}  // namespace
+
+std::vector<double> compute_core_traffic(const soc::SocSpec& spec) {
+  std::vector<double> t(spec.cores.size(), 0.0);
+  for (const soc::Flow& f : spec.flows) {
+    t[static_cast<std::size_t>(f.src)] += f.bandwidth_bits_per_s;
+    t[static_cast<std::size_t>(f.dst)] += f.bandwidth_bits_per_s;
+  }
+  return t;
+}
+
+std::vector<CandidateConfig> enumerate_candidates(
+    const soc::SocSpec& spec, const std::vector<IslandNocParams>& island_params,
+    const SynthesisOptions& options) {
+  const std::size_t n_islands = spec.islands.size();
+  int max_cores_per_island = 0;
+  for (const IslandNocParams& p : island_params) {
+    max_cores_per_island = std::max(max_cores_per_island, p.core_count);
+  }
+  const bool use_intermediate =
+      options.allow_intermediate_island && has_cross_island_flows(spec);
+  const int max_int =
+      !use_intermediate ? 0
+      : options.max_intermediate_switches >= 0
+          ? options.max_intermediate_switches
+          : std::max(2, max_cores_per_island);
+
+  std::vector<CandidateConfig> candidates;
+  std::set<std::vector<int>> seen_configs;
+  for (int i = 1; i <= std::max(max_cores_per_island, 1); ++i) {
+    // Switch count per island for this iteration (documented deviation:
+    // k = min(min_sw + (i-1), |Vj|) so the minimum design is explored).
+    std::vector<int> sw_count(n_islands, 0);
+    for (std::size_t isl = 0; isl < n_islands; ++isl) {
+      const IslandNocParams& p = island_params[isl];
+      if (p.core_count == 0) continue;
+      sw_count[isl] = std::min(p.min_switches + (i - 1), p.core_count);
+      sw_count[isl] = std::max(sw_count[isl], 1);
+    }
+    if (!seen_configs.insert(sw_count).second) continue;  // saturated
+
+    for (int k_int = 0; k_int <= max_int; ++k_int) {
+      CandidateConfig cand;
+      cand.switches_per_island = sw_count;
+      cand.intermediate_switches = k_int;
+      candidates.push_back(std::move(cand));
+    }
+  }
+  return candidates;
+}
+
+PartitionTable compute_partitions(
+    const soc::SocSpec& spec, const SynthesisOptions& options,
+    const std::vector<IslandNocParams>& island_params,
+    const std::vector<CandidateConfig>& candidates, exec::ThreadPool& pool) {
+  // Collect the distinct (island, switch count) pairs first; the std::map
+  // gives them a stable order and pre-creates the slots so the parallel fill
+  // below never mutates the map structure concurrently.
+  PartitionTable table;
+  for (const CandidateConfig& cand : candidates) {
+    for (std::size_t isl = 0; isl < cand.switches_per_island.size(); ++isl) {
+      table.emplace(
+          PartitionKey{static_cast<soc::IslandId>(isl), cand.switches_per_island[isl]},
+          IslandPartition{});
+    }
+  }
+  std::vector<PartitionTable::iterator> slots;
+  slots.reserve(table.size());
+  for (auto it = table.begin(); it != table.end(); ++it) slots.push_back(it);
+
+  const VcgScaling scaling = vcg_scaling(spec);
+  exec::parallel_for_each(pool, slots.size(), [&](std::size_t i) {
+    const PartitionKey& key = slots[i]->first;
+    slots[i]->second =
+        partition_island(spec, options, island_params, scaling, key.first, key.second);
+  });
+  return table;
+}
+
+CandidateOutcome evaluate_candidate(const EvalContext& ctx,
+                                    const CandidateConfig& cand) {
+  CandidateOutcome out;
+  out.point.switches_per_island = cand.switches_per_island;
+  out.point.intermediate_switches = cand.intermediate_switches;
+
+  std::vector<const IslandPartition*> parts(cand.switches_per_island.size());
+  for (std::size_t isl = 0; isl < parts.size(); ++isl) {
+    parts[isl] = &ctx.partitions.at(
+        PartitionKey{static_cast<soc::IslandId>(isl), cand.switches_per_island[isl]});
+  }
+  build_switches(out.point.topology, ctx, parts, cand.intermediate_switches);
+
+  RouterOptions ropts;
+  ropts.alpha_power = ctx.options.alpha_power;
+  ropts.link_width_bits = ctx.options.link_width_bits;
+  ropts.tech = ctx.options.tech;
+  ropts.enforce_wire_timing = ctx.options.enforce_wire_timing;
+  ropts.max_ports.resize(out.point.topology.switches.size());
+  for (std::size_t s = 0; s < out.point.topology.switches.size(); ++s) {
+    const soc::IslandId isl = out.point.topology.switches[s].island;
+    ropts.max_ports[s] =
+        isl == kIntermediateIsland
+            ? ctx.intermediate_params.max_sw_size
+            : ctx.island_params[static_cast<std::size_t>(isl)].max_sw_size;
+  }
+
+  const RouteOutcome outcome = route_all_flows(out.point.topology, ctx.spec, ropts);
+  if (!outcome.success) {
+    out.status = outcome.failure_reason.find("latency") != std::string::npos
+                     ? EvalStatus::kRejectedLatency
+                     : EvalStatus::kRejectedUnroutable;
+    return out;
+  }
+  out.status = EvalStatus::kRouted;
+  // The router may leave some offered intermediate switches unused; drop
+  // them so designs deduplicate cleanly across k_int values (several k_int
+  // can collapse onto the same effective design).
+  out.point.intermediate_switches = compact_unused_intermediate(out.point.topology);
+  out.signature = design_signature(out.point.topology);
+  out.deadlock_free = !ctx.options.enforce_deadlock_freedom ||
+                      is_deadlock_free(out.point.topology);
+  if (!out.deadlock_free) return out;  // merge rejects it; skip the metrics
+  refine_intermediate_positions(out.point.topology, ctx.floorplan, ctx.spec);
+  out.point.metrics = compute_metrics(out.point.topology, ctx.spec,
+                                      ctx.options.tech, ctx.options.link_width_bits);
+  return out;
+}
+
+}  // namespace vinoc::core

@@ -1,7 +1,11 @@
 #include "vinoc/core/explore.hpp"
 
-#include <algorithm>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
+
+#include "vinoc/core/pareto.hpp"
+#include "vinoc/exec/parallel_for.hpp"
 
 namespace vinoc::core {
 
@@ -11,26 +15,51 @@ WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
   if (widths.empty()) {
     throw std::invalid_argument("explore_link_widths: no widths given");
   }
-  WidthSweepResult out;
   for (const int w : widths) {
     if (w <= 0) throw std::invalid_argument("explore_link_widths: width <= 0");
-    WidthSweepEntry entry;
-    entry.width_bits = w;
-    SynthesisOptions options = base_options;
-    options.link_width_bits = w;
-    try {
-      entry.result = synthesize(spec, options);
-      entry.feasible = true;
-    } catch (const std::invalid_argument&) {
-      // NI link unachievable at this width; keep the entry as infeasible so
-      // callers can report the boundary.
-      entry.feasible = false;
-    }
-    out.entries.push_back(std::move(entry));
   }
 
-  // Merge: collect all points, sort by power, take the latency-improving
-  // prefix points (same rule as the per-run Pareto).
+  // One pool for the whole sweep: widths fan out here and every width's
+  // synthesize() fans its candidate sweep out over the SAME pool (nested
+  // fan-outs are safe, see vinoc/exec/thread_pool.hpp), so total parallelism
+  // stays bounded by base_options.threads.
+  exec::ThreadPool pool(base_options.threads);
+
+  // Each width's synthesize() serialises the progress callback only within
+  // its own run; with widths evaluating concurrently the caller's callback
+  // would otherwise be entered from several runs at once. Wrap it behind one
+  // sweep-wide mutex so the documented "serialised" contract holds here too
+  // (callers still see per-width completed/total pairs, possibly
+  // interleaved between widths).
+  std::mutex progress_mutex;
+  const auto base_progress = base_options.on_progress;
+
+  WidthSweepResult out;
+  out.entries.resize(widths.size());
+  exec::parallel_for_each(pool, widths.size(), [&](std::size_t i) {
+    WidthSweepEntry& entry = out.entries[i];
+    entry.width_bits = widths[i];
+    SynthesisOptions options = base_options;
+    options.link_width_bits = widths[i];
+    if (base_progress) {
+      options.on_progress = [&progress_mutex,
+                             &base_progress](const SynthesisProgress& p) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        base_progress(p);
+      };
+    }
+    try {
+      entry.result = synthesize(spec, options, pool);
+      entry.feasible = true;
+    } catch (const InfeasibleWidthError&) {
+      // NI link unachievable at this width; keep the entry as infeasible so
+      // callers can report the boundary. Any other error (invalid spec, bad
+      // alpha, ...) propagates — it would affect every width alike.
+      entry.feasible = false;
+    }
+  });
+
+  // Merge: collect all points and keep the shared (power, latency) front.
   std::vector<GlobalPointRef> all;
   for (std::size_t e = 0; e < out.entries.size(); ++e) {
     if (!out.entries[e].feasible) continue;
@@ -38,23 +67,10 @@ WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
       all.push_back({e, p});
     }
   }
-  std::sort(all.begin(), all.end(),
-            [&out](const GlobalPointRef& a, const GlobalPointRef& b) {
-              const Metrics& ma = out.point(a).metrics;
-              const Metrics& mb = out.point(b).metrics;
-              if (ma.noc_dynamic_w != mb.noc_dynamic_w) {
-                return ma.noc_dynamic_w < mb.noc_dynamic_w;
-              }
-              return ma.avg_latency_cycles < mb.avg_latency_cycles;
-            });
-  double best_lat = std::numeric_limits<double>::infinity();
-  for (const GlobalPointRef& ref : all) {
-    const Metrics& m = out.point(ref).metrics;
-    if (m.avg_latency_cycles < best_lat - 1e-12) {
-      out.pareto.push_back(ref);
-      best_lat = m.avg_latency_cycles;
-    }
-  }
+  out.pareto = pareto_front(std::move(all),
+                            [&out](const GlobalPointRef& ref) -> const Metrics& {
+                              return out.point(ref).metrics;
+                            });
   return out;
 }
 

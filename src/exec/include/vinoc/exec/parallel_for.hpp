@@ -1,0 +1,123 @@
+// Deterministic fan-out primitives over a ThreadPool.
+//
+// Contract shared by parallel_for_each() and parallel_map():
+//
+//  * fn(i) is invoked exactly once for every i in [0, n), with no ordering
+//    guarantee BETWEEN indices; each invocation must be independent of the
+//    others (no shared mutable state unless the caller synchronises it).
+//  * The reduction is index-ordered and therefore deterministic: results are
+//    stored by index, and the caller observes them only after every task has
+//    completed. A run with parallelism p > 1 produces bit-identical output
+//    to a run with p == 1 whenever fn itself is deterministic per index.
+//  * Exceptions: every index still runs; afterwards the exception thrown by
+//    the LOWEST failing index is rethrown on the calling thread. This keeps
+//    error behaviour independent of scheduling.
+//  * The calling thread participates as one strand, so these primitives are
+//    safe to nest (see thread_pool.hpp): an inner fan-out issued from a
+//    worker degrades gracefully instead of deadlocking.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "vinoc/exec/thread_pool.hpp"
+
+namespace vinoc::exec {
+
+namespace detail {
+
+/// Shared bookkeeping of one fan-out. Heap-allocated and shared with the
+/// queued runner jobs so a runner that is dequeued after the fan-out already
+/// finished (all indices drained by other strands) can still exit cleanly.
+struct ForEachState {
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t first_error_index = static_cast<std::size_t>(-1);
+  std::exception_ptr error;
+};
+
+/// One strand of a fan-out. `fn` is only dereferenced while un-drained
+/// indices remain, which is only possible while the caller is still blocked
+/// in parallel_for_each (so the pointee is alive); a runner dequeued after
+/// the fan-out completed sees next >= n and exits without touching it.
+template <typename Fn>
+void run_strand(const std::shared_ptr<ForEachState>& state, Fn* fn) {
+  for (;;) {
+    const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->n) return;
+    try {
+      (*fn)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(state->mutex);
+      if (i < state->first_error_index) {
+        state->first_error_index = i;
+        state->error = std::current_exception();
+      }
+    }
+    std::size_t finished;
+    {
+      const std::lock_guard<std::mutex> lock(state->mutex);
+      finished = state->done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    }
+    if (finished == state->n) state->cv.notify_all();
+  }
+}
+
+}  // namespace detail
+
+/// Runs fn(i) for every i in [0, n) across the pool (see file header for the
+/// determinism/exception contract). Blocks until all n tasks completed.
+template <typename Fn>
+void parallel_for_each(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  if (pool.parallelism() <= 1 || n == 1) {
+    // Sequential fast path: no pool traffic, but the same contract as the
+    // parallel path — every index runs even when one throws, and the
+    // lowest failing index's exception is rethrown at the end.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  auto state = std::make_shared<detail::ForEachState>();
+  state->n = n;
+  auto* fn_ptr = std::addressof(fn);
+  const std::size_t helpers =
+      std::min<std::size_t>(static_cast<std::size_t>(pool.parallelism()) - 1, n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool.submit([state, fn_ptr] { detail::run_strand(state, fn_ptr); });
+  }
+  detail::run_strand(state, fn_ptr);  // the caller is the final strand
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&state] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+/// parallel_for_each that collects fn's return values into a vector indexed
+/// by task index. T must be default-constructible and movable.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  std::vector<T> results(n);
+  parallel_for_each(pool, n, [&results, &fn](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace vinoc::exec

@@ -1,0 +1,65 @@
+// Fixed-size worker pool for the staged exploration engine.
+//
+// Design notes (read together with vinoc/exec/parallel_for.hpp):
+//
+//  * A pool models a fixed amount of PARALLELISM, not a fixed number of
+//    spawned threads: `ThreadPool(p)` spawns `p - 1` workers, because in
+//    every fan-out primitive the CALLING thread participates as the final
+//    strand. `ThreadPool(1)` therefore spawns no threads at all and every
+//    parallel_for_each over it runs inline, byte-for-byte identical to a
+//    plain sequential loop.
+//  * Workers never block on other pool work. The fan-out primitives hand
+//    workers self-contained "runner" jobs that pull indices from a shared
+//    atomic counter and exit as soon as the range is drained; the caller
+//    drains the same counter itself. Progress is therefore guaranteed even
+//    when every worker is busy with unrelated jobs, which makes NESTED
+//    fan-outs safe: explore_link_widths() fans widths out over the pool and
+//    each width's synthesize() fans its candidate sweep out over the same
+//    pool without risk of deadlock (the inner fan-out simply degrades to
+//    the calling strand when no worker is free).
+//  * Jobs must not throw; parallel_for_each catches per-task exceptions
+//    itself and rethrows deterministically (lowest task index wins).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vinoc::exec {
+
+/// Maps a user-facing thread-count request to an effective parallelism:
+/// 0 = hardware concurrency (at least 1), negative values clamp to 1.
+[[nodiscard]] int resolve_thread_count(int requested);
+
+class ThreadPool {
+ public:
+  /// `parallelism` follows resolve_thread_count(): 0 = hardware concurrency.
+  explicit ThreadPool(int parallelism = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Effective parallelism (worker threads + the participating caller).
+  [[nodiscard]] int parallelism() const { return parallelism_; }
+
+  /// Enqueues a job. Thread-safe; callable from worker threads (used by
+  /// nested fan-outs). Jobs must not throw.
+  void submit(std::function<void()> job);
+
+ private:
+  void worker_loop();
+
+  int parallelism_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace vinoc::exec

@@ -1,0 +1,59 @@
+#include "vinoc/exec/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace vinoc::exec {
+
+int resolve_thread_count(int requested) {
+  if (requested > 0) return requested;
+  if (requested < 0) return 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(hw));
+}
+
+ThreadPool::ThreadPool(int parallelism)
+    : parallelism_(resolve_thread_count(parallelism)) {
+  workers_.reserve(static_cast<std::size_t>(parallelism_ - 1));
+  for (int i = 1; i < parallelism_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  if (workers_.empty()) {
+    // No workers to hand the job to; run it inline. Runner jobs are written
+    // to tolerate this (they drain a shared counter and exit when empty).
+    job();
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace vinoc::exec

@@ -2,7 +2,7 @@
 //
 //   vinoc synth  <spec.soc> [--islands N] [--strategy logical|comm|spec]
 //                [--alpha A] [--alpha-power P] [--width BITS]
-//                [--no-intermediate] [--out PREFIX]
+//                [--no-intermediate] [--threads N] [--progress] [--out PREFIX]
 //   vinoc sweep  <spec.soc> [--widths 32,64,...] [--islands N] [--strategy S]
 //   vinoc sim    <spec.soc> [--islands N] [--strategy S] [--scale X]
 //   vinoc gate   <spec.soc> [--islands N] [--strategy S]
@@ -41,6 +41,8 @@ struct Args {
   std::vector<int> widths = {16, 32, 64, 128};
   bool intermediate = true;
   double scale = 1.0;
+  int threads = 0;  // 0 = hardware concurrency (results are thread-count independent)
+  bool progress = false;
   std::string out = "vinoc_out";
 };
 
@@ -54,6 +56,10 @@ int usage() {
                "  --width BITS          link data width (default 32)\n"
                "  --widths A,B,...      widths for 'sweep'\n"
                "  --no-intermediate     forbid the intermediate NoC VI\n"
+               "  --threads N           evaluation threads; 0 = all cores "
+               "(default 0, same results for any N)\n"
+               "  --progress            print candidate-evaluation progress "
+               "to stderr\n"
                "  --scale X             injection scale for 'sim' (default 1)\n"
                "  --out PREFIX          output file prefix (default vinoc_out)\n");
   return 2;
@@ -99,6 +105,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       }
     } else if (flag == "--no-intermediate") {
       args.intermediate = false;
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.threads = std::atoi(v);
+    } else if (flag == "--progress") {
+      args.progress = true;
     } else if (flag == "--scale") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -144,6 +156,14 @@ core::SynthesisOptions options_from(const Args& args) {
   options.alpha_power = args.alpha_power;
   options.link_width_bits = args.width;
   options.allow_intermediate_island = args.intermediate;
+  options.threads = args.threads;
+  if (args.progress) {
+    options.on_progress = [](const core::SynthesisProgress& p) {
+      std::fprintf(stderr, "\r  evaluating candidates: %zu/%zu", p.completed,
+                   p.total);
+      if (p.completed == p.total) std::fprintf(stderr, "\n");
+    };
+  }
   return options;
 }
 
@@ -174,8 +194,21 @@ int cmd_synth(const Args& args, const soc::SocSpec& spec) {
 }
 
 int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
+  core::SynthesisOptions options = options_from(args);
+  std::size_t evaluated = 0;
+  if (args.progress) {
+    // Widths run concurrently, so the per-run completed/total pairs
+    // interleave; render one monotonic aggregate counter instead (the
+    // callback is serialised across the whole sweep, see explore.hpp).
+    options.on_progress = [&evaluated](const core::SynthesisProgress& p) {
+      ++evaluated;
+      std::fprintf(stderr, "\r  evaluated %zu candidates (width %d: %zu/%zu)",
+                   evaluated, p.link_width_bits, p.completed, p.total);
+    };
+  }
   const core::WidthSweepResult sweep =
-      core::explore_link_widths(spec, args.widths, options_from(args));
+      core::explore_link_widths(spec, args.widths, options);
+  if (args.progress) std::fprintf(stderr, "\n");
   std::printf("%-8s %-10s %-18s %-18s\n", "width", "points", "best power [mW]",
               "best latency [cy]");
   for (const core::WidthSweepEntry& e : sweep.entries) {
