@@ -1,0 +1,114 @@
+// Campaign engine throughput: jobs/second of a cold batch run and the
+// speedup a warm content-hash cache delivers on the re-run.
+//
+// This is beyond the paper (it synthesizes each design once, by hand); the
+// campaign engine is what lets the reproduction sweep thousands of
+// (scenario, islanding, island count, width) combinations as one scheduled,
+// cached, resumable batch. The table reports, per thread count: cold
+// wall time, warm (all-cache-hit) wall time, and the hit speedup — the
+// acceptance bar is >= 5x, in practice it is orders of magnitude. One JSON
+// line per measurement between the BEGIN/END JSONL markers.
+#include "bench_util.hpp"
+
+#include "vinoc/campaign/engine.hpp"
+#include "vinoc/campaign/result_cache.hpp"
+#include "vinoc/io/jsonl.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+/// Moderate matrix: d16 + a 12-core synthetic family (base + 2 variants),
+/// 2 strategies x {2,3} islands x {32,64} bits = 32 jobs.
+campaign::CampaignSpec bench_campaign() {
+  campaign::CampaignSpec spec;
+  spec.name = "bench";
+  spec.benchmarks = {"d16"};
+  campaign::SyntheticScenario family;
+  family.params.cores = 12;
+  family.params.hubs = 2;
+  family.perturbations = 2;
+  spec.synthetic.push_back(family);
+  spec.strategies = {"logical", "comm"};
+  spec.island_counts = {2, 3};
+  spec.widths = {32, 64};
+  return spec;
+}
+
+void print_table() {
+  bench::print_header(
+      "Campaign engine: batch throughput and cache-hit speedup",
+      "beyond the paper (batched multi-scenario synthesis harness)");
+  const campaign::CampaignSpec spec = bench_campaign();
+  std::printf("%-10s %-8s %-12s %-12s %-12s %-10s\n", "threads", "jobs",
+              "cold [s]", "jobs/s", "warm [s]", "speedup");
+  struct Row {
+    int threads;
+    int jobs;
+    double cold_s, warm_s;
+  };
+  std::vector<Row> rows;
+  for (const int threads : {1, 2, 4}) {
+    campaign::ResultCache cache;
+    campaign::CampaignOptions opt;
+    opt.threads = threads;
+    opt.cache = &cache;
+    const campaign::CampaignResult cold = campaign::run_campaign(spec, opt);
+    const campaign::CampaignResult warm = campaign::run_campaign(spec, opt);
+    if (warm.cache_hits != warm.jobs_total) {
+      std::printf("ERROR: warm run expected all hits, got %d/%d\n",
+                  warm.cache_hits, warm.jobs_total);
+    }
+    rows.push_back({threads, cold.jobs_total, cold.wall_s, warm.wall_s});
+    std::printf("%-10d %-8d %-12.3f %-12.1f %-12.4f %.0fx\n", threads,
+                cold.jobs_total, cold.wall_s, cold.jobs_total / cold.wall_s,
+                warm.wall_s, cold.wall_s / warm.wall_s);
+  }
+  std::printf("\n--- BEGIN JSONL (campaign_cache_speedup) ---\n");
+  for (const Row& r : rows) {
+    io::JsonlWriter w;
+    w.field("bench", "campaign_cache_speedup")
+        .field("threads", r.threads)
+        .field("jobs", r.jobs)
+        .field("cold_s", r.cold_s)
+        .field("warm_s", r.warm_s)
+        .field("jobs_per_s", r.jobs / r.cold_s)
+        .field("speedup", r.cold_s / r.warm_s);
+    std::printf("%s\n", w.line().c_str());
+  }
+  std::printf("--- END JSONL ---\n\n");
+}
+
+void BM_CampaignCold(benchmark::State& state) {
+  const campaign::CampaignSpec spec = bench_campaign();
+  campaign::CampaignOptions opt;
+  opt.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const campaign::CampaignResult r = campaign::run_campaign(spec, opt);
+    benchmark::DoNotOptimize(r.records.size());
+  }
+}
+BENCHMARK(BM_CampaignCold)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_CampaignWarm(benchmark::State& state) {
+  const campaign::CampaignSpec spec = bench_campaign();
+  campaign::ResultCache cache;
+  campaign::CampaignOptions opt;
+  opt.threads = static_cast<int>(state.range(0));
+  opt.cache = &cache;
+  (void)campaign::run_campaign(spec, opt);  // fill the cache once
+  for (auto _ : state) {
+    const campaign::CampaignResult r = campaign::run_campaign(spec, opt);
+    benchmark::DoNotOptimize(r.cache_hits);
+  }
+}
+BENCHMARK(BM_CampaignWarm)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

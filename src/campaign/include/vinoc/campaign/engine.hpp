@@ -1,0 +1,71 @@
+// Campaign engine: runs an expanded job matrix over the shared exec pool,
+// consults the result cache, and streams job-ordered JSONL records.
+//
+// Scheduling: jobs fan out with exec::parallel_for_each (the caller
+// participates as a strand) and every job's synthesize() call fans its
+// candidate sweep out over the SAME pool — nested parallelism. The nested
+// fan-outs queue at the front (exec's fairness hint), so in-flight jobs
+// finish before queued ones start and the job-ordered stream keeps flowing.
+//
+// Determinism: jobs are independent and synthesize() is bit-identical for
+// every thread count, records are merged/streamed in job order, and the
+// cache is consulted per job by content key — so a campaign's record stream
+// is byte-identical for any `threads` given the same starting cache state
+// (modulo the measured wall_ms field; see report.hpp).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vinoc/campaign/campaign_spec.hpp"
+#include "vinoc/campaign/report.hpp"
+#include "vinoc/campaign/result_cache.hpp"
+
+namespace vinoc::campaign {
+
+struct CampaignOptions {
+  /// Job + candidate parallelism, one shared pool: 0 = hardware
+  /// concurrency, N = exactly N (results identical for every value).
+  int threads = 0;
+  /// Non-empty: enable the on-disk store under this directory (ignored when
+  /// `cache` is provided).
+  std::string cache_dir;
+  /// Load the store first and serve matching jobs from it (marked
+  /// cache_hit) instead of recomputing.
+  bool resume = false;
+  /// Include the measured wall_ms field in streamed/returned records; turn
+  /// off for byte-exact diffing between runs.
+  bool include_timing = true;
+  /// External cache to consult/fill (shared across run_campaign calls);
+  /// nullptr = the engine creates its own from cache_dir.
+  ResultCache* cache = nullptr;
+  /// Streaming report: one record_to_jsonl line appended per finished job,
+  /// in job order, flushed per line. nullptr = no stream.
+  std::FILE* stream = nullptr;
+  /// Job-order record callback (progress displays). Called with an internal
+  /// mutex held — keep it cheap, and do not call back into the engine.
+  std::function<void(const JobRecord&)> on_record;
+};
+
+struct CampaignResult {
+  std::vector<JobRecord> records;  ///< job order
+  ExpandStats expand;
+  int jobs_total = 0;
+  int jobs_run = 0;     ///< actually synthesized this run
+  int cache_hits = 0;
+  int infeasible = 0;
+  double wall_s = 0.0;  ///< whole-campaign wall time
+
+  /// All records as JSONL text (one line each, trailing newline).
+  [[nodiscard]] std::string to_jsonl(bool include_timing = true) const;
+};
+
+/// Runs the campaign. Per-job InfeasibleWidthError is recorded (feasible =
+/// false), not fatal; any other synthesis error (invalid spec, bad weights)
+/// propagates, as do expand_jobs() errors.
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
+                                          const CampaignOptions& options = {});
+
+}  // namespace vinoc::campaign

@@ -1,0 +1,66 @@
+// Machine-readable campaign reporting: one JobRecord per finished job,
+// rendered as one JSON line (the streaming report and the on-disk cache
+// store share this format — and the CLI's --json output reuses the same
+// writer) plus a CSV summary table.
+//
+// Determinism: every field of a record is a pure function of the job input
+// and the (thread-count-independent) synthesis result, EXCEPT `wall_ms`
+// (measured) and `cache_hit` (a function of the cache state the run started
+// with). A campaign streamed with the same cache state is therefore
+// byte-identical across --threads values up to `wall_ms`; pass
+// include_timing = false (CLI: --no-timing) to omit `wall_ms` and make the
+// stream byte-identical outright.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vinoc/campaign/campaign_spec.hpp"
+#include "vinoc/core/synthesis.hpp"
+
+namespace vinoc::campaign {
+
+struct JobRecord {
+  std::string campaign;
+  std::string job;       ///< CampaignJob::name
+  std::string scenario;
+  std::string strategy;
+  int islands = 0;
+  int width = 0;
+  unsigned seed = 0;
+  std::uint64_t key = 0;  ///< content hash; JSONL spells it as 16 hex digits
+  bool feasible = false;  ///< false iff the width is infeasible for the spec
+  bool cache_hit = false;
+  int points = 0;           ///< saved design points
+  int pareto_points = 0;    ///< size of the power/latency Pareto front
+  int configs_explored = 0;
+  /// Pareto summary (0 when no design point was saved): the best-power
+  /// point's power/leakage/area and the two latency extremes of the front.
+  double best_power_mw = 0.0;
+  double best_leakage_mw = 0.0;
+  double best_area_mm2 = 0.0;
+  double best_power_latency_cycles = 0.0;  ///< latency AT the best-power point
+  double min_latency_cycles = 0.0;         ///< best-latency point's latency
+  double wall_ms = 0.0;  ///< measured; 0 for in-memory cache hits
+};
+
+/// Identity fields + Pareto summary for one job. `result` == nullptr means
+/// the job was infeasible at its width.
+[[nodiscard]] JobRecord summarize(const std::string& campaign_name,
+                                  const CampaignJob& job,
+                                  const core::SynthesisResult* result);
+
+/// One JSON line (no trailing newline); see the file header for what
+/// include_timing removes.
+[[nodiscard]] std::string record_to_jsonl(const JobRecord& record,
+                                          bool include_timing = true);
+
+/// Parses a line written by record_to_jsonl (extra keys ignored, missing
+/// wall_ms treated as 0). Returns false on malformed input.
+[[nodiscard]] bool record_from_jsonl(const std::string& line, JobRecord& out);
+
+/// CSV summary table (header + one row per record, record order).
+[[nodiscard]] std::string records_to_csv(const std::vector<JobRecord>& records);
+
+}  // namespace vinoc::campaign

@@ -1,0 +1,74 @@
+// Content-hash result cache — the layer that makes campaigns incremental.
+//
+// Two tiers, both keyed by the canonical job key (spec_hash.hpp):
+//
+//  * FULL RESULTS, in-memory: shared_ptr<const SynthesisResult>. A hit
+//    hands back the very object computed before, so it is bit-identical by
+//    construction. This is what makes a re-run inside one process (bench
+//    loops, repeated run_campaign calls against a shared cache) ~free.
+//  * SUMMARY RECORDS, in-memory + optional on-disk JSONL store
+//    (<dir>/store.jsonl, one record_to_jsonl line per computed job). The
+//    store is append-only and content-addressed, so it survives across
+//    processes, can be shared by different campaigns over the same jobs,
+//    and is surgically editable: delete any subset of lines and a --resume
+//    run recomputes exactly those keys.
+//
+// Thread-safe: all operations take an internal mutex (the engine calls them
+// from pool workers).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "vinoc/campaign/report.hpp"
+#include "vinoc/core/synthesis.hpp"
+
+namespace vinoc::campaign {
+
+class ResultCache {
+ public:
+  /// Memory-only cache.
+  ResultCache() = default;
+  /// Cache with an on-disk store under `dir` (created if missing). The
+  /// store is NOT loaded implicitly — call load_store() (the engine does so
+  /// for --resume runs).
+  explicit ResultCache(std::string dir);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // --- Full results (in-memory tier) ---------------------------------------
+
+  [[nodiscard]] std::shared_ptr<const core::SynthesisResult> find_result(
+      std::uint64_t key) const;
+  void put_result(std::uint64_t key,
+                  std::shared_ptr<const core::SynthesisResult> result);
+
+  // --- Summary records (disk-backed tier) ----------------------------------
+
+  [[nodiscard]] std::optional<JobRecord> find_record(std::uint64_t key) const;
+  /// Inserts (first writer wins) and, when a store dir is set, appends the
+  /// line to store.jsonl immediately (flushed per record, so a killed run
+  /// loses at most the in-flight job).
+  void put_record(const JobRecord& record);
+  /// Loads store.jsonl into the record tier; malformed lines are skipped.
+  /// Returns the number of records loaded. Missing file = 0, not an error.
+  std::size_t load_store();
+
+  [[nodiscard]] std::string store_path() const;  ///< "" when memory-only
+  [[nodiscard]] std::size_t result_count() const;
+  [[nodiscard]] std::size_t record_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::string dir_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const core::SynthesisResult>>
+      results_;
+  std::unordered_map<std::uint64_t, JobRecord> records_;
+};
+
+}  // namespace vinoc::campaign

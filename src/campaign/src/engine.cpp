@@ -1,0 +1,152 @@
+#include "vinoc/campaign/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "vinoc/campaign/spec_hash.hpp"
+#include "vinoc/exec/parallel_for.hpp"
+#include "vinoc/exec/thread_pool.hpp"
+
+namespace vinoc::campaign {
+
+namespace {
+
+/// Reorders concurrently finishing records into job order and flushes each
+/// one (stream + callback + result vector) as soon as all its predecessors
+/// have been flushed — streaming, but deterministic.
+class OrderedEmitter {
+ public:
+  OrderedEmitter(const CampaignOptions& options, std::vector<JobRecord>& out)
+      : options_(options), out_(out) {}
+
+  void emit(std::size_t index, JobRecord record) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    pending_.emplace(index, std::move(record));
+    for (auto it = pending_.find(next_); it != pending_.end();
+         it = pending_.find(next_)) {
+      JobRecord& rec = it->second;
+      if (options_.stream != nullptr) {
+        const std::string line =
+            record_to_jsonl(rec, options_.include_timing) + "\n";
+        std::fputs(line.c_str(), options_.stream);
+        std::fflush(options_.stream);
+      }
+      if (options_.on_record) options_.on_record(rec);
+      out_.push_back(std::move(rec));
+      pending_.erase(it);
+      ++next_;
+    }
+  }
+
+ private:
+  const CampaignOptions& options_;
+  std::vector<JobRecord>& out_;
+  std::mutex mutex_;
+  std::map<std::size_t, JobRecord> pending_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+std::string CampaignResult::to_jsonl(bool include_timing) const {
+  std::string text;
+  for (const JobRecord& rec : records) {
+    text += record_to_jsonl(rec, include_timing);
+    text += '\n';
+  }
+  return text;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options) {
+  const auto t_start = std::chrono::steady_clock::now();
+  CampaignResult out;
+  const std::vector<CampaignJob> jobs = expand_jobs(spec, &out.expand);
+  out.jobs_total = static_cast<int>(jobs.size());
+  out.records.reserve(jobs.size());
+
+  ResultCache own_cache(options.cache != nullptr ? std::string()
+                                                 : options.cache_dir);
+  ResultCache& cache = options.cache != nullptr ? *options.cache : own_cache;
+  // Load the store whenever one exists — a non-resume run ignores the
+  // loaded records for scheduling (it recomputes every job) but must know
+  // which keys are already on disk so put_record does not append duplicate
+  // lines run after run. Resume additionally serves jobs from them.
+  cache.load_store();
+
+  OrderedEmitter emitter(options, out.records);
+  std::atomic<int> jobs_run{0};
+  std::atomic<int> cache_hits{0};
+  std::atomic<int> infeasible{0};
+
+  exec::ThreadPool pool(options.threads);
+  exec::parallel_for_each(pool, jobs.size(), [&](std::size_t i) {
+    const CampaignJob& job = jobs[i];
+    JobRecord rec;
+    if (options.resume) {
+      if (auto stored = cache.find_record(job.key)) {
+        // Payload from the store, identity from THIS campaign (the store is
+        // content-addressed and may have been written by another campaign
+        // over the same jobs).
+        rec = std::move(*stored);
+        rec.campaign = spec.name;
+        rec.job = job.name;
+        rec.scenario = job.scenario;
+        rec.strategy = job.strategy;
+        rec.islands = job.islands;
+        rec.width = job.width;
+        rec.seed = job.seed;
+        rec.cache_hit = true;
+        cache_hits.fetch_add(1);
+        if (!rec.feasible) infeasible.fetch_add(1);
+        emitter.emit(i, std::move(rec));
+        return;
+      }
+    }
+    if (auto result = cache.find_result(job.key)) {
+      rec = summarize(spec.name, job, result.get());
+      rec.cache_hit = true;  // wall_ms stays 0: the hit costs nothing
+      cache_hits.fetch_add(1);
+      JobRecord stored = rec;
+      stored.cache_hit = false;  // the store holds computed-job records
+      cache.put_record(stored);
+      emitter.emit(i, std::move(rec));
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const core::SynthesisResult> result;
+    try {
+      result = std::make_shared<core::SynthesisResult>(
+          core::synthesize(job.spec, job.options, pool));
+    } catch (const core::InfeasibleWidthError&) {
+      // Recorded, not fatal: an infeasible (scenario, width) pair is a
+      // normal matrix outcome.
+    }
+    rec = summarize(spec.name, job, result.get());
+    rec.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    if (result != nullptr) {
+      cache.put_result(job.key, result);
+    } else {
+      infeasible.fetch_add(1);
+    }
+    jobs_run.fetch_add(1);
+    cache.put_record(rec);  // cache_hit is false here by construction
+    emitter.emit(i, std::move(rec));
+  });
+
+  out.jobs_run = jobs_run.load();
+  out.cache_hits = cache_hits.load();
+  out.infeasible = infeasible.load();
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t_start)
+                   .count();
+  return out;
+}
+
+}  // namespace vinoc::campaign

@@ -1,0 +1,161 @@
+#include "vinoc/campaign/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "vinoc/campaign/spec_hash.hpp"
+#include "vinoc/io/jsonl.hpp"
+
+namespace vinoc::campaign {
+
+JobRecord summarize(const std::string& campaign_name, const CampaignJob& job,
+                    const core::SynthesisResult* result) {
+  JobRecord rec;
+  rec.campaign = campaign_name;
+  rec.job = job.name;
+  rec.scenario = job.scenario;
+  rec.strategy = job.strategy;
+  rec.islands = job.islands;
+  rec.width = job.width;
+  rec.seed = job.seed;
+  rec.key = job.key;
+  if (result == nullptr) return rec;  // infeasible width
+  rec.feasible = true;
+  rec.points = static_cast<int>(result->points.size());
+  rec.pareto_points = static_cast<int>(result->pareto.size());
+  rec.configs_explored = result->stats.configs_explored;
+  if (!result->points.empty()) {
+    const core::Metrics& best = result->best_power().metrics;
+    rec.best_power_mw = best.noc_dynamic_w * 1e3;
+    rec.best_leakage_mw = best.noc_leakage_w * 1e3;
+    rec.best_area_mm2 = best.noc_area_mm2;
+    rec.best_power_latency_cycles = best.avg_latency_cycles;
+    rec.min_latency_cycles = result->best_latency().metrics.avg_latency_cycles;
+  }
+  return rec;
+}
+
+std::string record_to_jsonl(const JobRecord& record, bool include_timing) {
+  io::JsonlWriter w;
+  w.field("campaign", record.campaign)
+      .field("job", record.job)
+      .field("scenario", record.scenario)
+      .field("strategy", record.strategy)
+      .field("islands", record.islands)
+      .field("width", record.width)
+      .field("seed", static_cast<std::uint64_t>(record.seed))
+      .field("key", key_hex(record.key))
+      .field("feasible", record.feasible)
+      .field("cache_hit", record.cache_hit)
+      .field("points", record.points)
+      .field("pareto", record.pareto_points)
+      .field("explored", record.configs_explored)
+      .field("best_power_mw", record.best_power_mw)
+      .field("best_leakage_mw", record.best_leakage_mw)
+      .field("best_area_mm2", record.best_area_mm2)
+      .field("best_power_latency_cy", record.best_power_latency_cycles)
+      .field("min_latency_cy", record.min_latency_cycles);
+  if (include_timing) w.field("wall_ms", record.wall_ms);
+  return w.line();
+}
+
+namespace {
+
+bool get_string(const std::map<std::string, std::string>& obj,
+                const std::string& key, std::string& out) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return false;
+  out = it->second;
+  return true;
+}
+
+bool get_double(const std::map<std::string, std::string>& obj,
+                const std::string& key, double& out) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return false;
+  char* end = nullptr;
+  out = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() + it->second.size() && !it->second.empty();
+}
+
+bool get_int(const std::map<std::string, std::string>& obj,
+             const std::string& key, int& out) {
+  double v = 0.0;
+  if (!get_double(obj, key, v)) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool get_bool(const std::map<std::string, std::string>& obj,
+              const std::string& key, bool& out) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) return false;
+  if (it->second == "true") {
+    out = true;
+  } else if (it->second == "false") {
+    out = false;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool record_from_jsonl(const std::string& line, JobRecord& out) {
+  std::map<std::string, std::string> obj;
+  if (!io::parse_jsonl_object(line, obj)) return false;
+  JobRecord rec;
+  std::string key_text;
+  double seed = 0.0;
+  if (!get_string(obj, "campaign", rec.campaign) ||
+      !get_string(obj, "job", rec.job) ||
+      !get_string(obj, "scenario", rec.scenario) ||
+      !get_string(obj, "strategy", rec.strategy) ||
+      !get_int(obj, "islands", rec.islands) ||
+      !get_int(obj, "width", rec.width) || !get_double(obj, "seed", seed) ||
+      !get_string(obj, "key", key_text) ||
+      !key_from_hex(key_text, rec.key) ||
+      !get_bool(obj, "feasible", rec.feasible) ||
+      !get_bool(obj, "cache_hit", rec.cache_hit) ||
+      !get_int(obj, "points", rec.points) ||
+      !get_int(obj, "pareto", rec.pareto_points) ||
+      !get_int(obj, "explored", rec.configs_explored) ||
+      !get_double(obj, "best_power_mw", rec.best_power_mw) ||
+      !get_double(obj, "best_leakage_mw", rec.best_leakage_mw) ||
+      !get_double(obj, "best_area_mm2", rec.best_area_mm2) ||
+      !get_double(obj, "best_power_latency_cy",
+                  rec.best_power_latency_cycles) ||
+      !get_double(obj, "min_latency_cy", rec.min_latency_cycles)) {
+    return false;
+  }
+  rec.seed = static_cast<unsigned>(seed);
+  (void)get_double(obj, "wall_ms", rec.wall_ms);  // optional
+  out = std::move(rec);
+  return true;
+}
+
+std::string records_to_csv(const std::vector<JobRecord>& records) {
+  std::string csv =
+      "job,scenario,strategy,islands,width,seed,key,feasible,cache_hit,"
+      "points,pareto,explored,best_power_mw,best_leakage_mw,best_area_mm2,"
+      "best_power_latency_cy,min_latency_cy,wall_ms\n";
+  char buf[512];
+  for (const JobRecord& r : records) {
+    std::snprintf(buf, sizeof buf,
+                  "%s,%s,%s,%d,%d,%u,%s,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.3f,"
+                  "%.3f,%.3f\n",
+                  r.job.c_str(), r.scenario.c_str(), r.strategy.c_str(),
+                  r.islands, r.width, r.seed, key_hex(r.key).c_str(),
+                  r.feasible ? 1 : 0, r.cache_hit ? 1 : 0, r.points,
+                  r.pareto_points, r.configs_explored, r.best_power_mw,
+                  r.best_leakage_mw, r.best_area_mm2,
+                  r.best_power_latency_cycles, r.min_latency_cycles,
+                  r.wall_ms);
+    csv += buf;
+  }
+  return csv;
+}
+
+}  // namespace vinoc::campaign

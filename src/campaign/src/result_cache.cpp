@@ -1,0 +1,76 @@
+#include "vinoc/campaign/result_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace vinoc::campaign {
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) std::filesystem::create_directories(dir_);
+}
+
+std::shared_ptr<const core::SynthesisResult> ResultCache::find_result(
+    std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = results_.find(key);
+  return it == results_.end() ? nullptr : it->second;
+}
+
+void ResultCache::put_result(
+    std::uint64_t key, std::shared_ptr<const core::SynthesisResult> result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  results_.emplace(key, std::move(result));  // first writer wins
+}
+
+std::optional<JobRecord> ResultCache::find_record(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultCache::put_record(const JobRecord& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!records_.emplace(record.key, record).second) return;  // already stored
+  if (dir_.empty()) return;
+  std::ofstream out(store_path(), std::ios::app);
+  if (!out) {
+    throw std::runtime_error("cannot append to campaign store " + store_path());
+  }
+  out << record_to_jsonl(record) << '\n';
+}
+
+std::size_t ResultCache::load_store() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (dir_.empty()) return 0;
+  std::ifstream in(store_path());
+  if (!in) return 0;
+  std::size_t loaded = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JobRecord rec;
+    if (!record_from_jsonl(line, rec)) continue;  // skip malformed lines
+    if (records_.emplace(rec.key, std::move(rec)).second) ++loaded;
+  }
+  return loaded;
+}
+
+std::string ResultCache::store_path() const {
+  if (dir_.empty()) return {};
+  return (std::filesystem::path(dir_) / "store.jsonl").string();
+}
+
+std::size_t ResultCache::result_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return results_.size();
+}
+
+std::size_t ResultCache::record_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+}  // namespace vinoc::campaign

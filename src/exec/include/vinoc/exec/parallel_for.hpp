@@ -99,8 +99,18 @@ void parallel_for_each(ThreadPool& pool, std::size_t n, Fn&& fn) {
   auto* fn_ptr = std::addressof(fn);
   const std::size_t helpers =
       std::min<std::size_t>(static_cast<std::size_t>(pool.parallelism()) - 1, n - 1);
+  // Fairness hint: a fan-out issued FROM a pool worker is nested inside an
+  // outer fan-out, so its runners go to the front of the queue — inner work
+  // of jobs already in flight drains before not-yet-started outer jobs
+  // (see ThreadPool::submit_front).
+  const bool nested = ThreadPool::on_worker_thread();
   for (std::size_t h = 0; h < helpers; ++h) {
-    pool.submit([state, fn_ptr] { detail::run_strand(state, fn_ptr); });
+    auto runner = [state, fn_ptr] { detail::run_strand(state, fn_ptr); };
+    if (nested) {
+      pool.submit_front(std::move(runner));
+    } else {
+      pool.submit(std::move(runner));
+    }
   }
   detail::run_strand(state, fn_ptr);  // the caller is the final strand
 

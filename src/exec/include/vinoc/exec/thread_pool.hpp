@@ -51,7 +51,22 @@ class ThreadPool {
   /// nested fan-outs). Jobs must not throw.
   void submit(std::function<void()> job);
 
+  /// Enqueues a job at the FRONT of the queue — the fairness hint for nested
+  /// fan-outs. An inner fan-out issued from a worker queues its runners
+  /// ahead of not-yet-started outer jobs, so work already in flight drains
+  /// before new top-level jobs begin. This keeps an index-ordered streaming
+  /// consumer (e.g. the campaign engine's job-order reporter) flowing
+  /// instead of stalling behind a queue full of unstarted outer jobs.
+  /// Thread-safe; jobs must not throw.
+  void submit_front(std::function<void()> job);
+
+  /// True when the calling thread is a worker of ANY ThreadPool. The fan-out
+  /// primitives use it to detect nesting (and then prefer submit_front);
+  /// plain callers may use it to tell caller strands from pool strands.
+  [[nodiscard]] static bool on_worker_thread();
+
  private:
+  void enqueue(std::function<void()> job, bool front);
   void worker_loop();
 
   int parallelism_ = 1;

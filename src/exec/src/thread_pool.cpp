@@ -28,7 +28,11 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> job) {
+void ThreadPool::submit(std::function<void()> job) { enqueue(std::move(job), false); }
+
+void ThreadPool::submit_front(std::function<void()> job) { enqueue(std::move(job), true); }
+
+void ThreadPool::enqueue(std::function<void()> job, bool front) {
   if (workers_.empty()) {
     // No workers to hand the job to; run it inline. Runner jobs are written
     // to tolerate this (they drain a shared counter and exit when empty).
@@ -37,12 +41,23 @@ void ThreadPool::submit(std::function<void()> job) {
   }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(job));
+    if (front) {
+      queue_.push_front(std::move(job));
+    } else {
+      queue_.push_back(std::move(job));
+    }
   }
   cv_.notify_one();
 }
 
+namespace {
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
+
 void ThreadPool::worker_loop() {
+  t_on_worker_thread = true;
   for (;;) {
     std::function<void()> job;
     {

@@ -1,0 +1,54 @@
+// Minimal JSON-lines support, shared by the campaign subsystem's result
+// store / streaming reporter and the CLI's --json output — one writer, one
+// format, instead of each caller inventing its own.
+//
+// Scope is deliberately tiny: FLAT single-line objects whose values are
+// strings, numbers or booleans. The writer is deterministic — fields appear
+// in insertion order and doubles are printed with "%.17g", which round-trips
+// bit-exactly through strtod — so two runs that compute identical values
+// emit identical bytes (the campaign determinism guarantee builds on this).
+// The parser reads exactly what the writer emits (plus whitespace); it is
+// not a general JSON parser and rejects nested objects/arrays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace vinoc::io {
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Builds one flat JSON object, rendered as a single line.
+class JsonlWriter {
+ public:
+  JsonlWriter& field(std::string_view key, std::string_view value);
+  JsonlWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonlWriter& field(std::string_view key, double value);
+  JsonlWriter& field(std::string_view key, std::int64_t value);
+  JsonlWriter& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  JsonlWriter& field(std::string_view key, std::uint64_t value);
+  JsonlWriter& field(std::string_view key, bool value);
+
+  /// The rendered object, e.g. `{"a":1,"b":"x"}`. No trailing newline.
+  [[nodiscard]] std::string line() const { return "{" + body_ + "}"; }
+
+ private:
+  void key_prefix(std::string_view key);
+  std::string body_;
+};
+
+/// Parses one flat JSON object line into key -> value. String values are
+/// unescaped; numbers and booleans keep their raw JSON spelling (use strtod
+/// / comparison with "true"). Returns false on malformed input or on any
+/// nested object/array value.
+[[nodiscard]] bool parse_jsonl_object(std::string_view line,
+                                      std::map<std::string, std::string>& out);
+
+}  // namespace vinoc::io

@@ -1,0 +1,188 @@
+#include "vinoc/io/jsonl.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vinoc::io {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonlWriter::key_prefix(std::string_view key) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+}
+
+JsonlWriter& JsonlWriter::field(std::string_view key, std::string_view value) {
+  key_prefix(key);
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::field(std::string_view key, double value) {
+  key_prefix(key);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  body_ += buf;
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::field(std::string_view key, std::int64_t value) {
+  key_prefix(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::field(std::string_view key, std::uint64_t value) {
+  key_prefix(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::field(std::string_view key, bool value) {
+  key_prefix(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+namespace {
+
+void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' ||
+                          s[i] == '\n')) {
+    ++i;
+  }
+}
+
+/// Parses a JSON string literal starting at the opening quote; leaves `i`
+/// one past the closing quote.
+bool parse_string(std::string_view s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out.clear();
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (c == '\\') {
+      if (i + 1 >= s.size()) return false;
+      const char esc = s[i + 1];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (i + 5 >= s.size()) return false;
+          char* end = nullptr;
+          const std::string hex(s.substr(i + 2, 4));
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) return false;
+          // Writer only emits \u00xx control escapes; decode the latin-1
+          // subset and reject the rest (out of scope).
+          if (code > 0xFF) return false;
+          out += static_cast<char>(code);
+          i += 4;
+          break;
+        }
+        default: return false;
+      }
+      i += 2;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return false;  // unterminated
+}
+
+}  // namespace
+
+bool parse_jsonl_object(std::string_view line,
+                        std::map<std::string, std::string>& out) {
+  out.clear();
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    for (;;) {
+      skip_ws(line, i);
+      std::string key;
+      if (!parse_string(line, i, key)) return false;
+      skip_ws(line, i);
+      if (i >= line.size() || line[i] != ':') return false;
+      ++i;
+      skip_ws(line, i);
+      if (i >= line.size()) return false;
+      std::string value;
+      if (line[i] == '"') {
+        if (!parse_string(line, i, value)) return false;
+      } else if (line[i] == '{' || line[i] == '[') {
+        return false;  // nesting is out of scope
+      } else {
+        // Number / true / false / null: raw token up to ',' or '}'.
+        const std::size_t start = i;
+        while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+        std::size_t end = i;
+        while (end > start &&
+               (line[end - 1] == ' ' || line[end - 1] == '\t')) {
+          --end;
+        }
+        if (end == start) return false;
+        value.assign(line.substr(start, end - start));
+      }
+      out[key] = std::move(value);
+      skip_ws(line, i);
+      if (i >= line.size()) return false;
+      if (line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (line[i] == '}') {
+        ++i;
+        break;
+      }
+      return false;
+    }
+  }
+  skip_ws(line, i);
+  return i == line.size();
+}
+
+}  // namespace vinoc::io

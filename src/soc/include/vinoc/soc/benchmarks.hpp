@@ -77,4 +77,15 @@ struct SyntheticParams {
 /// the NoC is a few percent of SoC power (like real designs).
 Benchmark make_synthetic_soc(const SyntheticParams& params);
 
+/// Deterministic seeded perturbation of a synthetic parameter set — the unit
+/// of a SCENARIO FAMILY: `base` plus variants 1..N span a neighbourhood of
+/// the same design (jittered generator seed, flows per core, hub/peer
+/// bandwidth ranges and latency budget, all within ±25%), so a batch sweep
+/// can stress the synthesizer on "the same SoC, slightly different" inputs.
+/// Pure function of (base, variant) — a splitmix64 stream seeded from both —
+/// so re-running a campaign reproduces every family member exactly.
+/// variant == 0 returns `base` unchanged.
+[[nodiscard]] SyntheticParams perturb_synthetic_params(
+    const SyntheticParams& base, unsigned variant);
+
 }  // namespace vinoc::soc

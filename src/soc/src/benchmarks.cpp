@@ -1,5 +1,7 @@
 #include "vinoc/soc/benchmarks.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <random>
 #include <stdexcept>
 
@@ -593,6 +595,38 @@ Benchmark make_synthetic_soc(const SyntheticParams& params) {
   bench.use_cases = {{"half_load", 0.6, half}, {"full_load", 0.4, all}};
   bench.soc = std::move(soc);
   return bench;
+}
+
+SyntheticParams perturb_synthetic_params(const SyntheticParams& base,
+                                         unsigned variant) {
+  if (variant == 0) return base;
+  // splitmix64 stream seeded from (base.seed, variant): cheap, well-mixed,
+  // and — unlike std::mt19937's distributions — identical on every
+  // implementation, so family members are stable across platforms.
+  std::uint64_t s = (static_cast<std::uint64_t>(base.seed) << 32) ^
+                    (0x9e3779b97f4a7c15ull * (variant + 1ull));
+  auto next = [&s]() {
+    s += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  auto unit = [&next]() {  // uniform in [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  };
+  SyntheticParams p = base;
+  p.seed = static_cast<unsigned>(next());
+  p.flows_per_core = std::max(1.0, base.flows_per_core * (0.75 + 0.5 * unit()));
+  const double hub_scale = 0.8 + 0.4 * unit();
+  p.hub_bw_lo = base.hub_bw_lo * hub_scale;
+  p.hub_bw_hi = base.hub_bw_hi * hub_scale;
+  const double peer_scale = 0.8 + 0.4 * unit();
+  p.peer_bw_lo = base.peer_bw_lo * peer_scale;
+  p.peer_bw_hi = base.peer_bw_hi * peer_scale;
+  p.latency_budget_cycles =
+      std::max(10.0, base.latency_budget_cycles * (0.85 + 0.3 * unit()));
+  return p;
 }
 
 }  // namespace vinoc::soc

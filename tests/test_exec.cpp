@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -91,6 +92,57 @@ TEST(Exec, NestedFanOutCompletes) {
     });
   });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Exec, OnWorkerThreadDistinguishesStrands) {
+  EXPECT_FALSE(ThreadPool::on_worker_thread());
+  ThreadPool pool(2);  // one worker + the caller
+  std::atomic<bool> worker_flag{false};
+  std::atomic<bool> done{false};
+  pool.submit([&worker_flag, &done] {
+    worker_flag.store(ThreadPool::on_worker_thread());
+    done.store(true);
+  });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_TRUE(worker_flag.load());
+  EXPECT_FALSE(ThreadPool::on_worker_thread());  // the caller is unchanged
+}
+
+TEST(Exec, SubmitFrontJumpsTheQueue) {
+  // One worker; keep it busy with a gate job, queue A and B normally, then
+  // push C to the front: the worker must run C before A and B.
+  ThreadPool pool(2);
+  std::atomic<bool> gate{false};
+  std::atomic<bool> gate_entered{false};
+  std::mutex order_mutex;
+  std::vector<char> order;
+  auto record = [&order_mutex, &order](char c) {
+    const std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(c);
+  };
+  std::atomic<int> pending{4};
+  pool.submit([&gate, &gate_entered, &pending] {
+    gate_entered.store(true);
+    while (!gate.load()) std::this_thread::yield();
+    pending.fetch_sub(1);
+  });
+  while (!gate_entered.load()) std::this_thread::yield();
+  pool.submit([&record, &pending] { record('A'); pending.fetch_sub(1); });
+  pool.submit([&record, &pending] { record('B'); pending.fetch_sub(1); });
+  pool.submit_front([&record, &pending] { record('C'); pending.fetch_sub(1); });
+  gate.store(true);
+  while (pending.load() != 0) std::this_thread::yield();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 'C');
+  EXPECT_EQ(order[1], 'A');
+  EXPECT_EQ(order[2], 'B');
+}
+
+TEST(Exec, SubmitFrontRunsInlineWithoutWorkers) {
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.submit_front([&ran] { ran = true; });
+  EXPECT_TRUE(ran);
 }
 
 TEST(Exec, SubmitRunsJobs) {

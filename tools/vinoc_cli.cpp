@@ -1,20 +1,24 @@
 // vinoc — command-line front end to the synthesis flow.
 //
-//   vinoc synth  <spec.soc> [--islands N] [--strategy logical|comm|spec]
-//                [--alpha A] [--alpha-power P] [--width BITS]
-//                [--no-intermediate] [--threads N] [--progress] [--out PREFIX]
-//   vinoc sweep  <spec.soc> [--widths 32,64,...] [--islands N] [--strategy S]
-//   vinoc sim    <spec.soc> [--islands N] [--strategy S] [--scale X]
-//   vinoc gate   <spec.soc> [--islands N] [--strategy S]
+//   vinoc synth     <spec.soc>      one synthesis run, exports dot/svg/csv
+//   vinoc sweep     <spec.soc>      link-width sweep + global Pareto front
+//   vinoc sim       <spec.soc>      traffic-simulate the best-power design
+//   vinoc gate      <spec.soc>      shutdown/transition accounting
+//   vinoc campaign  <file.campaign> batched multi-scenario synthesis
 //
 // `--strategy spec` (default) keeps the island assignment from the file;
 // `logical`/`comm` re-island the cores with the requested island count.
+// Run `vinoc` with no arguments for the full flag list and exit codes.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "vinoc/campaign/campaign_spec.hpp"
+#include "vinoc/campaign/engine.hpp"
+#include "vinoc/campaign/report.hpp"
+#include "vinoc/campaign/spec_hash.hpp"
 #include "vinoc/core/deadlock.hpp"
 #include "vinoc/core/explore.hpp"
 #include "vinoc/core/shutdown_safety.hpp"
@@ -30,6 +34,17 @@ namespace {
 
 using namespace vinoc;
 
+// Exit codes, documented in usage(): scripts driving the CLI can tell a
+// mistyped flag from a broken input file from an unsatisfiable request.
+enum ExitCode {
+  kExitOk = 0,
+  kExitRuntime = 1,     // unexpected error while running
+  kExitUsage = 2,       // bad command line
+  kExitParse = 3,       // input file does not parse
+  kExitSpec = 4,        // input parses but is semantically invalid
+  kExitInfeasible = 5,  // valid input, but no feasible design exists
+};
+
 struct Args {
   std::string command;
   std::string spec_path;
@@ -43,26 +58,51 @@ struct Args {
   double scale = 1.0;
   int threads = 0;  // 0 = hardware concurrency (results are thread-count independent)
   bool progress = false;
+  bool json = false;
+  bool resume = false;
+  bool no_timing = false;
+  std::string cache_dir;
   std::string out = "vinoc_out";
 };
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: vinoc <synth|sweep|sim|gate> <spec.soc> [options]\n"
-               "  --islands N           re-island into N voltage islands\n"
-               "  --strategy S          spec | logical | comm (default spec)\n"
-               "  --alpha A             Definition-1 weight (default 0.6)\n"
-               "  --alpha-power P       router cost weight (default 0.7)\n"
-               "  --width BITS          link data width (default 32)\n"
-               "  --widths A,B,...      widths for 'sweep'\n"
-               "  --no-intermediate     forbid the intermediate NoC VI\n"
-               "  --threads N           evaluation threads; 0 = all cores "
-               "(default 0, same results for any N)\n"
-               "  --progress            print candidate-evaluation progress "
-               "to stderr\n"
-               "  --scale X             injection scale for 'sim' (default 1)\n"
-               "  --out PREFIX          output file prefix (default vinoc_out)\n");
-  return 2;
+  std::fprintf(
+      stderr,
+      "usage: vinoc <command> <input> [options]\n"
+      "\n"
+      "commands:\n"
+      "  synth <spec.soc>        run Algorithm 1 once; export .dot/.svg/.csv\n"
+      "  sweep <spec.soc>        explore link widths; global Pareto front\n"
+      "  sim <spec.soc>          simulate traffic on the best-power design\n"
+      "  gate <spec.soc>         shutdown-savings + wake-up accounting\n"
+      "  campaign <file>         batched multi-scenario synthesis (job matrix\n"
+      "                          x cache x streaming JSONL report)\n"
+      "\n"
+      "options (synth/sweep/sim/gate):\n"
+      "  --islands N             re-island into N voltage islands\n"
+      "  --strategy S            spec | logical | comm (default spec)\n"
+      "  --alpha A               Definition-1 weight (default 0.6)\n"
+      "  --alpha-power P         router cost weight (default 0.7)\n"
+      "  --width BITS            link data width for 'synth' (default 32)\n"
+      "  --widths A,B,...        widths for 'sweep' (default 16,32,64,128)\n"
+      "  --no-intermediate       forbid the intermediate NoC VI\n"
+      "  --scale X               injection scale for 'sim' (default 1)\n"
+      "options (campaign):\n"
+      "  --cache-dir DIR         content-hash store; re-runs skip cached jobs\n"
+      "  --resume                serve jobs already in the store as cache hits\n"
+      "  --no-timing             omit wall_ms from records (byte-exact diffs)\n"
+      "options (all commands):\n"
+      "  --threads N             parallelism; 0 = all cores (default 0,\n"
+      "                          bit-identical results for any N)\n"
+      "  --json                  machine-readable JSONL records on stdout\n"
+      "  --progress              progress to stderr\n"
+      "  --out PREFIX            output file prefix (default vinoc_out)\n"
+      "\n"
+      "exit codes:\n"
+      "  0 success    1 runtime error      2 bad command line\n"
+      "  3 input does not parse            4 input semantically invalid\n"
+      "  5 no feasible design (width infeasible or zero design points)\n");
+  return kExitUsage;
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -111,6 +151,16 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.threads = std::atoi(v);
     } else if (flag == "--progress") {
       args.progress = true;
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--resume") {
+      args.resume = true;
+    } else if (flag == "--no-timing") {
+      args.no_timing = true;
+    } else if (flag == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.cache_dir = v;
     } else if (flag == "--scale") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -127,27 +177,28 @@ bool parse_args(int argc, char** argv, Args& args) {
   return true;
 }
 
-soc::SocSpec load_spec(const Args& args, bool& ok) {
-  ok = false;
+soc::SocSpec load_spec(const Args& args, int& error_code) {
+  error_code = kExitOk;
   const io::ParseResult parsed = io::parse_soc_spec_file(args.spec_path);
   if (!parsed.ok) {
     std::fprintf(stderr, "failed to parse %s:\n", args.spec_path.c_str());
     for (const io::ParseError& e : parsed.errors) {
       std::fprintf(stderr, "  line %d: %s\n", e.line, e.message.c_str());
     }
+    error_code = kExitParse;
     return {};
   }
-  ok = true;
+  if (args.strategy != "spec" && args.strategy != "logical" &&
+      args.strategy != "comm") {
+    std::fprintf(stderr, "unknown strategy '%s'\n", args.strategy.c_str());
+    error_code = kExitUsage;
+    return {};
+  }
   if (args.strategy == "spec" || args.islands == 0) return parsed.spec;
   if (args.strategy == "logical") {
     return soc::with_logical_islands(parsed.spec, args.islands);
   }
-  if (args.strategy == "comm") {
-    return soc::with_communication_islands(parsed.spec, args.islands);
-  }
-  std::fprintf(stderr, "unknown strategy '%s'\n", args.strategy.c_str());
-  ok = false;
-  return {};
+  return soc::with_communication_islands(parsed.spec, args.islands);
 }
 
 core::SynthesisOptions options_from(const Args& args) {
@@ -167,30 +218,72 @@ core::SynthesisOptions options_from(const Args& args) {
   return options;
 }
 
+/// One-off CampaignJob wrapper so synth/sweep --json reuse the campaign
+/// record writer instead of inventing a second format.
+campaign::JobRecord record_for(const Args& args, const soc::SocSpec& spec,
+                               const core::SynthesisOptions& options,
+                               const core::SynthesisResult* result) {
+  campaign::CampaignJob job;
+  job.scenario = spec.name;
+  job.strategy = args.strategy;
+  job.islands = static_cast<int>(spec.islands.size());
+  job.width = options.link_width_bits;
+  job.name = spec.name + "/" + args.strategy + "/i" +
+             std::to_string(job.islands) + "/w" + std::to_string(job.width);
+  job.options = options;
+  job.options.threads = 1;
+  job.options.on_progress = nullptr;
+  job.key = campaign::job_key(spec, job.options);
+  return campaign::summarize(args.command, job, result);
+}
+
+void print_json_record(const campaign::JobRecord& record, bool include_timing) {
+  std::printf("%s\n", campaign::record_to_jsonl(record, include_timing).c_str());
+}
+
 int cmd_synth(const Args& args, const soc::SocSpec& spec) {
-  const core::SynthesisResult result = core::synthesize(spec, options_from(args));
-  std::printf("%s: %d configs explored, %zu design points (%.3f s)\n",
-              spec.name.c_str(), result.stats.configs_explored,
-              result.points.size(), result.stats.elapsed_seconds);
+  core::SynthesisResult result;
+  try {
+    result = core::synthesize(spec, options_from(args));
+  } catch (const core::InfeasibleWidthError& e) {
+    if (args.json) {
+      print_json_record(record_for(args, spec, options_from(args), nullptr),
+                        !args.no_timing);
+    }
+    std::fprintf(stderr, "infeasible width: %s\n", e.what());
+    return kExitInfeasible;
+  }
+  if (args.json) {
+    print_json_record(record_for(args, spec, options_from(args), &result),
+                      !args.no_timing);
+  } else {
+    std::printf("%s: %d configs explored, %zu design points (%.3f s)\n",
+                spec.name.c_str(), result.stats.configs_explored,
+                result.points.size(), result.stats.elapsed_seconds);
+  }
   if (result.points.empty()) {
     std::fprintf(stderr, "no feasible design point\n");
-    return 1;
+    return kExitInfeasible;
   }
   const core::DesignPoint& best = result.best_power();
-  std::printf("best power point: %.2f mW dynamic, %.3f mW leakage, "
-              "%.4f mm^2, %.2f cycles avg latency\n",
-              best.metrics.noc_dynamic_w * 1e3, best.metrics.noc_leakage_w * 1e3,
-              best.metrics.noc_area_mm2, best.metrics.avg_latency_cycles);
-  std::printf("shutdown safety: %s; deadlock free: %s\n",
-              core::verify_shutdown_safety(best.topology, spec).empty() ? "OK"
-                                                                        : "VIOLATED",
-              core::is_deadlock_free(best.topology) ? "yes" : "NO");
+  if (!args.json) {
+    std::printf("best power point: %.2f mW dynamic, %.3f mW leakage, "
+                "%.4f mm^2, %.2f cycles avg latency\n",
+                best.metrics.noc_dynamic_w * 1e3,
+                best.metrics.noc_leakage_w * 1e3, best.metrics.noc_area_mm2,
+                best.metrics.avg_latency_cycles);
+    std::printf("shutdown safety: %s; deadlock free: %s\n",
+                core::verify_shutdown_safety(best.topology, spec).empty()
+                    ? "OK"
+                    : "VIOLATED",
+                core::is_deadlock_free(best.topology) ? "yes" : "NO");
+  }
   io::write_file(args.out + ".dot", io::topology_to_dot(best.topology, spec));
   io::write_file(args.out + ".svg",
                  io::floorplan_to_svg(result.floorplan, spec, &best.topology));
   io::write_file(args.out + ".csv", io::design_points_to_csv(result));
-  std::printf("wrote %s.{dot,svg,csv}\n", args.out.c_str());
-  return 0;
+  if (!args.json) std::printf("wrote %s.{dot,svg,csv}\n", args.out.c_str());
+  return kExitOk;
 }
 
 int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
@@ -209,6 +302,18 @@ int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
   const core::WidthSweepResult sweep =
       core::explore_link_widths(spec, args.widths, options);
   if (args.progress) std::fprintf(stderr, "\n");
+  if (args.json) {
+    // One campaign-format record per width (infeasible widths included with
+    // feasible=false), machine-readable counterpart of the table below.
+    for (const core::WidthSweepEntry& e : sweep.entries) {
+      core::SynthesisOptions wopt = options;
+      wopt.link_width_bits = e.width_bits;
+      print_json_record(
+          record_for(args, spec, wopt, e.feasible ? &e.result : nullptr),
+          !args.no_timing);
+    }
+    return kExitOk;
+  }
   std::printf("%-8s %-10s %-18s %-18s\n", "width", "points", "best power [mW]",
               "best latency [cy]");
   for (const core::WidthSweepEntry& e : sweep.entries) {
@@ -231,7 +336,7 @@ int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
     std::printf("  %3d-bit  %8.2f mW  %6.2f cycles\n", sweep.width_of(ref),
                 m.noc_dynamic_w * 1e3, m.avg_latency_cycles);
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_sim(const Args& args, const soc::SocSpec& spec) {
@@ -239,7 +344,7 @@ int cmd_sim(const Args& args, const soc::SocSpec& spec) {
   const core::SynthesisResult result = core::synthesize(spec, options);
   if (result.points.empty()) {
     std::fprintf(stderr, "no feasible design point\n");
-    return 1;
+    return kExitInfeasible;
   }
   sim::SimOptions sopts;
   sopts.injection_scale = args.scale;
@@ -250,19 +355,19 @@ int cmd_sim(const Args& args, const soc::SocSpec& spec) {
               args.scale, static_cast<long long>(report.packets_delivered),
               report.avg_latency_cycles, report.max_link_utilization,
               report.saturated ? "SATURATED" : "stable");
-  return 0;
+  return kExitOk;
 }
 
 int cmd_gate(const Args& args, const soc::SocSpec& spec) {
   if (spec.scenarios.empty()) {
     std::fprintf(stderr, "spec has no scenarios; add 'scenario' lines\n");
-    return 1;
+    return kExitSpec;
   }
   const core::SynthesisOptions options = options_from(args);
   const core::SynthesisResult result = core::synthesize(spec, options);
   if (result.points.empty()) {
     std::fprintf(stderr, "no feasible design point\n");
-    return 1;
+    return kExitInfeasible;
   }
   const power::ShutdownReport report = power::evaluate_shutdown_savings(
       spec, result.best_power().topology, options.tech);
@@ -277,7 +382,79 @@ int cmd_gate(const Args& args, const soc::SocSpec& spec) {
               "break-even dwell %.2f ms)\n",
               report.saved_fraction * 100.0, trans.net_saved_fraction * 100.0,
               trans.breakeven_dwell_s * 1e3);
-  return 0;
+  return kExitOk;
+}
+
+int cmd_campaign(const Args& args) {
+  if (args.resume && args.cache_dir.empty()) {
+    // Without a store there is nothing to resume from; erroring beats
+    // silently recomputing the whole matrix.
+    std::fprintf(stderr, "--resume requires --cache-dir\n");
+    return kExitUsage;
+  }
+  const campaign::CampaignParseResult parsed =
+      campaign::parse_campaign_spec_file(args.spec_path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "failed to parse %s:\n", args.spec_path.c_str());
+    for (const campaign::CampaignParseError& e : parsed.errors) {
+      std::fprintf(stderr, "  line %d: %s\n", e.line, e.message.c_str());
+    }
+    return kExitParse;
+  }
+
+  campaign::CampaignOptions copt;
+  copt.threads = args.threads;
+  copt.cache_dir = args.cache_dir;
+  copt.resume = args.resume;
+  copt.include_timing = !args.no_timing;
+
+  const std::string jsonl_path = args.out + ".jsonl";
+  std::FILE* stream = std::fopen(jsonl_path.c_str(), "w");
+  if (stream == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", jsonl_path.c_str());
+    return kExitRuntime;
+  }
+  copt.stream = stream;
+  int emitted = 0;
+  copt.on_record = [&args, &emitted](const campaign::JobRecord& rec) {
+    ++emitted;
+    if (args.json) {
+      std::printf("%s\n",
+                  campaign::record_to_jsonl(rec, !args.no_timing).c_str());
+    }
+    if (args.progress) {
+      std::fprintf(stderr, "[%4d] %-40s %s%s\n", emitted, rec.job.c_str(),
+                   rec.feasible ? "ok" : "infeasible",
+                   rec.cache_hit ? " (cached)" : "");
+    }
+  };
+
+  campaign::CampaignResult result;
+  try {
+    result = campaign::run_campaign(parsed.spec, copt);
+  } catch (const std::invalid_argument& e) {
+    std::fclose(stream);
+    std::fprintf(stderr, "invalid campaign: %s\n", e.what());
+    return kExitSpec;
+  } catch (...) {
+    std::fclose(stream);
+    throw;
+  }
+  std::fclose(stream);
+  io::write_file(args.out + ".csv", campaign::records_to_csv(result.records));
+
+  std::fprintf(stderr,
+               "%s: %d jobs (%d raw, %d filtered, %d deduped) — %d run, "
+               "%d cache hits, %d infeasible, %.2f s\n",
+               parsed.spec.name.c_str(), result.jobs_total, result.expand.raw,
+               result.expand.filtered, result.expand.deduped, result.jobs_run,
+               result.cache_hits, result.infeasible, result.wall_s);
+  std::fprintf(stderr, "wrote %s.{jsonl,csv}\n", args.out.c_str());
+  if (result.jobs_total == 0) {
+    std::fprintf(stderr, "campaign matrix expanded to zero jobs\n");
+    return kExitSpec;
+  }
+  return kExitOk;
 }
 
 }  // namespace
@@ -285,24 +462,31 @@ int cmd_gate(const Args& args, const soc::SocSpec& spec) {
 int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) return usage();
-  bool ok = false;
-  const soc::SocSpec spec = load_spec(args, ok);
-  if (!ok) return 1;
-  {
-    const auto problems = spec.validate();
-    if (!problems.empty()) {
-      std::fprintf(stderr, "invalid spec: %s\n", problems.front().c_str());
-      return 1;
-    }
-  }
   try {
+    if (args.command == "campaign") return cmd_campaign(args);
+    if (args.command != "synth" && args.command != "sweep" &&
+        args.command != "sim" && args.command != "gate") {
+      return usage();
+    }
+    int error_code = kExitOk;
+    const soc::SocSpec spec = load_spec(args, error_code);
+    if (error_code != kExitOk) return error_code;
+    {
+      const auto problems = spec.validate();
+      if (!problems.empty()) {
+        std::fprintf(stderr, "invalid spec: %s\n", problems.front().c_str());
+        return kExitSpec;
+      }
+    }
     if (args.command == "synth") return cmd_synth(args, spec);
     if (args.command == "sweep") return cmd_sweep(args, spec);
     if (args.command == "sim") return cmd_sim(args, spec);
-    if (args.command == "gate") return cmd_gate(args, spec);
+    return cmd_gate(args, spec);
+  } catch (const core::InfeasibleWidthError& e) {
+    std::fprintf(stderr, "infeasible width: %s\n", e.what());
+    return kExitInfeasible;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitRuntime;
   }
-  return usage();
 }
