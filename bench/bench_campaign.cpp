@@ -19,27 +19,28 @@ namespace {
 using namespace vinoc;
 
 /// Moderate matrix: d16 + a 12-core synthetic family (base + 2 variants),
-/// 2 strategies x {2,3} islands x {32,64} bits = 32 jobs.
-campaign::CampaignSpec bench_campaign() {
+/// 2 strategies x {2,3} islands x {32,64} bits = 32 jobs. Quick mode (CI
+/// perf smoke) drops the synthetic variants and one width: 8 jobs.
+campaign::CampaignSpec bench_campaign(bool quick) {
   campaign::CampaignSpec spec;
   spec.name = "bench";
   spec.benchmarks = {"d16"};
   campaign::SyntheticScenario family;
   family.params.cores = 12;
   family.params.hubs = 2;
-  family.perturbations = 2;
+  family.perturbations = quick ? 0 : 2;
   spec.synthetic.push_back(family);
   spec.strategies = {"logical", "comm"};
   spec.island_counts = {2, 3};
-  spec.widths = {32, 64};
+  spec.widths = quick ? std::vector<int>{32} : std::vector<int>{32, 64};
   return spec;
 }
 
-void print_table() {
+void print_table(bool quick) {
   bench::print_header(
       "Campaign engine: batch throughput and cache-hit speedup",
       "beyond the paper (batched multi-scenario synthesis harness)");
-  const campaign::CampaignSpec spec = bench_campaign();
+  const campaign::CampaignSpec spec = bench_campaign(quick);
   std::printf("%-10s %-8s %-12s %-12s %-12s %-10s\n", "threads", "jobs",
               "cold [s]", "jobs/s", "warm [s]", "speedup");
   struct Row {
@@ -48,7 +49,7 @@ void print_table() {
     double cold_s, warm_s;
   };
   std::vector<Row> rows;
-  for (const int threads : {1, 2, 4}) {
+  for (const int threads : quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4}) {
     campaign::ResultCache cache;
     campaign::CampaignOptions opt;
     opt.threads = threads;
@@ -76,11 +77,18 @@ void print_table() {
         .field("speedup", r.cold_s / r.warm_s);
     std::printf("%s\n", w.line().c_str());
   }
+  // One-line summary (threads = 1 row) keyed for tools/bench_check.
+  io::JsonlWriter summary;
+  summary.field("bench", "campaign_summary")
+      .field("quick", quick)
+      .field("jobs_per_s", rows[0].jobs / rows[0].cold_s)
+      .field("warm_speedup", rows[0].cold_s / rows[0].warm_s);
+  std::printf("%s\n", summary.line().c_str());
   std::printf("--- END JSONL ---\n\n");
 }
 
 void BM_CampaignCold(benchmark::State& state) {
-  const campaign::CampaignSpec spec = bench_campaign();
+  const campaign::CampaignSpec spec = bench_campaign(false);
   campaign::CampaignOptions opt;
   opt.threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -91,7 +99,7 @@ void BM_CampaignCold(benchmark::State& state) {
 BENCHMARK(BM_CampaignCold)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_CampaignWarm(benchmark::State& state) {
-  const campaign::CampaignSpec spec = bench_campaign();
+  const campaign::CampaignSpec spec = bench_campaign(false);
   campaign::ResultCache cache;
   campaign::CampaignOptions opt;
   opt.threads = static_cast<int>(state.range(0));
@@ -107,7 +115,9 @@ BENCHMARK(BM_CampaignWarm)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table();
+  const bool quick = vinoc::bench::quick_mode(argc, argv);
+  print_table(quick);
+  if (quick) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

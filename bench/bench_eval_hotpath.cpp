@@ -1,0 +1,199 @@
+// Candidate-evaluation hot-path throughput: candidates/second through the
+// staged engine (enumerate -> partition -> evaluate) on the seed benchmark
+// sweep, in three modes:
+//
+//   cold     — call-local allocations, no pruning (the call pattern of the
+//              pre-arena evaluation path);
+//   scratch  — per-worker EvalScratch arenas (reset, not reallocated);
+//   pruned   — arenas + Pareto-bound pruning against the running front
+//              (sequential semantics: the bound grows with saved points in
+//              enumeration order, exactly like synthesize()).
+//
+// It also times full synthesize() calls (prune on, the production path) for
+// the end-to-end candidates/s number the CI perf gate tracks.
+//
+// One JSON line per measurement between the BEGIN/END JSONL markers; the
+// perf-smoke job feeds them to tools/bench_check against bench/baseline.json.
+// `--quick` shrinks the case list and skips the google-benchmark tail.
+#include "bench_util.hpp"
+
+#include <chrono>
+
+#include "vinoc/core/candidates.hpp"
+#include "vinoc/core/prune.hpp"
+#include "vinoc/exec/thread_pool.hpp"
+#include "vinoc/io/jsonl.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+struct Case {
+  std::string name;
+  soc::SocSpec spec;
+};
+
+std::vector<Case> sweep_cases(bool quick) {
+  std::vector<Case> cases;
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  cases.push_back({"d26/l1", soc::with_logical_islands(d26.soc, 1, d26.use_cases)});
+  cases.push_back({"d26/l4", soc::with_logical_islands(d26.soc, 4, d26.use_cases)});
+  cases.push_back({"d26/l7", soc::with_logical_islands(d26.soc, 7, d26.use_cases)});
+  if (!quick) {
+    const soc::Benchmark d36 = soc::make_d36_settop_soc();
+    cases.push_back({"d36/l5", soc::with_logical_islands(d36.soc, 5, d36.use_cases)});
+    const soc::Benchmark d24 = soc::make_d24_imaging_soc();
+    cases.push_back({"d24/l5", soc::with_logical_islands(d24.soc, 5, d24.use_cases)});
+  }
+  return cases;
+}
+
+enum class Mode { kCold, kScratch, kPruned };
+
+/// Everything evaluate_candidate() reads, built ONCE per case (synthesize()
+/// amortises this setup over the whole sweep; re-timing it per repetition
+/// would dilute the per-candidate cost this bench isolates).
+struct SweepSetup {
+  explicit SweepSetup(soc::SocSpec s) : spec(std::move(s)) {
+    exec::ThreadPool pool(1);
+    island_params = core::derive_island_params(
+        spec, options.tech, options.link_width_bits, options.port_reserve);
+    candidates = core::enumerate_candidates(spec, island_params, options);
+    partitions =
+        core::compute_partitions(spec, options, island_params, candidates, pool);
+    plan = floorplan::Floorplan::build(spec, options.floorplan);
+    intermediate = core::derive_intermediate_params(island_params, options.tech);
+    traffic = core::compute_core_traffic(spec);
+    flow_order = core::bandwidth_descending_order(spec);
+    ni_base = core::compute_ni_dynamic_base_w(spec, options.tech);
+  }
+
+  soc::SocSpec spec;
+  core::SynthesisOptions options;
+  std::vector<core::IslandNocParams> island_params;
+  std::vector<core::CandidateConfig> candidates;
+  core::PartitionTable partitions;
+  floorplan::Floorplan plan;
+  core::IslandNocParams intermediate;
+  std::vector<double> traffic;
+  std::vector<std::size_t> flow_order;
+  double ni_base = 0.0;
+};
+
+/// Evaluates the case's full candidate list once, sequentially. Returns the
+/// number of candidates evaluated; `scratch`/`bound` wiring depends on mode.
+int run_sweep(const SweepSetup& s, Mode mode, core::EvalScratchPool& pool_scratch) {
+  const core::EvalContext ctx{s.spec,       s.plan,    s.island_params,
+                              s.intermediate, s.partitions, s.traffic, s.options,
+                              mode == Mode::kCold ? nullptr : &s.flow_order,
+                              s.ni_base};
+  core::ParetoBound front;
+  for (const auto& cand : s.candidates) {
+    core::EvalScratch* scratch =
+        mode == Mode::kCold ? nullptr : &pool_scratch.local();
+    const core::ParetoBound* bound = mode == Mode::kPruned ? &front : nullptr;
+    const core::CandidateOutcome out =
+        core::evaluate_candidate(ctx, cand, scratch, bound);
+    if (mode == Mode::kPruned && out.status == core::EvalStatus::kRouted &&
+        out.deadlock_free) {
+      front.insert(out.point.metrics.noc_dynamic_w,
+                   out.point.metrics.avg_latency_cycles);
+    }
+    benchmark::DoNotOptimize(out.status);
+  }
+  return static_cast<int>(s.candidates.size());
+}
+
+void print_table(bool quick) {
+  bench::print_header(
+      "Evaluation hot path: candidates/s (arena reuse + Pareto-bound pruning)",
+      "beyond the paper (engine optimisation; sweep of Algorithm 1 evaluations)");
+  std::vector<SweepSetup> cases;
+  for (Case& c : sweep_cases(quick)) cases.emplace_back(std::move(c.spec));
+  core::EvalScratchPool scratch;
+  const int reps = quick ? 3 : 5;
+
+  auto time_mode = [&](Mode mode) {
+    // Warm-up evaluates everything once (fills arenas, faults pages).
+    for (const SweepSetup& c : cases) (void)run_sweep(c, mode, scratch);
+    const auto t0 = std::chrono::steady_clock::now();
+    int total = 0;
+    for (int r = 0; r < reps; ++r) {
+      for (const SweepSetup& c : cases) total += run_sweep(c, mode, scratch);
+    }
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return std::pair<int, double>{total, s};
+  };
+
+  const auto [cold_n, cold_s] = time_mode(Mode::kCold);
+  const auto [scr_n, scr_s] = time_mode(Mode::kScratch);
+  const auto [pr_n, pr_s] = time_mode(Mode::kPruned);
+  const double cold_rate = cold_n / cold_s;
+  const double scr_rate = scr_n / scr_s;
+  const double pr_rate = pr_n / pr_s;
+
+  std::printf("%-18s %-12s %-14s %-10s\n", "mode", "candidates", "cands/s", "speedup");
+  std::printf("%-18s %-12d %-14.0f %-10s\n", "cold (legacy)", cold_n, cold_rate, "1.00x");
+  std::printf("%-18s %-12d %-14.0f %.2fx\n", "scratch", scr_n, scr_rate,
+              scr_rate / cold_rate);
+  std::printf("%-18s %-12d %-14.0f %.2fx\n", "scratch+prune", pr_n, pr_rate,
+              pr_rate / cold_rate);
+
+  // End-to-end synthesize() throughput (prune on — the production path).
+  double synth_s = 0.0;
+  int synth_cands = 0;
+  for (int r = 0; r < reps; ++r) {
+    for (const SweepSetup& c : cases) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const core::SynthesisResult res = core::synthesize(c.spec, {});
+      synth_s +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      synth_cands += res.stats.configs_explored;
+      benchmark::DoNotOptimize(res.points.size());
+    }
+  }
+  const double synth_rate = synth_cands / synth_s;
+  std::printf("%-18s %-12d %-14.0f\n", "synthesize()", synth_cands, synth_rate);
+
+  std::printf("\n--- BEGIN JSONL (eval_hotpath) ---\n");
+  io::JsonlWriter w;
+  w.field("bench", "eval_hotpath")
+      .field("quick", quick)
+      .field("candidates_per_s", synth_rate)
+      .field("eval_cold_per_s", cold_rate)
+      .field("eval_scratch_per_s", scr_rate)
+      .field("eval_pruned_per_s", pr_rate)
+      .field("speedup_scratch", scr_rate / cold_rate)
+      .field("speedup_total", pr_rate / cold_rate);
+  std::printf("%s\n", w.line().c_str());
+  std::printf("--- END JSONL ---\n\n");
+}
+
+void BM_EvaluateSweep(benchmark::State& state) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const SweepSetup setup(
+      soc::with_logical_islands(d26.soc, static_cast<int>(state.range(0)), d26.use_cases));
+  core::EvalScratchPool scratch;
+  const Mode mode = state.range(1) != 0 ? Mode::kPruned : Mode::kCold;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_sweep(setup, mode, scratch));
+  }
+}
+BENCHMARK(BM_EvaluateSweep)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({7, 0})
+    ->Args({7, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = vinoc::bench::quick_mode(argc, argv);
+  print_table(quick);
+  if (quick) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

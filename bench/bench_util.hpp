@@ -17,6 +17,24 @@
 
 namespace vinoc::bench {
 
+/// Detects and strips `--quick` from the argument list (so it never reaches
+/// google-benchmark's parser). Quick mode is the CI perf-smoke contract:
+/// print the table + JSONL with a reduced workload and SKIP the
+/// google-benchmark tail, so the binary finishes in seconds.
+inline bool quick_mode(int& argc, char** argv) {
+  bool quick = false;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    if (std::string(argv[r]) == "--quick") {
+      quick = true;
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  return quick;
+}
+
 /// The island-count sweep of the paper's Figures 2 and 3 (the last point is
 /// "every core in its own island").
 inline std::vector<int> figure_island_counts(int core_count) {

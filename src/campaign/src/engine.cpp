@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "vinoc/campaign/spec_hash.hpp"
+#include "vinoc/core/candidates.hpp"
 #include "vinoc/exec/parallel_for.hpp"
 #include "vinoc/exec/thread_pool.hpp"
 
@@ -84,6 +85,11 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   std::atomic<int> infeasible{0};
 
   exec::ThreadPool pool(options.threads);
+  // One scratch-arena pool for the whole campaign: each worker strand keeps
+  // its evaluation buffers (router state, metrics accumulators, ...) across
+  // every job and candidate it touches, so a thousand-job batch allocates
+  // them once per strand instead of once per job.
+  core::EvalScratchPool scratch;
   exec::parallel_for_each(pool, jobs.size(), [&](std::size_t i) {
     const CampaignJob& job = jobs[i];
     JobRecord rec;
@@ -121,7 +127,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     std::shared_ptr<const core::SynthesisResult> result;
     try {
       result = std::make_shared<core::SynthesisResult>(
-          core::synthesize(job.spec, job.options, pool));
+          core::synthesize(job.spec, job.options, pool, scratch));
     } catch (const core::InfeasibleWidthError&) {
       // Recorded, not fatal: an infeasible (scenario, width) pair is a
       // normal matrix outcome.

@@ -127,7 +127,9 @@ std::uint64_t hash_synthesis_options(const core::SynthesisOptions& options) {
       .i64(options.port_reserve)
       .u64(options.partition_seed)
       .boolean(options.enforce_wire_timing)
-      .boolean(options.enforce_deadlock_freedom);
+      .boolean(options.enforce_deadlock_freedom)
+      .boolean(options.prune)
+      .boolean(options.deterministic_prune);
   // threads / on_progress intentionally omitted (see header).
   hash_technology(h, options.tech);
   h.tag(kTagFloorplan)
@@ -152,7 +154,8 @@ std::uint64_t result_fingerprint(const core::SynthesisResult& result) {
       .i64(result.stats.rejected_unroutable)
       .i64(result.stats.rejected_latency)
       .i64(result.stats.rejected_duplicate)
-      .i64(result.stats.rejected_deadlock);
+      .i64(result.stats.rejected_deadlock)
+      .i64(result.stats.rejected_pruned);
   h.u64(result.points.size());
   for (const core::DesignPoint& p : result.points) {
     h.tag(kTagPoint);

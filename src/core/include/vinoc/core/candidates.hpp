@@ -22,19 +22,29 @@
 // suppression, stats counters and the saved-point list all follow candidate
 // index — which is what makes the parallel run bit-identical to the
 // sequential one.
+//
+// Hot path: evaluation takes an optional per-worker EvalScratch (buffers
+// reset, not reallocated, between candidates; see exec::WorkerLocal) and an
+// optional ParetoBound for cost-bound pruning (see vinoc/core/prune.hpp) —
+// a candidate whose monotone power/latency lower bounds are dominated by
+// the current front is abandoned before routing/metrics complete.
 #pragma once
 
 #include <map>
 #include <utility>
 #include <vector>
 
+#include "vinoc/core/router.hpp"
 #include "vinoc/core/synthesis.hpp"
+#include "vinoc/exec/worker_local.hpp"
 
 namespace vinoc::exec {
 class ThreadPool;
 }  // namespace vinoc::exec
 
 namespace vinoc::core {
+
+class ParetoBound;
 
 /// One point of the sweep's index space, produced by the enumeration stage.
 /// `intermediate_switches` is the k_int OFFERED to the router; the router
@@ -83,16 +93,28 @@ struct EvalContext {
   const PartitionTable& partitions;
   const std::vector<double>& core_traffic;  ///< per-core aggregate bandwidth
   const SynthesisOptions& options;
+  /// Bandwidth-descending flow order shared by every candidate; the router
+  /// re-sorts internally (same result) when null.
+  const std::vector<std::size_t>* flow_order = nullptr;
+  /// Spec-only floor of the power bound: Σ per-core NI dynamic power. Only
+  /// read when a ParetoBound is supplied; 0 is a valid (weaker) floor.
+  double ni_dynamic_base_w = 0.0;
 };
 
 enum class EvalStatus {
   kRouted,              ///< all flows routed within budget; point is valid
   kRejectedLatency,     ///< router failed on a latency budget
   kRejectedUnroutable,  ///< router failed structurally (ports/admissibility)
+  kPruned,              ///< abandoned: lower bounds dominated by the front
 };
 
 /// Result of evaluating one candidate. `point`, `signature` and
-/// `deadlock_free` are meaningful only when status == kRouted.
+/// `deadlock_free` are meaningful only when status == kRouted. When a
+/// bound was supplied, the `pruned_*` lower bounds are filled for BOTH
+/// kPruned (values at the abort checkpoint) and kRouted (values at the
+/// last checkpoint of the evaluation) — the merge stage re-checks them
+/// against the enumeration-ordered front to keep pruned runs bit-identical
+/// to sequential ones for any thread count (see synthesis.cpp).
 struct CandidateOutcome {
   EvalStatus status = EvalStatus::kRejectedUnroutable;
   DesignPoint point;
@@ -100,17 +122,61 @@ struct CandidateOutcome {
   /// therefore happens in the index-ordered merge, not here.
   std::vector<int> signature;
   bool deadlock_free = true;
+  double pruned_power_lb_w = 0.0;
+  double pruned_latency_lb_cycles = 0.0;
+};
+
+/// Per-worker scratch arena for the evaluation stage: router state, metrics
+/// accumulators, placement/compaction buffers and the pruning-bound
+/// vectors. Buffers are reset (assign/clear), never shrunk, so a sweep of
+/// thousands of candidates allocates O(1) times per worker. Obtain one per
+/// strand via EvalScratchPool; a null scratch falls back to call-local
+/// allocation with identical results.
+struct EvalScratch {
+  RouterScratch router;
+  MetricsScratch metrics;
+  std::vector<floorplan::Point> centroid_pts;
+  std::vector<double> centroid_wts;
+  std::vector<double> min_flow_latency;   ///< per-flow latency floor
+  std::vector<double> switch_bw_floor;    ///< per-switch endpoint traffic
+  std::vector<double> switch_ebit_floor;  ///< per-switch energy/bit floor
+};
+
+/// Thread-keyed pool of EvalScratch arenas (exec::WorkerLocal). One slot
+/// per strand, created lazily, reused across candidates, synthesize() runs
+/// and — when the pool outlives them — campaign jobs.
+class EvalScratchPool {
+ public:
+  [[nodiscard]] EvalScratch& local() { return slots_.local(); }
+  [[nodiscard]] std::size_t slot_count() const { return slots_.slot_count(); }
+
+ private:
+  exec::WorkerLocal<EvalScratch> slots_;
 };
 
 /// Evaluation stage for one candidate: build switches from the partition
 /// table, route all flows, compact unused intermediate switches, check
 /// deadlock freedom, refine intermediate positions and compute metrics.
 /// Pure w.r.t. `ctx` (const access only); deterministic per candidate.
+///
+/// `scratch` reuses the worker's buffers (optional). `bound` enables
+/// Pareto-bound pruning: the candidate is abandoned (status kPruned) as
+/// soon as its monotone power/latency lower bounds are dominated by the
+/// front — before routing when the pre-routing floor already is, or after
+/// any routed flow otherwise (restricted to topologies where the
+/// intermediate-island fallback cannot change the outcome; see router.hpp).
 [[nodiscard]] CandidateOutcome evaluate_candidate(const EvalContext& ctx,
-                                                  const CandidateConfig& cand);
+                                                  const CandidateConfig& cand,
+                                                  EvalScratch* scratch = nullptr,
+                                                  const ParetoBound* bound = nullptr);
 
 /// Per-core total traffic (sum of inbound + outbound flow bandwidth), used
 /// to weight switch placement.
 [[nodiscard]] std::vector<double> compute_core_traffic(const soc::SocSpec& spec);
+
+/// Spec-only floor of the power bound: Σ per-core NI dynamic power, exactly
+/// the ni_dynamic_w term of compute_metrics (it depends on the flows alone).
+[[nodiscard]] double compute_ni_dynamic_base_w(const soc::SocSpec& spec,
+                                               const models::Technology& tech);
 
 }  // namespace vinoc::core

@@ -14,8 +14,16 @@
 // established directly across the switches in the source and destination
 // VIs or to the switches in the intermediate NoC island"). Intra-island
 // flows stay entirely inside their island.
+//
+// Hot path: route_all_flows() sits inside the candidate-evaluation loop of
+// the sweep, so it takes an optional RouterScratch (preallocated Dijkstra
+// state, flat link-lookup matrix, port counters, fallback topology buffer —
+// reset, not reallocated, between candidates) and an optional RouteBound
+// (monotone lower bounds on the final metrics checked against the current
+// Pareto front after every routed flow; see vinoc/core/prune.hpp).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -24,6 +32,8 @@
 #include "vinoc/soc/soc_spec.hpp"
 
 namespace vinoc::core {
+
+class ParetoBound;
 
 struct RouterOptions {
   /// Weight of the power term vs. the latency term in the link cost.
@@ -42,20 +52,102 @@ struct RouterOptions {
   /// "By using switches in an intermediate NoC island, the number of
   /// switch-to-switch links can be reduced").
   bool forbid_direct_cross = false;
+  /// Precomputed bandwidth_descending_order(spec) (the routing order). The
+  /// order depends only on the spec, so sweep callers compute it once
+  /// instead of re-sorting per candidate. nullptr = the router sorts
+  /// internally (same result).
+  const std::vector<std::size_t>* flow_order = nullptr;
+};
+
+/// The flow order every routing pass follows: bandwidth descending, ties
+/// broken by index (step 15: "Choose flows in bandwidth order"). The single
+/// definition shared by the router's internal fallback and every caller
+/// that precomputes RouterOptions::flow_order.
+[[nodiscard]] std::vector<std::size_t> bandwidth_descending_order(
+    const soc::SocSpec& spec);
+
+/// Reusable routing state. Buffers grow to the high-water mark of the
+/// topologies routed through them and are reset — not reallocated — per
+/// call; one instance per worker strand (see exec::WorkerLocal).
+struct RouterScratch {
+  std::vector<std::size_t> flow_order;  ///< used when options.flow_order == nullptr
+  std::vector<double> dist;
+  std::vector<int> pred;
+  std::vector<int> pred_link;
+  std::vector<char> done;
+  std::vector<int> path;
+  std::vector<int> nodes;    ///< admissible-switch subset of one flow's Dijkstra
+  std::vector<int> link_at;  ///< n x n flat matrix: link id or -1
+  std::vector<double> hop_len;       ///< n x n flat matrix of Manhattan lengths
+  std::vector<double> max_wire_len;  ///< per-switch one-cycle wire length cap
+  std::vector<int> ports_in;
+  std::vector<int> ports_out;
+  NocTopology fallback;  ///< pristine pre-routing copy for the retry pass
+};
+
+/// Cost-bound pruning input for one routing call (see vinoc/core/prune.hpp).
+/// All bounds are monotone non-decreasing as routing proceeds and never
+/// exceed the candidate's final metrics, so a `front` hit is a proof the
+/// finished design would be dominated-or-equal (never on the Pareto front).
+struct RouteBound {
+  /// Dominance oracle; nullptr disables pruning.
+  const ParetoBound* front = nullptr;
+  /// Pre-routing lower bound on the final noc_dynamic_w (NI energy, NI wire
+  /// energy, per-switch floor) — computed by the evaluation stage.
+  double base_power_lb_w = 0.0;
+  /// Sum over flows of each flow's minimum achievable latency [cycles].
+  double base_latency_sum_cycles = 0.0;
+  /// Per-flow minimum latencies (parallel to spec.flows); as a flow routes,
+  /// its minimum is replaced by its exact latency in the running sum.
+  const std::vector<double>* min_flow_latency = nullptr;
+  /// Per-switch traffic-energy floor [W per bit/s]: the switch's energy per
+  /// bit at its core-only port count. Added for pass-through visits the
+  /// endpoint floor did not count (optional tightening).
+  const std::vector<double>* switch_ebit_floor = nullptr;
 };
 
 struct RouteOutcome {
   bool success = false;
   std::string failure_reason;  ///< human-readable, empty on success
   int flows_routed = 0;
+  /// Index (into spec.flows) of the flow on which routing failed: latency
+  /// budget violated or no admissible path. -1 on success or pre-flight
+  /// failures (e.g. max_ports size mismatch).
+  int failed_flow = -1;
+  /// True when the failure was a violated latency budget (as opposed to a
+  /// structural one: no admissible path, ports, capacity). Structured
+  /// counterpart of the prose in failure_reason — classify on this, never
+  /// on the message text (flow labels appear inside it).
+  bool latency_violation = false;
+  /// True when routing was abandoned because the cost bound proved the
+  /// candidate dominated (success is false; nothing else is meaningful
+  /// except the lower bounds below).
+  bool pruned = false;
+  /// True when per-flow bound checks were active for the pass that produced
+  /// this outcome; on SUCCESS the lower bounds below then hold the
+  /// last-checkpoint values (the bound trajectory is independent of the
+  /// front consulted, so a later re-check against a richer front decides
+  /// exactly what a run against that front would have decided).
+  bool bound_checked = false;
+  double pruned_power_lb_w = 0.0;        ///< power bound at the last checkpoint
+  double pruned_latency_lb_cycles = 0.0; ///< avg-latency bound at the last checkpoint
 };
 
 /// Routes every flow of `spec` over `topo`'s switches, opening links as
 /// needed. `topo` must arrive with switches / switch_of_core / island
 /// frequencies / positions filled and links/routes empty; on success they
 /// are populated. On failure `topo` is left in an unspecified state.
+///
+/// `scratch` (optional) supplies reusable buffers; nullptr falls back to
+/// call-local allocation with identical results. `bound` (optional) enables
+/// Pareto-bound pruning; mid-routing checks are automatically restricted to
+/// topologies where the intermediate-island fallback pass cannot change the
+/// outcome (no intermediate switches, or already in the fallback pass), so
+/// pruning never hides a design the unpruned path would have produced.
 RouteOutcome route_all_flows(NocTopology& topo, const soc::SocSpec& spec,
-                             const RouterOptions& options);
+                             const RouterOptions& options,
+                             RouterScratch* scratch = nullptr,
+                             const RouteBound* bound = nullptr);
 
 /// True if a link from switch `a` to switch `b` is admissible for a flow
 /// going from island `src_isl` to island `dst_isl` under the shutdown-safety

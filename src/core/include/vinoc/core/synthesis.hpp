@@ -83,10 +83,25 @@ struct SynthesisOptions {
   /// the paper: with this on (default), every saved point is provably free
   /// of routing deadlock.
   bool enforce_deadlock_freedom = true;
+  /// Pareto-bound pruning of the candidate sweep: abandon a candidate as
+  /// soon as monotone lower bounds on its final (power, latency) are
+  /// dominated by the current front (see vinoc/core/prune.hpp). The Pareto
+  /// front, best_power() and best_latency() are PROVABLY unaffected; only
+  /// dominated interior points disappear from `points` (counted in
+  /// stats.rejected_pruned). Turn off to keep every routed design point.
+  bool prune = true;
+  /// With pruning on, replay any candidate whose concurrent prune decision
+  /// could differ from the sequential one, making the result bit-identical
+  /// for every thread count (the replays are rare; threads == 1 never
+  /// replays). Turning this off skips the replays: the front is still
+  /// exact, but WHICH dominated points are dropped may vary with thread
+  /// scheduling.
+  bool deterministic_prune = true;
   /// Worker strands for the candidate-evaluation stage: 1 = fully
   /// sequential (default), 0 = hardware concurrency, N = exactly N.
   /// Results are bit-identical for every value (candidates are evaluated
-  /// independently and merged in enumeration order), so this is purely a
+  /// independently and merged in enumeration order; pruning stays
+  /// deterministic via deterministic_prune), so this is purely a
   /// wall-clock knob.
   int threads = 1;
   /// Optional progress hook, invoked after each candidate evaluation with
@@ -112,6 +127,10 @@ struct SynthesisStats {
   int rejected_latency = 0;
   int rejected_duplicate = 0;  ///< same effective design seen at another k_int
   int rejected_deadlock = 0;
+  /// Abandoned by Pareto-bound pruning (provably dominated; never on the
+  /// front). Always 0 with options.prune == false. Counted as explored but
+  /// not as routed.
+  int rejected_pruned = 0;
   double elapsed_seconds = 0.0;
 };
 
@@ -153,5 +172,16 @@ SynthesisResult synthesize(const soc::SocSpec& spec,
 SynthesisResult synthesize(const soc::SocSpec& spec,
                            const SynthesisOptions& options,
                            exec::ThreadPool& pool);
+
+class EvalScratchPool;  // vinoc/core/candidates.hpp
+
+/// Same, additionally reusing the caller's per-worker scratch arenas
+/// (preallocated router/metrics/placement buffers). Batch drivers — the
+/// width sweep, the campaign engine — keep one EvalScratchPool alive across
+/// many synthesize() calls so buffers are allocated once per worker, not
+/// once per run. Results are identical with or without it.
+SynthesisResult synthesize(const soc::SocSpec& spec,
+                           const SynthesisOptions& options,
+                           exec::ThreadPool& pool, EvalScratchPool& scratch);
 
 }  // namespace vinoc::core

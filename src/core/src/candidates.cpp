@@ -6,6 +6,7 @@
 #include <string>
 
 #include "vinoc/core/deadlock.hpp"
+#include "vinoc/core/prune.hpp"
 #include "vinoc/core/router.hpp"
 #include "vinoc/core/vcg.hpp"
 #include "vinoc/exec/parallel_for.hpp"
@@ -60,7 +61,8 @@ IslandPartition partition_island(const soc::SocSpec& spec,
 /// block at the traffic-weighted centroid of its cores (clamped into the
 /// island region), plus `k_int` intermediate switches around the chip centre.
 void build_switches(NocTopology& topo, const EvalContext& ctx,
-                    const std::vector<const IslandPartition*>& parts, int k_int) {
+                    const std::vector<const IslandPartition*>& parts, int k_int,
+                    EvalScratch* scratch) {
   const soc::SocSpec& spec = ctx.spec;
   const floorplan::Floorplan& fp = ctx.floorplan;
   topo = NocTopology{};
@@ -71,13 +73,19 @@ void build_switches(NocTopology& topo, const EvalContext& ctx,
   }
   topo.intermediate_freq_hz = ctx.intermediate_params.freq_hz;
 
+  std::vector<floorplan::Point> local_pts;
+  std::vector<double> local_wts;
+  std::vector<floorplan::Point>& pts =
+      scratch != nullptr ? scratch->centroid_pts : local_pts;
+  std::vector<double>& wts = scratch != nullptr ? scratch->centroid_wts : local_wts;
+
   for (std::size_t isl = 0; isl < spec.islands.size(); ++isl) {
     for (const auto& block : parts[isl]->blocks) {
       SwitchInst sw;
       sw.island = static_cast<soc::IslandId>(isl);
       sw.freq_hz = ctx.island_params[isl].freq_hz;
-      std::vector<floorplan::Point> pts;
-      std::vector<double> wts;
+      pts.clear();
+      wts.clear();
       for (const soc::CoreId c : block) {
         pts.push_back(fp.core_rect(c).center());
         wts.push_back(ctx.core_traffic[static_cast<std::size_t>(c)]);
@@ -123,12 +131,17 @@ void build_switches(NocTopology& topo, const EvalContext& ctx,
 /// link partners and refreshes wire lengths (latencies are length-free, so
 /// routes stay valid; only the power numbers improve).
 void refine_intermediate_positions(NocTopology& topo, const floorplan::Floorplan& fp,
-                                   const soc::SocSpec& spec) {
+                                   const soc::SocSpec& spec, EvalScratch* scratch) {
+  std::vector<floorplan::Point> local_pts;
+  std::vector<double> local_wts;
+  std::vector<floorplan::Point>& pts =
+      scratch != nullptr ? scratch->centroid_pts : local_pts;
+  std::vector<double>& wts = scratch != nullptr ? scratch->centroid_wts : local_wts;
   for (std::size_t s = 0; s < topo.switches.size(); ++s) {
     SwitchInst& sw = topo.switches[s];
     if (sw.island != kIntermediateIsland) continue;
-    std::vector<floorplan::Point> pts;
-    std::vector<double> wts;
+    pts.clear();
+    wts.clear();
     for (const TopLink& l : topo.links) {
       if (l.src_switch == static_cast<int>(s)) {
         pts.push_back(topo.switches[static_cast<std::size_t>(l.dst_switch)].pos);
@@ -156,9 +169,10 @@ void refine_intermediate_positions(NocTopology& topo, const floorplan::Floorplan
 }
 
 /// Drops intermediate switches that ended up with no links (the router may
-/// need fewer than the sweep offered) and remaps all indices. Returns the
-/// number of intermediate switches kept. Designs then deduplicate cleanly
-/// across k_int values.
+/// need fewer than the sweep offered) and remaps all indices IN PLACE (the
+/// remap is monotone, so kept switches only ever move to lower slots).
+/// Returns the number of intermediate switches kept. Designs then
+/// deduplicate cleanly across k_int values.
 int compact_unused_intermediate(NocTopology& topo) {
   const std::size_t n = topo.switches.size();
   std::vector<bool> used(n, false);
@@ -179,12 +193,12 @@ int compact_unused_intermediate(NocTopology& topo) {
   }
   if (next == static_cast<int>(n)) return kept_intermediate;  // nothing to drop
 
-  std::vector<SwitchInst> switches;
-  switches.reserve(static_cast<std::size_t>(next));
   for (std::size_t s = 0; s < n; ++s) {
-    if (used[s]) switches.push_back(std::move(topo.switches[s]));
+    if (!used[s]) continue;
+    const auto to = static_cast<std::size_t>(remap[s]);
+    if (to != s) topo.switches[to] = std::move(topo.switches[s]);
   }
-  topo.switches = std::move(switches);
+  topo.switches.resize(static_cast<std::size_t>(next));
   for (TopLink& l : topo.links) {
     l.src_switch = remap[static_cast<std::size_t>(l.src_switch)];
     l.dst_switch = remap[static_cast<std::size_t>(l.dst_switch)];
@@ -201,6 +215,7 @@ int compact_unused_intermediate(NocTopology& topo) {
 /// counts, attachment, and the link list.
 std::vector<int> design_signature(const NocTopology& topo) {
   std::vector<int> sig;
+  sig.reserve(1 + topo.switch_of_core.size() + 2 * topo.links.size());
   sig.push_back(static_cast<int>(topo.switches.size()));
   for (const int s : topo.switch_of_core) sig.push_back(s);
   for (const TopLink& l : topo.links) {
@@ -208,6 +223,77 @@ std::vector<int> design_signature(const NocTopology& topo) {
     sig.push_back(l.dst_switch);
   }
   return sig;
+}
+
+/// Pre-routing lower bounds on the candidate's final metrics, from the
+/// attachment and the spec alone (every term is exceeded-or-met by the
+/// finished design, whichever routing pass produces it — see prune.hpp):
+///  * power: NI dynamic energy (exact), NI-wire energy (exact: attachment
+///    and island-switch positions never change after placement), and each
+///    switch's dynamic power at its core-only port count and endpoint-only
+///    traffic (ports and traffic only grow as links open);
+///  * latency: per-flow floors — same-switch exact, same-island one cheap
+///    hop, cross-island one FIFO hop.
+struct BaseBound {
+  double power_lb_w = 0.0;
+  double latency_sum_lb_cycles = 0.0;  ///< Σ min_flow_latency
+};
+
+BaseBound compute_base_bound(const EvalContext& ctx, const NocTopology& topo,
+                             std::vector<double>& min_flow_latency,
+                             std::vector<double>& switch_bw_floor,
+                             std::vector<double>& switch_ebit_floor) {
+  const soc::SocSpec& spec = ctx.spec;
+  const models::Technology& tech = ctx.options.tech;
+  const models::SwitchModel sw_model(tech);
+  const models::LinkModel link_model(tech);
+  BaseBound out;
+
+  min_flow_latency.assign(spec.flows.size(), 0.0);
+  switch_bw_floor.assign(topo.switches.size(), 0.0);
+  const double pipe = tech.sw_pipeline_cycles;
+  const double fifo = static_cast<double>(tech.fifo_latency_cycles);
+  for (std::size_t f = 0; f < spec.flows.size(); ++f) {
+    const soc::Flow& flow = spec.flows[f];
+    const int s_sw = topo.switch_of_core[static_cast<std::size_t>(flow.src)];
+    const int d_sw = topo.switch_of_core[static_cast<std::size_t>(flow.dst)];
+    double lat;
+    if (s_sw == d_sw) {
+      lat = 2.0 + pipe;  // exact: NI links + one switch traversal
+    } else if (spec.cores[static_cast<std::size_t>(flow.src)].island ==
+               spec.cores[static_cast<std::size_t>(flow.dst)].island) {
+      lat = 2.0 + 2.0 * pipe + 1.0;  // at least one intra-island hop
+    } else {
+      lat = 2.0 + 2.0 * pipe + fifo;  // at least one crossing hop
+    }
+    min_flow_latency[f] = lat;
+    out.latency_sum_lb_cycles += lat;
+
+    const double bw = flow.bandwidth_bits_per_s;
+    switch_bw_floor[static_cast<std::size_t>(s_sw)] += bw;
+    if (d_sw != s_sw) switch_bw_floor[static_cast<std::size_t>(d_sw)] += bw;
+  }
+
+  out.power_lb_w = ctx.ni_dynamic_base_w;
+  for (std::size_t c = 0; c < spec.cores.size(); ++c) {
+    out.power_lb_w +=
+        link_model.dynamic_power_w(topo.ni_wire_mm[c], ctx.core_traffic[c]);
+  }
+  switch_ebit_floor.assign(topo.switches.size(), 0.0);
+  for (std::size_t s = 0; s < topo.switches.size(); ++s) {
+    const SwitchInst& sw = topo.switches[s];
+    const int core_ports = static_cast<int>(sw.cores.size());
+    out.power_lb_w += sw_model.dynamic_power_w(core_ports, core_ports, sw.freq_hz,
+                                               switch_bw_floor[s]);
+    // Energy per bit floor for pass-through traffic: a pass-through switch
+    // necessarily has an inbound link on top of its core ports, so its final
+    // max(in, out) is at least core_ports + 1 and the crossbar only grows
+    // from there.
+    switch_ebit_floor[s] = (tech.sw_energy_base_pj_per_bit +
+                            tech.sw_energy_per_port_pj_per_bit * (core_ports + 1)) *
+                           1e-12;
+  }
+  return out;
 }
 
 }  // namespace
@@ -219,6 +305,22 @@ std::vector<double> compute_core_traffic(const soc::SocSpec& spec) {
     t[static_cast<std::size_t>(f.dst)] += f.bandwidth_bits_per_s;
   }
   return t;
+}
+
+double compute_ni_dynamic_base_w(const soc::SocSpec& spec,
+                                 const models::Technology& tech) {
+  const models::NiModel ni_model(tech);
+  std::vector<double> in_bw(spec.cores.size(), 0.0);
+  std::vector<double> out_bw(spec.cores.size(), 0.0);
+  for (const soc::Flow& f : spec.flows) {
+    out_bw[static_cast<std::size_t>(f.src)] += f.bandwidth_bits_per_s;
+    in_bw[static_cast<std::size_t>(f.dst)] += f.bandwidth_bits_per_s;
+  }
+  double total = 0.0;
+  for (std::size_t c = 0; c < spec.cores.size(); ++c) {
+    total += ni_model.dynamic_power_w(in_bw[c] + out_bw[c]);
+  }
+  return total;
 }
 
 std::vector<CandidateConfig> enumerate_candidates(
@@ -290,7 +392,9 @@ PartitionTable compute_partitions(
 }
 
 CandidateOutcome evaluate_candidate(const EvalContext& ctx,
-                                    const CandidateConfig& cand) {
+                                    const CandidateConfig& cand,
+                                    EvalScratch* scratch,
+                                    const ParetoBound* bound) {
   CandidateOutcome out;
   out.point.switches_per_island = cand.switches_per_island;
   out.point.intermediate_switches = cand.intermediate_switches;
@@ -300,13 +404,48 @@ CandidateOutcome evaluate_candidate(const EvalContext& ctx,
     parts[isl] = &ctx.partitions.at(
         PartitionKey{static_cast<soc::IslandId>(isl), cand.switches_per_island[isl]});
   }
-  build_switches(out.point.topology, ctx, parts, cand.intermediate_switches);
+  build_switches(out.point.topology, ctx, parts, cand.intermediate_switches, scratch);
+
+  // Pareto-bound pruning: reject before routing when the pre-routing floor
+  // is already dominated, otherwise hand the bound to the router for
+  // per-flow checks (see RouteBound / route_all_flows for the soundness
+  // restrictions around the fallback pass).
+  RouteBound rbound;
+  double base_avg_lat = 0.0;
+  std::vector<double> local_min_lat;
+  std::vector<double> local_bw_floor;
+  std::vector<double> local_ebit_floor;
+  if (bound != nullptr) {
+    std::vector<double>& min_lat =
+        scratch != nullptr ? scratch->min_flow_latency : local_min_lat;
+    std::vector<double>& bw_floor =
+        scratch != nullptr ? scratch->switch_bw_floor : local_bw_floor;
+    std::vector<double>& ebit_floor =
+        scratch != nullptr ? scratch->switch_ebit_floor : local_ebit_floor;
+    const BaseBound base =
+        compute_base_bound(ctx, out.point.topology, min_lat, bw_floor, ebit_floor);
+    const double n_flows = static_cast<double>(ctx.spec.flows.size());
+    base_avg_lat =
+        ctx.spec.flows.empty() ? 0.0 : base.latency_sum_lb_cycles / n_flows;
+    if (bound->dominated(base.power_lb_w, base_avg_lat)) {
+      out.status = EvalStatus::kPruned;
+      out.pruned_power_lb_w = base.power_lb_w;
+      out.pruned_latency_lb_cycles = base_avg_lat;
+      return out;
+    }
+    rbound.front = bound;
+    rbound.base_power_lb_w = base.power_lb_w;
+    rbound.base_latency_sum_cycles = base.latency_sum_lb_cycles;
+    rbound.min_flow_latency = &min_lat;
+    rbound.switch_ebit_floor = &ebit_floor;
+  }
 
   RouterOptions ropts;
   ropts.alpha_power = ctx.options.alpha_power;
   ropts.link_width_bits = ctx.options.link_width_bits;
   ropts.tech = ctx.options.tech;
   ropts.enforce_wire_timing = ctx.options.enforce_wire_timing;
+  ropts.flow_order = ctx.flow_order;
   ropts.max_ports.resize(out.point.topology.switches.size());
   for (std::size_t s = 0; s < out.point.topology.switches.size(); ++s) {
     const soc::IslandId isl = out.point.topology.switches[s].island;
@@ -316,14 +455,34 @@ CandidateOutcome evaluate_candidate(const EvalContext& ctx,
             : ctx.island_params[static_cast<std::size_t>(isl)].max_sw_size;
   }
 
-  const RouteOutcome outcome = route_all_flows(out.point.topology, ctx.spec, ropts);
+  const RouteOutcome outcome =
+      route_all_flows(out.point.topology, ctx.spec, ropts,
+                      scratch != nullptr ? &scratch->router : nullptr,
+                      bound != nullptr ? &rbound : nullptr);
+  if (outcome.pruned) {
+    out.status = EvalStatus::kPruned;
+    out.pruned_power_lb_w = outcome.pruned_power_lb_w;
+    out.pruned_latency_lb_cycles = outcome.pruned_latency_lb_cycles;
+    return out;
+  }
   if (!outcome.success) {
-    out.status = outcome.failure_reason.find("latency") != std::string::npos
-                     ? EvalStatus::kRejectedLatency
-                     : EvalStatus::kRejectedUnroutable;
+    out.status = outcome.latency_violation ? EvalStatus::kRejectedLatency
+                                           : EvalStatus::kRejectedUnroutable;
     return out;
   }
   out.status = EvalStatus::kRouted;
+  if (bound != nullptr) {
+    // Record the LAST bound checkpoint of this evaluation: the router's
+    // per-flow bounds when they were active, else the pre-routing floor
+    // (the only checkpoint of a fallback-gated pass). The trajectory does
+    // not depend on which front was consulted, so the merge stage can
+    // re-check these values against the enumeration-ordered front and
+    // decide exactly what a sequential run would have decided.
+    out.pruned_power_lb_w =
+        outcome.bound_checked ? outcome.pruned_power_lb_w : rbound.base_power_lb_w;
+    out.pruned_latency_lb_cycles =
+        outcome.bound_checked ? outcome.pruned_latency_lb_cycles : base_avg_lat;
+  }
   // The router may leave some offered intermediate switches unused; drop
   // them so designs deduplicate cleanly across k_int values (several k_int
   // can collapse onto the same effective design).
@@ -332,9 +491,11 @@ CandidateOutcome evaluate_candidate(const EvalContext& ctx,
   out.deadlock_free = !ctx.options.enforce_deadlock_freedom ||
                       is_deadlock_free(out.point.topology);
   if (!out.deadlock_free) return out;  // merge rejects it; skip the metrics
-  refine_intermediate_positions(out.point.topology, ctx.floorplan, ctx.spec);
-  out.point.metrics = compute_metrics(out.point.topology, ctx.spec,
-                                      ctx.options.tech, ctx.options.link_width_bits);
+  refine_intermediate_positions(out.point.topology, ctx.floorplan, ctx.spec, scratch);
+  out.point.metrics =
+      compute_metrics(out.point.topology, ctx.spec, ctx.options.tech,
+                      ctx.options.link_width_bits,
+                      scratch != nullptr ? &scratch->metrics : nullptr);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "vinoc/core/candidates.hpp"
 #include "vinoc/core/pareto.hpp"
 #include "vinoc/exec/parallel_for.hpp"
 
@@ -22,8 +23,10 @@ WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
   // One pool for the whole sweep: widths fan out here and every width's
   // synthesize() fans its candidate sweep out over the SAME pool (nested
   // fan-outs are safe, see vinoc/exec/thread_pool.hpp), so total parallelism
-  // stays bounded by base_options.threads.
+  // stays bounded by base_options.threads. One scratch-arena pool likewise:
+  // a worker strand reuses its buffers across every width it touches.
   exec::ThreadPool pool(base_options.threads);
+  EvalScratchPool scratch;
 
   // Each width's synthesize() serialises the progress callback only within
   // its own run; with widths evaluating concurrently the caller's callback
@@ -49,7 +52,7 @@ WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
       };
     }
     try {
-      entry.result = synthesize(spec, options, pool);
+      entry.result = synthesize(spec, options, pool, scratch);
       entry.feasible = true;
     } catch (const InfeasibleWidthError&) {
       // NI link unachievable at this width; keep the entry as infeasible so

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
 #include <numeric>
-#include <queue>
+
+#include "vinoc/core/prune.hpp"
 
 namespace vinoc::core {
 
@@ -22,6 +22,17 @@ double switch_freq(const NocTopology& topo, int sw) {
 }
 
 }  // namespace
+
+std::vector<std::size_t> bandwidth_descending_order(const soc::SocSpec& spec) {
+  std::vector<std::size_t> order(spec.flows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&spec](std::size_t a, std::size_t b) {
+                     return spec.flows[a].bandwidth_bits_per_s >
+                            spec.flows[b].bandwidth_bits_per_s;
+                   });
+  return order;
+}
 
 bool link_admissible(soc::IslandId a_isl, soc::IslandId b_isl,
                      soc::IslandId src_isl, soc::IslandId dst_isl) {
@@ -43,19 +54,24 @@ bool link_admissible(soc::IslandId a_isl, soc::IslandId b_isl,
 
 namespace {
 
-/// Mutable routing state over a topology under construction.
+/// Mutable routing state over a topology under construction. All transient
+/// buffers live in the caller-provided RouterScratch, reset per construction
+/// (assign, never shrink) so a sweep reuses one arena across candidates.
 class Router {
  public:
-  Router(NocTopology& topo, const soc::SocSpec& spec, const RouterOptions& opts)
-      : topo_(topo), spec_(spec), opts_(opts),
+  Router(NocTopology& topo, const soc::SocSpec& spec, const RouterOptions& opts,
+         RouterScratch& scratch, const RouteBound* bound)
+      : topo_(topo), spec_(spec), opts_(opts), scratch_(scratch), bound_(bound),
         sw_model_(opts.tech), link_model_(opts.tech), fifo_model_(opts.tech) {
     const std::size_t n_sw = topo_.switches.size();
-    ports_in_.resize(n_sw);
-    ports_out_.resize(n_sw);
+    n_ = n_sw;
+    scratch_.ports_in.assign(n_sw, 0);
+    scratch_.ports_out.assign(n_sw, 0);
     for (std::size_t s = 0; s < n_sw; ++s) {
-      ports_in_[s] = static_cast<int>(topo_.switches[s].cores.size());
-      ports_out_[s] = ports_in_[s];
+      scratch_.ports_in[s] = static_cast<int>(topo_.switches[s].cores.size());
+      scratch_.ports_out[s] = scratch_.ports_in[s];
     }
+    scratch_.link_at.assign(n_sw * n_sw, -1);
     // Power normalizer: opening a "typical" link (quarter-chip wire at the
     // design's peak flow bandwidth, with a FIFO).
     double max_bw = 0.0;
@@ -70,25 +86,125 @@ class Router {
     p_norm_ = link_model_.dynamic_power_w(ref_len, std::max(max_bw, 1.0)) +
               fifo_model_.dynamic_power_w(std::max(max_bw, 1.0));
     if (p_norm_ <= 0.0) p_norm_ = 1e-3;
+
+    // The edge-cost inner loop runs millions of times per sweep; hoist the
+    // model constants and the pure per-switch/per-pair geometry out of it.
+    // Every cached expression replicates its model function's operation
+    // order exactly (see noc_models.cpp), so costs — and therefore routing
+    // decisions — are bit-identical to calling the models per edge.
+    const models::Technology& tech = opts_.tech;
+    link_dyn_c_ = tech.link_energy_pj_per_bit_mm * 1e-12;
+    link_leak_c_ = tech.link_leakage_mw_per_wire_mm * 1e-3;
+    fifo_dyn_c_ = tech.fifo_energy_pj_per_bit * 1e-12;
+    fifo_leak_w_ = tech.fifo_leakage_mw * 1e-3;
+    scratch_.hop_len.assign(n_sw * n_sw, 0.0);
+    for (std::size_t a = 0; a < n_sw; ++a) {
+      for (std::size_t b = 0; b < n_sw; ++b) {
+        scratch_.hop_len[a * n_sw + b] = floorplan::manhattan_mm(
+            topo_.switches[a].pos, topo_.switches[b].pos);
+      }
+    }
+    scratch_.max_wire_len.assign(n_sw, 0.0);
+    if (opts_.enforce_wire_timing) {
+      for (std::size_t s = 0; s < n_sw; ++s) {
+        scratch_.max_wire_len[s] =
+            link_model_.max_unpipelined_length_mm(topo_.switches[s].freq_hz);
+      }
+    }
+
+    if (bound_ != nullptr && bound_->front != nullptr) {
+      power_lb_ = bound_->base_power_lb_w;
+      lat_sum_lb_ = bound_->base_latency_sum_cycles;
+      fifo_w_per_bw_ = opts_.tech.fifo_energy_pj_per_bit * 1e-12;
+      link_w_per_bw_mm_ = opts_.tech.link_energy_pj_per_bit_mm * 1e-12;
+      idle_w_per_hz_ = opts_.tech.sw_idle_power_per_port_w_per_hz;
+    }
+
+    // Per-island contiguous index ranges, so each flow's Dijkstra can visit
+    // only its admissible switches (source island, destination island, the
+    // intermediate VI) instead of the full switch set. Topologies from the
+    // synthesis pipeline are always laid out islands-ascending with the
+    // intermediates last; anything else (hand-built) falls back to the full
+    // range, which is merely slower, never different — inadmissible nodes
+    // can neither be relaxed nor extracted (their distance stays infinite).
+    const std::size_t n_islands = spec.islands.size();
+    island_begin_.assign(n_islands + 1, -1);
+    island_end_.assign(n_islands + 1, -1);
+    contiguous_ = true;
+    for (std::size_t s = 0; s < n_sw; ++s) {
+      const soc::IslandId isl = topo_.switches[s].island;
+      const std::size_t slot =
+          isl == kIntermediateIsland ? n_islands : static_cast<std::size_t>(isl);
+      if (island_begin_[slot] < 0) {
+        island_begin_[slot] = static_cast<int>(s);
+        island_end_[slot] = static_cast<int>(s + 1);
+      } else if (island_end_[slot] == static_cast<int>(s)) {
+        island_end_[slot] = static_cast<int>(s + 1);
+      } else {
+        contiguous_ = false;  // island split across the array
+        break;
+      }
+    }
+    if (contiguous_) {
+      // Ranges must also appear in ascending island order (intermediate
+      // last) so the subset scan visits indices ascending, preserving the
+      // lowest-index tie-break of the dense scan.
+      int prev_end = 0;
+      for (std::size_t slot = 0; slot <= n_islands && contiguous_; ++slot) {
+        if (island_begin_[slot] < 0) continue;  // island without switches
+        if (island_begin_[slot] < prev_end) contiguous_ = false;
+        prev_end = island_end_[slot];
+      }
+    }
   }
 
   RouteOutcome run() {
     topo_.routes.assign(spec_.flows.size(), FlowRoute{});
 
-    // Bandwidth-descending flow order (step 15: "Choose flows in bandwidth
-    // order"); ties broken by index for determinism.
-    std::vector<std::size_t> order(spec_.flows.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
-      return spec_.flows[a].bandwidth_bits_per_s > spec_.flows[b].bandwidth_bits_per_s;
-    });
+    // The order is a pure function of the spec, so sweep callers pass it
+    // precomputed; direct callers fall back to sorting here.
+    const std::vector<std::size_t>* order = opts_.flow_order;
+    if (order == nullptr) {
+      scratch_.flow_order = bandwidth_descending_order(spec_);
+      order = &scratch_.flow_order;
+    }
+
+    const bool bounding = bound_ != nullptr && bound_->front != nullptr &&
+                          bound_->min_flow_latency != nullptr &&
+                          !spec_.flows.empty();
+    const double inv_flows =
+        spec_.flows.empty() ? 0.0 : 1.0 / static_cast<double>(spec_.flows.size());
 
     RouteOutcome outcome;
-    for (const std::size_t f : order) {
+    for (const std::size_t f : *order) {
       if (!route_flow(f, outcome)) return outcome;
       ++outcome.flows_routed;
+      if (bounding) {
+        // Replace this flow's minimum latency with its exact final latency
+        // (routes never change after routing) — both bounds stay monotone
+        // lower bounds on the finished design's metrics.
+        lat_sum_lb_ += topo_.routes[f].latency_cycles -
+                       (*bound_->min_flow_latency)[f];
+        const double avg_lb = lat_sum_lb_ * inv_flows;
+        if (bound_->front->dominated(power_lb_, avg_lb)) {
+          outcome.pruned = true;
+          outcome.bound_checked = true;
+          outcome.pruned_power_lb_w = power_lb_;
+          outcome.pruned_latency_lb_cycles = avg_lb;
+          return outcome;
+        }
+      }
     }
     outcome.success = true;
+    if (bounding) {
+      // Expose the last-checkpoint bounds: the merge stage re-checks them
+      // against the enumeration-ordered front to decide whether a
+      // sequential run (with a possibly richer front than our snapshot)
+      // would have pruned this candidate.
+      outcome.bound_checked = true;
+      outcome.pruned_power_lb_w = power_lb_;
+      outcome.pruned_latency_lb_cycles = lat_sum_lb_ * inv_flows;
+    }
     return outcome;
   }
 
@@ -109,8 +225,8 @@ class Router {
   }
 
   double hop_length_mm(int a, int b) const {
-    return floorplan::manhattan_mm(topo_.switches[static_cast<std::size_t>(a)].pos,
-                                   topo_.switches[static_cast<std::size_t>(b)].pos);
+    return scratch_.hop_len[static_cast<std::size_t>(a) * n_ +
+                            static_cast<std::size_t>(b)];
   }
 
   double hop_latency_cycles(int a, int b) const {
@@ -119,22 +235,33 @@ class Router {
     return link_cycles + opts_.tech.sw_pipeline_cycles;
   }
 
+  int link_between(int a, int b) const {
+    return scratch_.link_at[static_cast<std::size_t>(a) * n_ +
+                            static_cast<std::size_t>(b)];
+  }
+
   /// Marginal power of pushing `bw` over the hop a->b, plus (for new links)
-  /// the static cost of opening it.
+  /// the static cost of opening it. Pure arithmetic on the coefficients
+  /// cached at construction — same formulas, same operation order, same
+  /// bits as the model calls (LinkModel/SwitchModel/BisyncFifoModel).
   double hop_power_w(int a, int b, double bw, bool opening) const {
     const double len = hop_length_mm(a, b);
-    double p = link_model_.dynamic_power_w(len, bw);
-    // Crossbar traversal energy in the downstream switch.
-    const int ports_b = std::max(ports_in_[static_cast<std::size_t>(b)],
-                                 ports_out_[static_cast<std::size_t>(b)]);
-    p += sw_model_.dynamic_power_w(ports_b, ports_b, 0.0, bw);
-    if (crossing(a, b)) p += fifo_model_.dynamic_power_w(bw);
+    double p = link_dyn_c_ * len * bw;
+    // Crossbar traversal energy in the downstream switch (at zero frequency
+    // the switch model's idle term vanishes; only energy-per-bit remains).
+    const int ports_b = std::max(scratch_.ports_in[static_cast<std::size_t>(b)],
+                                 scratch_.ports_out[static_cast<std::size_t>(b)]);
+    const double e_bit = (opts_.tech.sw_energy_base_pj_per_bit +
+                          opts_.tech.sw_energy_per_port_pj_per_bit * ports_b) *
+                         1e-12;
+    p += e_bit * bw;
+    if (crossing(a, b)) p += fifo_dyn_c_ * bw;
     if (opening) {
       // New ports clock on both sides; wires and (if crossing) a FIFO leak.
       p += opts_.tech.sw_idle_power_per_port_w_per_hz *
            (switch_freq(topo_, a) + switch_freq(topo_, b));
-      p += link_model_.leakage_w(len, opts_.link_width_bits);
-      if (crossing(a, b)) p += fifo_model_.leakage_w();
+      p += link_leak_c_ * len * opts_.link_width_bits;
+      if (crossing(a, b)) p += fifo_leak_w_;
     }
     return p;
   }
@@ -160,12 +287,12 @@ class Router {
     const double bw = flow.bandwidth_bits_per_s;
 
     // Reusing an existing link is preferred when it has residual capacity.
-    const auto it = link_index_.find({a, b});
-    if (it != link_index_.end()) {
-      const TopLink& l = topo_.links[static_cast<std::size_t>(it->second)];
+    const int existing = link_between(a, b);
+    if (existing >= 0) {
+      const TopLink& l = topo_.links[static_cast<std::size_t>(existing)];
       if (l.carried_bw_bits_per_s + bw <= link_capacity(a, b) + 1e-6) {
         const double p = hop_power_w(a, b, bw, /*opening=*/false);
-        choice.link_id = it->second;
+        choice.link_id = existing;
         choice.cost = opts_.alpha_power * p / p_norm_ +
                       (1.0 - opts_.alpha_power) * lat_term;
         return choice;
@@ -176,13 +303,11 @@ class Router {
     // Opening a new link requires a free out port on a and in port on b.
     const auto as = static_cast<std::size_t>(a);
     const auto bs = static_cast<std::size_t>(b);
-    if (ports_out_[as] + 1 > opts_.max_ports[as]) return choice;
-    if (ports_in_[bs] + 1 > opts_.max_ports[bs]) return choice;
+    if (scratch_.ports_out[as] + 1 > opts_.max_ports[as]) return choice;
+    if (scratch_.ports_in[bs] + 1 > opts_.max_ports[bs]) return choice;
     if (bw > link_capacity(a, b) + 1e-6) return choice;
     if (opts_.enforce_wire_timing && !crossing(a, b)) {
-      const double max_len =
-          link_model_.max_unpipelined_length_mm(switch_freq(topo_, a));
-      if (hop_length_mm(a, b) > max_len) return choice;
+      if (hop_length_mm(a, b) > scratch_.max_wire_len[as]) return choice;
     }
     const double p = hop_power_w(a, b, bw, /*opening=*/true);
     choice.link_id = -1;
@@ -203,55 +328,95 @@ class Router {
       return true;
     }
 
-    // Dijkstra over switches; the switch count is small (tens), so the
-    // dense O(S^2) scan per extraction is fine and allocation-free.
-    const std::size_t n = topo_.switches.size();
-    std::vector<double> dist(n, kInf);
-    std::vector<int> pred(n, -1);
-    std::vector<EdgeChoice> pred_choice(n);
-    std::vector<bool> done(n, false);
+    // Dijkstra over the flow's ADMISSIBLE switches only: the shutdown-safety
+    // rule confines a flow to its source island, destination island and the
+    // intermediate VI, so other islands' switches can never be relaxed or
+    // extracted (distance stays infinite) — skipping them entirely is exact
+    // and cuts the dense O(S^2) scan by the island count. The subset is
+    // collected in ascending index order, preserving the dense scan's
+    // lowest-index tie-break.
+    const std::size_t n = n_;
+    std::vector<int>& nodes = scratch_.nodes;
+    nodes.clear();
+    const soc::IslandId src_isl =
+        spec_.cores[static_cast<std::size_t>(flow.src)].island;
+    const soc::IslandId dst_isl =
+        spec_.cores[static_cast<std::size_t>(flow.dst)].island;
+    if (contiguous_) {
+      const std::size_t n_islands = spec_.islands.size();
+      auto push_range = [this, &nodes](std::size_t slot) {
+        for (int s = island_begin_[slot]; s < island_end_[slot]; ++s) {
+          nodes.push_back(s);
+        }
+      };
+      if (src_isl == dst_isl) {
+        push_range(static_cast<std::size_t>(src_isl));
+      } else {
+        const auto lo = static_cast<std::size_t>(std::min(src_isl, dst_isl));
+        const auto hi = static_cast<std::size_t>(std::max(src_isl, dst_isl));
+        push_range(lo);
+        push_range(hi);
+        push_range(n_islands);  // intermediate VI switches sit at the end
+      }
+    } else {
+      for (std::size_t s = 0; s < n; ++s) nodes.push_back(static_cast<int>(s));
+    }
+
+    scratch_.dist.assign(n, kInf);
+    scratch_.pred.assign(n, -1);
+    scratch_.pred_link.assign(n, -1);
+    scratch_.done.assign(n, 0);
+    std::vector<double>& dist = scratch_.dist;
+    std::vector<int>& pred = scratch_.pred;
+    std::vector<int>& pred_link = scratch_.pred_link;
+    std::vector<char>& done = scratch_.done;
     dist[static_cast<std::size_t>(s_sw)] = 0.0;
-    for (std::size_t iter = 0; iter < n; ++iter) {
+    for (std::size_t iter = 0; iter < nodes.size(); ++iter) {
       int u = -1;
       double best = kInf;
-      for (std::size_t v = 0; v < n; ++v) {
-        if (!done[v] && dist[v] < best) {
-          best = dist[v];
-          u = static_cast<int>(v);
+      for (const int v : nodes) {
+        const auto vs = static_cast<std::size_t>(v);
+        if (!done[vs] && dist[vs] < best) {
+          best = dist[vs];
+          u = v;
         }
       }
       if (u < 0) break;
-      done[static_cast<std::size_t>(u)] = true;
+      done[static_cast<std::size_t>(u)] = 1;
       if (u == d_sw) break;
-      for (std::size_t v = 0; v < n; ++v) {
-        if (done[v] || static_cast<int>(v) == u) continue;
-        const EdgeChoice ec = edge_choice(u, static_cast<int>(v), flow);
+      const double dist_u = dist[static_cast<std::size_t>(u)];
+      for (const int v : nodes) {
+        const auto vs = static_cast<std::size_t>(v);
+        if (done[vs] || v == u) continue;
+        const EdgeChoice ec = edge_choice(u, v, flow);
         if (!std::isfinite(ec.cost)) continue;
-        if (dist[static_cast<std::size_t>(u)] + ec.cost < dist[v]) {
-          dist[v] = dist[static_cast<std::size_t>(u)] + ec.cost;
-          pred[v] = u;
-          pred_choice[v] = ec;
+        if (dist_u + ec.cost < dist[vs]) {
+          dist[vs] = dist_u + ec.cost;
+          pred[vs] = u;
+          pred_link[vs] = ec.link_id;
         }
       }
     }
     if (!std::isfinite(dist[static_cast<std::size_t>(d_sw)])) {
       outcome.failure_reason =
           "no admissible path for flow '" + flow.label + "'";
+      outcome.failed_flow = static_cast<int>(flow_idx);
       return false;
     }
 
     // Materialize the path, opening links as needed.
-    std::vector<int> rev_nodes;
+    std::vector<int>& rev_nodes = scratch_.path;
+    rev_nodes.clear();
     for (int v = d_sw; v != s_sw; v = pred[static_cast<std::size_t>(v)]) {
       rev_nodes.push_back(v);
     }
     std::reverse(rev_nodes.begin(), rev_nodes.end());
     int prev = s_sw;
     for (const int v : rev_nodes) {
-      // Re-evaluate: an earlier hop of this same path may have opened a link
-      // or consumed ports, but hops of one shortest path touch distinct
-      // switches, so the cached choice stays valid; still, resolve by key.
-      int link_id = pred_choice[static_cast<std::size_t>(v)].link_id;
+      // An earlier hop of this same path may have opened a link or consumed
+      // ports, but hops of one shortest path touch distinct switches, so the
+      // cached choice stays valid.
+      int link_id = pred_link[static_cast<std::size_t>(v)];
       if (link_id < 0) {
         link_id = open_link(prev, v);
       }
@@ -259,6 +424,10 @@ class Router {
       l.carried_bw_bits_per_s += flow.bandwidth_bits_per_s;
       l.flows.push_back(static_cast<int>(flow_idx));
       route.links.push_back(link_id);
+      if (power_lb_ >= 0.0) {
+        accumulate_power_lb(prev, v, l, flow.bandwidth_bits_per_s,
+                            /*pass_through=*/v != d_sw);
+      }
       prev = v;
     }
     route.crossings = 0;
@@ -270,9 +439,31 @@ class Router {
       outcome.failure_reason = "latency violated for flow '" + flow.label +
                                "' (" + std::to_string(route.latency_cycles) +
                                " > " + std::to_string(flow.max_latency_cycles) + ")";
+      outcome.failed_flow = static_cast<int>(flow_idx);
+      outcome.latency_violation = true;
       return false;
     }
     return true;
+  }
+
+  /// Adds the sound, refine-stable part of this bandwidth increment to the
+  /// running power lower bound: FIFO energy on crossings (bandwidth-only),
+  /// wire energy only when neither endpoint is an intermediate switch
+  /// (position refinement moves intermediate switches, so those wire lengths
+  /// may still change; island switches never move), and the downstream
+  /// switch's traffic energy at its core-only port floor when the hop makes
+  /// the flow VISIT a switch its endpoint floor did not count.
+  void accumulate_power_lb(int a, int b, const TopLink& l, double bw,
+                           bool pass_through) {
+    const soc::IslandId a_isl = island_of_switch(topo_, a);
+    const soc::IslandId b_isl = island_of_switch(topo_, b);
+    if (a_isl != b_isl) power_lb_ += fifo_w_per_bw_ * bw;
+    if (a_isl != kIntermediateIsland && b_isl != kIntermediateIsland) {
+      power_lb_ += link_w_per_bw_mm_ * l.length_mm * bw;
+    }
+    if (pass_through && bound_->switch_ebit_floor != nullptr) {
+      power_lb_ += (*bound_->switch_ebit_floor)[static_cast<std::size_t>(b)] * bw;
+    }
   }
 
   int open_link(int a, int b) {
@@ -283,59 +474,94 @@ class Router {
     l.length_mm = hop_length_mm(a, b);
     const int id = static_cast<int>(topo_.links.size());
     topo_.links.push_back(std::move(l));
-    link_index_[{a, b}] = id;
-    ++ports_out_[static_cast<std::size_t>(a)];
-    ++ports_in_[static_cast<std::size_t>(b)];
+    scratch_.link_at[static_cast<std::size_t>(a) * n_ +
+                     static_cast<std::size_t>(b)] = id;
+    ++scratch_.ports_out[static_cast<std::size_t>(a)];
+    ++scratch_.ports_in[static_cast<std::size_t>(b)];
+    if (power_lb_ >= 0.0) {
+      // The two new ports clock forever: their idle power is an exact,
+      // monotone addition to the final switch dynamic power.
+      power_lb_ += idle_w_per_hz_ * (switch_freq(topo_, a) + switch_freq(topo_, b));
+    }
     return id;
   }
 
   NocTopology& topo_;
   const soc::SocSpec& spec_;
   const RouterOptions& opts_;
+  RouterScratch& scratch_;
+  const RouteBound* bound_ = nullptr;
   models::SwitchModel sw_model_;
   models::LinkModel link_model_;
   models::BisyncFifoModel fifo_model_;
-  std::vector<int> ports_in_;
-  std::vector<int> ports_out_;
-  std::map<std::pair<int, int>, int> link_index_;
+  std::size_t n_ = 0;
   double p_norm_ = 1.0;
+  // Admissible-subset iteration (see route_flow).
+  std::vector<int> island_begin_;
+  std::vector<int> island_end_;
+  bool contiguous_ = false;
+  // Cached model coefficients (see constructor).
+  double link_dyn_c_ = 0.0;
+  double link_leak_c_ = 0.0;
+  double fifo_dyn_c_ = 0.0;
+  double fifo_leak_w_ = 0.0;
+  // Pruning state; power_lb_ < 0 means pruning disabled for this pass.
+  double power_lb_ = -1.0;
+  double lat_sum_lb_ = 0.0;
+  double fifo_w_per_bw_ = 0.0;
+  double link_w_per_bw_mm_ = 0.0;
+  double idle_w_per_hz_ = 0.0;
 };
 
 }  // namespace
 
 RouteOutcome route_all_flows(NocTopology& topo, const soc::SocSpec& spec,
-                             const RouterOptions& options) {
+                             const RouterOptions& options, RouterScratch* scratch,
+                             const RouteBound* bound) {
   if (options.max_ports.size() != topo.switches.size()) {
     RouteOutcome out;
     out.failure_reason = "RouterOptions::max_ports size mismatch";
     return out;
   }
-  const NocTopology clean = topo;  // pristine copy for the fallback pass
-  RouteOutcome first;
-  {
-    Router router(topo, spec, options);
-    first = router.run();
-    if (first.success || options.forbid_direct_cross) return first;
-  }
-  // Greedy pass stranded a flow. If an intermediate switch exists, retry
-  // with all cross-island traffic concentrated through the NoC VI (far
-  // fewer ports consumed on the island switches).
+  RouterScratch local;
+  RouterScratch& sc = scratch != nullptr ? *scratch : local;
+
   bool has_intermediate = false;
-  for (const SwitchInst& s : clean.switches) {
+  for (const SwitchInst& s : topo.switches) {
     if (s.island == kIntermediateIsland) has_intermediate = true;
   }
-  if (!has_intermediate) {
-    topo = clean;  // leave a consistent (unrouted) topology behind
-    return first;
+  // Mid-routing pruning is only sound when the fallback pass cannot change
+  // the outcome: a pass-1 abandonment would otherwise hide the pass-2 design
+  // the unpruned path could still have produced. (The pre-routing base bound
+  // covers both passes and is checked by the evaluation stage.)
+  const bool fallback_possible = has_intermediate && !options.forbid_direct_cross;
+  const RouteBound* pass1_bound = fallback_possible ? nullptr : bound;
+
+  if (fallback_possible) {
+    sc.fallback = topo;  // pristine copy for the retry pass (capacity reused)
   }
-  topo = clean;
+  RouteOutcome first;
+  {
+    Router router(topo, spec, options, sc, pass1_bound);
+    first = router.run();
+    if (first.success || first.pruned || options.forbid_direct_cross) {
+      return first;
+    }
+  }
+  if (!fallback_possible) return first;
+  // Greedy pass stranded a flow. An intermediate switch exists, so retry
+  // with all cross-island traffic concentrated through the NoC VI (far
+  // fewer ports consumed on the island switches).
+  topo = sc.fallback;
   RouterOptions retry = options;
   retry.forbid_direct_cross = true;
-  Router router(topo, spec, retry);
+  Router router(topo, spec, retry, sc, bound);
   RouteOutcome second = router.run();
-  if (!second.success) {
+  if (!second.success && !second.pruned) {
     // Report the greedy pass's diagnosis; it is usually more informative.
     second.failure_reason = first.failure_reason;
+    second.failed_flow = first.failed_flow;
+    second.latency_violation = first.latency_violation;
   }
   return second;
 }

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <stdexcept>
 
 #include "vinoc/core/candidates.hpp"
 #include "vinoc/core/pareto.hpp"
+#include "vinoc/core/prune.hpp"
 #include "vinoc/exec/parallel_for.hpp"
 
 namespace vinoc::core {
@@ -37,6 +39,12 @@ SynthesisResult synthesize(const soc::SocSpec& spec,
 
 SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& options,
                            exec::ThreadPool& pool) {
+  EvalScratchPool scratch;
+  return synthesize(spec, options, pool, scratch);
+}
+
+SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& options,
+                           exec::ThreadPool& pool, EvalScratchPool& scratch_pool) {
   const auto t0 = std::chrono::steady_clock::now();
   {
     const auto problems = spec.validate();
@@ -71,15 +79,47 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
       spec, options, result.island_params, candidates, pool);
   const std::vector<double> traffic = compute_core_traffic(spec);
 
+  // Candidate-invariant hot-path inputs, computed once per run: the
+  // bandwidth-descending flow order every routing call follows, and the
+  // spec-only floor of the pruning power bound.
+  const std::vector<std::size_t> flow_order = bandwidth_descending_order(spec);
+  const double ni_base =
+      options.prune ? compute_ni_dynamic_base_w(spec, options.tech) : 0.0;
+
   // Stage 2 — evaluation (pure, thread-safe): candidates fan out over the
-  // pool; each produces a CandidateOutcome value independently.
-  const EvalContext ctx{spec,          result.floorplan, result.island_params,
-                        result.intermediate_params, partitions, traffic, options};
+  // pool; each produces a CandidateOutcome value independently. Workers
+  // publish finished points into the shared bound and prune against a
+  // per-candidate snapshot of it.
+  const EvalContext ctx{spec,
+                        result.floorplan,
+                        result.island_params,
+                        result.intermediate_params,
+                        partitions,
+                        traffic,
+                        options,
+                        &flow_order,
+                        ni_base};
+  SharedParetoBound shared_bound;
+  // With pruning on, workers whose snapshot is still empty evaluate against
+  // this empty bound instead of a null one, so the checkpoint lower bounds
+  // the merge re-checks below are recorded for EVERY candidate.
+  const ParetoBound empty_bound;
   std::mutex progress_mutex;
   std::size_t progress_done = 0;
   std::vector<CandidateOutcome> outcomes =
       exec::parallel_map<CandidateOutcome>(pool, candidates.size(), [&](std::size_t i) {
-        CandidateOutcome out = evaluate_candidate(ctx, candidates[i]);
+        EvalScratch& scratch = scratch_pool.local();
+        std::shared_ptr<const ParetoBound> snap;
+        const ParetoBound* bound = nullptr;
+        if (options.prune) {
+          snap = shared_bound.snapshot();
+          bound = snap != nullptr ? snap.get() : &empty_bound;
+        }
+        CandidateOutcome out = evaluate_candidate(ctx, candidates[i], &scratch, bound);
+        if (options.prune && out.status == EvalStatus::kRouted && out.deadlock_free) {
+          shared_bound.publish(out.point.metrics.noc_dynamic_w,
+                               out.point.metrics.avg_latency_cycles);
+        }
         if (options.on_progress) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
           ++progress_done;
@@ -92,9 +132,44 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
   // Merge — strictly in enumeration order, so duplicate suppression, the
   // stats counters and the saved-point list are independent of how the
   // evaluations were scheduled (bit-identical to a sequential run).
+  //
+  // Every outcome evaluated with a bound carries the monotone lower bounds
+  // of its LAST checkpoint (abort point when pruned, end of evaluation when
+  // routed), and the bound trajectory does not depend on which front was
+  // consulted. A concurrent snapshot can diverge from the sequential front
+  // in both directions, and the merge reconciles both exactly:
+  //
+  //  * kPruned under a snapshot that was AHEAD (contains later-enumerated
+  //    points): if the merge front does not dominate the recorded bounds,
+  //    the sequential run would have kept evaluating — REPLAY against the
+  //    merge front (deterministic mode). When it does dominate them,
+  //    monotonicity guarantees the sequential run pruned too.
+  //  * kRouted under a snapshot that was BEHIND (stale/empty): if the merge
+  //    front dominates the recorded last-checkpoint bounds, the sequential
+  //    run would have pruned at that checkpoint at the latest — count it
+  //    pruned (no replay needed: a pruned candidate contributes nothing
+  //    else). A sequential run never trips this (its snapshot dominance-
+  //    equals the merge front), so it costs nothing when threads == 1.
+  ParetoBound merge_bound;
   std::set<std::vector<int>> seen_designs;
-  for (CandidateOutcome& out : outcomes) {
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    CandidateOutcome& out = outcomes[i];
     ++result.stats.configs_explored;
+    if (out.status == EvalStatus::kPruned && options.deterministic_prune &&
+        !merge_bound.dominated(out.pruned_power_lb_w,
+                               out.pruned_latency_lb_cycles)) {
+      out = evaluate_candidate(ctx, candidates[i], &scratch_pool.local(),
+                               &merge_bound);
+    }
+    if (options.prune && out.status == EvalStatus::kRouted &&
+        merge_bound.dominated(out.pruned_power_lb_w,
+                              out.pruned_latency_lb_cycles)) {
+      out.status = EvalStatus::kPruned;
+    }
+    if (out.status == EvalStatus::kPruned) {
+      ++result.stats.rejected_pruned;
+      continue;
+    }
     if (out.status != EvalStatus::kRouted) {
       if (out.status == EvalStatus::kRejectedLatency) {
         ++result.stats.rejected_latency;
@@ -113,6 +188,10 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
       continue;
     }
     ++result.stats.configs_saved;
+    if (options.prune) {
+      merge_bound.insert(out.point.metrics.noc_dynamic_w,
+                         out.point.metrics.avg_latency_cycles);
+    }
     result.points.push_back(std::move(out.point));
   }
 

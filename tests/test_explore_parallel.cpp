@@ -85,6 +85,7 @@ void expect_same_result(const SynthesisResult& a, const SynthesisResult& b) {
   EXPECT_EQ(a.stats.rejected_latency, b.stats.rejected_latency);
   EXPECT_EQ(a.stats.rejected_duplicate, b.stats.rejected_duplicate);
   EXPECT_EQ(a.stats.rejected_deadlock, b.stats.rejected_deadlock);
+  EXPECT_EQ(a.stats.rejected_pruned, b.stats.rejected_pruned);
 
   ASSERT_EQ(a.points.size(), b.points.size());
   for (std::size_t i = 0; i < a.points.size(); ++i) {

@@ -289,6 +289,95 @@ TEST(Router, MultiHopWithinIslandWhenDirectPortsRunOut) {
   for (const TopLink& l : fx.topo.links) EXPECT_FALSE(l.crosses_island);
 }
 
+TEST(Router, LatencyInfeasibleFlowIsReportedStructurally) {
+  Fixture fx(2);
+  fx.add_flow(0, 1, 1e9, 30.0);  // routable
+  fx.add_flow(1, 0, 2e9, 7.0);   // needs 8 cycles: infeasible
+  const RouteOutcome out = route_all_flows(fx.topo, fx.spec, fx.opts);
+  EXPECT_FALSE(out.success);
+  EXPECT_FALSE(out.pruned);
+  EXPECT_EQ(out.failed_flow, 1);  // the infeasible flow, by spec index
+  EXPECT_NE(out.failure_reason.find("latency"), std::string::npos);
+  EXPECT_NE(out.failure_reason.find(fx.spec.flows[1].label), std::string::npos);
+}
+
+TEST(Router, NoAdmissiblePathReportsFailedFlow) {
+  // Flow exceeding every link's capacity: no admissible path anywhere.
+  Fixture fx(2);
+  fx.add_flow(0, 1, 20e9, 20);
+  const RouteOutcome out = route_all_flows(fx.topo, fx.spec, fx.opts);
+  EXPECT_FALSE(out.success);
+  EXPECT_EQ(out.failed_flow, 0);
+  EXPECT_EQ(out.failure_reason.find("latency"), std::string::npos);
+}
+
+TEST(Router, SuccessLeavesFailedFlowUnset) {
+  Fixture fx(2);
+  fx.add_flow(0, 1, 1e9, 20);
+  const RouteOutcome out = route_all_flows(fx.topo, fx.spec, fx.opts);
+  ASSERT_TRUE(out.success) << out.failure_reason;
+  EXPECT_EQ(out.failed_flow, -1);
+}
+
+TEST(Router, CrossingCountsThroughIntermediateIsland) {
+  // Force the flow through the NoC VI: island0 -> intermediate -> island1
+  // crosses two island boundaries, and both links carry FIFOs.
+  Fixture fx(2, /*intermediate_switches=*/1);
+  fx.add_flow(0, 1, 1e9, 30);
+  fx.opts.forbid_direct_cross = true;
+  const RouteOutcome out = route_all_flows(fx.topo, fx.spec, fx.opts);
+  ASSERT_TRUE(out.success) << out.failure_reason;
+  ASSERT_EQ(fx.topo.routes[0].links.size(), 2u);
+  EXPECT_EQ(fx.topo.routes[0].crossings, 2);
+  for (const int l : fx.topo.routes[0].links) {
+    EXPECT_TRUE(fx.topo.links[static_cast<std::size_t>(l)].crosses_island);
+  }
+  // Latency: 2 NI links + 3 switches + 2 FIFO links = 2 + 3 + 8 = 13.
+  EXPECT_DOUBLE_EQ(fx.topo.routes[0].latency_cycles, 13.0);
+  EXPECT_TRUE(fx.topo.validate(fx.spec).empty());
+}
+
+TEST(Router, ZeroFlowSpecRoutesTrivially) {
+  Fixture fx(2, 1);
+  const RouteOutcome out = route_all_flows(fx.topo, fx.spec, fx.opts);
+  ASSERT_TRUE(out.success) << out.failure_reason;
+  EXPECT_EQ(out.flows_routed, 0);
+  EXPECT_EQ(out.failed_flow, -1);
+  EXPECT_TRUE(fx.topo.links.empty());
+  EXPECT_TRUE(fx.topo.routes.empty());
+  EXPECT_TRUE(fx.topo.validate(fx.spec).empty());
+}
+
+TEST(Router, SharedScratchAcrossCallsIsBitIdentical) {
+  // Route two different fixtures through ONE scratch arena, interleaved with
+  // fresh-scratch runs; results must match exactly (reset, not stale reuse).
+  RouterScratch scratch;
+  for (const int islands : {2, 3, 2, 4}) {
+    Fixture shared(islands, 1);
+    Fixture fresh(islands, 1);
+    for (int i = 0; i + 1 < islands; ++i) {
+      shared.add_flow(i, i + 1, 1e9 + i * 1e8, 30);
+      fresh.add_flow(i, i + 1, 1e9 + i * 1e8, 30);
+    }
+    const RouteOutcome a =
+        route_all_flows(shared.topo, shared.spec, shared.opts, &scratch);
+    const RouteOutcome b = route_all_flows(fresh.topo, fresh.spec, fresh.opts);
+    ASSERT_EQ(a.success, b.success);
+    ASSERT_EQ(shared.topo.links.size(), fresh.topo.links.size());
+    for (std::size_t l = 0; l < shared.topo.links.size(); ++l) {
+      EXPECT_EQ(shared.topo.links[l].src_switch, fresh.topo.links[l].src_switch);
+      EXPECT_EQ(shared.topo.links[l].dst_switch, fresh.topo.links[l].dst_switch);
+      EXPECT_EQ(shared.topo.links[l].carried_bw_bits_per_s,
+                fresh.topo.links[l].carried_bw_bits_per_s);
+    }
+    for (std::size_t f = 0; f < shared.topo.routes.size(); ++f) {
+      EXPECT_EQ(shared.topo.routes[f].links, fresh.topo.routes[f].links);
+      EXPECT_EQ(shared.topo.routes[f].latency_cycles,
+                fresh.topo.routes[f].latency_cycles);
+    }
+  }
+}
+
 TEST(RouteLatency, FormulaMatchesHeaderDoc) {
   Fixture fx(2, 1, 8);
   fx.add_flow(0, 1, 1e9, 30);

@@ -187,11 +187,19 @@ TEST(Synthesis, StatsAreConsistent) {
   const SynthesisResult r = synthesize(d26_spec(6));
   EXPECT_EQ(r.stats.configs_explored,
             r.stats.configs_routed + r.stats.rejected_latency +
-                r.stats.rejected_unroutable);
+                r.stats.rejected_unroutable + r.stats.rejected_pruned);
   EXPECT_EQ(r.stats.configs_routed,
             r.stats.configs_saved + r.stats.rejected_duplicate +
                 r.stats.rejected_deadlock);
   EXPECT_GE(r.stats.elapsed_seconds, 0.0);
+  // With pruning off every candidate is fully evaluated.
+  SynthesisOptions off;
+  off.prune = false;
+  const SynthesisResult full = synthesize(d26_spec(6), off);
+  EXPECT_EQ(full.stats.rejected_pruned, 0);
+  EXPECT_EQ(full.stats.configs_explored,
+            full.stats.configs_routed + full.stats.rejected_latency +
+                full.stats.rejected_unroutable);
 }
 
 TEST(Synthesis, MinimumSwitchCountIsExplored) {

@@ -1,0 +1,166 @@
+// bench_check — the CI performance-regression gate.
+//
+//   bench_check --baseline bench/baseline.json [--tolerance 0.25] out1 [out2 ...]
+//
+// The baseline file is JSON-lines, one metric per line:
+//
+//   {"metric":"eval_hotpath.candidates_per_s","value":5000,
+//    "higher_is_better":true,"tolerance":0.9}
+//
+// `tolerance` (per metric, optional) overrides the command-line default.
+// The result files are raw bench stdout: every line that parses as a flat
+// JSON object with a string "bench" field contributes its numeric fields as
+// metrics named "<bench>.<field>" (later lines win). A metric FAILS when it
+// moved beyond tolerance in the BAD direction — below value*(1-t) when
+// higher is better, above value*(1+t) otherwise. Improvements never fail.
+// Missing metrics fail too: a bench that silently stops reporting is a
+// regression of the gate itself.
+//
+// Exit codes: 0 all within tolerance, 1 regression/missing metric,
+// 2 bad command line, 3 unreadable/unparseable baseline.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vinoc/io/jsonl.hpp"
+
+namespace {
+
+struct BaselineMetric {
+  std::string name;
+  double value = 0.0;
+  bool higher_is_better = true;
+  double tolerance = -1.0;  ///< negative = use the command-line default
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_check --baseline FILE [--tolerance T] results...\n");
+  return 2;
+}
+
+bool parse_number(const std::string& raw, double& out) {
+  char* end = nullptr;
+  out = std::strtod(raw.c_str(), &end);
+  return end != raw.c_str() && *end == '\0';
+}
+
+bool load_baseline(const std::string& path, std::vector<BaselineMetric>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_check: cannot read baseline %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::map<std::string, std::string> obj;
+    if (!vinoc::io::parse_jsonl_object(line, obj)) {
+      std::fprintf(stderr, "bench_check: %s:%d: not a flat JSON object\n",
+                   path.c_str(), lineno);
+      return false;
+    }
+    BaselineMetric m;
+    const auto name = obj.find("metric");
+    const auto value = obj.find("value");
+    if (name == obj.end() || value == obj.end() ||
+        !parse_number(value->second, m.value)) {
+      std::fprintf(stderr, "bench_check: %s:%d: need \"metric\" and numeric \"value\"\n",
+                   path.c_str(), lineno);
+      return false;
+    }
+    m.name = name->second;
+    const auto dir = obj.find("higher_is_better");
+    if (dir != obj.end()) m.higher_is_better = dir->second == "true";
+    const auto tol = obj.find("tolerance");
+    if (tol != obj.end() && !parse_number(tol->second, m.tolerance)) {
+      std::fprintf(stderr, "bench_check: %s:%d: bad tolerance\n", path.c_str(), lineno);
+      return false;
+    }
+    out.push_back(std::move(m));
+  }
+  return !out.empty();
+}
+
+/// Collects "<bench>.<numeric field>" metrics from one bench output file.
+void collect_metrics(const std::string& path, std::map<std::string, double>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_check: warning: cannot read %s\n", path.c_str());
+    return;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '{') continue;
+    std::map<std::string, std::string> obj;
+    if (!vinoc::io::parse_jsonl_object(line, obj)) continue;
+    const auto bench = obj.find("bench");
+    if (bench == obj.end()) continue;
+    for (const auto& [key, raw] : obj) {
+      if (key == "bench") continue;
+      double value = 0.0;
+      if (parse_number(raw, value)) out[bench->second + "." + key] = value;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  double default_tolerance = 0.25;
+  std::vector<std::string> result_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline") {
+      if (++i >= argc) return usage();
+      baseline_path = argv[i];
+    } else if (arg == "--tolerance") {
+      if (++i >= argc) return usage();
+      if (!parse_number(argv[i], default_tolerance)) return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      result_paths.push_back(arg);
+    }
+  }
+  if (baseline_path.empty() || result_paths.empty()) return usage();
+
+  std::vector<BaselineMetric> baseline;
+  if (!load_baseline(baseline_path, baseline)) return 3;
+  std::map<std::string, double> current;
+  for (const std::string& path : result_paths) collect_metrics(path, current);
+
+  int failures = 0;
+  std::printf("%-36s %14s %14s %9s %9s  %s\n", "metric", "baseline", "current",
+              "change", "limit", "status");
+  for (const BaselineMetric& m : baseline) {
+    const double tol = m.tolerance >= 0.0 ? m.tolerance : default_tolerance;
+    const auto it = current.find(m.name);
+    if (it == current.end()) {
+      std::printf("%-36s %14.4g %14s %9s %9s  MISSING\n", m.name.c_str(), m.value,
+                  "-", "-", "-");
+      ++failures;
+      continue;
+    }
+    const double change = (it->second - m.value) / m.value;
+    const bool bad = m.higher_is_better ? it->second < m.value * (1.0 - tol)
+                                        : it->second > m.value * (1.0 + tol);
+    std::printf("%-36s %14.4g %14.4g %+8.1f%% %8.0f%%  %s\n", m.name.c_str(),
+                m.value, it->second, change * 100.0, tol * 100.0,
+                bad ? "FAIL" : "ok");
+    if (bad) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_check: %d metric(s) regressed or missing\n", failures);
+    return 1;
+  }
+  std::printf("bench_check: all %zu metrics within tolerance\n", baseline.size());
+  return 0;
+}

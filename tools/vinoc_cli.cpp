@@ -24,6 +24,7 @@
 #include "vinoc/core/shutdown_safety.hpp"
 #include "vinoc/core/synthesis.hpp"
 #include "vinoc/io/exports.hpp"
+#include "vinoc/io/jsonl.hpp"
 #include "vinoc/io/spec_format.hpp"
 #include "vinoc/power/gating.hpp"
 #include "vinoc/power/transitions.hpp"
@@ -55,6 +56,7 @@ struct Args {
   int width = 32;
   std::vector<int> widths = {16, 32, 64, 128};
   bool intermediate = true;
+  bool prune = true;
   double scale = 1.0;
   int threads = 0;  // 0 = hardware concurrency (results are thread-count independent)
   bool progress = false;
@@ -86,6 +88,8 @@ int usage() {
       "  --width BITS            link data width for 'synth' (default 32)\n"
       "  --widths A,B,...        widths for 'sweep' (default 16,32,64,128)\n"
       "  --no-intermediate       forbid the intermediate NoC VI\n"
+      "  --no-prune              keep every routed design point (disable the\n"
+      "                          Pareto-bound pruning of dominated candidates)\n"
       "  --scale X               injection scale for 'sim' (default 1)\n"
       "options (campaign):\n"
       "  --cache-dir DIR         content-hash store; re-runs skip cached jobs\n"
@@ -145,6 +149,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       }
     } else if (flag == "--no-intermediate") {
       args.intermediate = false;
+    } else if (flag == "--no-prune") {
+      args.prune = false;
     } else if (flag == "--threads") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -207,6 +213,7 @@ core::SynthesisOptions options_from(const Args& args) {
   options.alpha_power = args.alpha_power;
   options.link_width_bits = args.width;
   options.allow_intermediate_island = args.intermediate;
+  options.prune = args.prune;
   options.threads = args.threads;
   if (args.progress) {
     options.on_progress = [](const core::SynthesisProgress& p) {
@@ -449,6 +456,16 @@ int cmd_campaign(const Args& args) {
                parsed.spec.name.c_str(), result.jobs_total, result.expand.raw,
                result.expand.filtered, result.expand.deduped, result.jobs_run,
                result.cache_hits, result.infeasible, result.wall_s);
+  // Machine-readable run summary: scripts (and CI's resume assertion) parse
+  // this line instead of the human-formatted one above.
+  {
+    io::JsonlWriter w;
+    w.field("run", result.jobs_run)
+        .field("cache_hits", result.cache_hits)
+        .field("infeasible", result.infeasible)
+        .field("total", result.jobs_total);
+    std::fprintf(stderr, "resume_summary %s\n", w.line().c_str());
+  }
   std::fprintf(stderr, "wrote %s.{jsonl,csv}\n", args.out.c_str());
   if (result.jobs_total == 0) {
     std::fprintf(stderr, "campaign matrix expanded to zero jobs\n");
