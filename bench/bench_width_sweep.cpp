@@ -1,0 +1,192 @@
+// Multi-width sweep throughput: wall clock of explore_link_widths() (the
+// sweep-structured evaluation — partitions / floorplan / candidate
+// structures shared across the width sweep, see vinoc/core/width_eval.hpp)
+// versus the LEGACY schedule of one independent synthesize() per width, on
+// the seed benchmarks at the default width set.
+//
+// The legacy loop lives in this same binary, so the A/B needs no second
+// build; the bench additionally asserts that every shared-sweep entry's
+// result_fingerprint equals its legacy counterpart (exits non-zero on
+// mismatch — the speedup number is only meaningful if the results are
+// bit-identical).
+//
+// One JSON line between the BEGIN/END JSONL markers; the perf-smoke job
+// feeds it to tools/bench_check against bench/baseline.json (the
+// speedup_shared metric is the CI floor for the sweep-structuring win).
+// `--quick` shrinks the case list and skips the google-benchmark tail.
+#include "bench_util.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "vinoc/campaign/spec_hash.hpp"
+#include "vinoc/core/candidates.hpp"
+#include "vinoc/core/explore.hpp"
+#include "vinoc/exec/thread_pool.hpp"
+#include "vinoc/io/jsonl.hpp"
+
+namespace {
+
+using namespace vinoc;
+using Clock = std::chrono::steady_clock;
+
+struct Case {
+  std::string name;
+  soc::SocSpec spec;
+};
+
+std::vector<Case> sweep_cases(bool quick) {
+  std::vector<Case> cases;
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::Benchmark d36 = soc::make_d36_settop_soc();
+  const soc::Benchmark d64 = soc::make_d64_tile_soc();
+  cases.push_back({"d26/l4", soc::with_logical_islands(d26.soc, 4, d26.use_cases)});
+  cases.push_back({"d36/l5", soc::with_logical_islands(d36.soc, 5, d36.use_cases)});
+  cases.push_back({"d64/l8", soc::with_logical_islands(d64.soc, 8, d64.use_cases)});
+  if (!quick) {
+    const soc::Benchmark d24 = soc::make_d24_imaging_soc();
+    cases.push_back({"d26/l7", soc::with_logical_islands(d26.soc, 7, d26.use_cases)});
+    cases.push_back({"d24/l5", soc::with_logical_islands(d24.soc, 5, d24.use_cases)});
+    cases.push_back({"d64/l4", soc::with_logical_islands(d64.soc, 4, d64.use_cases)});
+  }
+  return cases;
+}
+
+const std::vector<int> kWidths = {16, 32, 64, 128};
+
+/// The pre-PR sweep schedule: one full synthesize() per width over one
+/// shared pool/scratch, infeasible widths recorded. Returns per-width
+/// fingerprints (0 = infeasible) and the number of candidate evaluations.
+std::vector<std::uint64_t> legacy_sweep(const soc::SocSpec& spec,
+                                        const core::SynthesisOptions& options,
+                                        long long* evals) {
+  exec::ThreadPool pool(options.threads);
+  core::EvalScratchPool scratch;
+  std::vector<std::uint64_t> fps;
+  for (const int w : kWidths) {
+    core::SynthesisOptions opt = options;
+    opt.link_width_bits = w;
+    try {
+      const core::SynthesisResult r = core::synthesize(spec, opt, pool, scratch);
+      if (evals != nullptr) *evals += r.stats.configs_explored;
+      fps.push_back(campaign::result_fingerprint(r));
+    } catch (const core::InfeasibleWidthError&) {
+      fps.push_back(0);
+    }
+  }
+  return fps;
+}
+
+std::vector<std::uint64_t> shared_sweep(const soc::SocSpec& spec,
+                                        const core::SynthesisOptions& options,
+                                        long long* evals) {
+  const core::WidthSweepResult sweep =
+      core::explore_link_widths(spec, kWidths, options);
+  std::vector<std::uint64_t> fps;
+  for (const core::WidthSweepEntry& e : sweep.entries) {
+    if (e.feasible && evals != nullptr) *evals += e.result.stats.configs_explored;
+    fps.push_back(e.feasible ? campaign::result_fingerprint(e.result) : 0);
+  }
+  return fps;
+}
+
+void print_table(bool quick) {
+  bench::print_header(
+      "Width sweep: shared structures vs one synthesize() per width",
+      "beyond the paper (sweep-structured evaluation of Algorithm 1)");
+  std::vector<Case> cases = sweep_cases(quick);
+  core::SynthesisOptions options;  // threads = 1, prune on: the default path
+  const int reps = quick ? 2 : 3;
+
+  // Bit-identity gate first (also warms caches/pages for the timing loops).
+  for (const Case& c : cases) {
+    const std::vector<std::uint64_t> a = shared_sweep(c.spec, options, nullptr);
+    const std::vector<std::uint64_t> b = legacy_sweep(c.spec, options, nullptr);
+    if (a != b) {
+      std::fprintf(stderr,
+                   "bench_width_sweep: FINGERPRINT MISMATCH on %s — the shared "
+                   "sweep is not bit-identical to per-width synthesize()\n",
+                   c.name.c_str());
+      std::exit(1);
+    }
+  }
+
+  double shared_total = 0.0;
+  double legacy_total = 0.0;
+  long long evals_total = 0;
+  std::printf("%-10s %-12s %-12s %-10s\n", "case", "legacy [s]", "shared [s]",
+              "speedup");
+  for (const Case& c : cases) {
+    double best_shared = 1e100;
+    double best_legacy = 1e100;
+    long long evals = 0;
+    for (int r = 0; r < reps; ++r) {
+      evals = 0;
+      auto t0 = Clock::now();
+      (void)shared_sweep(c.spec, options, &evals);
+      best_shared =
+          std::min(best_shared, std::chrono::duration<double>(Clock::now() - t0).count());
+      t0 = Clock::now();
+      (void)legacy_sweep(c.spec, options, nullptr);
+      best_legacy =
+          std::min(best_legacy, std::chrono::duration<double>(Clock::now() - t0).count());
+    }
+    shared_total += best_shared;
+    legacy_total += best_legacy;
+    evals_total += evals;
+    std::printf("%-10s %-12.4f %-12.4f %.2fx\n", c.name.c_str(), best_legacy,
+                best_shared, best_legacy / best_shared);
+  }
+  std::printf("%-10s %-12.4f %-12.4f %.2fx\n", "TOTAL", legacy_total,
+              shared_total, legacy_total / shared_total);
+
+  // Sharing observability on the aggregate case list.
+  long long shared_evals = 0;
+  long long fallback_evals = 0;
+  long long partition_hits = 0;
+  for (const Case& c : cases) {
+    exec::ThreadPool pool(1);
+    core::EvalScratchPool scratch;
+    core::WidthSetStats st;
+    (void)core::synthesize_width_set(c.spec, kWidths, options, pool, scratch, &st);
+    shared_evals += st.shared_evals;
+    fallback_evals += st.fallback_evals;
+    partition_hits += st.partition_cache_hits;
+  }
+
+  std::printf("\n--- BEGIN JSONL (width_sweep) ---\n");
+  io::JsonlWriter w;
+  w.field("bench", "width_sweep")
+      .field("quick", quick)
+      .field("sweep_s", shared_total)
+      .field("legacy_s", legacy_total)
+      .field("speedup_shared", legacy_total / shared_total)
+      .field("width_cands_per_s", static_cast<double>(evals_total) / shared_total)
+      .field("shared_evals", static_cast<double>(shared_evals))
+      .field("fallback_evals", static_cast<double>(fallback_evals))
+      .field("partition_cache_hits", static_cast<double>(partition_hits));
+  std::printf("%s\n", w.line().c_str());
+  std::printf("--- END JSONL ---\n\n");
+}
+
+void BM_WidthSweepShared(benchmark::State& state) {
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(
+      d26.soc, static_cast<int>(state.range(0)), d26.use_cases);
+  core::SynthesisOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::explore_link_widths(spec, kWidths, options));
+  }
+}
+BENCHMARK(BM_WidthSweepShared)->Arg(4)->Arg(7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = vinoc::bench::quick_mode(argc, argv);
+  print_table(quick);
+  if (quick) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,11 +1,16 @@
 // Campaign engine: runs an expanded job matrix over the shared exec pool,
 // consults the result cache, and streams job-ordered JSONL records.
 //
-// Scheduling: jobs fan out with exec::parallel_for_each (the caller
-// participates as a strand) and every job's synthesize() call fans its
-// candidate sweep out over the SAME pool — nested parallelism. The nested
-// fan-outs queue at the front (exec's fairness hint), so in-flight jobs
-// finish before queued ones start and the job-ordered stream keeps flowing.
+// Scheduling: jobs are grouped by their WIDTH-EXCLUDED content hash
+// (spec_hash.hpp structure_key) — jobs that differ only in link_width_bits
+// share every width-invariant input, so each group is synthesized together
+// through core::synthesize_width_set (partitions, floorplan and candidate
+// structures computed once per group, not once per width). Groups fan out
+// with exec::parallel_for_each (the caller participates as a strand) and
+// every group's candidate sweep fans out over the SAME pool — nested
+// parallelism. The nested fan-outs queue at the front (exec's fairness
+// hint), so in-flight groups finish before queued ones start and the
+// job-ordered stream keeps flowing.
 //
 // Determinism: jobs are independent and synthesize() is bit-identical for
 // every thread count, records are merged/streamed in job order, and the
@@ -56,6 +61,12 @@ struct CampaignResult {
   int jobs_run = 0;     ///< actually synthesized this run
   int cache_hits = 0;
   int infeasible = 0;
+  /// Width-sharing groups actually computed this run (two or more jobs that
+  /// differ only in link_width_bits, synthesized together through
+  /// core::synthesize_width_set — the campaign-level structure cache), and
+  /// the number of jobs they covered.
+  int structure_groups = 0;
+  int structure_shared_jobs = 0;
   double wall_s = 0.0;  ///< whole-campaign wall time
 
   /// All records as JSONL text (one line each, trailing newline).

@@ -62,6 +62,19 @@ class CanonicalHasher {
 [[nodiscard]] std::uint64_t job_key(const soc::SocSpec& spec,
                                     const core::SynthesisOptions& options);
 
+/// Like hash_synthesis_options but with link_width_bits EXCLUDED: two
+/// option sets equal under this hash differ at most in the link width.
+[[nodiscard]] std::uint64_t hash_synthesis_options_width_excluded(
+    const core::SynthesisOptions& options);
+
+/// Structure-sharing key of a job (the campaign engine's width-group key):
+/// jobs with equal structure keys share every width-invariant input —
+/// floorplan, traffic, min-cut partitions, candidate enumeration inputs —
+/// and are synthesized together through core::synthesize_width_set so that
+/// work is computed once per group instead of once per width.
+[[nodiscard]] std::uint64_t structure_key(const soc::SocSpec& spec,
+                                          const core::SynthesisOptions& options);
+
 /// Structural fingerprint of a SynthesisResult (stats, per-point switch
 /// counts + metrics + route shape, Pareto indices). Two results with equal
 /// fingerprints are the same design space for every purpose the campaign

@@ -9,6 +9,7 @@
 
 #include "vinoc/campaign/spec_hash.hpp"
 #include "vinoc/core/candidates.hpp"
+#include "vinoc/core/explore.hpp"
 #include "vinoc/exec/parallel_for.hpp"
 #include "vinoc/exec/thread_pool.hpp"
 
@@ -83,6 +84,27 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   std::atomic<int> jobs_run{0};
   std::atomic<int> cache_hits{0};
   std::atomic<int> infeasible{0};
+  std::atomic<int> structure_groups{0};
+  std::atomic<int> structure_shared_jobs{0};
+
+  // The campaign-level structure cache: jobs that differ ONLY in
+  // link_width_bits share every width-invariant input (floorplan, traffic,
+  // min-cut partitions, candidate enumeration), so they are grouped under
+  // the width-excluded content hash and synthesized TOGETHER through
+  // core::synthesize_width_set — one structure pass per group instead of
+  // one per width. Grouping never changes results (each width's result is
+  // bit-identical to a solo synthesize()) nor the record stream (records
+  // are emitted in job order either way).
+  std::vector<std::vector<std::size_t>> groups;
+  {
+    std::map<std::uint64_t, std::size_t> group_of;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const std::uint64_t skey = structure_key(jobs[i].spec, jobs[i].options);
+      const auto [it, inserted] = group_of.emplace(skey, groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(i);
+    }
+  }
 
   exec::ThreadPool pool(options.threads);
   // One scratch-arena pool for the whole campaign: each worker strand keeps
@@ -90,7 +112,9 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   // every job and candidate it touches, so a thousand-job batch allocates
   // them once per strand instead of once per job.
   core::EvalScratchPool scratch;
-  exec::parallel_for_each(pool, jobs.size(), [&](std::size_t i) {
+
+  /// Serves job i from the cache tiers; true when a record was emitted.
+  auto serve_from_cache = [&](std::size_t i) -> bool {
     const CampaignJob& job = jobs[i];
     JobRecord rec;
     if (options.resume) {
@@ -110,7 +134,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         cache_hits.fetch_add(1);
         if (!rec.feasible) infeasible.fetch_add(1);
         emitter.emit(i, std::move(rec));
-        return;
+        return true;
       }
     }
     if (auto result = cache.find_result(job.key)) {
@@ -121,21 +145,18 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       stored.cache_hit = false;  // the store holds computed-job records
       cache.put_record(stored);
       emitter.emit(i, std::move(rec));
-      return;
+      return true;
     }
-    const auto t0 = std::chrono::steady_clock::now();
-    std::shared_ptr<const core::SynthesisResult> result;
-    try {
-      result = std::make_shared<core::SynthesisResult>(
-          core::synthesize(job.spec, job.options, pool, scratch));
-    } catch (const core::InfeasibleWidthError&) {
-      // Recorded, not fatal: an infeasible (scenario, width) pair is a
-      // normal matrix outcome.
-    }
-    rec = summarize(spec.name, job, result.get());
-    rec.wall_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
+    return false;
+  };
+
+  /// Emits a freshly computed job (result == nullptr for infeasible).
+  auto emit_computed = [&](std::size_t i,
+                           std::shared_ptr<const core::SynthesisResult> result,
+                           double wall_ms) {
+    const CampaignJob& job = jobs[i];
+    JobRecord rec = summarize(spec.name, job, result.get());
+    rec.wall_ms = wall_ms;
     if (result != nullptr) {
       cache.put_result(job.key, result);
     } else {
@@ -144,11 +165,65 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     jobs_run.fetch_add(1);
     cache.put_record(rec);  // cache_hit is false here by construction
     emitter.emit(i, std::move(rec));
+  };
+
+  exec::parallel_for_each(pool, groups.size(), [&](std::size_t g) {
+    std::vector<std::size_t> compute;
+    for (const std::size_t i : groups[g]) {
+      if (!serve_from_cache(i)) compute.push_back(i);
+    }
+    if (compute.empty()) return;
+    if (compute.size() == 1) {
+      const std::size_t i = compute.front();
+      const CampaignJob& job = jobs[i];
+      const auto t0 = std::chrono::steady_clock::now();
+      std::shared_ptr<const core::SynthesisResult> result;
+      try {
+        result = std::make_shared<core::SynthesisResult>(
+            core::synthesize(job.spec, job.options, pool, scratch));
+      } catch (const core::InfeasibleWidthError&) {
+        // Recorded, not fatal: an infeasible (scenario, width) pair is a
+        // normal matrix outcome.
+      }
+      emit_computed(i, std::move(result),
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+      return;
+    }
+    // Two or more widths over identical structure inputs: one shared
+    // width-set synthesis. Infeasible widths come back as infeasible
+    // entries (the solo path's InfeasibleWidthError); the group's wall
+    // time is amortised uniformly over its jobs.
+    structure_groups.fetch_add(1);
+    structure_shared_jobs.fetch_add(static_cast<int>(compute.size()));
+    const CampaignJob& first = jobs[compute.front()];
+    std::vector<int> widths;
+    widths.reserve(compute.size());
+    for (const std::size_t i : compute) widths.push_back(jobs[i].width);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<core::WidthSweepEntry> entries =
+        core::synthesize_width_set(first.spec, widths, first.options, pool,
+                                   scratch);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count() /
+                           static_cast<double>(compute.size());
+    for (std::size_t j = 0; j < compute.size(); ++j) {
+      std::shared_ptr<const core::SynthesisResult> result;
+      if (entries[j].feasible) {
+        result = std::make_shared<core::SynthesisResult>(
+            std::move(entries[j].result));
+      }
+      emit_computed(compute[j], std::move(result), wall_ms);
+    }
   });
 
   out.jobs_run = jobs_run.load();
   out.cache_hits = cache_hits.load();
   out.infeasible = infeasible.load();
+  out.structure_groups = structure_groups.load();
+  out.structure_shared_jobs = structure_shared_jobs.load();
   out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              t_start)
                    .count();

@@ -116,12 +116,18 @@ std::uint64_t hash_soc_spec(const soc::SocSpec& spec) {
   return h.digest();
 }
 
-std::uint64_t hash_synthesis_options(const core::SynthesisOptions& options) {
+namespace {
+
+/// Shared body of the two option hashes; `include_width` distinguishes the
+/// full job hash from the width-excluded structure hash (a fixed sentinel
+/// keeps the two streams from aliasing).
+std::uint64_t hash_options_impl(const core::SynthesisOptions& options,
+                                bool include_width) {
   CanonicalHasher h;
   h.tag(kTagOptions)
       .f64(options.alpha)
       .f64(options.alpha_power)
-      .i64(options.link_width_bits)
+      .i64(include_width ? options.link_width_bits : -1)
       .boolean(options.allow_intermediate_island)
       .i64(options.max_intermediate_switches)
       .i64(options.port_reserve)
@@ -138,10 +144,30 @@ std::uint64_t hash_synthesis_options(const core::SynthesisOptions& options) {
   return h.digest();
 }
 
+}  // namespace
+
+std::uint64_t hash_synthesis_options(const core::SynthesisOptions& options) {
+  return hash_options_impl(options, /*include_width=*/true);
+}
+
+std::uint64_t hash_synthesis_options_width_excluded(
+    const core::SynthesisOptions& options) {
+  return hash_options_impl(options, /*include_width=*/false);
+}
+
 std::uint64_t job_key(const soc::SocSpec& spec,
                       const core::SynthesisOptions& options) {
   CanonicalHasher h;
   h.tag(kTagJob).u64(hash_soc_spec(spec)).u64(hash_synthesis_options(options));
+  return h.digest();
+}
+
+std::uint64_t structure_key(const soc::SocSpec& spec,
+                            const core::SynthesisOptions& options) {
+  CanonicalHasher h;
+  h.tag(kTagJob)
+      .u64(hash_soc_spec(spec))
+      .u64(hash_synthesis_options_width_excluded(options));
   return h.digest();
 }
 

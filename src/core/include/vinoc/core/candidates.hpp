@@ -30,7 +30,7 @@
 // the current front is abandoned before routing/metrics complete.
 #pragma once
 
-#include <map>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -68,9 +68,37 @@ struct IslandPartition {
   std::vector<std::vector<soc::CoreId>> blocks;  ///< cores per switch
 };
 
-/// (island, switch count) -> partition, computed once per distinct pair.
 using PartitionKey = std::pair<soc::IslandId, int>;
-using PartitionTable = std::map<PartitionKey, IslandPartition>;
+
+/// (island, switch count) -> partition, computed once per distinct pair.
+/// Flat sorted-vector container: the table sits on the evaluation hot path
+/// (one lookup per island per candidate), is built once and read many
+/// times, so lookups are a binary search over a dense key vector instead of
+/// std::map node chasing. Keys and payloads live in parallel vectors; the
+/// search never touches the (cold) partition blocks.
+class PartitionTable {
+ public:
+  PartitionTable() = default;
+  /// Creates one default-constructed slot per distinct key (the keys are
+  /// sorted and deduplicated here; fill the slots via slot()).
+  explicit PartitionTable(std::vector<PartitionKey> keys);
+
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  [[nodiscard]] bool empty() const { return keys_.empty(); }
+  [[nodiscard]] const PartitionKey& key(std::size_t i) const { return keys_[i]; }
+  [[nodiscard]] IslandPartition& slot(std::size_t i) { return slots_[i]; }
+  [[nodiscard]] const IslandPartition& slot(std::size_t i) const {
+    return slots_[i];
+  }
+  /// nullptr when absent.
+  [[nodiscard]] const IslandPartition* find(const PartitionKey& key) const;
+  /// Throws std::out_of_range when absent (mirrors std::map::at).
+  [[nodiscard]] const IslandPartition& at(const PartitionKey& key) const;
+
+ private:
+  std::vector<PartitionKey> keys_;      ///< sorted ascending, unique
+  std::vector<IslandPartition> slots_;  ///< parallel to keys_
+};
 
 /// Runs the min-cut partitioner once for every distinct (island, switch
 /// count) pair referenced by `candidates`, fanning the independent min-cut
@@ -140,6 +168,7 @@ struct EvalScratch {
   std::vector<double> min_flow_latency;   ///< per-flow latency floor
   std::vector<double> switch_bw_floor;    ///< per-switch endpoint traffic
   std::vector<double> switch_ebit_floor;  ///< per-switch energy/bit floor
+  std::vector<double> switch_freq;        ///< per-switch frequency table
 };
 
 /// Thread-keyed pool of EvalScratch arenas (exec::WorkerLocal). One slot
@@ -169,6 +198,20 @@ class EvalScratchPool {
                                                   const CandidateConfig& cand,
                                                   EvalScratch* scratch = nullptr,
                                                   const ParetoBound* bound = nullptr);
+
+/// Enumeration-ordered merge of candidate outcomes into `result` — the
+/// single definition of Algorithm 1's dedup / stats / Pareto-front /
+/// deterministic-pruning semantics, shared by synthesize() and the
+/// width-sweep shared path (explore.cpp). `outcomes` must be in enumeration
+/// order; `replay` re-evaluates candidate i against the merge-front bound
+/// (called only when options.prune && options.deterministic_prune for a
+/// pruned outcome whose recorded bounds the merge front does not dominate).
+/// Appends points, fills stats counters (not elapsed_seconds) and builds
+/// result.pareto.
+void merge_candidate_outcomes(
+    std::vector<CandidateOutcome>&& outcomes, const SynthesisOptions& options,
+    const std::function<CandidateOutcome(std::size_t, const ParetoBound&)>& replay,
+    SynthesisResult& result);
 
 /// Per-core total traffic (sum of inbound + outbound flow bandwidth), used
 /// to weight switch placement.

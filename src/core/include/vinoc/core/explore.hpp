@@ -14,7 +14,13 @@
 
 #include "vinoc/core/synthesis.hpp"
 
+namespace vinoc::exec {
+class ThreadPool;
+}  // namespace vinoc::exec
+
 namespace vinoc::core {
+
+class EvalScratchPool;
 
 struct WidthSweepEntry {
   int width_bits = 0;
@@ -42,16 +48,62 @@ struct WidthSweepResult {
   }
 };
 
-/// Runs synthesize() once per width and merges the design spaces. `widths`
-/// must be non-empty and positive. `base_options.link_width_bits` is
-/// ignored. Widths at which an NI link exceeds attainable bandwidth
-/// (synthesize() throws InfeasibleWidthError) are recorded as infeasible
-/// entries, not fatal; every other error — invalid spec, bad alpha weights —
-/// propagates to the caller.
+/// Observability of one synthesize_width_set() call: how much of the sweep
+/// was served by the sweep-structured evaluation (see width_eval.hpp).
+struct WidthSetStats {
+  int width_classes = 0;   ///< structural classes among the feasible widths
+  /// (candidate, width) results materialised from a shared structure
+  /// instead of being routed solo.
+  int shared_evals = 0;
+  /// (candidate, width) results whose routing outcome was width-dependent:
+  /// the lockstep diverged and the width was re-evaluated on the classic
+  /// per-width path.
+  int fallback_evals = 0;
+  /// Per-class partition-table slots served by the sweep's cross-width
+  /// partition cache beyond the first computation of each distinct
+  /// (island, switch count, max block size) min-cut problem.
+  int partition_cache_hits = 0;
+};
+
+/// Core engine of the width sweep: synthesizes `spec` at every width of
+/// `widths` (entries parallel to it) with width-invariant work shared —
+/// ONE floorplan, flow order and traffic profile for the whole set; ONE
+/// min-cut partition per distinct (island, switch count, max block size)
+/// across all widths; and, for widths whose derived island parameters share
+/// a structural profile, ONE routed candidate structure evaluated at every
+/// width of the class with per-width capacity checks verified in the
+/// router's width lockstep (see vinoc/core/width_eval.hpp — widths whose
+/// routing outcome is width-dependent fall back to the classic per-width
+/// evaluation, detected soundly per decision).
 ///
-/// The sweep runs on one pool of base_options.threads strands shared by the
-/// per-width loop and each width's internal candidate sweep; results are
-/// bit-identical for every thread count (see synthesis.hpp).
+/// Every entry's SynthesisResult is bit-identical to
+/// synthesize(spec, base_options with that width) — same points, stats,
+/// Pareto front — for every thread count and both prune settings
+/// (elapsed_seconds, which is measured, reports the whole set's wall time).
+/// Infeasible widths yield feasible == false with a default result, exactly
+/// like the InfeasibleWidthError path of synthesize().
+///
+/// Progress: base_options.on_progress receives SWEEP-GLOBAL totals —
+/// `completed` increases monotonically 1..total over all (candidate, width)
+/// evaluations of the whole set, `total` is their overall count and
+/// `link_width_bits` identifies the width whose evaluation completed. The
+/// callback is serialised by one sweep-wide mutex.
+std::vector<WidthSweepEntry> synthesize_width_set(
+    const soc::SocSpec& spec, const std::vector<int>& widths,
+    const SynthesisOptions& base_options, exec::ThreadPool& pool,
+    EvalScratchPool& scratch, WidthSetStats* stats = nullptr);
+
+/// Runs the synthesis once per width and merges the design spaces. `widths`
+/// must be non-empty and positive. `base_options.link_width_bits` is
+/// ignored. Widths at which an NI link exceeds attainable bandwidth are
+/// recorded as infeasible entries, not fatal; every other error — invalid
+/// spec, bad alpha weights — propagates to the caller.
+///
+/// The sweep runs on one pool of base_options.threads strands shared by
+/// every internal fan-out, evaluates all widths through
+/// synthesize_width_set() (width-invariant work shared, results
+/// bit-identical to per-width synthesize() calls for every thread count),
+/// and reports sweep-global progress (see synthesize_width_set).
 WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
                                      const std::vector<int>& widths,
                                      const SynthesisOptions& base_options = {});

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,40 @@ struct RouterOptions {
 [[nodiscard]] std::vector<std::size_t> bandwidth_descending_order(
     const soc::SocSpec& spec);
 
+/// Width-invariant routing geometry of one candidate topology: the hop
+/// length matrix plus, per (source-island, destination-island) flow class,
+/// the CSR of admissible hops (target switch, length, crossing flags) every
+/// Dijkstra of that class walks. Switch positions and the shutdown-safety
+/// admissibility rule depend on neither the link width nor the island
+/// frequencies, so ONE geometry serves every width of a sweep and both
+/// routing passes of route_all_flows — it is reset once per candidate and
+/// its classes are built lazily on first use.
+struct RoutingGeometry {
+  /// One contiguous range [lo, hi) of admissible target switches of one
+  /// source switch, all in the same island — so the relaxation loop streams
+  /// over dense dist / link / floor rows with one crossing flag per run.
+  struct HopRun {
+    int lo = 0;
+    int hi = 0;
+    unsigned char crossing = 0;
+    /// Direct island-to-island run; the intermediate-retry pass skips these
+    /// runs instead of rebuilding the class.
+    unsigned char direct_cross = 0;
+  };
+  struct FlowClass {
+    bool built = false;
+    std::vector<int> run_begin;  ///< per switch id, runs[run_begin[u]..run_begin[u+1])
+    std::vector<HopRun> runs;
+  };
+  std::size_t n = 0;
+  std::size_t n_islands = 0;
+  std::vector<double> hop_len;   ///< n x n flat matrix of Manhattan lengths
+  /// fl(link_leakage_coeff * hop_len): width-invariant part of the
+  /// opening-cost floor (see router.cpp), n x n.
+  std::vector<double> leak_len;
+  std::vector<FlowClass> classes;  ///< (n_islands + 1)^2 slots, lazily built
+};
+
 /// Reusable routing state. Buffers grow to the high-water mark of the
 /// topologies routed through them and are reset — not reallocated — per
 /// call; one instance per worker strand (see exec::WorkerLocal).
@@ -74,15 +109,58 @@ struct RouterScratch {
   std::vector<double> dist;
   std::vector<int> pred;
   std::vector<int> pred_link;
-  std::vector<char> done;
   std::vector<int> path;
-  std::vector<int> nodes;    ///< admissible-switch subset of one flow's Dijkstra
   std::vector<int> link_at;  ///< n x n flat matrix: link id or -1
-  std::vector<double> hop_len;       ///< n x n flat matrix of Manhattan lengths
   std::vector<double> max_wire_len;  ///< per-switch one-cycle wire length cap
   std::vector<int> ports_in;
   std::vector<int> ports_out;
+  std::vector<int> island_of;        ///< per-switch island (flat; SwitchInst is cold)
+  std::vector<double> freq_of;       ///< per-switch frequency (flat)
+  std::vector<double> ebit_of;       ///< per-switch crossbar energy/bit at current ports
+  /// Lazy (dist, index) min-heap of the per-flow Dijkstra; pops reproduce
+  /// the dense scan's lowest-dist-then-lowest-index extraction exactly.
+  std::vector<std::pair<double, int>> heap;
+  std::vector<std::vector<double>> lane_dist;  ///< per-lane dist arrays
+  std::vector<std::vector<std::pair<double, int>>> lane_heap;
+  /// Per-candidate routing geometry, reset by route_all_flows[_multi] and
+  /// shared by both passes (and, in lockstep mode, every lane).
+  RoutingGeometry geometry;
+  /// Geometry reuse across route_all_flows calls of the SAME candidate
+  /// topology (e.g. one candidate evaluated at several widths): callers that
+  /// guarantee unchanged switch positions/islands set geometry_token to a
+  /// fresh non-zero value per candidate; the geometry is rebuilt only when
+  /// the token changes. 0 (default) always rebuilds.
+  std::uint64_t geometry_token = 0;
+  std::uint64_t geometry_built_token = 0;
+  std::uint64_t geometry_token_counter = 0;  ///< for callers minting tokens
   NocTopology fallback;  ///< pristine pre-routing copy for the retry pass
+};
+
+/// One FOLLOWER width of a multi-width structure pass. The leader width
+/// routes; each lane re-derives every routing decision — capacity and port
+/// admissibility, wire-timing caps, link-opening costs, Dijkstra
+/// comparisons — from its own width/frequency tables with the follower's
+/// exact solo arithmetic, and is marked `diverged` at the FIRST decision
+/// whose outcome differs from the leader's. A lane that survives to the end
+/// is a proof its solo run would have produced the identical topology and
+/// routes, so the caller can materialise its result from the shared
+/// structure; a diverged lane must be re-evaluated solo (the fallback path).
+struct WidthLane {
+  int width_bits = 0;
+  /// Per-switch tables at this lane's width (indexed like topo.switches).
+  std::vector<double> switch_freq;
+  std::vector<double> max_wire_len;  ///< read only when enforce_wire_timing
+  std::vector<int> max_ports;
+  /// Output: some routing decision differs from the leader's at this width.
+  bool diverged = false;
+  /// On divergence: the shared topology as it stood BEFORE the flow whose
+  /// routing diverged (all earlier flows are proven identical), the
+  /// position of that flow in the routing order, and the pass (1 = greedy,
+  /// 2 = intermediate retry) it happened in. resume_route_flows() re-routes
+  /// only this width-dependent TAIL instead of the whole candidate.
+  NocTopology resume_topo;
+  int resume_order_pos = -1;
+  int resume_pass = 0;
 };
 
 /// Cost-bound pruning input for one routing call (see vinoc/core/prune.hpp).
@@ -148,6 +226,35 @@ RouteOutcome route_all_flows(NocTopology& topo, const soc::SocSpec& spec,
                              const RouterOptions& options,
                              RouterScratch* scratch = nullptr,
                              const RouteBound* bound = nullptr);
+
+/// route_all_flows() for the LEADER width of `options` while verifying, per
+/// routing decision, that every lane in `lanes` would decide identically
+/// (see WidthLane). Pruning bounds are NOT consulted — the structure pass
+/// must run to completion so surviving lanes can be materialised from it;
+/// callers replay the bound trajectory per width afterwards (see
+/// vinoc/core/width_eval.hpp). `pass2_ran` (optional) reports whether the
+/// intermediate-island retry pass produced the outcome, which callers need
+/// to replay the per-width bound recording exactly.
+RouteOutcome route_all_flows_multi(NocTopology& topo, const soc::SocSpec& spec,
+                                   const RouterOptions& options,
+                                   std::vector<WidthLane>& lanes,
+                                   RouterScratch* scratch = nullptr,
+                                   bool* pass2_ran = nullptr,
+                                   RouteOutcome* pass1_failure = nullptr);
+
+/// Resumes a SOLO routing run mid-sequence: `topo` must hold the exact
+/// state after the first `resume_order_pos` flows of the routing order —
+/// routes filled for them, links carrying exactly their bandwidth — as
+/// captured by a diverged WidthLane (with its frequency fields patched to
+/// the resuming width). Routes the remaining flows with decisions
+/// bit-identical to a from-scratch run that routed the prefix the same
+/// way; the caller handles the intermediate-island retry itself (the
+/// resume covers a single pass). `options.forbid_direct_cross` selects
+/// which pass's rules apply.
+RouteOutcome resume_route_flows(NocTopology& topo, const soc::SocSpec& spec,
+                                const RouterOptions& options,
+                                int resume_order_pos,
+                                RouterScratch* scratch = nullptr);
 
 /// True if a link from switch `a` to switch `b` is admissible for a flow
 /// going from island `src_isl` to island `dst_isl` under the shutdown-safety

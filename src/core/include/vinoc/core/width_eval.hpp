@@ -1,0 +1,99 @@
+// Sweep-structured candidate evaluation: share width-invariant work across
+// the width sweep (the tentpole of the two-phase evaluation pipeline).
+//
+// Algorithm 1's structural decisions — min-cut partitions, switch
+// placement, shutdown-safe admissibility — do not depend on the link width;
+// only the cost models and capacity checks do. For widths whose DERIVED
+// island parameters share the same structural profile (max switch size and
+// minimum switch count per island; frequencies may differ), this module
+// evaluates one candidate for ALL of them at once:
+//
+//   1. STRUCTURE: the leader width routes the candidate while every other
+//      width runs as a verification LANE in the router's width lockstep
+//      (see router.hpp WidthLane): each routing decision is re-derived from
+//      the lane's width/frequency tables with the lane's exact solo
+//      arithmetic. A lane that survives to the end is PROVEN to produce the
+//      identical compacted topology and flow routes.
+//   2. RE-COST: each surviving width materialises its CandidateOutcome from
+//      the shared structure — topology copy with its own frequencies,
+//      per-width metrics, and an exact replay of the per-width pruning
+//      bound trajectory — at O(topology + flows) instead of a Dijkstra per
+//      flow.
+//   3. FALLBACK: widths whose routing outcome IS width-dependent (a
+//      capacity check, port limit, wire-timing cap or cost comparison that
+//      resolves differently — detected soundly, never guessed) drop out of
+//      lockstep; each re-routes ONLY its width-dependent tail from a
+//      snapshot of the shared state at its divergence point (all earlier
+//      flows are proven identical — see resume_route_flows).
+//
+// Results are bit-identical to evaluate_candidate() at every width; the
+// merge stage (merge_candidate_outcomes) reconciles pruning exactly as it
+// does for concurrent solo evaluation.
+#pragma once
+
+#include <vector>
+
+#include "vinoc/core/candidates.hpp"
+
+namespace vinoc::core {
+
+/// One width's derived inputs within a structural class. All slices of one
+/// MultiWidthContext must agree on every width-invariant field of
+/// island_params (core_count, max_sw_size, min_switches) — group widths
+/// with width_class_key() before building slices.
+struct WidthSlice {
+  SynthesisOptions options;  ///< base options with link_width_bits set
+  std::vector<IslandNocParams> island_params;
+  IslandNocParams intermediate_params;
+};
+
+/// Shared, width-invariant inputs of one candidate evaluation across a
+/// width class. All referenced objects are owned by the caller and must
+/// outlive the evaluation calls; they are never mutated here.
+struct MultiWidthContext {
+  const soc::SocSpec* spec = nullptr;
+  const floorplan::Floorplan* floorplan = nullptr;
+  const PartitionTable* partitions = nullptr;
+  const std::vector<double>* core_traffic = nullptr;
+  const std::vector<std::size_t>* flow_order = nullptr;
+  /// Spec-only floor of the power bound (compute_ni_dynamic_base_w).
+  double ni_dynamic_base_w = 0.0;
+  std::vector<WidthSlice> slices;
+};
+
+/// Observability counters of one evaluate_candidate_widths call (summed by
+/// the sweep into WidthSetStats).
+struct WidthEvalCounters {
+  /// (candidate, width) results materialised from a shared structure
+  /// (lockstep survivors other than the group leader).
+  int shared = 0;
+  /// (candidate, width) results that diverged in lockstep; each re-routed
+  /// its width-dependent tail solo from the divergence snapshot.
+  int fallback = 0;
+};
+
+/// Structural profile of one width: widths with equal keys can share
+/// candidate enumeration, partitions and — via the lockstep — routed
+/// structures. Frequencies are deliberately excluded (they are verified
+/// per decision, not required equal); infeasible widths get an empty key
+/// and must not be grouped.
+[[nodiscard]] std::vector<int> width_class_key(
+    const std::vector<IslandNocParams>& island_params);
+
+/// Evaluates `cand` for EVERY slice of `ctx` (see file header). Returns one
+/// outcome per slice, each bit-identical to what evaluate_candidate() would
+/// produce at that slice's width under sequential-merge semantics: shared
+/// results are returned as kRouted/rejections with exact recorded bound
+/// checkpoints (never kPruned), so merge_candidate_outcomes reconstructs
+/// the sequential pruning decisions. `fronts` (optional, parallel to
+/// slices, entries may be null) supplies per-width Pareto-bound snapshots:
+/// a candidate whose pre-routing floor is dominated at EVERY width is
+/// abandoned before routing, and solo fallback evaluations prune against
+/// their width's snapshot.
+[[nodiscard]] std::vector<CandidateOutcome> evaluate_candidate_widths(
+    const MultiWidthContext& ctx, const CandidateConfig& cand,
+    EvalScratch* scratch = nullptr,
+    const std::vector<const ParetoBound*>* fronts = nullptr,
+    WidthEvalCounters* counters = nullptr);
+
+}  // namespace vinoc::core

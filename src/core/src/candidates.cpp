@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <string>
 
+#include "eval_internal.hpp"
 #include "vinoc/core/deadlock.hpp"
+#include "vinoc/core/pareto.hpp"
 #include "vinoc/core/prune.hpp"
 #include "vinoc/core/router.hpp"
 #include "vinoc/core/vcg.hpp"
@@ -26,13 +29,15 @@ bool has_cross_island_flows(const soc::SocSpec& spec) {
   return false;
 }
 
-/// Min-cut partition of one island's VCG into `switch_count` blocks (empty
-/// blocks dropped). Deterministic for a fixed options.partition_seed.
-IslandPartition partition_island(const soc::SocSpec& spec,
-                                 const SynthesisOptions& opts,
-                                 const std::vector<IslandNocParams>& params,
-                                 const VcgScaling& scaling, soc::IslandId island,
-                                 int switch_count) {
+}  // namespace
+
+namespace detail {
+
+IslandPartition partition_island_mincut(const soc::SocSpec& spec,
+                                        const SynthesisOptions& opts,
+                                        const VcgScaling& scaling,
+                                        soc::IslandId island, int switch_count,
+                                        int max_sw_size) {
   const auto cores = spec.cores_in_island(island);
   IslandPartition part;
   part.blocks.resize(static_cast<std::size_t>(switch_count));
@@ -40,8 +45,7 @@ IslandPartition partition_island(const soc::SocSpec& spec,
     const graph::Digraph vcg = build_vcg(spec, island, opts.alpha, scaling);
     partition::KwayOptions kopts;
     kopts.blocks = switch_count;
-    const int max_size =
-        params[static_cast<std::size_t>(island)].max_sw_size - opts.port_reserve;
+    const int max_size = max_sw_size - opts.port_reserve;
     kopts.max_block_size = static_cast<std::size_t>(std::max(max_size, 1));
     kopts.seed = opts.partition_seed;
     const partition::PartitionResult res = partition::kway_mincut(vcg, kopts);
@@ -57,9 +61,6 @@ IslandPartition partition_island(const soc::SocSpec& spec,
   return part;
 }
 
-/// Builds the switch set for one configuration: one switch per partition
-/// block at the traffic-weighted centroid of its cores (clamped into the
-/// island region), plus `k_int` intermediate switches around the chip centre.
 void build_switches(NocTopology& topo, const EvalContext& ctx,
                     const std::vector<const IslandPartition*>& parts, int k_int,
                     EvalScratch* scratch) {
@@ -127,9 +128,6 @@ void build_switches(NocTopology& topo, const EvalContext& ctx,
   }
 }
 
-/// Moves each intermediate switch to the traffic-weighted centroid of its
-/// link partners and refreshes wire lengths (latencies are length-free, so
-/// routes stay valid; only the power numbers improve).
 void refine_intermediate_positions(NocTopology& topo, const floorplan::Floorplan& fp,
                                    const soc::SocSpec& spec, EvalScratch* scratch) {
   std::vector<floorplan::Point> local_pts;
@@ -168,11 +166,6 @@ void refine_intermediate_positions(NocTopology& topo, const floorplan::Floorplan
   }
 }
 
-/// Drops intermediate switches that ended up with no links (the router may
-/// need fewer than the sweep offered) and remaps all indices IN PLACE (the
-/// remap is monotone, so kept switches only ever move to lower slots).
-/// Returns the number of intermediate switches kept. Designs then
-/// deduplicate cleanly across k_int values.
 int compact_unused_intermediate(NocTopology& topo) {
   const std::size_t n = topo.switches.size();
   std::vector<bool> used(n, false);
@@ -211,8 +204,6 @@ int compact_unused_intermediate(NocTopology& topo) {
   return kept_intermediate;
 }
 
-/// Structural signature for design-point deduplication: per-island switch
-/// counts, attachment, and the link list.
 std::vector<int> design_signature(const NocTopology& topo) {
   std::vector<int> sig;
   sig.reserve(1 + topo.switch_of_core.size() + 2 * topo.links.size());
@@ -225,29 +216,16 @@ std::vector<int> design_signature(const NocTopology& topo) {
   return sig;
 }
 
-/// Pre-routing lower bounds on the candidate's final metrics, from the
-/// attachment and the spec alone (every term is exceeded-or-met by the
-/// finished design, whichever routing pass produces it — see prune.hpp):
-///  * power: NI dynamic energy (exact), NI-wire energy (exact: attachment
-///    and island-switch positions never change after placement), and each
-///    switch's dynamic power at its core-only port count and endpoint-only
-///    traffic (ports and traffic only grow as links open);
-///  * latency: per-flow floors — same-switch exact, same-island one cheap
-///    hop, cross-island one FIFO hop.
-struct BaseBound {
-  double power_lb_w = 0.0;
-  double latency_sum_lb_cycles = 0.0;  ///< Σ min_flow_latency
-};
-
-BaseBound compute_base_bound(const EvalContext& ctx, const NocTopology& topo,
-                             std::vector<double>& min_flow_latency,
-                             std::vector<double>& switch_bw_floor,
-                             std::vector<double>& switch_ebit_floor) {
-  const soc::SocSpec& spec = ctx.spec;
-  const models::Technology& tech = ctx.options.tech;
-  const models::SwitchModel sw_model(tech);
+BaseBoundParts compute_base_bound_parts(const soc::SocSpec& spec,
+                                        const NocTopology& topo,
+                                        const models::Technology& tech,
+                                        double ni_dynamic_base_w,
+                                        const std::vector<double>& core_traffic,
+                                        std::vector<double>& min_flow_latency,
+                                        std::vector<double>& switch_bw_floor,
+                                        std::vector<double>& switch_ebit_floor) {
   const models::LinkModel link_model(tech);
-  BaseBound out;
+  BaseBoundParts out;
 
   min_flow_latency.assign(spec.flows.size(), 0.0);
   switch_bw_floor.assign(topo.switches.size(), 0.0);
@@ -274,17 +252,15 @@ BaseBound compute_base_bound(const EvalContext& ctx, const NocTopology& topo,
     if (d_sw != s_sw) switch_bw_floor[static_cast<std::size_t>(d_sw)] += bw;
   }
 
-  out.power_lb_w = ctx.ni_dynamic_base_w;
+  out.power_prefix_w = ni_dynamic_base_w;
   for (std::size_t c = 0; c < spec.cores.size(); ++c) {
-    out.power_lb_w +=
-        link_model.dynamic_power_w(topo.ni_wire_mm[c], ctx.core_traffic[c]);
+    out.power_prefix_w +=
+        link_model.dynamic_power_w(topo.ni_wire_mm[c], core_traffic[c]);
   }
   switch_ebit_floor.assign(topo.switches.size(), 0.0);
   for (std::size_t s = 0; s < topo.switches.size(); ++s) {
     const SwitchInst& sw = topo.switches[s];
     const int core_ports = static_cast<int>(sw.cores.size());
-    out.power_lb_w += sw_model.dynamic_power_w(core_ports, core_ports, sw.freq_hz,
-                                               switch_bw_floor[s]);
     // Energy per bit floor for pass-through traffic: a pass-through switch
     // necessarily has an inbound link on top of its core ports, so its final
     // max(in, out) is at least core_ports + 1 and the crossbar only grows
@@ -296,7 +272,41 @@ BaseBound compute_base_bound(const EvalContext& ctx, const NocTopology& topo,
   return out;
 }
 
-}  // namespace
+double base_power_with_floor(const BaseBoundParts& parts,
+                             const NocTopology& topo,
+                             const models::Technology& tech,
+                             const std::vector<double>& switch_bw_floor,
+                             const std::vector<double>& freq_of) {
+  const models::SwitchModel sw_model(tech);
+  double acc = parts.power_prefix_w;
+  for (std::size_t s = 0; s < topo.switches.size(); ++s) {
+    const int core_ports = static_cast<int>(topo.switches[s].cores.size());
+    acc += sw_model.dynamic_power_w(core_ports, core_ports, freq_of[s],
+                                    switch_bw_floor[s]);
+  }
+  return acc;
+}
+
+}  // namespace detail
+
+PartitionTable::PartitionTable(std::vector<PartitionKey> keys)
+    : keys_(std::move(keys)) {
+  std::sort(keys_.begin(), keys_.end());
+  keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+  slots_.resize(keys_.size());
+}
+
+const IslandPartition* PartitionTable::find(const PartitionKey& key) const {
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return nullptr;
+  return &slots_[static_cast<std::size_t>(it - keys_.begin())];
+}
+
+const IslandPartition& PartitionTable::at(const PartitionKey& key) const {
+  const IslandPartition* p = find(key);
+  if (p == nullptr) throw std::out_of_range("PartitionTable: unknown key");
+  return *p;
+}
 
 std::vector<double> compute_core_traffic(const soc::SocSpec& spec) {
   std::vector<double> t(spec.cores.size(), 0.0);
@@ -367,26 +377,24 @@ PartitionTable compute_partitions(
     const soc::SocSpec& spec, const SynthesisOptions& options,
     const std::vector<IslandNocParams>& island_params,
     const std::vector<CandidateConfig>& candidates, exec::ThreadPool& pool) {
-  // Collect the distinct (island, switch count) pairs first; the std::map
-  // gives them a stable order and pre-creates the slots so the parallel fill
-  // below never mutates the map structure concurrently.
-  PartitionTable table;
+  // Collect the distinct (island, switch count) pairs, then fan the
+  // independent min-cut problems out over the pool; the flat table is fully
+  // sized up front so the parallel fill never mutates its structure.
+  std::vector<PartitionKey> keys;
   for (const CandidateConfig& cand : candidates) {
     for (std::size_t isl = 0; isl < cand.switches_per_island.size(); ++isl) {
-      table.emplace(
-          PartitionKey{static_cast<soc::IslandId>(isl), cand.switches_per_island[isl]},
-          IslandPartition{});
+      keys.emplace_back(static_cast<soc::IslandId>(isl),
+                        cand.switches_per_island[isl]);
     }
   }
-  std::vector<PartitionTable::iterator> slots;
-  slots.reserve(table.size());
-  for (auto it = table.begin(); it != table.end(); ++it) slots.push_back(it);
+  PartitionTable table(std::move(keys));
 
   const VcgScaling scaling = vcg_scaling(spec);
-  exec::parallel_for_each(pool, slots.size(), [&](std::size_t i) {
-    const PartitionKey& key = slots[i]->first;
-    slots[i]->second =
-        partition_island(spec, options, island_params, scaling, key.first, key.second);
+  exec::parallel_for_each(pool, table.size(), [&](std::size_t i) {
+    const PartitionKey& key = table.key(i);
+    table.slot(i) = detail::partition_island_mincut(
+        spec, options, scaling, key.first, key.second,
+        island_params[static_cast<std::size_t>(key.first)].max_sw_size);
   });
   return table;
 }
@@ -404,7 +412,8 @@ CandidateOutcome evaluate_candidate(const EvalContext& ctx,
     parts[isl] = &ctx.partitions.at(
         PartitionKey{static_cast<soc::IslandId>(isl), cand.switches_per_island[isl]});
   }
-  build_switches(out.point.topology, ctx, parts, cand.intermediate_switches, scratch);
+  detail::build_switches(out.point.topology, ctx, parts, cand.intermediate_switches,
+                         scratch);
 
   // Pareto-bound pruning: reject before routing when the pre-routing floor
   // is already dominated, otherwise hand the bound to the router for
@@ -422,20 +431,30 @@ CandidateOutcome evaluate_candidate(const EvalContext& ctx,
         scratch != nullptr ? scratch->switch_bw_floor : local_bw_floor;
     std::vector<double>& ebit_floor =
         scratch != nullptr ? scratch->switch_ebit_floor : local_ebit_floor;
-    const BaseBound base =
-        compute_base_bound(ctx, out.point.topology, min_lat, bw_floor, ebit_floor);
+    const detail::BaseBoundParts parts_lb = detail::compute_base_bound_parts(
+        ctx.spec, out.point.topology, ctx.options.tech, ctx.ni_dynamic_base_w,
+        ctx.core_traffic, min_lat, bw_floor, ebit_floor);
+    std::vector<double> local_freqs;
+    std::vector<double>& freqs =
+        scratch != nullptr ? scratch->switch_freq : local_freqs;
+    freqs.assign(out.point.topology.switches.size(), 0.0);
+    for (std::size_t s = 0; s < freqs.size(); ++s) {
+      freqs[s] = out.point.topology.switches[s].freq_hz;
+    }
+    const double base_power = detail::base_power_with_floor(
+        parts_lb, out.point.topology, ctx.options.tech, bw_floor, freqs);
     const double n_flows = static_cast<double>(ctx.spec.flows.size());
     base_avg_lat =
-        ctx.spec.flows.empty() ? 0.0 : base.latency_sum_lb_cycles / n_flows;
-    if (bound->dominated(base.power_lb_w, base_avg_lat)) {
+        ctx.spec.flows.empty() ? 0.0 : parts_lb.latency_sum_lb_cycles / n_flows;
+    if (bound->dominated(base_power, base_avg_lat)) {
       out.status = EvalStatus::kPruned;
-      out.pruned_power_lb_w = base.power_lb_w;
+      out.pruned_power_lb_w = base_power;
       out.pruned_latency_lb_cycles = base_avg_lat;
       return out;
     }
     rbound.front = bound;
-    rbound.base_power_lb_w = base.power_lb_w;
-    rbound.base_latency_sum_cycles = base.latency_sum_lb_cycles;
+    rbound.base_power_lb_w = base_power;
+    rbound.base_latency_sum_cycles = parts_lb.latency_sum_lb_cycles;
     rbound.min_flow_latency = &min_lat;
     rbound.switch_ebit_floor = &ebit_floor;
   }
@@ -486,17 +505,97 @@ CandidateOutcome evaluate_candidate(const EvalContext& ctx,
   // The router may leave some offered intermediate switches unused; drop
   // them so designs deduplicate cleanly across k_int values (several k_int
   // can collapse onto the same effective design).
-  out.point.intermediate_switches = compact_unused_intermediate(out.point.topology);
-  out.signature = design_signature(out.point.topology);
+  out.point.intermediate_switches =
+      detail::compact_unused_intermediate(out.point.topology);
+  out.signature = detail::design_signature(out.point.topology);
   out.deadlock_free = !ctx.options.enforce_deadlock_freedom ||
                       is_deadlock_free(out.point.topology);
   if (!out.deadlock_free) return out;  // merge rejects it; skip the metrics
-  refine_intermediate_positions(out.point.topology, ctx.floorplan, ctx.spec, scratch);
+  detail::refine_intermediate_positions(out.point.topology, ctx.floorplan, ctx.spec,
+                                        scratch);
   out.point.metrics =
       compute_metrics(out.point.topology, ctx.spec, ctx.options.tech,
                       ctx.options.link_width_bits,
                       scratch != nullptr ? &scratch->metrics : nullptr);
   return out;
+}
+
+void merge_candidate_outcomes(
+    std::vector<CandidateOutcome>&& outcomes, const SynthesisOptions& options,
+    const std::function<CandidateOutcome(std::size_t, const ParetoBound&)>& replay,
+    SynthesisResult& result) {
+  // Merge — strictly in enumeration order, so duplicate suppression, the
+  // stats counters and the saved-point list are independent of how the
+  // evaluations were scheduled (bit-identical to a sequential run).
+  //
+  // Every outcome evaluated with a bound carries the monotone lower bounds
+  // of its LAST checkpoint (abort point when pruned, end of evaluation when
+  // routed), and the bound trajectory does not depend on which front was
+  // consulted. A concurrent snapshot can diverge from the sequential front
+  // in both directions, and the merge reconciles both exactly:
+  //
+  //  * kPruned under a snapshot that was AHEAD (contains later-enumerated
+  //    points): if the merge front does not dominate the recorded bounds,
+  //    the sequential run would have kept evaluating — REPLAY against the
+  //    merge front (deterministic mode). When it does dominate them,
+  //    monotonicity guarantees the sequential run pruned too.
+  //  * kRouted under a snapshot that was BEHIND (stale/empty): if the merge
+  //    front dominates the recorded last-checkpoint bounds, the sequential
+  //    run would have pruned at that checkpoint at the latest — count it
+  //    pruned (no replay needed: a pruned candidate contributes nothing
+  //    else). A sequential run never trips this (its snapshot dominance-
+  //    equals the merge front), so it costs nothing when threads == 1.
+  ParetoBound merge_bound;
+  std::set<std::vector<int>> seen_designs;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    CandidateOutcome& out = outcomes[i];
+    ++result.stats.configs_explored;
+    if (out.status == EvalStatus::kPruned && options.deterministic_prune &&
+        !merge_bound.dominated(out.pruned_power_lb_w,
+                               out.pruned_latency_lb_cycles)) {
+      out = replay(i, merge_bound);
+    }
+    if (options.prune && out.status == EvalStatus::kRouted &&
+        merge_bound.dominated(out.pruned_power_lb_w,
+                              out.pruned_latency_lb_cycles)) {
+      out.status = EvalStatus::kPruned;
+    }
+    if (out.status == EvalStatus::kPruned) {
+      ++result.stats.rejected_pruned;
+      continue;
+    }
+    if (out.status != EvalStatus::kRouted) {
+      if (out.status == EvalStatus::kRejectedLatency) {
+        ++result.stats.rejected_latency;
+      } else {
+        ++result.stats.rejected_unroutable;
+      }
+      continue;
+    }
+    ++result.stats.configs_routed;
+    if (!seen_designs.insert(std::move(out.signature)).second) {
+      ++result.stats.rejected_duplicate;
+      continue;
+    }
+    if (!out.deadlock_free) {
+      ++result.stats.rejected_deadlock;
+      continue;
+    }
+    ++result.stats.configs_saved;
+    if (options.prune) {
+      merge_bound.insert(out.point.metrics.noc_dynamic_w,
+                         out.point.metrics.avg_latency_cycles);
+    }
+    result.points.push_back(std::move(out.point));
+  }
+
+  // Pareto front over (dynamic power, average latency), ascending power.
+  std::vector<std::size_t> order(result.points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  result.pareto =
+      pareto_front(std::move(order), [&result](std::size_t idx) -> const Metrics& {
+        return result.points[idx].metrics;
+      });
 }
 
 }  // namespace vinoc::core

@@ -1,14 +1,325 @@
 #include "vinoc/core/explore.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "eval_internal.hpp"
 #include "vinoc/core/candidates.hpp"
 #include "vinoc/core/pareto.hpp"
+#include "vinoc/core/prune.hpp"
+#include "vinoc/core/width_eval.hpp"
 #include "vinoc/exec/parallel_for.hpp"
 
 namespace vinoc::core {
+
+namespace {
+
+/// One structural class of the sweep: widths whose derived island params
+/// share max_sw_size / min_switches per island (frequencies may differ —
+/// the lockstep verifies those per decision). All of them enumerate the
+/// same candidates and read the same partition table.
+struct WidthClass {
+  std::vector<std::size_t> width_indices;  ///< into the sweep's width list
+  std::vector<CandidateConfig> candidates;
+  PartitionTable partitions;
+  MultiWidthContext mctx;  ///< slices parallel to width_indices
+  /// Single-width contexts (one per slice) for the solo schedule once the
+  /// class's lockstep has been voted off (see below).
+  std::vector<MultiWidthContext> solo_ctx;
+};
+
+}  // namespace
+
+std::vector<WidthSweepEntry> synthesize_width_set(
+    const soc::SocSpec& spec, const std::vector<int>& widths,
+    const SynthesisOptions& base_options, exec::ThreadPool& pool,
+    EvalScratchPool& scratch, WidthSetStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    const auto problems = spec.validate();
+    if (!problems.empty()) {
+      throw std::invalid_argument("synthesize: invalid SocSpec: " + problems.front());
+    }
+  }
+  if (base_options.alpha < 0.0 || base_options.alpha > 1.0 ||
+      base_options.alpha_power < 0.0 || base_options.alpha_power > 1.0) {
+    throw std::invalid_argument("synthesize: alpha weights must be in [0,1]");
+  }
+
+  std::vector<WidthSweepEntry> entries(widths.size());
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    entries[i].width_bits = widths[i];
+  }
+
+  // Per-width derived parameters; group the feasible widths into structural
+  // classes (an empty class key marks an infeasible width — an NI link
+  // exceeds attainable bandwidth — recorded exactly like the
+  // InfeasibleWidthError path of synthesize()).
+  std::vector<WidthSlice> slices(widths.size());
+  std::vector<WidthClass> classes;
+  std::map<std::vector<int>, std::size_t> class_of_key;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    WidthSlice& s = slices[i];
+    s.options = base_options;
+    s.options.link_width_bits = widths[i];
+    s.options.on_progress = nullptr;  // the sweep reports globally
+    s.island_params = derive_island_params(spec, base_options.tech, widths[i],
+                                           base_options.port_reserve);
+    s.intermediate_params =
+        derive_intermediate_params(s.island_params, base_options.tech);
+    const std::vector<int> key = width_class_key(s.island_params);
+    if (key.empty()) continue;  // infeasible width
+    entries[i].feasible = true;
+    const auto [it, inserted] = class_of_key.emplace(key, classes.size());
+    if (inserted) classes.emplace_back();
+    classes[it->second].width_indices.push_back(i);
+  }
+
+  // Width-invariant inputs shared by the WHOLE set.
+  const floorplan::Floorplan plan =
+      floorplan::Floorplan::build(spec, base_options.floorplan);
+  const std::vector<double> traffic = compute_core_traffic(spec);
+  const std::vector<std::size_t> flow_order = bandwidth_descending_order(spec);
+  const double ni_base = base_options.prune
+                             ? compute_ni_dynamic_base_w(spec, base_options.tech)
+                             : 0.0;
+
+  // Candidate enumeration per class, then ONE min-cut partition per
+  // distinct (island, switch count, max block size) across ALL classes —
+  // the cross-width partition cache: two widths whose island shares a max
+  // switch size reuse the same partition even when their frequencies (and
+  // hence classes) differ.
+  using CacheKey = std::tuple<soc::IslandId, int, int>;
+  std::map<CacheKey, IslandPartition> partition_cache;
+  int class_slots_total = 0;
+  for (WidthClass& wc : classes) {
+    const WidthSlice& first = slices[wc.width_indices.front()];
+    wc.candidates = enumerate_candidates(spec, first.island_params, first.options);
+    std::vector<PartitionKey> keys;
+    for (const CandidateConfig& cand : wc.candidates) {
+      for (std::size_t isl = 0; isl < cand.switches_per_island.size(); ++isl) {
+        keys.emplace_back(static_cast<soc::IslandId>(isl),
+                          cand.switches_per_island[isl]);
+      }
+    }
+    wc.partitions = PartitionTable(std::move(keys));
+    class_slots_total += static_cast<int>(wc.partitions.size());
+    for (std::size_t i = 0; i < wc.partitions.size(); ++i) {
+      const PartitionKey& key = wc.partitions.key(i);
+      const int max_sw =
+          first.island_params[static_cast<std::size_t>(key.first)].max_sw_size;
+      partition_cache.emplace(CacheKey{key.first, key.second, max_sw},
+                              IslandPartition{});
+    }
+  }
+  {
+    std::vector<std::map<CacheKey, IslandPartition>::iterator> cache_slots;
+    cache_slots.reserve(partition_cache.size());
+    for (auto it = partition_cache.begin(); it != partition_cache.end(); ++it) {
+      cache_slots.push_back(it);
+    }
+    const VcgScaling scaling = vcg_scaling(spec);
+    exec::parallel_for_each(pool, cache_slots.size(), [&](std::size_t i) {
+      const auto& [island, k, max_sw] = cache_slots[i]->first;
+      cache_slots[i]->second = detail::partition_island_mincut(
+          spec, base_options, scaling, island, k, max_sw);
+    });
+  }
+  for (WidthClass& wc : classes) {
+    const WidthSlice& first = slices[wc.width_indices.front()];
+    for (std::size_t i = 0; i < wc.partitions.size(); ++i) {
+      const PartitionKey& key = wc.partitions.key(i);
+      const int max_sw =
+          first.island_params[static_cast<std::size_t>(key.first)].max_sw_size;
+      wc.partitions.slot(i) =
+          partition_cache.at(CacheKey{key.first, key.second, max_sw});
+    }
+    wc.mctx.spec = &spec;
+    wc.mctx.floorplan = &plan;
+    wc.mctx.partitions = &wc.partitions;
+    wc.mctx.core_traffic = &traffic;
+    wc.mctx.flow_order = &flow_order;
+    wc.mctx.ni_dynamic_base_w = ni_base;
+    for (const std::size_t wi : wc.width_indices) {
+      wc.mctx.slices.push_back(slices[wi]);
+    }
+    for (const std::size_t wi : wc.width_indices) {
+      MultiWidthContext solo;
+      solo.spec = wc.mctx.spec;
+      solo.floorplan = wc.mctx.floorplan;
+      solo.partitions = wc.mctx.partitions;
+      solo.core_traffic = wc.mctx.core_traffic;
+      solo.flow_order = wc.mctx.flow_order;
+      solo.ni_dynamic_base_w = wc.mctx.ni_dynamic_base_w;
+      solo.slices.push_back(slices[wi]);
+      wc.solo_ctx.push_back(std::move(solo));
+    }
+  }
+
+  // Flatten (class, candidate) into one work list so every class's
+  // candidates fan out over the same pool concurrently.
+  struct Unit {
+    std::size_t class_id;
+    std::size_t cand_id;
+  };
+  std::vector<Unit> units;
+  std::size_t progress_total = 0;
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    for (std::size_t k = 0; k < classes[c].candidates.size(); ++k) {
+      units.push_back({c, k});
+    }
+    progress_total +=
+        classes[c].candidates.size() * classes[c].width_indices.size();
+  }
+
+  // Per-width shared Pareto bounds (prune snapshots for solo fallbacks and
+  // the every-width-dominated early abandon; the merge below restores exact
+  // sequential pruning semantics regardless of snapshot timing).
+  std::vector<SharedParetoBound> bounds(widths.size());
+  // outcomes[class][cand][slice]
+  std::vector<std::vector<std::vector<CandidateOutcome>>> outcomes(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    outcomes[c].resize(classes[c].candidates.size());
+  }
+  std::atomic<int> shared_evals{0};
+  std::atomic<int> fallback_evals{0};
+  std::mutex progress_mutex;
+  std::size_t progress_done = 0;
+  const auto on_progress = base_options.on_progress;
+
+  // Adaptive lockstep: both evaluation paths are bit-identical, so WHICH
+  // one computes a candidate is a pure scheduling choice. The first few
+  // candidates of a class probe the lockstep; when every lane diverges on
+  // all of them (the widths' routing is systematically width-dependent —
+  // different snapped frequencies shift every opening cost), the class
+  // stops paying for lane verification and evaluates the remaining
+  // candidates solo per width.
+  constexpr std::size_t kLockstepProbes = 2;
+  std::vector<std::atomic<int>> lockstep_vote(classes.size());
+  for (auto& v : lockstep_vote) v.store(0);
+
+  exec::parallel_for_each(pool, units.size(), [&](std::size_t u) {
+    const Unit unit = units[u];
+    WidthClass& wc = classes[unit.class_id];
+    EvalScratch& es = scratch.local();
+    // Per-width front snapshots (kept alive for the whole evaluation).
+    std::vector<std::shared_ptr<const ParetoBound>> snaps;
+    std::vector<const ParetoBound*> fronts(wc.width_indices.size(), nullptr);
+    if (base_options.prune) {
+      snaps.resize(wc.width_indices.size());
+      for (std::size_t j = 0; j < wc.width_indices.size(); ++j) {
+        snaps[j] = bounds[wc.width_indices[j]].snapshot();
+        fronts[j] = snaps[j].get();
+      }
+    }
+    const bool probe = unit.cand_id < kLockstepProbes;
+    const bool lockstep =
+        wc.width_indices.size() > 1 &&
+        (probe || lockstep_vote[unit.class_id].load(std::memory_order_relaxed) >= 0);
+    WidthEvalCounters counters;
+    std::vector<CandidateOutcome> outs;
+    if (lockstep) {
+      outs = evaluate_candidate_widths(wc.mctx, wc.candidates[unit.cand_id], &es,
+                                       base_options.prune ? &fronts : nullptr,
+                                       &counters);
+    } else {
+      // Lockstep disabled for this class: evaluate each width solo through
+      // the same entry point. One geometry token spans all widths of the
+      // candidate, so the hop/leakage matrices and class runs are still
+      // built once (positions and admissibility are width-invariant).
+      outs.resize(wc.mctx.slices.size());
+      es.router.geometry_token = ++es.router.geometry_token_counter;
+      for (std::size_t j = 0; j < wc.mctx.slices.size(); ++j) {
+        std::vector<const ParetoBound*> solo_front(1, fronts[j]);
+        std::vector<CandidateOutcome> one = evaluate_candidate_widths(
+            wc.solo_ctx[j], wc.candidates[unit.cand_id], &es,
+            base_options.prune ? &solo_front : nullptr, &counters);
+        outs[j] = std::move(one.front());
+      }
+      es.router.geometry_token = 0;
+    }
+    if (probe && wc.width_indices.size() > 1) {
+      // Vote: a probe candidate where nothing was shared votes the class
+      // out of lockstep; one where sharing worked locks it in.
+      lockstep_vote[unit.class_id].fetch_add(counters.shared > 0 ? 1000 : -1,
+                                             std::memory_order_relaxed);
+    }
+    shared_evals.fetch_add(counters.shared);
+    fallback_evals.fetch_add(counters.fallback);
+    if (base_options.prune) {
+      for (std::size_t j = 0; j < outs.size(); ++j) {
+        const CandidateOutcome& o = outs[j];
+        if (o.status == EvalStatus::kRouted && o.deadlock_free) {
+          bounds[wc.width_indices[j]].publish(o.point.metrics.noc_dynamic_w,
+                                              o.point.metrics.avg_latency_cycles);
+        }
+      }
+    }
+    outcomes[unit.class_id][unit.cand_id] = std::move(outs);
+    if (on_progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      for (std::size_t j = 0; j < wc.width_indices.size(); ++j) {
+        ++progress_done;
+        on_progress({progress_done, progress_total,
+                     widths[wc.width_indices[j]]});
+      }
+    }
+  });
+
+  // Per-width merge, in enumeration order — identical semantics (and code)
+  // to synthesize()'s merge, so each entry is bit-identical to a solo run.
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    WidthClass& wc = classes[c];
+    for (std::size_t j = 0; j < wc.width_indices.size(); ++j) {
+      const std::size_t wi = wc.width_indices[j];
+      const WidthSlice& s = slices[wi];
+      WidthSweepEntry& entry = entries[wi];
+      SynthesisResult& result = entry.result;
+      result.floorplan = plan;
+      result.island_params = s.island_params;
+      result.intermediate_params = s.intermediate_params;
+      const EvalContext replay_ctx{spec,
+                                   plan,
+                                   s.island_params,
+                                   s.intermediate_params,
+                                   wc.partitions,
+                                   traffic,
+                                   s.options,
+                                   &flow_order,
+                                   ni_base};
+      std::vector<CandidateOutcome> width_outcomes;
+      width_outcomes.reserve(wc.candidates.size());
+      for (std::size_t k = 0; k < wc.candidates.size(); ++k) {
+        width_outcomes.push_back(std::move(outcomes[c][k][j]));
+      }
+      merge_candidate_outcomes(
+          std::move(width_outcomes), s.options,
+          [&](std::size_t i, const ParetoBound& bound) {
+            return evaluate_candidate(replay_ctx, wc.candidates[i],
+                                      &scratch.local(), &bound);
+          },
+          result);
+      result.stats.elapsed_seconds = std::chrono::duration<double>(
+                                         std::chrono::steady_clock::now() - t0)
+                                         .count();
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->width_classes = static_cast<int>(classes.size());
+    stats->shared_evals = shared_evals.load();
+    stats->fallback_evals = fallback_evals.load();
+    stats->partition_cache_hits =
+        class_slots_total - static_cast<int>(partition_cache.size());
+  }
+  return entries;
+}
 
 WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
                                      const std::vector<int>& widths,
@@ -20,47 +331,15 @@ WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
     if (w <= 0) throw std::invalid_argument("explore_link_widths: width <= 0");
   }
 
-  // One pool for the whole sweep: widths fan out here and every width's
-  // synthesize() fans its candidate sweep out over the SAME pool (nested
-  // fan-outs are safe, see vinoc/exec/thread_pool.hpp), so total parallelism
-  // stays bounded by base_options.threads. One scratch-arena pool likewise:
-  // a worker strand reuses its buffers across every width it touches.
+  // One pool and one scratch-arena pool for the whole sweep: the
+  // (candidate x width) work units fan out here and any nested fan-outs
+  // share the SAME pool (see vinoc/exec/thread_pool.hpp), so total
+  // parallelism stays bounded by base_options.threads.
   exec::ThreadPool pool(base_options.threads);
   EvalScratchPool scratch;
 
-  // Each width's synthesize() serialises the progress callback only within
-  // its own run; with widths evaluating concurrently the caller's callback
-  // would otherwise be entered from several runs at once. Wrap it behind one
-  // sweep-wide mutex so the documented "serialised" contract holds here too
-  // (callers still see per-width completed/total pairs, possibly
-  // interleaved between widths).
-  std::mutex progress_mutex;
-  const auto base_progress = base_options.on_progress;
-
   WidthSweepResult out;
-  out.entries.resize(widths.size());
-  exec::parallel_for_each(pool, widths.size(), [&](std::size_t i) {
-    WidthSweepEntry& entry = out.entries[i];
-    entry.width_bits = widths[i];
-    SynthesisOptions options = base_options;
-    options.link_width_bits = widths[i];
-    if (base_progress) {
-      options.on_progress = [&progress_mutex,
-                             &base_progress](const SynthesisProgress& p) {
-        const std::lock_guard<std::mutex> lock(progress_mutex);
-        base_progress(p);
-      };
-    }
-    try {
-      entry.result = synthesize(spec, options, pool, scratch);
-      entry.feasible = true;
-    } catch (const InfeasibleWidthError&) {
-      // NI link unachievable at this width; keep the entry as infeasible so
-      // callers can report the boundary. Any other error (invalid spec, bad
-      // alpha, ...) propagates — it would affect every width alike.
-      entry.feasible = false;
-    }
-  });
+  out.entries = synthesize_width_set(spec, widths, base_options, pool, scratch);
 
   // Merge: collect all points and keep the shared (power, latency) front.
   std::vector<GlobalPointRef> all;

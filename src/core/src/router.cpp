@@ -57,12 +57,38 @@ namespace {
 /// Mutable routing state over a topology under construction. All transient
 /// buffers live in the caller-provided RouterScratch, reset per construction
 /// (assign, never shrink) so a sweep reuses one arena across candidates.
+///
+/// The per-flow shortest-path search is a Dijkstra over the flow's
+/// admissible switches with two bit-exact accelerations:
+///  * EXTRACTION uses a lazy (dist, index) min-heap, which pops nodes in
+///    exactly the order the dense lowest-dist-then-lowest-index scan would
+///    select them (stale entries — a superseded dist or an already-done
+///    node — are skipped; every undone finite node always has one fresh
+///    entry whose key equals its current dist);
+///  * a RELAXATION is skipped outright when even the latency part of the
+///    edge cost cannot beat dist[v]: the power part is non-negative and
+///    IEEE addition is monotone, so the skipped relaxation provably would
+///    not have updated anything.
+/// Both leave results bit-identical to the naive dense loop.
+///
+/// When `lanes` is non-empty the router additionally runs the WIDTH
+/// LOCKSTEP of the sweep-structured evaluation (see router.hpp): every
+/// routing decision the leader makes — extraction choice, relaxation
+/// outcome, reuse-vs-open selection, capacity/port/wire admissibility — is
+/// re-derived per lane from that lane's width/frequency tables with the
+/// lane's exact solo arithmetic (lane costs reuse the width-invariant part
+/// of the edge power and add their own opening surcharge in the solo
+/// operation order). The first mismatching outcome marks the lane
+/// diverged. Pruning bounds are never consulted in lockstep mode.
 class Router {
  public:
   Router(NocTopology& topo, const soc::SocSpec& spec, const RouterOptions& opts,
-         RouterScratch& scratch, const RouteBound* bound)
+         RouterScratch& scratch, const RouteBound* bound,
+         std::vector<WidthLane>* lanes = nullptr, int pass_id = 1,
+         bool resume_state = false)
       : topo_(topo), spec_(spec), opts_(opts), scratch_(scratch), bound_(bound),
-        sw_model_(opts.tech), link_model_(opts.tech), fifo_model_(opts.tech) {
+        lanes_(lanes), pass_id_(pass_id), sw_model_(opts.tech),
+        link_model_(opts.tech), fifo_model_(opts.tech) {
     const std::size_t n_sw = topo_.switches.size();
     n_ = n_sw;
     scratch_.ports_in.assign(n_sw, 0);
@@ -72,6 +98,20 @@ class Router {
       scratch_.ports_out[s] = scratch_.ports_in[s];
     }
     scratch_.link_at.assign(n_sw * n_sw, -1);
+    if (resume_state) {
+      // Reconstruct the incremental routing state a from-scratch run would
+      // hold after opening topo's links in order: port counters, the
+      // latest-link lookup (a later parallel link overwrites the earlier
+      // one, exactly like open_link did), crossbar-energy caches.
+      for (std::size_t l = 0; l < topo_.links.size(); ++l) {
+        const TopLink& link = topo_.links[l];
+        ++scratch_.ports_out[static_cast<std::size_t>(link.src_switch)];
+        ++scratch_.ports_in[static_cast<std::size_t>(link.dst_switch)];
+        scratch_.link_at[static_cast<std::size_t>(link.src_switch) * n_sw +
+                         static_cast<std::size_t>(link.dst_switch)] =
+            static_cast<int>(l);
+      }
+    }
     // Power normalizer: opening a "typical" link (quarter-chip wire at the
     // design's peak flow bandwidth, with a FIFO).
     double max_bw = 0.0;
@@ -97,13 +137,10 @@ class Router {
     link_leak_c_ = tech.link_leakage_mw_per_wire_mm * 1e-3;
     fifo_dyn_c_ = tech.fifo_energy_pj_per_bit * 1e-12;
     fifo_leak_w_ = tech.fifo_leakage_mw * 1e-3;
-    scratch_.hop_len.assign(n_sw * n_sw, 0.0);
-    for (std::size_t a = 0; a < n_sw; ++a) {
-      for (std::size_t b = 0; b < n_sw; ++b) {
-        scratch_.hop_len[a * n_sw + b] = floorplan::manhattan_mm(
-            topo_.switches[a].pos, topo_.switches[b].pos);
-      }
-    }
+    idle_w_per_hz_ = tech.sw_idle_power_per_port_w_per_hz;
+    hop_lat_intra_ = 1.0 + tech.sw_pipeline_cycles;
+    hop_lat_cross_ = static_cast<double>(tech.fifo_latency_cycles) +
+                     tech.sw_pipeline_cycles;
     scratch_.max_wire_len.assign(n_sw, 0.0);
     if (opts_.enforce_wire_timing) {
       for (std::size_t s = 0; s < n_sw; ++s) {
@@ -111,13 +148,30 @@ class Router {
             link_model_.max_unpipelined_length_mm(topo_.switches[s].freq_hz);
       }
     }
+    // Flat copies of the per-switch hot fields (SwitchInst drags its core
+    // list through the cache otherwise), plus the per-switch crossbar
+    // energy/bit at the CURRENT port count, kept in sync by open_link().
+    scratch_.island_of.assign(n_sw, 0);
+    scratch_.freq_of.assign(n_sw, 0.0);
+    scratch_.ebit_of.assign(n_sw, 0.0);
+    for (std::size_t s = 0; s < n_sw; ++s) {
+      scratch_.island_of[s] = topo_.switches[s].island;
+      scratch_.freq_of[s] = topo_.switches[s].freq_hz;
+      refresh_ebit(static_cast<int>(s));
+    }
 
     if (bound_ != nullptr && bound_->front != nullptr) {
       power_lb_ = bound_->base_power_lb_w;
       lat_sum_lb_ = bound_->base_latency_sum_cycles;
       fifo_w_per_bw_ = opts_.tech.fifo_energy_pj_per_bit * 1e-12;
       link_w_per_bw_mm_ = opts_.tech.link_energy_pj_per_bit_mm * 1e-12;
-      idle_w_per_hz_ = opts_.tech.sw_idle_power_per_port_w_per_hz;
+    }
+
+    if (lanes_ != nullptr) {
+      if (scratch_.lane_dist.size() < lanes_->size()) {
+        scratch_.lane_dist.resize(lanes_->size());
+        scratch_.lane_heap.resize(lanes_->size());
+      }
     }
 
     // Per-island contiguous index ranges, so each flow's Dijkstra can visit
@@ -156,10 +210,16 @@ class Router {
         prev_end = island_end_[slot];
       }
     }
+
+    build_floor_matrix();
   }
 
-  RouteOutcome run() {
-    topo_.routes.assign(spec_.flows.size(), FlowRoute{});
+  RouteOutcome run(std::size_t start_pos = 0) {
+    if (start_pos == 0) {
+      topo_.routes.assign(spec_.flows.size(), FlowRoute{});
+    } else if (topo_.routes.size() != spec_.flows.size()) {
+      topo_.routes.resize(spec_.flows.size());
+    }
 
     // The order is a pure function of the spec, so sweep callers pass it
     // precomputed; direct callers fall back to sorting here.
@@ -176,7 +236,10 @@ class Router {
         spec_.flows.empty() ? 0.0 : 1.0 / static_cast<double>(spec_.flows.size());
 
     RouteOutcome outcome;
-    for (const std::size_t f : *order) {
+    outcome.flows_routed = static_cast<int>(start_pos);
+    for (std::size_t pos = start_pos; pos < order->size(); ++pos) {
+      const std::size_t f = (*order)[pos];
+      order_pos_ = pos;
       if (!route_flow(f, outcome)) return outcome;
       ++outcome.flows_routed;
       if (bounding) {
@@ -209,111 +272,164 @@ class Router {
   }
 
  private:
-  struct EdgeChoice {
-    int link_id = -1;  ///< -1 = would open a new link
-    double cost = kInf;
-    double latency_cycles = 0.0;
-  };
-
-  bool crossing(int a, int b) const {
-    return island_of_switch(topo_, a) != island_of_switch(topo_, b);
+  /// Marks a lane width-dependent and snapshots the shared state (the
+  /// topology BEFORE the diverging flow — its links have not been
+  /// materialised yet) so the lane's fallback re-routes only the tail.
+  void diverge(WidthLane& lane) {
+    lane.diverged = true;
+    lane.resume_topo = topo_;
+    lane.resume_order_pos = static_cast<int>(order_pos_);
+    lane.resume_pass = pass_id_;
   }
 
-  double link_capacity(int a, int b) const {
-    const double f = std::min(switch_freq(topo_, a), switch_freq(topo_, b));
-    return static_cast<double>(opts_.link_width_bits) * f;
+  bool crossing(int a, int b) const {
+    return scratch_.island_of[static_cast<std::size_t>(a)] !=
+           scratch_.island_of[static_cast<std::size_t>(b)];
   }
 
   double hop_length_mm(int a, int b) const {
-    return scratch_.hop_len[static_cast<std::size_t>(a) * n_ +
-                            static_cast<std::size_t>(b)];
+    return scratch_.geometry.hop_len[static_cast<std::size_t>(a) * n_ +
+                                     static_cast<std::size_t>(b)];
   }
 
-  double hop_latency_cycles(int a, int b) const {
-    const double link_cycles =
-        crossing(a, b) ? static_cast<double>(opts_.tech.fifo_latency_cycles) : 1.0;
-    return link_cycles + opts_.tech.sw_pipeline_cycles;
+  /// Crossbar energy per bit of switch `s` at its CURRENT port count — the
+  /// cached value always equals the expression the naive path evaluates per
+  /// edge (refreshed whenever a port count changes).
+  void refresh_ebit(int s) {
+    const auto ss = static_cast<std::size_t>(s);
+    const int ports = std::max(scratch_.ports_in[ss], scratch_.ports_out[ss]);
+    scratch_.ebit_of[ss] = (opts_.tech.sw_energy_base_pj_per_bit +
+                            opts_.tech.sw_energy_per_port_pj_per_bit * ports) *
+                           1e-12;
   }
 
-  int link_between(int a, int b) const {
-    return scratch_.link_at[static_cast<std::size_t>(a) * n_ +
-                            static_cast<std::size_t>(b)];
-  }
-
-  /// Marginal power of pushing `bw` over the hop a->b, plus (for new links)
-  /// the static cost of opening it. Pure arithmetic on the coefficients
-  /// cached at construction — same formulas, same operation order, same
-  /// bits as the model calls (LinkModel/SwitchModel/BisyncFifoModel).
-  double hop_power_w(int a, int b, double bw, bool opening) const {
-    const double len = hop_length_mm(a, b);
-    double p = link_dyn_c_ * len * bw;
-    // Crossbar traversal energy in the downstream switch (at zero frequency
-    // the switch model's idle term vanishes; only energy-per-bit remains).
-    const int ports_b = std::max(scratch_.ports_in[static_cast<std::size_t>(b)],
-                                 scratch_.ports_out[static_cast<std::size_t>(b)]);
-    const double e_bit = (opts_.tech.sw_energy_base_pj_per_bit +
-                          opts_.tech.sw_energy_per_port_pj_per_bit * ports_b) *
-                         1e-12;
-    p += e_bit * bw;
-    if (crossing(a, b)) p += fifo_dyn_c_ * bw;
-    if (opening) {
-      // New ports clock on both sides; wires and (if crossing) a FIFO leak.
-      p += opts_.tech.sw_idle_power_per_port_w_per_hz *
-           (switch_freq(topo_, a) + switch_freq(topo_, b));
-      p += link_leak_c_ * len * opts_.link_width_bits;
-      if (crossing(a, b)) p += fifo_leak_w_;
-    }
-    return p;
-  }
-
-  /// Best admissible way to go a->b for this flow, or cost = +inf.
-  EdgeChoice edge_choice(int a, int b, const soc::Flow& flow) const {
-    EdgeChoice choice;
-    const soc::IslandId src_isl =
-        spec_.cores[static_cast<std::size_t>(flow.src)].island;
-    const soc::IslandId dst_isl =
-        spec_.cores[static_cast<std::size_t>(flow.dst)].island;
-    const soc::IslandId a_isl = island_of_switch(topo_, a);
-    const soc::IslandId b_isl = island_of_switch(topo_, b);
-    if (!link_admissible(a_isl, b_isl, src_isl, dst_isl)) {
-      return choice;
-    }
-    if (opts_.forbid_direct_cross && a_isl != b_isl &&
-        a_isl != kIntermediateIsland && b_isl != kIntermediateIsland) {
-      return choice;
-    }
-    choice.latency_cycles = hop_latency_cycles(a, b);
-    const double lat_term = choice.latency_cycles / flow.max_latency_cycles;
-    const double bw = flow.bandwidth_bits_per_s;
-
-    // Reusing an existing link is preferred when it has residual capacity.
-    const int existing = link_between(a, b);
-    if (existing >= 0) {
-      const TopLink& l = topo_.links[static_cast<std::size_t>(existing)];
-      if (l.carried_bw_bits_per_s + bw <= link_capacity(a, b) + 1e-6) {
-        const double p = hop_power_w(a, b, bw, /*opening=*/false);
-        choice.link_id = existing;
-        choice.cost = opts_.alpha_power * p / p_norm_ +
-                      (1.0 - opts_.alpha_power) * lat_term;
-        return choice;
+  /// Lazily builds (or returns) the admissible-hop CSR of one flow class.
+  /// The class is width- and frequency-invariant, so it persists across both
+  /// routing passes and, in lockstep mode, every lane (see RoutingGeometry).
+  RoutingGeometry::FlowClass& flow_class(soc::IslandId src_isl,
+                                         soc::IslandId dst_isl) {
+    RoutingGeometry& g = scratch_.geometry;
+    const std::size_t ni = g.n_islands;
+    auto slot = [ni](soc::IslandId i) {
+      return i == kIntermediateIsland ? ni : static_cast<std::size_t>(i);
+    };
+    RoutingGeometry::FlowClass& c =
+        g.classes[slot(src_isl) * (ni + 1) + slot(dst_isl)];
+    if (c.built) return c;
+    c.built = true;
+    // Member switches of this class, ascending (preserves the dense scan's
+    // iteration order); non-members are never extracted (their distance
+    // stays infinite). Members are grouped into maximal runs of index-
+    // consecutive switches of one island, so each source switch's
+    // admissible targets are a handful of dense ranges the relaxation loop
+    // streams over.
+    std::vector<int> members;
+    if (contiguous_) {
+      auto push_range = [this, &members](std::size_t s) {
+        for (int i = island_begin_[s]; i < island_end_[s]; ++i) {
+          members.push_back(i);
+        }
+      };
+      if (src_isl == dst_isl) {
+        push_range(slot(src_isl));
+      } else {
+        const auto lo = std::min(slot(src_isl), slot(dst_isl));
+        const auto hi = std::max(slot(src_isl), slot(dst_isl));
+        push_range(lo);
+        push_range(hi);
+        push_range(ni);  // intermediate VI switches sit at the end
       }
-      // Saturated: fall through and consider opening a parallel link.
+    } else {
+      for (std::size_t s = 0; s < n_; ++s) members.push_back(static_cast<int>(s));
     }
+    struct Segment {
+      int lo, hi;
+      soc::IslandId island;
+    };
+    std::vector<Segment> segments;
+    for (std::size_t i = 0; i < members.size();) {
+      const int lo = members[i];
+      const auto isl = static_cast<soc::IslandId>(
+          scratch_.island_of[static_cast<std::size_t>(lo)]);
+      std::size_t j = i + 1;
+      while (j < members.size() && members[j] == members[j - 1] + 1 &&
+             static_cast<soc::IslandId>(scratch_.island_of[static_cast<std::size_t>(
+                 members[j])]) == isl) {
+        ++j;
+      }
+      segments.push_back({lo, members[j - 1] + 1, isl});
+      i = j;
+    }
+    c.run_begin.assign(n_ + 1, 0);
+    c.runs.clear();
+    for (std::size_t u = 0; u < n_; ++u) {
+      c.run_begin[u] = static_cast<int>(c.runs.size());
+      const auto a_isl = static_cast<soc::IslandId>(scratch_.island_of[u]);
+      bool u_member = false;
+      for (const Segment& seg : segments) {
+        if (static_cast<int>(u) >= seg.lo && static_cast<int>(u) < seg.hi) {
+          u_member = true;
+          break;
+        }
+      }
+      if (!u_member) continue;
+      for (const Segment& seg : segments) {
+        if (!link_admissible(a_isl, seg.island, src_isl, dst_isl)) continue;
+        RoutingGeometry::HopRun run;
+        run.crossing = a_isl != seg.island ? 1 : 0;
+        run.direct_cross = (a_isl != seg.island && a_isl != kIntermediateIsland &&
+                            seg.island != kIntermediateIsland)
+                               ? 1
+                               : 0;
+        // The source switch is split out of its own segment.
+        if (static_cast<int>(u) >= seg.lo && static_cast<int>(u) < seg.hi) {
+          if (seg.lo < static_cast<int>(u)) {
+            run.lo = seg.lo;
+            run.hi = static_cast<int>(u);
+            c.runs.push_back(run);
+          }
+          if (static_cast<int>(u) + 1 < seg.hi) {
+            run.lo = static_cast<int>(u) + 1;
+            run.hi = seg.hi;
+            c.runs.push_back(run);
+          }
+        } else {
+          run.lo = seg.lo;
+          run.hi = seg.hi;
+          c.runs.push_back(run);
+        }
+      }
+    }
+    c.run_begin[n_] = static_cast<int>(c.runs.size());
+    return c;
+  }
 
-    // Opening a new link requires a free out port on a and in port on b.
-    const auto as = static_cast<std::size_t>(a);
-    const auto bs = static_cast<std::size_t>(b);
-    if (scratch_.ports_out[as] + 1 > opts_.max_ports[as]) return choice;
-    if (scratch_.ports_in[bs] + 1 > opts_.max_ports[bs]) return choice;
-    if (bw > link_capacity(a, b) + 1e-6) return choice;
-    if (opts_.enforce_wire_timing && !crossing(a, b)) {
-      if (hop_length_mm(a, b) > scratch_.max_wire_len[as]) return choice;
+  /// Per-pass lower bounds on the cost of OPENING a link on each switch
+  /// pair. The opening cost accumulates the non-negative idle-port, wire-
+  /// leakage and (crossing) FIFO-leakage terms, and every later operation
+  /// in the cost chain (multiply by alpha_power, divide by p_norm, add the
+  /// latency part) is monotone in IEEE arithmetic, so
+  ///   open cost >= fl(alpha_power * p_floor / p_norm) =: floor(a, b).
+  /// A relaxation that must open (no reusable link) is therefore skipped —
+  /// bit-exactly — whenever dist_u + (floor + latpart) cannot beat dist[v],
+  /// without computing the full cost (or its division). Built once per
+  /// routing pass (it depends on this pass's width and frequencies).
+  void build_floor_matrix() {
+    floor_.assign(n_ * n_, 0.0);
+    const double w = static_cast<double>(opts_.link_width_bits);
+    const std::vector<double>& leak_len = scratch_.geometry.leak_len;
+    for (std::size_t a = 0; a < n_; ++a) {
+      const double fa = scratch_.freq_of[a];
+      const int a_isl = scratch_.island_of[a];
+      for (std::size_t b = 0; b < n_; ++b) {
+        const double ti = idle_w_per_hz_ * (fa + scratch_.freq_of[b]);
+        const double tl = leak_len[a * n_ + b] * w;
+        const double p_floor = scratch_.island_of[b] != a_isl
+                                   ? (ti + tl) + fifo_leak_w_
+                                   : ti + tl;
+        floor_[a * n_ + b] = opts_.alpha_power * p_floor / p_norm_;
+      }
     }
-    const double p = hop_power_w(a, b, bw, /*opening=*/true);
-    choice.link_id = -1;
-    choice.cost =
-        opts_.alpha_power * p / p_norm_ + (1.0 - opts_.alpha_power) * lat_term;
-    return choice;
   }
 
   bool route_flow(std::size_t flow_idx, RouteOutcome& outcome) {
@@ -328,73 +444,260 @@ class Router {
       return true;
     }
 
-    // Dijkstra over the flow's ADMISSIBLE switches only: the shutdown-safety
-    // rule confines a flow to its source island, destination island and the
-    // intermediate VI, so other islands' switches can never be relaxed or
-    // extracted (distance stays infinite) — skipping them entirely is exact
-    // and cuts the dense O(S^2) scan by the island count. The subset is
-    // collected in ascending index order, preserving the dense scan's
-    // lowest-index tie-break.
     const std::size_t n = n_;
-    std::vector<int>& nodes = scratch_.nodes;
-    nodes.clear();
     const soc::IslandId src_isl =
         spec_.cores[static_cast<std::size_t>(flow.src)].island;
     const soc::IslandId dst_isl =
         spec_.cores[static_cast<std::size_t>(flow.dst)].island;
-    if (contiguous_) {
-      const std::size_t n_islands = spec_.islands.size();
-      auto push_range = [this, &nodes](std::size_t slot) {
-        for (int s = island_begin_[slot]; s < island_end_[slot]; ++s) {
-          nodes.push_back(s);
-        }
-      };
-      if (src_isl == dst_isl) {
-        push_range(static_cast<std::size_t>(src_isl));
-      } else {
-        const auto lo = static_cast<std::size_t>(std::min(src_isl, dst_isl));
-        const auto hi = static_cast<std::size_t>(std::max(src_isl, dst_isl));
-        push_range(lo);
-        push_range(hi);
-        push_range(n_islands);  // intermediate VI switches sit at the end
-      }
-    } else {
-      for (std::size_t s = 0; s < n; ++s) nodes.push_back(static_cast<int>(s));
-    }
+    // Width-invariant admissible-hop runs of this flow's island class (see
+    // RoutingGeometry) — replaces the per-edge admissibility test.
+    const RoutingGeometry::FlowClass& fclass = flow_class(src_isl, dst_isl);
 
+    // Per-flow constants of the edge cost. lat_part_* is EXACTLY the second
+    // addend of the cost formula below (same operations, same order), so it
+    // doubles as the bit-exact early-skip threshold of a relaxation.
+    const double bw = flow.bandwidth_bits_per_s;
+    const double lat_part_intra =
+        (1.0 - opts_.alpha_power) * (hop_lat_intra_ / flow.max_latency_cycles);
+    const double lat_part_cross =
+        (1.0 - opts_.alpha_power) * (hop_lat_cross_ / flow.max_latency_cycles);
+
+    // Only dist needs a per-flow reset: pred/pred_link are read exclusively
+    // for nodes the CURRENT flow updated (the path walk follows this flow's
+    // tree), and done-ness is encoded in dist itself — an extracted node's
+    // dist is clobbered to -inf, which both stales its heap entries and
+    // trips every relaxation filter (anything finite >= -inf).
     scratch_.dist.assign(n, kInf);
-    scratch_.pred.assign(n, -1);
-    scratch_.pred_link.assign(n, -1);
-    scratch_.done.assign(n, 0);
+    if (scratch_.pred.size() < n) {
+      scratch_.pred.resize(n, -1);
+      scratch_.pred_link.resize(n, -1);
+    }
     std::vector<double>& dist = scratch_.dist;
     std::vector<int>& pred = scratch_.pred;
     std::vector<int>& pred_link = scratch_.pred_link;
-    std::vector<char>& done = scratch_.done;
     dist[static_cast<std::size_t>(s_sw)] = 0.0;
-    for (std::size_t iter = 0; iter < nodes.size(); ++iter) {
+    auto heap_after = [](const std::pair<double, int>& a,
+                         const std::pair<double, int>& b) {
+      return a.first > b.first || (a.first == b.first && a.second > b.second);
+    };
+    std::vector<std::pair<double, int>>& heap = scratch_.heap;
+    heap.clear();
+    heap.emplace_back(0.0, s_sw);
+
+    const std::size_t n_lanes = lanes_ != nullptr ? lanes_->size() : 0;
+    if (lane_dist_u_.size() < n_lanes) lane_dist_u_.resize(n_lanes, 0.0);
+    for (std::size_t k = 0; k < n_lanes; ++k) {
+      if ((*lanes_)[k].diverged) continue;
+      scratch_.lane_dist[k].assign(n, kInf);
+      scratch_.lane_dist[k][static_cast<std::size_t>(s_sw)] = 0.0;
+      scratch_.lane_heap[k].clear();
+      scratch_.lane_heap[k].emplace_back(0.0, s_sw);
+    }
+
+    const bool forbid = opts_.forbid_direct_cross;
+    const double width0 = static_cast<double>(opts_.link_width_bits);
+    while (true) {
+      // Leader extraction: lazy-heap pop == dense-scan argmin (see class
+      // comment).
       int u = -1;
-      double best = kInf;
-      for (const int v : nodes) {
-        const auto vs = static_cast<std::size_t>(v);
-        if (!done[vs] && dist[vs] < best) {
-          best = dist[vs];
-          u = v;
+      double dist_u = 0.0;
+      while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), heap_after);
+        const auto [du, cand] = heap.back();
+        heap.pop_back();
+        const auto cs = static_cast<std::size_t>(cand);
+        if (du != dist[cs]) continue;  // stale entry (or node already done)
+        u = cand;
+        dist_u = du;
+        break;
+      }
+      // Lane extractions must select the same node from their own heaps;
+      // a lane whose solo run would extract a different node (or run dry /
+      // keep going when the leader does not) has diverged. The popped key
+      // of a surviving lane IS that lane's dist_u, saved before clobbering.
+      for (std::size_t k = 0; k < n_lanes; ++k) {
+        WidthLane& lane = (*lanes_)[k];
+        if (lane.diverged) continue;
+        std::vector<std::pair<double, int>>& lheap = scratch_.lane_heap[k];
+        std::vector<double>& ldist = scratch_.lane_dist[k];
+        int uk = -1;
+        while (!lheap.empty()) {
+          std::pop_heap(lheap.begin(), lheap.end(), heap_after);
+          const auto [dk, ck] = lheap.back();
+          lheap.pop_back();
+          const auto cs = static_cast<std::size_t>(ck);
+          if (dk != ldist[cs]) continue;
+          uk = ck;
+          lane_dist_u_[k] = dk;
+          break;
         }
+        if (uk != u) diverge(lane);
       }
       if (u < 0) break;
-      done[static_cast<std::size_t>(u)] = 1;
+      const auto us = static_cast<std::size_t>(u);
       if (u == d_sw) break;
-      const double dist_u = dist[static_cast<std::size_t>(u)];
-      for (const int v : nodes) {
-        const auto vs = static_cast<std::size_t>(v);
-        if (done[vs] || v == u) continue;
-        const EdgeChoice ec = edge_choice(u, v, flow);
-        if (!std::isfinite(ec.cost)) continue;
-        if (dist_u + ec.cost < dist[vs]) {
-          dist[vs] = dist_u + ec.cost;
-          pred[vs] = u;
-          pred_link[vs] = ec.link_id;
+      dist[us] = -kInf;  // done: stales heap entries, trips relax filters
+      bool lanes_active = false;
+      for (std::size_t k = 0; k < n_lanes; ++k) {
+        if (!(*lanes_)[k].diverged) {
+          scratch_.lane_dist[k][us] = -kInf;
+          lanes_active = true;
         }
+      }
+
+      const double freq_u = scratch_.freq_of[us];
+      const double wire_cap_u =
+          opts_.enforce_wire_timing ? scratch_.max_wire_len[us] : 0.0;
+      const double* hop_row = &scratch_.geometry.hop_len[us * n_];
+      const double* floor_row = &floor_[us * n_];
+      const int* link_row = &scratch_.link_at[us * n_];
+      const int run_end = fclass.run_begin[us + 1];
+      for (int rr = fclass.run_begin[us]; rr < run_end; ++rr) {
+        const RoutingGeometry::HopRun& run =
+            fclass.runs[static_cast<std::size_t>(rr)];
+        if (forbid && run.direct_cross != 0) continue;
+        const bool cross = run.crossing != 0;
+        const double latpart = cross ? lat_part_cross : lat_part_intra;
+        const double lat_thresh = dist_u + latpart;
+      for (int v = run.lo; v < run.hi; ++v) {
+        const auto vs = static_cast<std::size_t>(v);
+        // Bit-exact early skips: the full cost is >= latpart, and when no
+        // link exists to reuse it is also >= the pair's opening floor (see
+        // build_floor_matrix); IEEE addition is monotone, so a filtered
+        // relaxation provably would not have updated the LEADER. These two
+        // lines also dispose of done nodes (dist == -inf). They prove
+        // nothing about a lane's own comparison (lane dists accumulate
+        // different width-dependent surcharges), so with live lanes the
+        // body still runs — with the leader's choice pinned to "no update"
+        // — and every lane re-derives its own outcome below.
+        const int existing = link_row[vs];
+        const bool lead_skip =
+            lat_thresh >= dist[vs] ||
+            (existing < 0 &&
+             dist_u + (floor_row[vs] + latpart) >= dist[vs]);
+        if (lead_skip && !lanes_active) continue;
+        const double len = hop_row[vs];
+        // Width-invariant part of the marginal power (wire + downstream
+        // crossbar + FIFO traversal), shared by the leader and every lane;
+        // computed lazily in the exact operation order of the naive path.
+        double p_base = -1.0;
+        auto base_power = [&]() {
+          if (p_base < 0.0) {
+            double p = link_dyn_c_ * len * bw;
+            p += scratch_.ebit_of[vs] * bw;
+            if (cross) p += fifo_dyn_c_ * bw;
+            p_base = p;
+          }
+          return p_base;
+        };
+
+        // Leader choice: reuse the existing link when it has residual
+        // capacity, else try to open a new one.
+        double cost0 = kInf;
+        int link0 = -1;
+        if (!lead_skip) {
+          if (existing >= 0) {
+            const TopLink& l = topo_.links[static_cast<std::size_t>(existing)];
+            const double cap = width0 * std::min(freq_u, scratch_.freq_of[vs]);
+            if (l.carried_bw_bits_per_s + bw <= cap + 1e-6) {
+              cost0 = opts_.alpha_power * base_power() / p_norm_ + latpart;
+              link0 = existing;
+            }
+            // Saturated: fall through and consider opening a parallel link.
+          }
+          if (link0 < 0) {
+            // Opening needs a free out port on u and in port on v, enough
+            // capacity, and (intra-island) a one-cycle wire.
+            bool ok = scratch_.ports_out[us] + 1 <= opts_.max_ports[us] &&
+                      scratch_.ports_in[vs] + 1 <= opts_.max_ports[vs];
+            if (ok) {
+              const double cap =
+                  width0 * std::min(freq_u, scratch_.freq_of[vs]);
+              ok = !(bw > cap + 1e-6);
+            }
+            if (ok && opts_.enforce_wire_timing && !cross) {
+              ok = !(len > wire_cap_u);
+            }
+            if (ok) {
+              // New ports clock on both sides; wires and (if crossing) a
+              // FIFO leak. Same accumulation order as hop_power_w had.
+              double p = base_power();
+              p += idle_w_per_hz_ * (freq_u + scratch_.freq_of[vs]);
+              p += link_leak_c_ * len * opts_.link_width_bits;
+              if (cross) p += fifo_leak_w_;
+              cost0 = opts_.alpha_power * p / p_norm_ + latpart;
+              link0 = -1;
+            }
+          }
+        }
+        const bool update0 = std::isfinite(cost0) && dist_u + cost0 < dist[vs];
+        if (update0) {
+          dist[vs] = dist_u + cost0;
+          pred[vs] = u;
+          pred_link[vs] = link0;
+          heap.emplace_back(dist[vs], v);
+          std::push_heap(heap.begin(), heap.end(), heap_after);
+        }
+
+        // Lanes: re-derive the same decision at each lane's width and
+        // frequencies with the lane's exact solo arithmetic; any outcome
+        // mismatch (update-or-not, or reuse-vs-open) is a divergence.
+        for (std::size_t k = 0; k < n_lanes; ++k) {
+          WidthLane& lane = (*lanes_)[k];
+          if (lane.diverged) continue;
+          std::vector<double>& ldist = scratch_.lane_dist[k];
+          const double ldist_u = lane_dist_u_[k];
+          double costk = kInf;
+          int linkk = -1;
+          bool reuse_hit = false;
+          if (!(ldist_u + latpart >= ldist[vs])) {
+            const double fu = lane.switch_freq[us];
+            const double fv = lane.switch_freq[vs];
+            if (existing >= 0) {
+              const TopLink& l = topo_.links[static_cast<std::size_t>(existing)];
+              const double cap =
+                  static_cast<double>(lane.width_bits) * std::min(fu, fv);
+              if (l.carried_bw_bits_per_s + bw <= cap + 1e-6) {
+                costk = opts_.alpha_power * base_power() / p_norm_ + latpart;
+                linkk = existing;
+                reuse_hit = true;
+              }
+            }
+            if (!reuse_hit) {
+              bool ok = scratch_.ports_out[us] + 1 <= lane.max_ports[us] &&
+                        scratch_.ports_in[vs] + 1 <= lane.max_ports[vs];
+              if (ok) {
+                const double cap =
+                    static_cast<double>(lane.width_bits) * std::min(fu, fv);
+                ok = !(bw > cap + 1e-6);
+              }
+              if (ok && opts_.enforce_wire_timing && !cross) {
+                ok = !(len > lane.max_wire_len[us]);
+              }
+              if (ok) {
+                double p = base_power();
+                p += idle_w_per_hz_ * (fu + fv);
+                p += link_leak_c_ * len * lane.width_bits;
+                if (cross) p += fifo_leak_w_;
+                costk = opts_.alpha_power * p / p_norm_ + latpart;
+                linkk = -1;
+              }
+            }
+          }
+          const bool updatek =
+              std::isfinite(costk) && ldist_u + costk < ldist[vs];
+          if (updatek != update0 || (update0 && linkk != link0)) {
+            diverge(lane);
+            continue;
+          }
+          if (updatek) {
+            ldist[vs] = ldist_u + costk;
+            scratch_.lane_heap[k].emplace_back(ldist[vs], v);
+            std::push_heap(scratch_.lane_heap[k].begin(),
+                           scratch_.lane_heap[k].end(), heap_after);
+          }
+        }
+      }
       }
     }
     if (!std::isfinite(dist[static_cast<std::size_t>(d_sw)])) {
@@ -478,6 +781,8 @@ class Router {
                      static_cast<std::size_t>(b)] = id;
     ++scratch_.ports_out[static_cast<std::size_t>(a)];
     ++scratch_.ports_in[static_cast<std::size_t>(b)];
+    refresh_ebit(a);
+    refresh_ebit(b);
     if (power_lb_ >= 0.0) {
       // The two new ports clock forever: their idle power is an exact,
       // monotone addition to the final switch dynamic power.
@@ -491,6 +796,7 @@ class Router {
   const RouterOptions& opts_;
   RouterScratch& scratch_;
   const RouteBound* bound_ = nullptr;
+  std::vector<WidthLane>* lanes_ = nullptr;
   models::SwitchModel sw_model_;
   models::LinkModel link_model_;
   models::BisyncFifoModel fifo_model_;
@@ -505,13 +811,42 @@ class Router {
   double link_leak_c_ = 0.0;
   double fifo_dyn_c_ = 0.0;
   double fifo_leak_w_ = 0.0;
+  double idle_w_per_hz_ = 0.0;
+  double hop_lat_intra_ = 0.0;
+  double hop_lat_cross_ = 0.0;
+  std::vector<double> floor_;  ///< n x n opening-cost floors of this pass
+  std::vector<double> lane_dist_u_;  ///< per-lane dist of the extracted node
+  std::size_t order_pos_ = 0;        ///< current position in the flow order
+  int pass_id_ = 1;                  ///< 1 = greedy pass, 2 = retry pass
   // Pruning state; power_lb_ < 0 means pruning disabled for this pass.
   double power_lb_ = -1.0;
   double lat_sum_lb_ = 0.0;
   double fifo_w_per_bw_ = 0.0;
   double link_w_per_bw_mm_ = 0.0;
-  double idle_w_per_hz_ = 0.0;
 };
+
+/// Resets `g` for a new candidate topology: hop lengths and their leakage
+/// scalings recomputed, class runs invalidated (buffers kept, refilled
+/// lazily). `link_leak_c` is fl(link_leakage_mw_per_wire_mm * 1e-3) — a
+/// pure technology constant, so the leak_len matrix stays width-invariant.
+void prepare_geometry(RoutingGeometry& g, const NocTopology& topo,
+                      std::size_t n_islands, double link_leak_c) {
+  const std::size_t n = topo.switches.size();
+  g.n = n;
+  g.n_islands = n_islands;
+  g.hop_len.assign(n * n, 0.0);
+  g.leak_len.assign(n * n, 0.0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      g.hop_len[a * n + b] =
+          floorplan::manhattan_mm(topo.switches[a].pos, topo.switches[b].pos);
+      g.leak_len[a * n + b] = link_leak_c * g.hop_len[a * n + b];
+    }
+  }
+  const std::size_t n_classes = (n_islands + 1) * (n_islands + 1);
+  if (g.classes.size() != n_classes) g.classes.resize(n_classes);
+  for (RoutingGeometry::FlowClass& c : g.classes) c.built = false;
+}
 
 }  // namespace
 
@@ -525,6 +860,11 @@ RouteOutcome route_all_flows(NocTopology& topo, const soc::SocSpec& spec,
   }
   RouterScratch local;
   RouterScratch& sc = scratch != nullptr ? *scratch : local;
+  if (sc.geometry_token == 0 || sc.geometry_built_token != sc.geometry_token) {
+    prepare_geometry(sc.geometry, topo, spec.islands.size(),
+                     options.tech.link_leakage_mw_per_wire_mm * 1e-3);
+    sc.geometry_built_token = sc.geometry_token;
+  }
 
   bool has_intermediate = false;
   for (const SwitchInst& s : topo.switches) {
@@ -564,6 +904,79 @@ RouteOutcome route_all_flows(NocTopology& topo, const soc::SocSpec& spec,
     second.latency_violation = first.latency_violation;
   }
   return second;
+}
+
+RouteOutcome route_all_flows_multi(NocTopology& topo, const soc::SocSpec& spec,
+                                   const RouterOptions& options,
+                                   std::vector<WidthLane>& lanes,
+                                   RouterScratch* scratch, bool* pass2_ran,
+                                   RouteOutcome* pass1_failure) {
+  if (pass2_ran != nullptr) *pass2_ran = false;
+  if (options.max_ports.size() != topo.switches.size()) {
+    RouteOutcome out;
+    out.failure_reason = "RouterOptions::max_ports size mismatch";
+    return out;
+  }
+  RouterScratch local;
+  RouterScratch& sc = scratch != nullptr ? *scratch : local;
+  if (sc.geometry_token == 0 || sc.geometry_built_token != sc.geometry_token) {
+    prepare_geometry(sc.geometry, topo, spec.islands.size(),
+                     options.tech.link_leakage_mw_per_wire_mm * 1e-3);
+    sc.geometry_built_token = sc.geometry_token;
+  }
+
+  bool has_intermediate = false;
+  for (const SwitchInst& s : topo.switches) {
+    if (s.island == kIntermediateIsland) has_intermediate = true;
+  }
+  const bool fallback_possible = has_intermediate && !options.forbid_direct_cross;
+  if (fallback_possible) {
+    sc.fallback = topo;  // pristine copy for the retry pass
+  }
+  RouteOutcome first;
+  {
+    Router router(topo, spec, options, sc, nullptr, &lanes, /*pass_id=*/1);
+    first = router.run();
+    if (first.success || options.forbid_direct_cross) return first;
+  }
+  if (pass1_failure != nullptr) *pass1_failure = first;
+  if (!fallback_possible) return first;
+  // Leader pass 1 stranded a flow. Every still-locked lane is proven to
+  // strand the same flow (its decisions matched to the failure point), so
+  // all of them enter the intermediate-island retry pass together; lanes
+  // that diverged in pass 1 stay diverged.
+  topo = sc.fallback;
+  RouterOptions retry = options;
+  retry.forbid_direct_cross = true;
+  if (pass2_ran != nullptr) *pass2_ran = true;
+  Router router(topo, spec, retry, sc, nullptr, &lanes, /*pass_id=*/2);
+  RouteOutcome second = router.run();
+  if (!second.success) {
+    second.failure_reason = first.failure_reason;
+    second.failed_flow = first.failed_flow;
+    second.latency_violation = first.latency_violation;
+  }
+  return second;
+}
+
+RouteOutcome resume_route_flows(NocTopology& topo, const soc::SocSpec& spec,
+                                const RouterOptions& options,
+                                int resume_order_pos, RouterScratch* scratch) {
+  if (options.max_ports.size() != topo.switches.size()) {
+    RouteOutcome out;
+    out.failure_reason = "RouterOptions::max_ports size mismatch";
+    return out;
+  }
+  RouterScratch local;
+  RouterScratch& sc = scratch != nullptr ? *scratch : local;
+  if (sc.geometry_token == 0 || sc.geometry_built_token != sc.geometry_token) {
+    prepare_geometry(sc.geometry, topo, spec.islands.size(),
+                     options.tech.link_leakage_mw_per_wire_mm * 1e-3);
+    sc.geometry_built_token = sc.geometry_token;
+  }
+  Router router(topo, spec, options, sc, nullptr, nullptr,
+                options.forbid_direct_cross ? 2 : 1, /*resume_state=*/true);
+  return router.run(static_cast<std::size_t>(resume_order_pos));
 }
 
 }  // namespace vinoc::core

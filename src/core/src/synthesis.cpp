@@ -4,7 +4,6 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <stdexcept>
 
 #include "vinoc/core/candidates.hpp"
@@ -129,78 +128,17 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
         return out;
       });
 
-  // Merge — strictly in enumeration order, so duplicate suppression, the
-  // stats counters and the saved-point list are independent of how the
-  // evaluations were scheduled (bit-identical to a sequential run).
-  //
-  // Every outcome evaluated with a bound carries the monotone lower bounds
-  // of its LAST checkpoint (abort point when pruned, end of evaluation when
-  // routed), and the bound trajectory does not depend on which front was
-  // consulted. A concurrent snapshot can diverge from the sequential front
-  // in both directions, and the merge reconciles both exactly:
-  //
-  //  * kPruned under a snapshot that was AHEAD (contains later-enumerated
-  //    points): if the merge front does not dominate the recorded bounds,
-  //    the sequential run would have kept evaluating — REPLAY against the
-  //    merge front (deterministic mode). When it does dominate them,
-  //    monotonicity guarantees the sequential run pruned too.
-  //  * kRouted under a snapshot that was BEHIND (stale/empty): if the merge
-  //    front dominates the recorded last-checkpoint bounds, the sequential
-  //    run would have pruned at that checkpoint at the latest — count it
-  //    pruned (no replay needed: a pruned candidate contributes nothing
-  //    else). A sequential run never trips this (its snapshot dominance-
-  //    equals the merge front), so it costs nothing when threads == 1.
-  ParetoBound merge_bound;
-  std::set<std::vector<int>> seen_designs;
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    CandidateOutcome& out = outcomes[i];
-    ++result.stats.configs_explored;
-    if (out.status == EvalStatus::kPruned && options.deterministic_prune &&
-        !merge_bound.dominated(out.pruned_power_lb_w,
-                               out.pruned_latency_lb_cycles)) {
-      out = evaluate_candidate(ctx, candidates[i], &scratch_pool.local(),
-                               &merge_bound);
-    }
-    if (options.prune && out.status == EvalStatus::kRouted &&
-        merge_bound.dominated(out.pruned_power_lb_w,
-                              out.pruned_latency_lb_cycles)) {
-      out.status = EvalStatus::kPruned;
-    }
-    if (out.status == EvalStatus::kPruned) {
-      ++result.stats.rejected_pruned;
-      continue;
-    }
-    if (out.status != EvalStatus::kRouted) {
-      if (out.status == EvalStatus::kRejectedLatency) {
-        ++result.stats.rejected_latency;
-      } else {
-        ++result.stats.rejected_unroutable;
-      }
-      continue;
-    }
-    ++result.stats.configs_routed;
-    if (!seen_designs.insert(std::move(out.signature)).second) {
-      ++result.stats.rejected_duplicate;
-      continue;
-    }
-    if (!out.deadlock_free) {
-      ++result.stats.rejected_deadlock;
-      continue;
-    }
-    ++result.stats.configs_saved;
-    if (options.prune) {
-      merge_bound.insert(out.point.metrics.noc_dynamic_w,
-                         out.point.metrics.avg_latency_cycles);
-    }
-    result.points.push_back(std::move(out.point));
-  }
-
-  // Pareto front over (dynamic power, average latency), ascending power.
-  std::vector<std::size_t> order(result.points.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  result.pareto = pareto_front(std::move(order), [&result](std::size_t idx) -> const Metrics& {
-    return result.points[idx].metrics;
-  });
+  // Merge in enumeration order (single definition shared with the width
+  // sweep — see merge_candidate_outcomes in candidates.cpp); the replay
+  // callback re-evaluates a pruned candidate against the merge front for
+  // deterministic pruning.
+  merge_candidate_outcomes(
+      std::move(outcomes), options,
+      [&](std::size_t i, const ParetoBound& bound) {
+        return evaluate_candidate(ctx, candidates[i], &scratch_pool.local(),
+                                  &bound);
+      },
+      result);
 
   result.stats.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

@@ -1,0 +1,493 @@
+#include "vinoc/core/width_eval.hpp"
+
+#include <utility>
+
+#include "eval_internal.hpp"
+#include "vinoc/core/deadlock.hpp"
+#include "vinoc/core/prune.hpp"
+#include "vinoc/core/router.hpp"
+
+namespace vinoc::core {
+
+std::vector<int> width_class_key(
+    const std::vector<IslandNocParams>& island_params) {
+  std::vector<int> key;
+  key.reserve(2 * island_params.size());
+  for (const IslandNocParams& p : island_params) {
+    if (p.core_count > 0 && p.max_sw_size == 0) return {};  // infeasible
+    key.push_back(p.max_sw_size);
+    key.push_back(p.min_switches);
+  }
+  return key;
+}
+
+namespace {
+
+const ParetoBound kEmptyBound;
+
+/// Per-switch frequency table of one slice for the shared topology
+/// (island switches take their island's frequency, intermediates the
+/// intermediate VI's) — exactly the freq_hz fields a solo build_switches
+/// at that width would have produced.
+std::vector<double> slice_freqs(const NocTopology& topo, const WidthSlice& s) {
+  std::vector<double> f(topo.switches.size());
+  for (std::size_t i = 0; i < topo.switches.size(); ++i) {
+    const soc::IslandId isl = topo.switches[i].island;
+    f[i] = isl == kIntermediateIsland
+               ? s.intermediate_params.freq_hz
+               : s.island_params[static_cast<std::size_t>(isl)].freq_hz;
+  }
+  return f;
+}
+
+/// Exact replay of the solo evaluator's recorded bound checkpoint for one
+/// width: the pre-routing base bound, plus — when the solo run's per-flow
+/// checks would have been active — the router's increment trajectory walked
+/// off the final structure in routing order with the same expressions in
+/// the same order (see Router::accumulate_power_lb / open_link).
+void replay_bound_checkpoint(CandidateOutcome& o, const soc::SocSpec& spec,
+                             const NocTopology& topo,
+                             const models::Technology& tech,
+                             const detail::BaseBoundParts& parts,
+                             const std::vector<double>& bw_floor,
+                             const std::vector<double>& ebit_floor,
+                             const std::vector<double>& min_flow_latency,
+                             const std::vector<double>& freqs,
+                             const std::vector<std::size_t>& flow_order,
+                             bool trajectory_checked) {
+  const double base_power =
+      detail::base_power_with_floor(parts, topo, tech, bw_floor, freqs);
+  const double n_flows = static_cast<double>(spec.flows.size());
+  const double base_avg_lat =
+      spec.flows.empty() ? 0.0 : parts.latency_sum_lb_cycles / n_flows;
+  if (!trajectory_checked) {
+    // The solo run's only checkpoint was the pre-routing floor (a
+    // fallback-gated pass-1 success, or a spec without flows).
+    o.pruned_power_lb_w = base_power;
+    o.pruned_latency_lb_cycles = base_avg_lat;
+    return;
+  }
+  const double fifo_w_per_bw = tech.fifo_energy_pj_per_bit * 1e-12;
+  const double link_w_per_bw_mm = tech.link_energy_pj_per_bit_mm * 1e-12;
+  const double idle_w_per_hz = tech.sw_idle_power_per_port_w_per_hz;
+  const double inv_flows = 1.0 / n_flows;
+  double acc = base_power;
+  double lat_sum = parts.latency_sum_lb_cycles;
+  for (const std::size_t f : flow_order) {
+    const FlowRoute& r = topo.routes[f];
+    const double bw = spec.flows[f].bandwidth_bits_per_s;
+    for (const int lid : r.links) {
+      const TopLink& l = topo.links[static_cast<std::size_t>(lid)];
+      const auto a = static_cast<std::size_t>(l.src_switch);
+      const auto b = static_cast<std::size_t>(l.dst_switch);
+      // A link's first user is the flow that opened it: the two new ports'
+      // idle power was added at open time, before the hop increments.
+      if (!l.flows.empty() && l.flows.front() == static_cast<int>(f)) {
+        acc += idle_w_per_hz * (freqs[a] + freqs[b]);
+      }
+      const soc::IslandId a_isl = topo.switches[a].island;
+      const soc::IslandId b_isl = topo.switches[b].island;
+      if (a_isl != b_isl) acc += fifo_w_per_bw * bw;
+      if (a_isl != kIntermediateIsland && b_isl != kIntermediateIsland) {
+        // Island-island wire lengths never change after placement, so the
+        // final topology's lengths equal the mid-routing ones bit-for-bit.
+        acc += link_w_per_bw_mm * l.length_mm * bw;
+      }
+      if (l.dst_switch != r.dst_switch) {
+        acc += ebit_floor[b] * bw;
+      }
+    }
+    lat_sum += r.latency_cycles - min_flow_latency[f];
+  }
+  o.pruned_power_lb_w = acc;
+  o.pruned_latency_lb_cycles = lat_sum * inv_flows;
+}
+
+/// Width-dependent fallback with PREFIX RESUME: the lane's snapshot holds
+/// the exact state before the flow whose routing diverged (all earlier
+/// flows proven identical by the lockstep), so only the width-dependent
+/// TAIL is re-routed — plus, when that tail strands a flow in pass 1, the
+/// full intermediate-island retry, exactly like route_all_flows() would.
+/// The assembled outcome is bit-identical to evaluate_candidate() at this
+/// width (bound checkpoints replayed; never kPruned — the merge restores
+/// sequential pruning).
+void resume_diverged_lane(const MultiWidthContext& ctx,
+                          const CandidateConfig& cand, EvalScratch* scratch,
+                          std::size_t slice_idx, WidthLane& lane,
+                          const RouteOutcome& leader_pass1_failure,
+                          CandidateOutcome& o) {
+  const soc::SocSpec& spec = *ctx.spec;
+  const WidthSlice& s = ctx.slices[slice_idx];
+  o.point.switches_per_island = cand.switches_per_island;
+  o.point.intermediate_switches = cand.intermediate_switches;
+
+  // The shared snapshot differs from the lane's solo state only in the
+  // frequency fields; patch them to this width's.
+  NocTopology topo = std::move(lane.resume_topo);
+  for (std::size_t sw = 0; sw < topo.switches.size(); ++sw) {
+    const soc::IslandId isl = topo.switches[sw].island;
+    topo.switches[sw].freq_hz =
+        isl == kIntermediateIsland
+            ? s.intermediate_params.freq_hz
+            : s.island_params[static_cast<std::size_t>(isl)].freq_hz;
+  }
+  for (std::size_t isl = 0; isl < s.island_params.size(); ++isl) {
+    topo.island_freq_hz[isl] = s.island_params[isl].freq_hz;
+  }
+  topo.intermediate_freq_hz = s.intermediate_params.freq_hz;
+
+  RouterOptions ropts;
+  ropts.alpha_power = s.options.alpha_power;
+  ropts.link_width_bits = s.options.link_width_bits;
+  ropts.tech = s.options.tech;
+  ropts.enforce_wire_timing = s.options.enforce_wire_timing;
+  ropts.flow_order = ctx.flow_order;
+  ropts.forbid_direct_cross = lane.resume_pass == 2;
+  ropts.max_ports.resize(topo.switches.size());
+  for (std::size_t sw = 0; sw < topo.switches.size(); ++sw) {
+    const soc::IslandId isl = topo.switches[sw].island;
+    ropts.max_ports[sw] =
+        isl == kIntermediateIsland
+            ? s.intermediate_params.max_sw_size
+            : s.island_params[static_cast<std::size_t>(isl)].max_sw_size;
+  }
+
+  const bool fallback_possible = cand.intermediate_switches > 0;
+  RouteOutcome final_outcome = resume_route_flows(
+      topo, spec, ropts, lane.resume_order_pos,
+      scratch != nullptr ? &scratch->router : nullptr);
+  bool lane_pass2 = lane.resume_pass == 2;
+  if (!final_outcome.success) {
+    if (lane.resume_pass == 1 && fallback_possible) {
+      // This width's pass 1 strands a flow: run the intermediate retry from
+      // a pristine topology built at this width (identical decisions to the
+      // solo run's pass 2).
+      const EvalContext lane_ctx{spec,
+                                 *ctx.floorplan,
+                                 s.island_params,
+                                 s.intermediate_params,
+                                 *ctx.partitions,
+                                 *ctx.core_traffic,
+                                 s.options,
+                                 ctx.flow_order,
+                                 ctx.ni_dynamic_base_w};
+      std::vector<const IslandPartition*> parts(cand.switches_per_island.size());
+      for (std::size_t isl = 0; isl < parts.size(); ++isl) {
+        parts[isl] = &ctx.partitions->at(PartitionKey{
+            static_cast<soc::IslandId>(isl), cand.switches_per_island[isl]});
+      }
+      const RouteOutcome pass1 = final_outcome;
+      detail::build_switches(topo, lane_ctx, parts, cand.intermediate_switches,
+                             scratch);
+      RouterOptions retry = ropts;
+      retry.forbid_direct_cross = true;
+      final_outcome =
+          route_all_flows(topo, spec, retry,
+                          scratch != nullptr ? &scratch->router : nullptr);
+      lane_pass2 = true;
+      if (!final_outcome.success) {
+        final_outcome.latency_violation = pass1.latency_violation;
+      }
+    } else if (lane.resume_pass == 2) {
+      // Pass-2 failure reports the greedy pass's diagnosis, which this lane
+      // is proven to share with the leader (it stayed locked through it).
+      final_outcome.latency_violation = leader_pass1_failure.latency_violation;
+    }
+  }
+  if (!final_outcome.success) {
+    o.status = final_outcome.latency_violation ? EvalStatus::kRejectedLatency
+                                               : EvalStatus::kRejectedUnroutable;
+    return;
+  }
+  o.status = EvalStatus::kRouted;
+  o.point.intermediate_switches = detail::compact_unused_intermediate(topo);
+  o.signature = detail::design_signature(topo);
+  o.deadlock_free =
+      !s.options.enforce_deadlock_freedom || is_deadlock_free(topo);
+  if (s.options.prune) {
+    std::vector<double> local_min_lat;
+    std::vector<double> local_bw_floor;
+    std::vector<double> local_ebit_floor;
+    std::vector<double>& min_lat =
+        scratch != nullptr ? scratch->min_flow_latency : local_min_lat;
+    std::vector<double>& bw_floor =
+        scratch != nullptr ? scratch->switch_bw_floor : local_bw_floor;
+    std::vector<double>& ebit_floor =
+        scratch != nullptr ? scratch->switch_ebit_floor : local_ebit_floor;
+    const detail::BaseBoundParts parts_lb = detail::compute_base_bound_parts(
+        spec, topo, s.options.tech, ctx.ni_dynamic_base_w, *ctx.core_traffic,
+        min_lat, bw_floor, ebit_floor);
+    std::vector<double> freqs(topo.switches.size());
+    for (std::size_t sw = 0; sw < freqs.size(); ++sw) {
+      freqs[sw] = topo.switches[sw].freq_hz;
+    }
+    const bool trajectory_checked =
+        (!fallback_possible || lane_pass2) && !spec.flows.empty();
+    replay_bound_checkpoint(o, spec, topo, s.options.tech, parts_lb, bw_floor,
+                            ebit_floor, min_lat, freqs, *ctx.flow_order,
+                            trajectory_checked);
+  }
+  if (o.deadlock_free) {
+    detail::refine_intermediate_positions(topo, *ctx.floorplan, spec, scratch);
+  }
+  o.point.topology = std::move(topo);
+  if (o.deadlock_free) {
+    o.point.metrics = compute_metrics(
+        o.point.topology, spec, s.options.tech, s.options.link_width_bits,
+        scratch != nullptr ? &scratch->metrics : nullptr);
+  }
+}
+
+void eval_group(const MultiWidthContext& ctx, const CandidateConfig& cand,
+                EvalScratch* scratch,
+                const std::vector<const ParetoBound*>* fronts,
+                const std::vector<std::size_t>& idx,
+                std::vector<CandidateOutcome>& out,
+                WidthEvalCounters* counters) {
+  const soc::SocSpec& spec = *ctx.spec;
+  const WidthSlice& lead = ctx.slices[idx.front()];
+  const EvalContext lead_ctx{spec,
+                             *ctx.floorplan,
+                             lead.island_params,
+                             lead.intermediate_params,
+                             *ctx.partitions,
+                             *ctx.core_traffic,
+                             lead.options,
+                             ctx.flow_order,
+                             ctx.ni_dynamic_base_w};
+
+  if (idx.size() == 1) {
+    // Solo evaluation (a one-width group, or a diverged width): exactly the
+    // synthesize() worker body. With pruning on, an empty bound keeps the
+    // checkpoint recording active even before any front point exists.
+    const ParetoBound* bound = nullptr;
+    if (lead.options.prune) {
+      bound = fronts != nullptr && (*fronts)[idx.front()] != nullptr
+                  ? (*fronts)[idx.front()]
+                  : &kEmptyBound;
+    }
+    out[idx.front()] = evaluate_candidate(lead_ctx, cand, scratch, bound);
+    return;
+  }
+
+  // ---- Structure phase: leader routes, followers verify in lockstep. ----
+  std::vector<const IslandPartition*> parts(cand.switches_per_island.size());
+  for (std::size_t isl = 0; isl < parts.size(); ++isl) {
+    parts[isl] = &ctx.partitions->at(
+        PartitionKey{static_cast<soc::IslandId>(isl), cand.switches_per_island[isl]});
+  }
+  NocTopology topo;
+  detail::build_switches(topo, lead_ctx, parts, cand.intermediate_switches, scratch);
+
+  // Pre-routing bound parts (width-invariant) — used both for the
+  // every-width-dominated early abandon and for the per-width checkpoint
+  // replay after materialisation.
+  std::vector<double> local_min_lat;
+  std::vector<double> local_bw_floor;
+  std::vector<double> local_ebit_floor;
+  std::vector<double>& min_lat =
+      scratch != nullptr ? scratch->min_flow_latency : local_min_lat;
+  std::vector<double>& bw_floor =
+      scratch != nullptr ? scratch->switch_bw_floor : local_bw_floor;
+  std::vector<double>& ebit_floor =
+      scratch != nullptr ? scratch->switch_ebit_floor : local_ebit_floor;
+  detail::BaseBoundParts bound_parts;
+  const bool prune = lead.options.prune;
+  if (prune) {
+    bound_parts = detail::compute_base_bound_parts(
+        spec, topo, lead.options.tech, ctx.ni_dynamic_base_w, *ctx.core_traffic,
+        min_lat, bw_floor, ebit_floor);
+    if (fronts != nullptr && !spec.flows.empty()) {
+      // Abandon before routing only when EVERY width's front dominates its
+      // pre-routing floor — then every solo run would have pruned here, and
+      // the merge replay machinery re-checks (and, in deterministic mode,
+      // re-evaluates) any width whose merge front disagrees.
+      const double base_avg =
+          bound_parts.latency_sum_lb_cycles /
+          static_cast<double>(spec.flows.size());
+      bool all_dominated = true;
+      std::vector<double> base_powers(idx.size());
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        const ParetoBound* front = (*fronts)[idx[j]];
+        const std::vector<double> freqs = slice_freqs(topo, ctx.slices[idx[j]]);
+        base_powers[j] = detail::base_power_with_floor(
+            bound_parts, topo, lead.options.tech, bw_floor, freqs);
+        if (front == nullptr || !front->dominated(base_powers[j], base_avg)) {
+          all_dominated = false;
+          break;
+        }
+      }
+      if (all_dominated) {
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+          CandidateOutcome& o = out[idx[j]];
+          o.status = EvalStatus::kPruned;
+          o.point.switches_per_island = cand.switches_per_island;
+          o.point.intermediate_switches = cand.intermediate_switches;
+          o.pruned_power_lb_w = base_powers[j];
+          o.pruned_latency_lb_cycles = base_avg;
+        }
+        return;
+      }
+    }
+  }
+
+  // Follower lanes: per-switch width/frequency tables of each non-leader
+  // width, mirroring what that width's solo router would derive.
+  const models::LinkModel link_model(lead.options.tech);
+  std::vector<WidthLane> lanes(idx.size() - 1);
+  for (std::size_t j = 1; j < idx.size(); ++j) {
+    const WidthSlice& s = ctx.slices[idx[j]];
+    WidthLane& lane = lanes[j - 1];
+    lane.width_bits = s.options.link_width_bits;
+    lane.switch_freq = slice_freqs(topo, s);
+    lane.max_ports.resize(topo.switches.size());
+    lane.max_wire_len.assign(topo.switches.size(), 0.0);
+    for (std::size_t i = 0; i < topo.switches.size(); ++i) {
+      const soc::IslandId isl = topo.switches[i].island;
+      lane.max_ports[i] =
+          isl == kIntermediateIsland
+              ? s.intermediate_params.max_sw_size
+              : s.island_params[static_cast<std::size_t>(isl)].max_sw_size;
+      if (s.options.enforce_wire_timing) {
+        lane.max_wire_len[i] =
+            link_model.max_unpipelined_length_mm(lane.switch_freq[i]);
+      }
+    }
+  }
+
+  RouterOptions ropts;
+  ropts.alpha_power = lead.options.alpha_power;
+  ropts.link_width_bits = lead.options.link_width_bits;
+  ropts.tech = lead.options.tech;
+  ropts.enforce_wire_timing = lead.options.enforce_wire_timing;
+  ropts.flow_order = ctx.flow_order;
+  ropts.max_ports.resize(topo.switches.size());
+  for (std::size_t s = 0; s < topo.switches.size(); ++s) {
+    const soc::IslandId isl = topo.switches[s].island;
+    ropts.max_ports[s] =
+        isl == kIntermediateIsland
+            ? lead.intermediate_params.max_sw_size
+            : lead.island_params[static_cast<std::size_t>(isl)].max_sw_size;
+  }
+
+  bool pass2_ran = false;
+  RouteOutcome pass1_failure;
+  const RouteOutcome outcome = route_all_flows_multi(
+      topo, spec, ropts, lanes, scratch != nullptr ? &scratch->router : nullptr,
+      &pass2_ran, &pass1_failure);
+
+  std::vector<std::size_t> kept{idx.front()};
+  std::vector<std::size_t> diverged;
+  for (std::size_t j = 1; j < idx.size(); ++j) {
+    (lanes[j - 1].diverged ? diverged : kept).push_back(idx[j]);
+  }
+  if (counters != nullptr) {
+    counters->shared += static_cast<int>(kept.size()) - 1;
+    counters->fallback += static_cast<int>(diverged.size());
+  }
+
+  if (!outcome.success) {
+    // All still-locked widths are proven to fail on the same flow the same
+    // way; bounds are irrelevant for rejections.
+    for (const std::size_t i : kept) {
+      CandidateOutcome& o = out[i];
+      o.status = outcome.latency_violation ? EvalStatus::kRejectedLatency
+                                           : EvalStatus::kRejectedUnroutable;
+      o.point.switches_per_island = cand.switches_per_island;
+      o.point.intermediate_switches = cand.intermediate_switches;
+    }
+  } else {
+    // ---- Re-cost phase: materialise each surviving width. ----
+    const int kept_intermediate = detail::compact_unused_intermediate(topo);
+    const std::vector<int> signature = detail::design_signature(topo);
+    const bool deadlock_free =
+        !lead.options.enforce_deadlock_freedom || is_deadlock_free(topo);
+    if (deadlock_free) {
+      detail::refine_intermediate_positions(topo, *ctx.floorplan, spec, scratch);
+    }
+    if (prune) {
+      // Recompute the bound parts off the final structure: attachment,
+      // island-switch positions and per-switch core sets are untouched by
+      // compaction/refinement, so every value matches the pre-routing one
+      // the solo evaluator recorded (dropped intermediates contribute an
+      // exact 0 to the power floor).
+      bound_parts = detail::compute_base_bound_parts(
+          spec, topo, lead.options.tech, ctx.ni_dynamic_base_w,
+          *ctx.core_traffic, min_lat, bw_floor, ebit_floor);
+    }
+    // The solo run records the trajectory checkpoint only when its per-flow
+    // checks were active: never when the intermediate-island fallback could
+    // still have changed the outcome (pass 1 with intermediates offered),
+    // always in the pass that actually produced the result otherwise.
+    const bool fallback_possible = cand.intermediate_switches > 0;
+    const bool trajectory_checked =
+        (!fallback_possible || pass2_ran) && !spec.flows.empty();
+    for (const std::size_t i : kept) {
+      const WidthSlice& s = ctx.slices[i];
+      CandidateOutcome& o = out[i];
+      o.status = EvalStatus::kRouted;
+      o.signature = signature;
+      o.deadlock_free = deadlock_free;
+      o.point.switches_per_island = cand.switches_per_island;
+      o.point.intermediate_switches = kept_intermediate;
+      const std::vector<double> freqs = slice_freqs(topo, s);
+      o.point.topology = topo;
+      for (std::size_t sw = 0; sw < o.point.topology.switches.size(); ++sw) {
+        o.point.topology.switches[sw].freq_hz = freqs[sw];
+      }
+      for (std::size_t isl = 0; isl < s.island_params.size(); ++isl) {
+        o.point.topology.island_freq_hz[isl] = s.island_params[isl].freq_hz;
+      }
+      o.point.topology.intermediate_freq_hz = s.intermediate_params.freq_hz;
+      if (deadlock_free) {
+        o.point.metrics = compute_metrics(
+            o.point.topology, spec, s.options.tech, s.options.link_width_bits,
+            scratch != nullptr ? &scratch->metrics : nullptr);
+      }
+      if (prune) {
+        replay_bound_checkpoint(o, spec, topo, s.options.tech, bound_parts,
+                                bw_floor, ebit_floor, min_lat, freqs,
+                                *ctx.flow_order, trajectory_checked);
+      }
+    }
+  }
+
+  // Width-dependent widths: re-route each diverged lane's TAIL from its
+  // snapshot (see resume_diverged_lane) — the shared prefix is never
+  // recomputed.
+  for (std::size_t j = 1; j < idx.size(); ++j) {
+    WidthLane& lane = lanes[j - 1];
+    if (!lane.diverged) continue;
+    resume_diverged_lane(ctx, cand, scratch, idx[j], lane, pass1_failure,
+                         out[idx[j]]);
+  }
+}
+
+}  // namespace
+
+std::vector<CandidateOutcome> evaluate_candidate_widths(
+    const MultiWidthContext& ctx, const CandidateConfig& cand,
+    EvalScratch* scratch, const std::vector<const ParetoBound*>* fronts,
+    WidthEvalCounters* counters) {
+  std::vector<CandidateOutcome> out(ctx.slices.size());
+  if (ctx.slices.empty()) return out;
+  // All of this candidate's routing calls — the lockstep structure pass and
+  // any per-width fallbacks — share one routing geometry: switch positions
+  // and admissibility are width-invariant, so the hop-length / leakage
+  // matrices and class runs are built once per candidate. A caller that
+  // evaluates the same candidate through several calls (the sweep's
+  // solo-per-width schedule) mints the token itself; otherwise it is minted
+  // (and cleared) here.
+  const bool own_token =
+      scratch != nullptr && scratch->router.geometry_token == 0;
+  if (own_token) {
+    scratch->router.geometry_token = ++scratch->router.geometry_token_counter;
+  }
+  std::vector<std::size_t> idx(ctx.slices.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  eval_group(ctx, cand, scratch, fronts, idx, out, counters);
+  if (own_token) scratch->router.geometry_token = 0;
+  return out;
+}
+
+}  // namespace vinoc::core

@@ -16,6 +16,7 @@
 #include "vinoc/campaign/report.hpp"
 #include "vinoc/campaign/result_cache.hpp"
 #include "vinoc/campaign/spec_hash.hpp"
+#include "vinoc/core/synthesis.hpp"
 #include "vinoc/io/jsonl.hpp"
 
 namespace vinoc::campaign {
@@ -400,4 +401,71 @@ TEST(JsonlWriter, EscapesAndParsesRoundTrip) {
 }
 
 }  // namespace
+TEST(CampaignEngine, WidthGroupsShareStructuresAcrossJobs) {
+  // Jobs differing only in link_width_bits group under the width-excluded
+  // content hash and are synthesized together; each job's cached result
+  // must still be bit-identical to a solo synthesize() of that job.
+  CampaignSpec spec = small_campaign();
+  spec.island_counts = {3};
+  spec.strategies = {"logical"};
+  spec.widths = {32, 64, 128};  // one structure group of three widths
+  ResultCache cache;
+  CampaignOptions opt;
+  opt.threads = 2;
+  opt.cache = &cache;
+  const CampaignResult result = run_campaign(spec, opt);
+  const std::vector<CampaignJob> jobs = expand_jobs(spec);
+  ASSERT_EQ(jobs.size(), 6u);  // 2 scenarios x 3 widths
+  EXPECT_EQ(result.jobs_run, 6);
+  EXPECT_EQ(result.structure_groups, 2);
+  EXPECT_EQ(result.structure_shared_jobs, 6);
+  for (const CampaignJob& job : jobs) {
+    // Same structure key within a scenario, regardless of width...
+    core::SynthesisOptions at32 = job.options;
+    at32.link_width_bits = 32;
+    EXPECT_EQ(structure_key(job.spec, job.options),
+              structure_key(job.spec, at32));
+    // ...and a bit-identical result versus the classic per-job path.
+    const auto shared = cache.find_result(job.key);
+    ASSERT_NE(shared, nullptr) << job.name;
+    const core::SynthesisResult solo = core::synthesize(job.spec, job.options);
+    EXPECT_EQ(result_fingerprint(*shared), result_fingerprint(solo)) << job.name;
+  }
+  // A warm re-run serves everything from the cache and forms no groups.
+  const CampaignResult warm = run_campaign(spec, opt);
+  EXPECT_EQ(warm.cache_hits, 6);
+  EXPECT_EQ(warm.structure_groups, 0);
+  EXPECT_EQ(warm.structure_shared_jobs, 0);
+}
+
+TEST(SpecHash, WidthExcludedHashIgnoresExactlyTheWidth) {
+  const CampaignSpec spec = small_campaign();
+  const std::vector<CampaignJob> jobs = expand_jobs(spec);
+  ASSERT_GE(jobs.size(), 2u);
+  for (const CampaignJob& a : jobs) {
+    for (const CampaignJob& b : jobs) {
+      const bool same_but_width =
+          hash_soc_spec(a.spec) == hash_soc_spec(b.spec);
+      if (same_but_width) {
+        EXPECT_EQ(structure_key(a.spec, a.options),
+                  structure_key(b.spec, b.options));
+      }
+      if (a.key == b.key) continue;
+      // Full keys still tell widths apart.
+      if (same_but_width && a.width != b.width) {
+        EXPECT_NE(hash_synthesis_options(a.options),
+                  hash_synthesis_options(b.options));
+        EXPECT_EQ(hash_synthesis_options_width_excluded(a.options),
+                  hash_synthesis_options_width_excluded(b.options));
+      }
+    }
+  }
+  // Non-width option changes DO re-key the structure group.
+  core::SynthesisOptions base = jobs.front().options;
+  core::SynthesisOptions other = base;
+  other.alpha = base.alpha * 0.5;
+  EXPECT_NE(hash_synthesis_options_width_excluded(base),
+            hash_synthesis_options_width_excluded(other));
+}
+
 }  // namespace vinoc::campaign

@@ -1,0 +1,312 @@
+// Sweep-structured evaluation (the two-phase width sweep): bit-identity of
+// explore_link_widths() / synthesize_width_set() against per-width
+// synthesize() for every thread count and both prune settings, sound
+// fallback when routing is width-dependent, true structure sharing when the
+// widths' derived frequencies coincide, sweep-global progress reporting,
+// and the flat PartitionTable container.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "vinoc/campaign/spec_hash.hpp"
+#include "vinoc/core/candidates.hpp"
+#include "vinoc/core/explore.hpp"
+#include "vinoc/core/synthesis.hpp"
+#include "vinoc/core/width_eval.hpp"
+#include "vinoc/exec/thread_pool.hpp"
+#include "vinoc/soc/benchmarks.hpp"
+#include "vinoc/soc/islanding.hpp"
+
+namespace vinoc::core {
+namespace {
+
+soc::SocSpec multi_island_spec(int cores = 16, int islands = 4) {
+  soc::SyntheticParams params;
+  params.cores = cores;
+  params.hubs = std::max(1, cores / 8);
+  params.seed = 17;
+  const soc::Benchmark bm = soc::make_synthetic_soc(params);
+  return soc::with_logical_islands(bm.soc, islands, bm.use_cases);
+}
+
+/// Spec whose island frequencies snap to the SAME grid point at every
+/// sweep width (bandwidths far below the grid floor), so the lockstep's
+/// per-decision verification can actually succeed and structures are
+/// genuinely shared across widths.
+soc::SocSpec low_bandwidth_spec() {
+  soc::SocSpec spec = multi_island_spec();
+  for (soc::Flow& f : spec.flows) f.bandwidth_bits_per_s /= 512.0;
+  return spec;
+}
+
+std::uint64_t fp(const SynthesisResult& r) {
+  return campaign::result_fingerprint(r);
+}
+
+/// Solo fingerprint at one width; 0 for an infeasible width.
+std::uint64_t solo_fp(const soc::SocSpec& spec, SynthesisOptions opt, int width) {
+  opt.link_width_bits = width;
+  try {
+    return fp(synthesize(spec, opt));
+  } catch (const InfeasibleWidthError&) {
+    return 0;
+  }
+}
+
+TEST(WidthSweep, BitIdenticalToPerWidthSynthesizeForThreadsAndPrune) {
+  // Two specs: one whose widths diverge (fallback/resume path) and one
+  // whose frequencies coincide (shared-materialisation/replay path), so
+  // the threads x prune matrix covers BOTH evaluation paths.
+  for (const soc::SocSpec& spec :
+       {multi_island_spec(12, 3), low_bandwidth_spec()}) {
+  const std::vector<int> widths = {8, 16, 32, 64, 128};
+  for (const bool prune : {true, false}) {
+    // The solo reference is thread-count independent (synthesize()'s
+    // guarantee, enforced elsewhere); compute it once at threads == 1.
+    SynthesisOptions ref_opt;
+    ref_opt.threads = 1;
+    ref_opt.prune = prune;
+    std::vector<std::uint64_t> ref;
+    for (const int w : widths) ref.push_back(solo_fp(spec, ref_opt, w));
+
+    for (const int threads : {1, 4}) {
+      SynthesisOptions opt;
+      opt.threads = threads;
+      opt.prune = prune;
+      const WidthSweepResult sweep = explore_link_widths(spec, widths, opt);
+      ASSERT_EQ(sweep.entries.size(), widths.size());
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const WidthSweepEntry& e = sweep.entries[i];
+        EXPECT_EQ(e.width_bits, widths[i]);
+        if (ref[i] == 0) {
+          EXPECT_FALSE(e.feasible) << "width " << widths[i];
+        } else {
+          ASSERT_TRUE(e.feasible) << "width " << widths[i];
+          EXPECT_EQ(fp(e.result), ref[i])
+              << "width " << widths[i] << " threads " << threads << " prune "
+              << prune;
+        }
+      }
+    }
+  }
+  }
+}
+
+TEST(WidthSweep, WidthDependentRoutingFallsBackSoundly) {
+  // The seed benchmarks snap to DIFFERENT frequencies per width, so the
+  // lockstep's decision verification diverges (the opening costs shift) and
+  // the sweep must take the sound per-width fallback — while every entry
+  // stays bit-identical to the solo run.
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 4, d26.use_cases);
+  const std::vector<int> widths = {32, 64, 128};
+  SynthesisOptions opt;
+  exec::ThreadPool pool(1);
+  EvalScratchPool scratch;
+  WidthSetStats stats;
+  const std::vector<WidthSweepEntry> entries =
+      synthesize_width_set(spec, widths, opt, pool, scratch, &stats);
+  EXPECT_GT(stats.fallback_evals, 0);  // width-dependent candidates detected
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    ASSERT_TRUE(entries[i].feasible);
+    EXPECT_EQ(fp(entries[i].result), solo_fp(spec, opt, widths[i]));
+  }
+}
+
+TEST(WidthSweep, SharesStructuresWhenFrequenciesCoincide) {
+  const soc::SocSpec spec = low_bandwidth_spec();
+  const std::vector<int> widths = {32, 64, 128};
+  SynthesisOptions opt;
+  // Sanity: one structural class with identical frequencies per width.
+  for (const int w : {64, 128}) {
+    const auto a = derive_island_params(spec, opt.tech, 32, opt.port_reserve);
+    const auto b = derive_island_params(spec, opt.tech, w, opt.port_reserve);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].freq_hz, b[i].freq_hz);
+      EXPECT_EQ(a[i].max_sw_size, b[i].max_sw_size);
+    }
+  }
+  exec::ThreadPool pool(1);
+  EvalScratchPool scratch;
+  WidthSetStats stats;
+  const std::vector<WidthSweepEntry> entries =
+      synthesize_width_set(spec, widths, opt, pool, scratch, &stats);
+  EXPECT_EQ(stats.width_classes, 1);
+  EXPECT_GT(stats.shared_evals, 0);  // lockstep survivors materialised
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    ASSERT_TRUE(entries[i].feasible);
+    EXPECT_EQ(fp(entries[i].result), solo_fp(spec, opt, widths[i]));
+  }
+}
+
+TEST(WidthSweep, CrossWidthPartitionCacheServesRepeatedProblems) {
+  // d26 saturates several islands' max switch size across widths, so their
+  // (island, k, max block) min-cut problems repeat between the classes.
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 4, d26.use_cases);
+  SynthesisOptions opt;
+  exec::ThreadPool pool(1);
+  EvalScratchPool scratch;
+  WidthSetStats stats;
+  (void)synthesize_width_set(spec, {16, 32, 64, 128}, opt, pool, scratch, &stats);
+  // Several widths saturate to the same per-island max switch size, so their
+  // (island, k, max block) min-cut problems are computed once and reused.
+  EXPECT_GT(stats.partition_cache_hits, 0);
+}
+
+TEST(WidthSweep, ProgressIsSweepGlobalAndMonotonic) {
+  const soc::SocSpec spec = multi_island_spec(12, 3);
+  const std::vector<int> widths = {1, 16, 32};  // width 1 is infeasible
+  SynthesisOptions opt;
+  opt.threads = 4;
+  std::mutex mutex;
+  std::size_t calls = 0;
+  std::size_t last_completed = 0;
+  std::size_t reported_total = 0;
+  std::set<int> widths_seen;
+  opt.on_progress = [&](const SynthesisProgress& p) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++calls;
+    EXPECT_EQ(p.completed, last_completed + 1);  // global, strictly monotone
+    last_completed = p.completed;
+    reported_total = p.total;
+    widths_seen.insert(p.link_width_bits);
+  };
+  const WidthSweepResult sweep = explore_link_widths(spec, widths, opt);
+  // Total == every (candidate, width) evaluation over the FEASIBLE widths.
+  std::size_t expect_total = 0;
+  for (const WidthSweepEntry& e : sweep.entries) {
+    if (e.feasible) {
+      expect_total += static_cast<std::size_t>(e.result.stats.configs_explored);
+    }
+  }
+  EXPECT_EQ(calls, expect_total);
+  EXPECT_EQ(last_completed, reported_total);
+  EXPECT_EQ(reported_total, expect_total);
+  std::set<int> feasible_widths;
+  for (const WidthSweepEntry& e : sweep.entries) {
+    if (e.feasible) feasible_widths.insert(e.width_bits);
+  }
+  EXPECT_FALSE(feasible_widths.count(1));  // infeasible widths stay silent
+  EXPECT_EQ(widths_seen, feasible_widths);
+}
+
+TEST(WidthSweep, DuplicateWidthsYieldIdenticalEntries) {
+  const soc::SocSpec spec = multi_island_spec(12, 3);
+  SynthesisOptions opt;
+  const WidthSweepResult sweep = explore_link_widths(spec, {32, 32}, opt);
+  ASSERT_EQ(sweep.entries.size(), 2u);
+  ASSERT_TRUE(sweep.entries[0].feasible);
+  ASSERT_TRUE(sweep.entries[1].feasible);
+  EXPECT_EQ(fp(sweep.entries[0].result), fp(sweep.entries[1].result));
+  EXPECT_EQ(fp(sweep.entries[0].result), solo_fp(spec, opt, 32));
+}
+
+TEST(WidthSweep, InfeasibleWidthRecordedAndSpecErrorsPropagate) {
+  const soc::SocSpec spec = multi_island_spec(12, 3);
+  const WidthSweepResult sweep = explore_link_widths(spec, {1, 32});
+  ASSERT_EQ(sweep.entries.size(), 2u);
+  EXPECT_FALSE(sweep.entries[0].feasible);
+  EXPECT_TRUE(sweep.entries[1].feasible);
+
+  SynthesisOptions bad;
+  bad.alpha = 2.0;
+  EXPECT_THROW((void)explore_link_widths(spec, {32}, bad), std::invalid_argument);
+}
+
+TEST(PartitionTable, FlatSortedContainerSemantics) {
+  std::vector<PartitionKey> keys = {{2, 3}, {0, 1}, {2, 3}, {1, 2}, {0, 1}};
+  PartitionTable table(std::move(keys));
+  ASSERT_EQ(table.size(), 3u);  // deduplicated
+  // Sorted ascending by (island, switch count).
+  EXPECT_EQ(table.key(0), (PartitionKey{0, 1}));
+  EXPECT_EQ(table.key(1), (PartitionKey{1, 2}));
+  EXPECT_EQ(table.key(2), (PartitionKey{2, 3}));
+  table.slot(1).blocks = {{4, 5}};
+  ASSERT_NE(table.find({1, 2}), nullptr);
+  EXPECT_EQ(table.at({1, 2}).blocks.size(), 1u);
+  EXPECT_EQ(table.find({1, 7}), nullptr);
+  EXPECT_THROW((void)table.at({3, 1}), std::out_of_range);
+  const PartitionTable empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.find({0, 1}), nullptr);
+}
+
+TEST(WidthEval, MatchesSoloEvaluateCandidatePerWidth) {
+  // evaluate_candidate_widths vs evaluate_candidate, candidate by candidate
+  // (prune off so outcomes compare directly without merge semantics).
+  const soc::SocSpec spec = multi_island_spec(12, 3);
+  SynthesisOptions base;
+  base.prune = false;
+  exec::ThreadPool pool(1);
+  EvalScratchPool scratch_pool;
+
+  const std::vector<int> widths = {64, 128};
+  MultiWidthContext mctx;
+  const floorplan::Floorplan plan = floorplan::Floorplan::build(spec, base.floorplan);
+  const std::vector<double> traffic = compute_core_traffic(spec);
+  const std::vector<std::size_t> order = bandwidth_descending_order(spec);
+  for (const int w : widths) {
+    WidthSlice s;
+    s.options = base;
+    s.options.link_width_bits = w;
+    s.island_params = derive_island_params(spec, base.tech, w, base.port_reserve);
+    s.intermediate_params = derive_intermediate_params(s.island_params, base.tech);
+    ASSERT_EQ(width_class_key(s.island_params),
+              width_class_key(derive_island_params(spec, base.tech, widths[0],
+                                                   base.port_reserve)));
+    mctx.slices.push_back(std::move(s));
+  }
+  const std::vector<CandidateConfig> cands =
+      enumerate_candidates(spec, mctx.slices[0].island_params, mctx.slices[0].options);
+  const PartitionTable partitions = compute_partitions(
+      spec, mctx.slices[0].options, mctx.slices[0].island_params, cands, pool);
+  mctx.spec = &spec;
+  mctx.floorplan = &plan;
+  mctx.partitions = &partitions;
+  mctx.core_traffic = &traffic;
+  mctx.flow_order = &order;
+
+  EvalScratch& scratch = scratch_pool.local();
+  for (const CandidateConfig& cand : cands) {
+    const std::vector<CandidateOutcome> multi =
+        evaluate_candidate_widths(mctx, cand, &scratch);
+    ASSERT_EQ(multi.size(), widths.size());
+    for (std::size_t j = 0; j < widths.size(); ++j) {
+      const EvalContext solo_ctx{spec,
+                                 plan,
+                                 mctx.slices[j].island_params,
+                                 mctx.slices[j].intermediate_params,
+                                 partitions,
+                                 traffic,
+                                 mctx.slices[j].options,
+                                 &order,
+                                 0.0};
+      const CandidateOutcome solo =
+          evaluate_candidate(solo_ctx, cand, &scratch, nullptr);
+      ASSERT_EQ(static_cast<int>(multi[j].status), static_cast<int>(solo.status));
+      if (solo.status != EvalStatus::kRouted) continue;
+      EXPECT_EQ(multi[j].signature, solo.signature);
+      EXPECT_EQ(multi[j].deadlock_free, solo.deadlock_free);
+      if (!solo.deadlock_free) continue;
+      EXPECT_EQ(multi[j].point.metrics.noc_dynamic_w,
+                solo.point.metrics.noc_dynamic_w);
+      EXPECT_EQ(multi[j].point.metrics.avg_latency_cycles,
+                solo.point.metrics.avg_latency_cycles);
+      EXPECT_EQ(multi[j].point.topology.links.size(),
+                solo.point.topology.links.size());
+      EXPECT_EQ(multi[j].point.topology.switch_of_core,
+                solo.point.topology.switch_of_core);
+      for (std::size_t s = 0; s < solo.point.topology.switches.size(); ++s) {
+        EXPECT_EQ(multi[j].point.topology.switches[s].freq_hz,
+                  solo.point.topology.switches[s].freq_hz);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vinoc::core

@@ -1,6 +1,7 @@
 // bench_check — the CI performance-regression gate.
 //
 //   bench_check --baseline bench/baseline.json [--tolerance 0.25] out1 [out2 ...]
+//   bench_check --baseline bench/baseline.json --write-baseline OUT out1 [...]
 //
 // The baseline file is JSON-lines, one metric per line:
 //
@@ -16,8 +17,19 @@
 // Missing metrics fail too: a bench that silently stops reporting is a
 // regression of the gate itself.
 //
-// Exit codes: 0 all within tolerance, 1 regression/missing metric,
-// 2 bad command line, 3 unreadable/unparseable baseline.
+// --write-baseline OUT refreshes the baseline instead of gating: every
+// baseline metric's value is replaced by the measured one; direction and
+// per-metric tolerance annotations are kept, and '#' comment lines stay
+// attached to the metrics they precede. The CURATED metric set is stable by
+// default — bench outputs carry observability fields (wall seconds, shared
+// counters) that must not silently become gated metrics; pass --append-new
+// to also append metrics found in the results but absent from the baseline
+// (conservative defaults: higher_is_better, tolerance 0.9, for the operator
+// to tighten). Metrics missing from the results keep their old value and
+// are reported. OUT may be the baseline file itself.
+//
+// Exit codes: 0 all within tolerance (or baseline written), 1 regression/
+// missing metric, 2 bad command line, 3 unreadable/unparseable baseline.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,7 +51,8 @@ struct BaselineMetric {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: bench_check --baseline FILE [--tolerance T] results...\n");
+               "usage: bench_check --baseline FILE [--tolerance T] "
+               "[--write-baseline OUT [--append-new]] results...\n");
   return 2;
 }
 
@@ -49,7 +62,17 @@ bool parse_number(const std::string& raw, double& out) {
   return end != raw.c_str() && *end == '\0';
 }
 
-bool load_baseline(const std::string& path, std::vector<BaselineMetric>& out) {
+/// A comment (or blank) line of the baseline file, anchored to the metric
+/// it precedes (`before` == index into the metric vector; metrics.size()
+/// anchors trailing comments) so --write-baseline can keep each comment
+/// block next to the metrics it annotates.
+struct BaselineComment {
+  std::size_t before = 0;
+  std::string text;
+};
+
+bool load_baseline(const std::string& path, std::vector<BaselineMetric>& out,
+                   std::vector<BaselineComment>* comments = nullptr) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "bench_check: cannot read baseline %s\n", path.c_str());
@@ -59,7 +82,10 @@ bool load_baseline(const std::string& path, std::vector<BaselineMetric>& out) {
   int lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    if (line.empty() || line[0] == '#') continue;
+    if (line.empty() || line[0] == '#') {
+      if (comments != nullptr) comments->push_back({out.size(), line});
+      continue;
+    }
     std::map<std::string, std::string> obj;
     if (!vinoc::io::parse_jsonl_object(line, obj)) {
       std::fprintf(stderr, "bench_check: %s:%d: not a flat JSON object\n",
@@ -110,10 +136,84 @@ void collect_metrics(const std::string& path, std::map<std::string, double>& out
   }
 }
 
+/// JSONL spelling of one baseline metric line.
+std::string metric_line(const BaselineMetric& m) {
+  char buf[256];
+  std::string line = "{\"metric\":\"" + m.name + "\"";
+  std::snprintf(buf, sizeof buf, ",\"value\":%.6g", m.value);
+  line += buf;
+  if (!m.higher_is_better) line += ",\"higher_is_better\":false";
+  if (m.tolerance >= 0.0) {
+    std::snprintf(buf, sizeof buf, ",\"tolerance\":%.6g", m.tolerance);
+    line += buf;
+  }
+  line += "}";
+  return line;
+}
+
+int write_baseline(const std::string& out_path,
+                   const std::vector<BaselineComment>& comments,
+                   std::vector<BaselineMetric> baseline,
+                   const std::map<std::string, double>& current,
+                   bool append_new) {
+  std::map<std::string, bool> known;
+  int refreshed = 0;
+  int kept = 0;
+  for (BaselineMetric& m : baseline) {
+    known[m.name] = true;
+    const auto it = current.find(m.name);
+    if (it == current.end()) {
+      std::printf("%-40s kept (not in results): %g\n", m.name.c_str(), m.value);
+      ++kept;
+      continue;
+    }
+    m.value = it->second;
+    ++refreshed;
+  }
+  // New metrics: only on request (bench outputs mix gate metrics with
+  // observability fields), with conservative defaults for hand-tightening.
+  for (const auto& [name, value] : current) {
+    if (known.count(name) != 0) continue;
+    if (!append_new) {
+      std::printf("%-40s not in baseline (use --append-new to add): %g\n",
+                  name.c_str(), value);
+      continue;
+    }
+    BaselineMetric m;
+    m.name = name;
+    m.value = value;
+    m.higher_is_better = true;
+    m.tolerance = 0.9;
+    baseline.push_back(m);
+    std::printf("%-40s appended (new metric, tolerance 0.9): %g\n", name.c_str(),
+                value);
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_check: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  // Interleave comments back at their original positions (new metrics sit
+  // at the end, after any trailing comments' anchor).
+  std::size_t ci = 0;
+  for (std::size_t mi = 0; mi <= baseline.size(); ++mi) {
+    while (ci < comments.size() && comments[ci].before == mi) {
+      out << comments[ci].text << '\n';
+      ++ci;
+    }
+    if (mi < baseline.size()) out << metric_line(baseline[mi]) << '\n';
+  }
+  std::printf("bench_check: wrote %s (%d refreshed, %d kept, %zu total)\n",
+              out_path.c_str(), refreshed, kept, baseline.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string baseline_path;
+  std::string write_path;
+  bool append_new = false;
   double default_tolerance = 0.25;
   std::vector<std::string> result_paths;
   for (int i = 1; i < argc; ++i) {
@@ -121,6 +221,11 @@ int main(int argc, char** argv) {
     if (arg == "--baseline") {
       if (++i >= argc) return usage();
       baseline_path = argv[i];
+    } else if (arg == "--write-baseline") {
+      if (++i >= argc) return usage();
+      write_path = argv[i];
+    } else if (arg == "--append-new") {
+      append_new = true;
     } else if (arg == "--tolerance") {
       if (++i >= argc) return usage();
       if (!parse_number(argv[i], default_tolerance)) return usage();
@@ -133,9 +238,15 @@ int main(int argc, char** argv) {
   if (baseline_path.empty() || result_paths.empty()) return usage();
 
   std::vector<BaselineMetric> baseline;
-  if (!load_baseline(baseline_path, baseline)) return 3;
+  std::vector<BaselineComment> comments;
+  if (!load_baseline(baseline_path, baseline, &comments)) return 3;
   std::map<std::string, double> current;
   for (const std::string& path : result_paths) collect_metrics(path, current);
+
+  if (!write_path.empty()) {
+    return write_baseline(write_path, comments, std::move(baseline), current,
+                          append_new);
+  }
 
   int failures = 0;
   std::printf("%-36s %14s %14s %9s %9s  %s\n", "metric", "baseline", "current",

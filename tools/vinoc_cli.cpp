@@ -295,15 +295,14 @@ int cmd_synth(const Args& args, const soc::SocSpec& spec) {
 
 int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
   core::SynthesisOptions options = options_from(args);
-  std::size_t evaluated = 0;
   if (args.progress) {
-    // Widths run concurrently, so the per-run completed/total pairs
-    // interleave; render one monotonic aggregate counter instead (the
-    // callback is serialised across the whole sweep, see explore.hpp).
-    options.on_progress = [&evaluated](const core::SynthesisProgress& p) {
-      ++evaluated;
-      std::fprintf(stderr, "\r  evaluated %zu candidates (width %d: %zu/%zu)",
-                   evaluated, p.link_width_bits, p.completed, p.total);
+    // The sweep reports SWEEP-GLOBAL totals: completed rises monotonically
+    // over every (candidate, width) evaluation of the whole set and
+    // link_width_bits names the width that just finished (the callback is
+    // serialised across the whole sweep; see explore.hpp).
+    options.on_progress = [](const core::SynthesisProgress& p) {
+      std::fprintf(stderr, "\r  evaluated %zu/%zu candidate-width pairs (w%d)",
+                   p.completed, p.total, p.link_width_bits);
     };
   }
   const core::WidthSweepResult sweep =
@@ -451,10 +450,12 @@ int cmd_campaign(const Args& args) {
   io::write_file(args.out + ".csv", campaign::records_to_csv(result.records));
 
   std::fprintf(stderr,
-               "%s: %d jobs (%d raw, %d filtered, %d deduped) — %d run, "
-               "%d cache hits, %d infeasible, %.2f s\n",
+               "%s: %d jobs (%d raw, %d filtered, %d deduped) — %d run "
+               "(%d width-shared in %d groups), %d cache hits, %d infeasible, "
+               "%.2f s\n",
                parsed.spec.name.c_str(), result.jobs_total, result.expand.raw,
                result.expand.filtered, result.expand.deduped, result.jobs_run,
+               result.structure_shared_jobs, result.structure_groups,
                result.cache_hits, result.infeasible, result.wall_s);
   // Machine-readable run summary: scripts (and CI's resume assertion) parse
   // this line instead of the human-formatted one above.
@@ -463,7 +464,9 @@ int cmd_campaign(const Args& args) {
     w.field("run", result.jobs_run)
         .field("cache_hits", result.cache_hits)
         .field("infeasible", result.infeasible)
-        .field("total", result.jobs_total);
+        .field("total", result.jobs_total)
+        .field("structure_groups", result.structure_groups)
+        .field("structure_shared_jobs", result.structure_shared_jobs);
     std::fprintf(stderr, "resume_summary %s\n", w.line().c_str());
   }
   std::fprintf(stderr, "wrote %s.{jsonl,csv}\n", args.out.c_str());
