@@ -10,6 +10,11 @@
 // mismatch — the speedup number is only meaningful if the results are
 // bit-identical).
 //
+// A second A/B runs the FINE width grid (kFineWidths), where PR 4's
+// trace-level lockstep shared nothing: the certified_share_rate metric is
+// the CI floor for how much of that sweep the path-level route-equivalence
+// certificates and diverged-lane cohorts now serve from shared structures.
+//
 // One JSON line between the BEGIN/END JSONL markers; the perf-smoke job
 // feeds it to tools/bench_check against bench/baseline.json (the
 // speedup_shared metric is the CI floor for the sweep-structuring win).
@@ -54,16 +59,27 @@ std::vector<Case> sweep_cases(bool quick) {
 
 const std::vector<int> kWidths = {16, 32, 64, 128};
 
+/// Dense upper-range width grid for the certificate measurement: adjacent
+/// widths snap to close (often overlapping) island frequencies, so their
+/// Dijkstras differ in near-tie flips and genuine reuse-vs-open shifts —
+/// exactly the regime the path-level route-equivalence certificates and
+/// diverged-lane cohorts target. Under PR 4's trace-level lockstep every
+/// one of these (candidate, width) results fell back to solo evaluation
+/// (shared rate 0); the certified_share_rate metric gates how much of the
+/// fine sweep the certificates now serve from shared structures.
+const std::vector<int> kFineWidths = {128, 160, 192, 256};
+
 /// The pre-PR sweep schedule: one full synthesize() per width over one
 /// shared pool/scratch, infeasible widths recorded. Returns per-width
 /// fingerprints (0 = infeasible) and the number of candidate evaluations.
 std::vector<std::uint64_t> legacy_sweep(const soc::SocSpec& spec,
+                                        const std::vector<int>& widths,
                                         const core::SynthesisOptions& options,
                                         long long* evals) {
   exec::ThreadPool pool(options.threads);
   core::EvalScratchPool scratch;
   std::vector<std::uint64_t> fps;
-  for (const int w : kWidths) {
+  for (const int w : widths) {
     core::SynthesisOptions opt = options;
     opt.link_width_bits = w;
     try {
@@ -78,16 +94,51 @@ std::vector<std::uint64_t> legacy_sweep(const soc::SocSpec& spec,
 }
 
 std::vector<std::uint64_t> shared_sweep(const soc::SocSpec& spec,
+                                        const std::vector<int>& widths,
                                         const core::SynthesisOptions& options,
                                         long long* evals) {
   const core::WidthSweepResult sweep =
-      core::explore_link_widths(spec, kWidths, options);
+      core::explore_link_widths(spec, widths, options);
   std::vector<std::uint64_t> fps;
   for (const core::WidthSweepEntry& e : sweep.entries) {
     if (e.feasible && evals != nullptr) *evals += e.result.stats.configs_explored;
     fps.push_back(e.feasible ? campaign::result_fingerprint(e.result) : 0);
   }
   return fps;
+}
+
+/// One timed legacy-vs-shared A/B over `widths`: best-of-`reps` wall clock
+/// per side, every rep fingerprint-gated (exits non-zero on mismatch — the
+/// single protocol behind BOTH gated speedup metrics). `evals` receives the
+/// shared side's candidate-evaluation count of the last rep.
+struct AbResult {
+  double legacy_s = 1e100;
+  double shared_s = 1e100;
+};
+AbResult timed_ab(const Case& c, const std::vector<int>& widths,
+                  const core::SynthesisOptions& options, int reps,
+                  const char* grid_label, long long* evals = nullptr) {
+  AbResult r;
+  for (int rep = 0; rep < reps; ++rep) {
+    if (evals != nullptr) *evals = 0;
+    auto t0 = Clock::now();
+    const std::vector<std::uint64_t> a = shared_sweep(c.spec, widths, options, evals);
+    r.shared_s = std::min(
+        r.shared_s, std::chrono::duration<double>(Clock::now() - t0).count());
+    t0 = Clock::now();
+    const std::vector<std::uint64_t> b = legacy_sweep(c.spec, widths, options, nullptr);
+    r.legacy_s = std::min(
+        r.legacy_s, std::chrono::duration<double>(Clock::now() - t0).count());
+    if (a != b) {
+      std::fprintf(stderr,
+                   "bench_width_sweep: FINGERPRINT MISMATCH on %s (%s) — the "
+                   "shared sweep is not bit-identical to per-width "
+                   "synthesize()\n",
+                   c.name.c_str(), grid_label);
+      std::exit(1);
+    }
+  }
+  return r;
 }
 
 void print_table(bool quick) {
@@ -98,17 +149,10 @@ void print_table(bool quick) {
   core::SynthesisOptions options;  // threads = 1, prune on: the default path
   const int reps = quick ? 2 : 3;
 
-  // Bit-identity gate first (also warms caches/pages for the timing loops).
+  // Warm-up pass (pages/caches); every timed rep below re-asserts
+  // bit-identity through timed_ab's per-rep fingerprint gate.
   for (const Case& c : cases) {
-    const std::vector<std::uint64_t> a = shared_sweep(c.spec, options, nullptr);
-    const std::vector<std::uint64_t> b = legacy_sweep(c.spec, options, nullptr);
-    if (a != b) {
-      std::fprintf(stderr,
-                   "bench_width_sweep: FINGERPRINT MISMATCH on %s — the shared "
-                   "sweep is not bit-identical to per-width synthesize()\n",
-                   c.name.c_str());
-      std::exit(1);
-    }
+    (void)shared_sweep(c.spec, kWidths, options, nullptr);
   }
 
   double shared_total = 0.0;
@@ -117,33 +161,23 @@ void print_table(bool quick) {
   std::printf("%-10s %-12s %-12s %-10s\n", "case", "legacy [s]", "shared [s]",
               "speedup");
   for (const Case& c : cases) {
-    double best_shared = 1e100;
-    double best_legacy = 1e100;
     long long evals = 0;
-    for (int r = 0; r < reps; ++r) {
-      evals = 0;
-      auto t0 = Clock::now();
-      (void)shared_sweep(c.spec, options, &evals);
-      best_shared =
-          std::min(best_shared, std::chrono::duration<double>(Clock::now() - t0).count());
-      t0 = Clock::now();
-      (void)legacy_sweep(c.spec, options, nullptr);
-      best_legacy =
-          std::min(best_legacy, std::chrono::duration<double>(Clock::now() - t0).count());
-    }
-    shared_total += best_shared;
-    legacy_total += best_legacy;
+    const AbResult ab = timed_ab(c, kWidths, options, reps, "default grid",
+                                 &evals);
+    shared_total += ab.shared_s;
+    legacy_total += ab.legacy_s;
     evals_total += evals;
-    std::printf("%-10s %-12.4f %-12.4f %.2fx\n", c.name.c_str(), best_legacy,
-                best_shared, best_legacy / best_shared);
+    std::printf("%-10s %-12.4f %-12.4f %.2fx\n", c.name.c_str(), ab.legacy_s,
+                ab.shared_s, ab.legacy_s / ab.shared_s);
   }
   std::printf("%-10s %-12.4f %-12.4f %.2fx\n", "TOTAL", legacy_total,
               shared_total, legacy_total / shared_total);
 
-  // Sharing observability on the aggregate case list.
+  // Sharing observability on the aggregate case list (default width set).
   long long shared_evals = 0;
   long long fallback_evals = 0;
   long long partition_hits = 0;
+  int peak_buffered = 0;
   for (const Case& c : cases) {
     exec::ThreadPool pool(1);
     core::EvalScratchPool scratch;
@@ -152,7 +186,50 @@ void print_table(bool quick) {
     shared_evals += st.shared_evals;
     fallback_evals += st.fallback_evals;
     partition_hits += st.partition_cache_hits;
+    peak_buffered = std::max(peak_buffered, st.peak_buffered_outcomes);
   }
+
+  // Certificate measurement: the fine width grid (see kFineWidths), where
+  // PR 4's trace-level lockstep shared NOTHING. A/B timed and fingerprint-
+  // gated like the main sweep; the sharing stats feed the gated
+  // certified_share_rate metric.
+  double fine_shared_s = 0.0;
+  double fine_legacy_s = 0.0;
+  long long fine_shared = 0;
+  long long fine_certified = 0;
+  long long fine_accepts = 0;
+  long long fine_cohort = 0;
+  long long fine_fallback = 0;
+  std::printf("\nfine width grid {128,160,192,256} (certificate regime):\n");
+  std::printf("%-10s %-12s %-12s %-10s %-22s\n", "case", "legacy [s]",
+              "shared [s]", "speedup", "shared/cert/cohort/solo");
+  for (const Case& c : cases) {
+    const AbResult ab = timed_ab(c, kFineWidths, options, reps, "fine grid");
+    fine_shared_s += ab.shared_s;
+    fine_legacy_s += ab.legacy_s;
+    exec::ThreadPool pool(1);
+    core::EvalScratchPool scratch;
+    core::WidthSetStats st;
+    (void)core::synthesize_width_set(c.spec, kFineWidths, options, pool,
+                                     scratch, &st);
+    fine_shared += st.shared_evals;
+    fine_certified += st.certified_evals;
+    fine_accepts += st.certificate_accepts;
+    fine_cohort += st.cohort_evals;
+    fine_fallback += st.fallback_evals;
+    peak_buffered = std::max(peak_buffered, st.peak_buffered_outcomes);
+    std::printf("%-10s %-12.4f %-12.4f %-10.2f %d/%d/%d/%d\n", c.name.c_str(),
+                ab.legacy_s, ab.shared_s, ab.legacy_s / ab.shared_s,
+                st.shared_evals, st.certified_evals, st.cohort_evals,
+                st.fallback_evals - st.cohort_evals);
+  }
+  const long long fine_followers = fine_shared + fine_fallback;
+  const double certified_share_rate =
+      fine_followers > 0 ? static_cast<double>(fine_shared) /
+                               static_cast<double>(fine_followers)
+                         : 0.0;
+  std::printf("fine-grid shared rate: %.3f (%lld certificate accepts)\n",
+              certified_share_rate, fine_accepts);
 
   std::printf("\n--- BEGIN JSONL (width_sweep) ---\n");
   io::JsonlWriter w;
@@ -164,7 +241,12 @@ void print_table(bool quick) {
       .field("width_cands_per_s", static_cast<double>(evals_total) / shared_total)
       .field("shared_evals", static_cast<double>(shared_evals))
       .field("fallback_evals", static_cast<double>(fallback_evals))
-      .field("partition_cache_hits", static_cast<double>(partition_hits));
+      .field("partition_cache_hits", static_cast<double>(partition_hits))
+      .field("speedup_fine", fine_legacy_s / fine_shared_s)
+      .field("certified_share_rate", certified_share_rate)
+      .field("certificate_accepts", static_cast<double>(fine_accepts))
+      .field("cohort_evals", static_cast<double>(fine_cohort))
+      .field("peak_buffered_outcomes", static_cast<double>(peak_buffered));
   std::printf("%s\n", w.line().c_str());
   std::printf("--- END JSONL ---\n\n");
 }

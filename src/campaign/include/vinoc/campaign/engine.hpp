@@ -67,6 +67,18 @@ struct CampaignResult {
   /// the number of jobs they covered.
   int structure_groups = 0;
   int structure_shared_jobs = 0;
+  /// Sharing telemetry summed over this run's width-set group syntheses
+  /// (see core::WidthSetStats): (candidate, width) results materialised
+  /// from a shared structure, the subset unlocked by path-level
+  /// route-equivalence certificates, and flow-level certificate
+  /// acceptances. width_fallback_evals counts ALL width-dependent results
+  /// (tails resumed after a genuine divergence); width_cohort_evals is the
+  /// subset of those resolved by a cohort lockstep, the rest resumed solo.
+  int width_shared_evals = 0;
+  int width_certified_evals = 0;
+  int width_cohort_evals = 0;
+  int width_fallback_evals = 0;
+  int certificate_accepts = 0;
   double wall_s = 0.0;  ///< whole-campaign wall time
 
   /// All records as JSONL text (one line each, trailing newline).

@@ -86,6 +86,11 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   std::atomic<int> infeasible{0};
   std::atomic<int> structure_groups{0};
   std::atomic<int> structure_shared_jobs{0};
+  std::atomic<int> width_shared_evals{0};
+  std::atomic<int> width_certified_evals{0};
+  std::atomic<int> width_cohort_evals{0};
+  std::atomic<int> width_fallback_evals{0};
+  std::atomic<int> certificate_accepts{0};
 
   // The campaign-level structure cache: jobs that differ ONLY in
   // link_width_bits share every width-invariant input (floorplan, traffic,
@@ -202,9 +207,15 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     widths.reserve(compute.size());
     for (const std::size_t i : compute) widths.push_back(jobs[i].width);
     const auto t0 = std::chrono::steady_clock::now();
+    core::WidthSetStats set_stats;
     std::vector<core::WidthSweepEntry> entries =
         core::synthesize_width_set(first.spec, widths, first.options, pool,
-                                   scratch);
+                                   scratch, &set_stats);
+    width_shared_evals.fetch_add(set_stats.shared_evals);
+    width_certified_evals.fetch_add(set_stats.certified_evals);
+    width_cohort_evals.fetch_add(set_stats.cohort_evals);
+    width_fallback_evals.fetch_add(set_stats.fallback_evals);
+    certificate_accepts.fetch_add(set_stats.certificate_accepts);
     const double wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - t0)
                                .count() /
@@ -224,6 +235,11 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   out.infeasible = infeasible.load();
   out.structure_groups = structure_groups.load();
   out.structure_shared_jobs = structure_shared_jobs.load();
+  out.width_shared_evals = width_shared_evals.load();
+  out.width_certified_evals = width_certified_evals.load();
+  out.width_cohort_evals = width_cohort_evals.load();
+  out.width_fallback_evals = width_fallback_evals.load();
+  out.certificate_accepts = certificate_accepts.load();
   out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              t_start)
                    .count();

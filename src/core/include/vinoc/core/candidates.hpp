@@ -31,9 +31,11 @@
 #pragma once
 
 #include <functional>
+#include <set>
 #include <utility>
 #include <vector>
 
+#include "vinoc/core/prune.hpp"
 #include "vinoc/core/router.hpp"
 #include "vinoc/core/synthesis.hpp"
 #include "vinoc/exec/worker_local.hpp"
@@ -199,15 +201,40 @@ class EvalScratchPool {
                                                   EvalScratch* scratch = nullptr,
                                                   const ParetoBound* bound = nullptr);
 
-/// Enumeration-ordered merge of candidate outcomes into `result` — the
-/// single definition of Algorithm 1's dedup / stats / Pareto-front /
-/// deterministic-pruning semantics, shared by synthesize() and the
-/// width-sweep shared path (explore.cpp). `outcomes` must be in enumeration
-/// order; `replay` re-evaluates candidate i against the merge-front bound
-/// (called only when options.prune && options.deterministic_prune for a
-/// pruned outcome whose recorded bounds the merge front does not dominate).
-/// Appends points, fills stats counters (not elapsed_seconds) and builds
-/// result.pareto.
+/// Incremental, enumeration-ordered merge of candidate outcomes into a
+/// SynthesisResult — the single definition of Algorithm 1's dedup / stats /
+/// Pareto-front / deterministic-pruning semantics, shared by synthesize()
+/// and the width sweep (explore.cpp). Outcomes are fed ONE AT A TIME in
+/// enumeration order (the i-th add() merges candidate i), so streaming
+/// callers merge each candidate as soon as its predecessors have merged and
+/// release it, instead of holding every outcome until the sweep ends —
+/// SynthesisStats::peak_buffered_outcomes records the resulting buffer
+/// high-water mark. `replay` re-evaluates candidate i against the
+/// merge-front bound (called only when options.prune &&
+/// options.deterministic_prune for a pruned outcome whose recorded bounds
+/// the merge front does not dominate). Not thread-safe: callers serialise
+/// add() externally. finish() builds result.pareto; call it exactly once,
+/// after the final add().
+class OutcomeMerger {
+ public:
+  using ReplayFn =
+      std::function<CandidateOutcome(std::size_t, const ParetoBound&)>;
+  OutcomeMerger(const SynthesisOptions& options, ReplayFn replay,
+                SynthesisResult& result);
+  void add(CandidateOutcome&& out);
+  void finish();
+
+ private:
+  const SynthesisOptions& options_;
+  ReplayFn replay_;
+  SynthesisResult& result_;
+  ParetoBound merge_bound_;
+  std::set<std::vector<int>> seen_designs_;
+  std::size_t index_ = 0;
+};
+
+/// One-shot wrapper over OutcomeMerger for callers that already hold every
+/// outcome: merges `outcomes` (enumeration order) and finishes.
 void merge_candidate_outcomes(
     std::vector<CandidateOutcome>&& outcomes, const SynthesisOptions& options,
     const std::function<CandidateOutcome(std::size_t, const ParetoBound&)>& replay,

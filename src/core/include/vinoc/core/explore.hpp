@@ -53,16 +53,39 @@ struct WidthSweepResult {
 struct WidthSetStats {
   int width_classes = 0;   ///< structural classes among the feasible widths
   /// (candidate, width) results materialised from a shared structure
-  /// instead of being routed solo.
+  /// instead of being routed solo (certificate-accepted lanes included).
   int shared_evals = 0;
   /// (candidate, width) results whose routing outcome was width-dependent:
-  /// the lockstep diverged and the width was re-evaluated on the classic
-  /// per-width path.
+  /// a path certificate rejected some flow, so the width's tail was resumed
+  /// (in a cohort or solo).
   int fallback_evals = 0;
+  /// Lockstep survivors that needed >= 1 accepted path-level
+  /// route-equivalence certificate — traces that differ from the leader's
+  /// only in harmless near-tie flips (subset of shared_evals).
+  int certified_evals = 0;
+  /// Flow-level certificate acceptances across every lane (cohorts
+  /// included).
+  int certificate_accepts = 0;
+  /// Diverged (candidate, width) results RESOLVED by a cohort lockstep —
+  /// the cohort leader plus members that stayed locked to its tail (subset
+  /// of fallback_evals) — and the number of cohorts formed.
+  int cohort_evals = 0;
+  int cohort_groups = 0;
   /// Per-class partition-table slots served by the sweep's cross-width
   /// partition cache beyond the first computation of each distinct
   /// (island, switch count, max block size) min-cut problem.
   int partition_cache_hits = 0;
+  /// Sweep-global high-water mark of candidate outcomes buffered by the
+  /// streaming per-width merges (see SynthesisStats::
+  /// peak_buffered_outcomes).
+  int peak_buffered_outcomes = 0;
+
+  /// Share of non-leader (candidate, width) results served from a shared
+  /// structure; 0 when the sweep had no followers.
+  [[nodiscard]] double shared_rate() const {
+    const int followers = shared_evals + fallback_evals;
+    return followers > 0 ? static_cast<double>(shared_evals) / followers : 0.0;
+  }
 };
 
 /// Core engine of the width sweep: synthesizes `spec` at every width of
@@ -103,9 +126,12 @@ std::vector<WidthSweepEntry> synthesize_width_set(
 /// every internal fan-out, evaluates all widths through
 /// synthesize_width_set() (width-invariant work shared, results
 /// bit-identical to per-width synthesize() calls for every thread count),
-/// and reports sweep-global progress (see synthesize_width_set).
+/// and reports sweep-global progress (see synthesize_width_set). `stats`
+/// (optional) receives the sharing telemetry of the underlying width-set
+/// synthesis.
 WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
                                      const std::vector<int>& widths,
-                                     const SynthesisOptions& base_options = {});
+                                     const SynthesisOptions& base_options = {},
+                                     WidthSetStats* stats = nullptr);
 
 }  // namespace vinoc::core

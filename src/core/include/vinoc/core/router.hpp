@@ -122,6 +122,12 @@ struct RouterScratch {
   std::vector<std::pair<double, int>> heap;
   std::vector<std::vector<double>> lane_dist;  ///< per-lane dist arrays
   std::vector<std::vector<std::pair<double, int>>> lane_heap;
+  /// Route-equivalence certificate state (one certificate runs at a time,
+  /// so the buffers are shared by every lane; see router.cpp).
+  std::vector<double> cert_dist;
+  std::vector<std::pair<double, int>> cert_heap;
+  std::vector<int> cert_pred;
+  std::vector<int> cert_pred_link;
   /// Per-candidate routing geometry, reset by route_all_flows[_multi] and
   /// shared by both passes (and, in lockstep mode, every lane).
   RoutingGeometry geometry;
@@ -140,19 +146,38 @@ struct RouterScratch {
 /// routes; each lane re-derives every routing decision — capacity and port
 /// admissibility, wire-timing caps, link-opening costs, Dijkstra
 /// comparisons — from its own width/frequency tables with the follower's
-/// exact solo arithmetic, and is marked `diverged` at the FIRST decision
-/// whose outcome differs from the leader's. A lane that survives to the end
-/// is a proof its solo run would have produced the identical topology and
-/// routes, so the caller can materialise its result from the shared
-/// structure; a diverged lane must be re-evaluated solo (the fallback path).
+/// exact solo arithmetic. A per-decision mismatch no longer dooms the lane
+/// outright: the lane falls out of the per-decision lockstep for the
+/// CURRENT flow only, and once the leader's path for that flow is known the
+/// router runs the lane's PATH-LEVEL ROUTE-EQUIVALENCE CERTIFICATE — the
+/// lane's own full solo Dijkstra for the flow over the (proven-identical)
+/// shared state, with the lane's exact arithmetic and tie-breaks. When the
+/// certified path equals the leader's (same nodes, same reuse-vs-open link
+/// choices) the traces differed only in harmless near-tie flips: the
+/// topology mutation is identical, the lane re-locks, and sharing
+/// continues. Only a certificate REJECTION (a genuinely different path, or
+/// one side unroutable) marks the lane `diverged`. A lane that survives to
+/// the end is a proof its solo run would have produced the identical
+/// topology and routes, so the caller can materialise its result from the
+/// shared structure; a diverged lane must re-route its tail (cohort or solo
+/// — see vinoc/core/width_eval.hpp).
 struct WidthLane {
   int width_bits = 0;
   /// Per-switch tables at this lane's width (indexed like topo.switches).
   std::vector<double> switch_freq;
   std::vector<double> max_wire_len;  ///< read only when enforce_wire_timing
   std::vector<int> max_ports;
-  /// Output: some routing decision differs from the leader's at this width.
+  /// Output: some routing decision differs from the leader's at this width
+  /// AND the path-level certificate rejected the flow it happened in.
   bool diverged = false;
+  /// Internal (router-managed): the lane left the per-decision lockstep for
+  /// the current flow and awaits its certificate.
+  bool pending = false;
+  /// Output: the lane needed at least one accepted certificate — its trace
+  /// differs from the leader's even though every routed path is identical.
+  bool used_certificate = false;
+  /// Output: accepted flow-level certificates on this lane.
+  int certificate_accepts = 0;
   /// On divergence: the shared topology as it stood BEFORE the flow whose
   /// routing diverged (all earlier flows are proven identical), the
   /// position of that flow in the routing order, and the pass (1 = greedy,
@@ -255,6 +280,28 @@ RouteOutcome resume_route_flows(NocTopology& topo, const soc::SocSpec& spec,
                                 const RouterOptions& options,
                                 int resume_order_pos,
                                 RouterScratch* scratch = nullptr);
+
+/// resume_route_flows() for a COHORT: the leader width of `options` resumes
+/// the tail while every lane in `lanes` verifies it in the same width
+/// lockstep (per-decision checks + path certificates) route_all_flows_multi
+/// runs — used by the sweep to resume lanes that diverged at the SAME
+/// decision with identical snapshots together instead of solo. With
+/// resume_order_pos == 0 this routes a whole pass from a pristine topology
+/// (the cohort form of the intermediate-island retry); the caller handles
+/// pass transitions itself, exactly as with resume_route_flows().
+RouteOutcome resume_route_flows_multi(NocTopology& topo,
+                                      const soc::SocSpec& spec,
+                                      const RouterOptions& options,
+                                      int resume_order_pos,
+                                      std::vector<WidthLane>& lanes,
+                                      RouterScratch* scratch = nullptr);
+
+/// Runtime toggle for the router's 4-wide relaxation filter (see
+/// vinoc/core/simd.hpp): results are bit-identical either way — the scalar
+/// path is the reference the tests compare against. Returns the previous
+/// value. No-op (always scalar) in builds without the vector path.
+bool set_router_simd_enabled(bool enabled);
+[[nodiscard]] bool router_simd_enabled();
 
 /// True if a link from switch `a` to switch `b` is admissible for a flow
 /// going from island `src_isl` to island `dst_isl` under the shutdown-safety

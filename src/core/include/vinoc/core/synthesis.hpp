@@ -132,6 +132,29 @@ struct SynthesisStats {
   /// not as routed.
   int rejected_pruned = 0;
   double elapsed_seconds = 0.0;
+
+  // --- Observability (excluded from result fingerprints; the fields below
+  // depend on worker scheduling and the sweep's adaptive lockstep vote, so
+  // they are NOT part of the bit-identity guarantee). ---
+
+  /// Sweep-structured sharing telemetry of THIS width's results, filled by
+  /// synthesize_width_set (always 0 for a solo synthesize()): how each
+  /// candidate result was obtained — materialised from a shared structure
+  /// with a trace identical to the leader's (`width_shared`), shared via
+  /// >= 1 accepted path-level route-equivalence certificate
+  /// (`width_certified`, a subset of `width_shared`), tail resumed in a
+  /// same-decision cohort lockstep (`width_cohort`), or tail re-routed solo
+  /// after a genuine divergence (`width_fallback`).
+  int width_shared = 0;
+  int width_certified = 0;
+  int width_cohort = 0;
+  int width_fallback = 0;
+  /// High-water mark of candidate outcomes buffered by the streaming merge
+  /// (results waiting for an enumeration-order predecessor still being
+  /// evaluated). Caps peak memory: with threads == 1 it equals one
+  /// evaluation batch (1 for synthesize(), the width-class size for the
+  /// sweep, which reports the sweep-global peak on every entry).
+  int peak_buffered_outcomes = 0;
 };
 
 struct SynthesisResult {

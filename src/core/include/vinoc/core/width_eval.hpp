@@ -21,9 +21,15 @@
 //      flow.
 //   3. FALLBACK: widths whose routing outcome IS width-dependent (a
 //      capacity check, port limit, wire-timing cap or cost comparison that
-//      resolves differently — detected soundly, never guessed) drop out of
-//      lockstep; each re-routes ONLY its width-dependent tail from a
-//      snapshot of the shared state at its divergence point (all earlier
+//      resolves differently — detected soundly per flow by the router's
+//      path-level route-equivalence certificate, never guessed; harmless
+//      near-tie trace flips are certified and keep sharing) drop out of
+//      lockstep. Lanes that diverged at the SAME decision with identical
+//      snapshots form a COHORT: one of them leads a resumed lockstep over
+//      the shared tail (resume_route_flows_multi) and the others verify it
+//      lane-style, so even diverged widths share their tails; only a lane
+//      with a unique divergence point (or one that diverges again inside
+//      its cohort) re-routes its tail solo from its snapshot (all earlier
 //      flows are proven identical — see resume_route_flows).
 //
 // Results are bit-identical to evaluate_candidate() at every width; the
@@ -61,15 +67,43 @@ struct MultiWidthContext {
   std::vector<WidthSlice> slices;
 };
 
+/// How one (candidate, width) result was obtained (see WidthEvalCounters::
+/// slice_class).
+enum class ShareClass : unsigned char {
+  kLeader = 0,     ///< routed the structure itself (group leader, or solo)
+  kShared = 1,     ///< lockstep survivor, trace identical to the leader's
+  kCertified = 2,  ///< lockstep survivor via >= 1 path certificate
+  kCohort = 3,     ///< diverged; tail resumed in a cohort lockstep
+  kSolo = 4,       ///< diverged; tail resumed solo
+};
+
 /// Observability counters of one evaluate_candidate_widths call (summed by
 /// the sweep into WidthSetStats).
 struct WidthEvalCounters {
   /// (candidate, width) results materialised from a shared structure
-  /// (lockstep survivors other than the group leader).
+  /// (lockstep survivors other than the group leader, certificate-accepted
+  /// ones included).
   int shared = 0;
-  /// (candidate, width) results that diverged in lockstep; each re-routed
-  /// its width-dependent tail solo from the divergence snapshot.
+  /// (candidate, width) results whose routing outcome was width-dependent
+  /// (the lockstep diverged and a certificate rejected the flow); their
+  /// tails were resumed in a cohort or solo.
   int fallback = 0;
+  /// Lockstep survivors that needed >= 1 accepted path certificate — their
+  /// traces differ from the leader's in near-tie flips only (subset of
+  /// `shared`).
+  int certified = 0;
+  /// Flow-level certificate acceptances across every lane, cohort lanes
+  /// included.
+  int certificate_accepts = 0;
+  /// Diverged (candidate, width) results RESOLVED by a cohort lockstep —
+  /// the cohort leader plus members that stayed locked to its tail (subset
+  /// of `fallback`; a lane that diverges again inside a cohort is counted
+  /// by whatever finally resolves it) — and the number of cohorts formed.
+  int cohort_lanes = 0;
+  int cohort_groups = 0;
+  /// Per-slice classification, parallel to MultiWidthContext::slices;
+  /// filled whenever counters are supplied.
+  std::vector<ShareClass> slice_class;
 };
 
 /// Structural profile of one width: widths with equal keys can share

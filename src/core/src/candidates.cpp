@@ -520,13 +520,15 @@ CandidateOutcome evaluate_candidate(const EvalContext& ctx,
   return out;
 }
 
-void merge_candidate_outcomes(
-    std::vector<CandidateOutcome>&& outcomes, const SynthesisOptions& options,
-    const std::function<CandidateOutcome(std::size_t, const ParetoBound&)>& replay,
-    SynthesisResult& result) {
-  // Merge — strictly in enumeration order, so duplicate suppression, the
-  // stats counters and the saved-point list are independent of how the
-  // evaluations were scheduled (bit-identical to a sequential run).
+OutcomeMerger::OutcomeMerger(const SynthesisOptions& options, ReplayFn replay,
+                             SynthesisResult& result)
+    : options_(options), replay_(std::move(replay)), result_(result) {}
+
+void OutcomeMerger::add(CandidateOutcome&& out) {
+  // Merge — strictly in enumeration order (the caller feeds candidate
+  // index_ here), so duplicate suppression, the stats counters and the
+  // saved-point list are independent of how the evaluations were scheduled
+  // (bit-identical to a sequential run).
   //
   // Every outcome evaluated with a bound carries the monotone lower bounds
   // of its LAST checkpoint (abort point when pruned, end of evaluation when
@@ -545,57 +547,64 @@ void merge_candidate_outcomes(
   //    pruned (no replay needed: a pruned candidate contributes nothing
   //    else). A sequential run never trips this (its snapshot dominance-
   //    equals the merge front), so it costs nothing when threads == 1.
-  ParetoBound merge_bound;
-  std::set<std::vector<int>> seen_designs;
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    CandidateOutcome& out = outcomes[i];
-    ++result.stats.configs_explored;
-    if (out.status == EvalStatus::kPruned && options.deterministic_prune &&
-        !merge_bound.dominated(out.pruned_power_lb_w,
-                               out.pruned_latency_lb_cycles)) {
-      out = replay(i, merge_bound);
-    }
-    if (options.prune && out.status == EvalStatus::kRouted &&
-        merge_bound.dominated(out.pruned_power_lb_w,
+  const std::size_t i = index_++;
+  ++result_.stats.configs_explored;
+  if (out.status == EvalStatus::kPruned && options_.deterministic_prune &&
+      !merge_bound_.dominated(out.pruned_power_lb_w,
                               out.pruned_latency_lb_cycles)) {
-      out.status = EvalStatus::kPruned;
-    }
-    if (out.status == EvalStatus::kPruned) {
-      ++result.stats.rejected_pruned;
-      continue;
-    }
-    if (out.status != EvalStatus::kRouted) {
-      if (out.status == EvalStatus::kRejectedLatency) {
-        ++result.stats.rejected_latency;
-      } else {
-        ++result.stats.rejected_unroutable;
-      }
-      continue;
-    }
-    ++result.stats.configs_routed;
-    if (!seen_designs.insert(std::move(out.signature)).second) {
-      ++result.stats.rejected_duplicate;
-      continue;
-    }
-    if (!out.deadlock_free) {
-      ++result.stats.rejected_deadlock;
-      continue;
-    }
-    ++result.stats.configs_saved;
-    if (options.prune) {
-      merge_bound.insert(out.point.metrics.noc_dynamic_w,
-                         out.point.metrics.avg_latency_cycles);
-    }
-    result.points.push_back(std::move(out.point));
+    out = replay_(i, merge_bound_);
   }
+  if (options_.prune && out.status == EvalStatus::kRouted &&
+      merge_bound_.dominated(out.pruned_power_lb_w,
+                             out.pruned_latency_lb_cycles)) {
+    out.status = EvalStatus::kPruned;
+  }
+  if (out.status == EvalStatus::kPruned) {
+    ++result_.stats.rejected_pruned;
+    return;
+  }
+  if (out.status != EvalStatus::kRouted) {
+    if (out.status == EvalStatus::kRejectedLatency) {
+      ++result_.stats.rejected_latency;
+    } else {
+      ++result_.stats.rejected_unroutable;
+    }
+    return;
+  }
+  ++result_.stats.configs_routed;
+  if (!seen_designs_.insert(std::move(out.signature)).second) {
+    ++result_.stats.rejected_duplicate;
+    return;
+  }
+  if (!out.deadlock_free) {
+    ++result_.stats.rejected_deadlock;
+    return;
+  }
+  ++result_.stats.configs_saved;
+  if (options_.prune) {
+    merge_bound_.insert(out.point.metrics.noc_dynamic_w,
+                        out.point.metrics.avg_latency_cycles);
+  }
+  result_.points.push_back(std::move(out.point));
+}
 
+void OutcomeMerger::finish() {
   // Pareto front over (dynamic power, average latency), ascending power.
-  std::vector<std::size_t> order(result.points.size());
+  std::vector<std::size_t> order(result_.points.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  result.pareto =
-      pareto_front(std::move(order), [&result](std::size_t idx) -> const Metrics& {
-        return result.points[idx].metrics;
-      });
+  result_.pareto = pareto_front(std::move(order),
+                                [this](std::size_t idx) -> const Metrics& {
+                                  return result_.points[idx].metrics;
+                                });
+}
+
+void merge_candidate_outcomes(
+    std::vector<CandidateOutcome>&& outcomes, const SynthesisOptions& options,
+    const std::function<CandidateOutcome(std::size_t, const ParetoBound&)>& replay,
+    SynthesisResult& result) {
+  OutcomeMerger merger(options, replay, result);
+  for (CandidateOutcome& out : outcomes) merger.add(std::move(out));
+  merger.finish();
 }
 
 }  // namespace vinoc::core

@@ -14,6 +14,7 @@
 #include "vinoc/core/pareto.hpp"
 #include "vinoc/core/prune.hpp"
 #include "vinoc/core/width_eval.hpp"
+#include "vinoc/exec/ordered_drain.hpp"
 #include "vinoc/exec/parallel_for.hpp"
 
 namespace vinoc::core {
@@ -182,13 +183,79 @@ std::vector<WidthSweepEntry> synthesize_width_set(
   // the every-width-dominated early abandon; the merge below restores exact
   // sequential pruning semantics regardless of snapshot timing).
   std::vector<SharedParetoBound> bounds(widths.size());
-  // outcomes[class][cand][slice]
-  std::vector<std::vector<std::vector<CandidateOutcome>>> outcomes(classes.size());
-  for (std::size_t c = 0; c < classes.size(); ++c) {
-    outcomes[c].resize(classes[c].candidates.size());
+
+  // Per-width result shells plus STREAMING per-(class, width) merges: a
+  // candidate whose enumeration-order predecessors have all merged is
+  // merged and released as soon as it finishes, so the sweep buffers only
+  // the out-of-order window instead of every width's outcome list
+  // (ROADMAP (a); the high-water mark is reported in
+  // SynthesisStats::peak_buffered_outcomes).
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (!entries[i].feasible) continue;
+    SynthesisResult& result = entries[i].result;
+    result.floorplan = plan;
+    result.island_params = slices[i].island_params;
+    result.intermediate_params = slices[i].intermediate_params;
   }
+  struct ClassMergeState {
+    explicit ClassMergeState(std::size_t n_candidates) : queue(n_candidates) {}
+    /// Per-candidate batches (one outcome per width of the class), merged
+    /// in enumeration order as predecessors finish.
+    exec::OrderedDrainQueue<std::vector<CandidateOutcome>> queue;
+    std::vector<EvalContext> replay_ctx;  ///< per width of the class
+    std::vector<OutcomeMerger> mergers;   ///< parallel to replay_ctx
+  };
+  std::vector<std::unique_ptr<ClassMergeState>> merge_states;
+  merge_states.reserve(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    WidthClass& wc = classes[c];
+    auto ms = std::make_unique<ClassMergeState>(wc.candidates.size());
+    ms->replay_ctx.reserve(wc.width_indices.size());
+    ms->mergers.reserve(wc.width_indices.size());
+    for (const std::size_t wi : wc.width_indices) {
+      ms->replay_ctx.push_back(EvalContext{spec,
+                                           plan,
+                                           slices[wi].island_params,
+                                           slices[wi].intermediate_params,
+                                           wc.partitions,
+                                           traffic,
+                                           slices[wi].options,
+                                           &flow_order,
+                                           ni_base});
+    }
+    for (std::size_t j = 0; j < wc.width_indices.size(); ++j) {
+      const EvalContext* rctx = &ms->replay_ctx[j];
+      ms->mergers.emplace_back(
+          slices[wc.width_indices[j]].options,
+          [rctx, &wc, &scratch](std::size_t k, const ParetoBound& bound) {
+            return evaluate_candidate(*rctx, wc.candidates[k], &scratch.local(),
+                                      &bound);
+          },
+          entries[wc.width_indices[j]].result);
+    }
+    merge_states.push_back(std::move(ms));
+  }
+
   std::atomic<int> shared_evals{0};
   std::atomic<int> fallback_evals{0};
+  std::atomic<int> certified_evals{0};
+  std::atomic<int> certificate_accepts{0};
+  std::atomic<int> cohort_evals{0};
+  std::atomic<int> cohort_groups{0};
+  std::atomic<int> buffered_outcomes{0};
+  std::atomic<int> peak_buffered{0};
+  // Per-width share-class attribution for SynthesisStats (observability;
+  // scheduling-dependent, see synthesis.hpp).
+  std::vector<std::atomic<int>> width_shared(widths.size());
+  std::vector<std::atomic<int>> width_certified(widths.size());
+  std::vector<std::atomic<int>> width_cohort(widths.size());
+  std::vector<std::atomic<int>> width_fallback(widths.size());
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    width_shared[i].store(0);
+    width_certified[i].store(0);
+    width_cohort[i].store(0);
+    width_fallback[i].store(0);
+  }
   std::mutex progress_mutex;
   std::size_t progress_done = 0;
   const auto on_progress = base_options.on_progress;
@@ -252,6 +319,31 @@ std::vector<WidthSweepEntry> synthesize_width_set(
     }
     shared_evals.fetch_add(counters.shared);
     fallback_evals.fetch_add(counters.fallback);
+    certified_evals.fetch_add(counters.certified);
+    certificate_accepts.fetch_add(counters.certificate_accepts);
+    cohort_evals.fetch_add(counters.cohort_lanes);
+    cohort_groups.fetch_add(counters.cohort_groups);
+    if (lockstep) {
+      for (std::size_t j = 0; j < counters.slice_class.size(); ++j) {
+        const std::size_t wi = wc.width_indices[j];
+        switch (counters.slice_class[j]) {
+          case ShareClass::kCertified:
+            ++width_certified[wi];
+            [[fallthrough]];
+          case ShareClass::kShared:
+            ++width_shared[wi];
+            break;
+          case ShareClass::kCohort:
+            ++width_cohort[wi];
+            break;
+          case ShareClass::kSolo:
+            ++width_fallback[wi];
+            break;
+          case ShareClass::kLeader:
+            break;
+        }
+      }
+    }
     if (base_options.prune) {
       for (std::size_t j = 0; j < outs.size(); ++j) {
         const CandidateOutcome& o = outs[j];
@@ -261,7 +353,31 @@ std::vector<WidthSweepEntry> synthesize_width_set(
         }
       }
     }
-    outcomes[unit.class_id][unit.cand_id] = std::move(outs);
+    {
+      // Streaming merge: deposit this candidate's per-width batch, drain
+      // every candidate whose predecessors are all merged (see
+      // exec::OrderedDrainQueue — merges run on whichever worker advanced
+      // the cursor, in strict enumeration order, so results are
+      // bit-identical to the end-of-sweep merge). The buffered-outcome
+      // accounting is sweep-global across classes.
+      ClassMergeState& ms = *merge_states[unit.class_id];
+      const int batch = static_cast<int>(outs.size());
+      ms.queue.deposit(
+          unit.cand_id, std::move(outs),
+          [&ms](std::vector<CandidateOutcome>&& ready_outs) {
+            for (std::size_t j = 0; j < ready_outs.size(); ++j) {
+              ms.mergers[j].add(std::move(ready_outs[j]));
+            }
+          },
+          [&, batch](int delta) {
+            const int now =
+                buffered_outcomes.fetch_add(delta * batch) + delta * batch;
+            int peak = peak_buffered.load();
+            while (now > peak &&
+                   !peak_buffered.compare_exchange_weak(peak, now)) {
+            }
+          });
+    }
     if (on_progress) {
       const std::lock_guard<std::mutex> lock(progress_mutex);
       for (std::size_t j = 0; j < wc.width_indices.size(); ++j) {
@@ -272,58 +388,43 @@ std::vector<WidthSweepEntry> synthesize_width_set(
     }
   });
 
-  // Per-width merge, in enumeration order — identical semantics (and code)
-  // to synthesize()'s merge, so each entry is bit-identical to a solo run.
+  // Finish the per-width merges (Pareto fronts) and stamp the stats.
   for (std::size_t c = 0; c < classes.size(); ++c) {
-    WidthClass& wc = classes[c];
-    for (std::size_t j = 0; j < wc.width_indices.size(); ++j) {
-      const std::size_t wi = wc.width_indices[j];
-      const WidthSlice& s = slices[wi];
-      WidthSweepEntry& entry = entries[wi];
-      SynthesisResult& result = entry.result;
-      result.floorplan = plan;
-      result.island_params = s.island_params;
-      result.intermediate_params = s.intermediate_params;
-      const EvalContext replay_ctx{spec,
-                                   plan,
-                                   s.island_params,
-                                   s.intermediate_params,
-                                   wc.partitions,
-                                   traffic,
-                                   s.options,
-                                   &flow_order,
-                                   ni_base};
-      std::vector<CandidateOutcome> width_outcomes;
-      width_outcomes.reserve(wc.candidates.size());
-      for (std::size_t k = 0; k < wc.candidates.size(); ++k) {
-        width_outcomes.push_back(std::move(outcomes[c][k][j]));
-      }
-      merge_candidate_outcomes(
-          std::move(width_outcomes), s.options,
-          [&](std::size_t i, const ParetoBound& bound) {
-            return evaluate_candidate(replay_ctx, wc.candidates[i],
-                                      &scratch.local(), &bound);
-          },
-          result);
-      result.stats.elapsed_seconds = std::chrono::duration<double>(
-                                         std::chrono::steady_clock::now() - t0)
-                                         .count();
-    }
+    for (OutcomeMerger& merger : merge_states[c]->mergers) merger.finish();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (!entries[i].feasible) continue;
+    SynthesisStats& st = entries[i].result.stats;
+    st.elapsed_seconds = elapsed;
+    st.width_shared = width_shared[i].load();
+    st.width_certified = width_certified[i].load();
+    st.width_cohort = width_cohort[i].load();
+    st.width_fallback = width_fallback[i].load();
+    st.peak_buffered_outcomes = peak_buffered.load();
   }
 
   if (stats != nullptr) {
     stats->width_classes = static_cast<int>(classes.size());
     stats->shared_evals = shared_evals.load();
     stats->fallback_evals = fallback_evals.load();
+    stats->certified_evals = certified_evals.load();
+    stats->certificate_accepts = certificate_accepts.load();
+    stats->cohort_evals = cohort_evals.load();
+    stats->cohort_groups = cohort_groups.load();
     stats->partition_cache_hits =
         class_slots_total - static_cast<int>(partition_cache.size());
+    stats->peak_buffered_outcomes = peak_buffered.load();
   }
   return entries;
 }
 
 WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
                                      const std::vector<int>& widths,
-                                     const SynthesisOptions& base_options) {
+                                     const SynthesisOptions& base_options,
+                                     WidthSetStats* stats) {
   if (widths.empty()) {
     throw std::invalid_argument("explore_link_widths: no widths given");
   }
@@ -339,7 +440,8 @@ WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
   EvalScratchPool scratch;
 
   WidthSweepResult out;
-  out.entries = synthesize_width_set(spec, widths, base_options, pool, scratch);
+  out.entries =
+      synthesize_width_set(spec, widths, base_options, pool, scratch, stats);
 
   // Merge: collect all points and keep the shared (power, latency) front.
   std::vector<GlobalPointRef> all;

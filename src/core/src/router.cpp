@@ -1,17 +1,34 @@
 #include "vinoc/core/router.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numeric>
 
 #include "vinoc/core/prune.hpp"
+#include "vinoc/core/simd.hpp"
+
+// Load-bearing inlining hint for the relaxation body (see route_flow): a
+// call per surviving target costs ~8% of the evaluation hot path. Non-GNU
+// compilers fall back to the optimizer's judgement.
+#if defined(__GNUC__) || defined(__clang__)
+#define VINOC_ALWAYS_INLINE __attribute__((always_inline))
+#else
+#define VINOC_ALWAYS_INLINE
+#endif
 
 namespace vinoc::core {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Runtime switch for the vectorized relaxation filter; read once per
+/// Router construction (never mid-flow). The scalar and vector paths are
+/// bit-identical (see simd.hpp), so this is purely a test/verification
+/// knob.
+std::atomic<bool> g_router_simd{true};
 
 soc::IslandId island_of_switch(const NocTopology& topo, int sw) {
   return topo.switches[static_cast<std::size_t>(sw)].island;
@@ -21,7 +38,34 @@ double switch_freq(const NocTopology& topo, int sw) {
   return topo.switches[static_cast<std::size_t>(sw)].freq_hz;
 }
 
+#if defined(VINOC_SIMD_VECTOR_EXT)
+/// 4-wide evaluation of the relaxation filter over consecutive targets
+/// v..v+3 of one dense run: bit i of the result is set when target i
+/// SURVIVES (its relaxation body must run). Each lane computes exactly the
+/// scalar `lead_skip` expression — the latency-part threshold, and the
+/// opening-floor threshold gated on "no reusable link" — with per-lane IEEE
+/// adds, so the mask equals four scalar evaluations bit-for-bit.
+inline unsigned relax_survivors4(const double* dist, const double* floors,
+                                 const int* links, double lat_thresh,
+                                 double dist_u, double latpart) {
+  const simd::F64x4 d = simd::load4(dist);
+  unsigned skip = simd::ge_mask(simd::splat4(lat_thresh), d);
+  const simd::F64x4 open_thresh =
+      simd::splat4(dist_u) + (simd::load4(floors) + simd::splat4(latpart));
+  skip |= simd::ge_mask(open_thresh, d) & simd::lt0_mask(simd::load4i(links));
+  return ~skip & 0xFu;
+}
+#endif
+
 }  // namespace
+
+bool set_router_simd_enabled(bool enabled) {
+  return g_router_simd.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool router_simd_enabled() {
+  return g_router_simd.load(std::memory_order_relaxed);
+}
 
 std::vector<std::size_t> bandwidth_descending_order(const soc::SocSpec& spec) {
   std::vector<std::size_t> order(spec.flows.size());
@@ -87,8 +131,8 @@ class Router {
          std::vector<WidthLane>* lanes = nullptr, int pass_id = 1,
          bool resume_state = false)
       : topo_(topo), spec_(spec), opts_(opts), scratch_(scratch), bound_(bound),
-        lanes_(lanes), pass_id_(pass_id), sw_model_(opts.tech),
-        link_model_(opts.tech), fifo_model_(opts.tech) {
+        lanes_(lanes), sw_model_(opts.tech), link_model_(opts.tech),
+        fifo_model_(opts.tech), pass_id_(pass_id) {
     const std::size_t n_sw = topo_.switches.size();
     n_ = n_sw;
     scratch_.ports_in.assign(n_sw, 0);
@@ -211,6 +255,9 @@ class Router {
       }
     }
 
+    use_simd_ = simd::compiled_vector() &&
+                g_router_simd.load(std::memory_order_relaxed);
+
     build_floor_matrix();
   }
 
@@ -272,6 +319,62 @@ class Router {
   }
 
  private:
+  /// Result of choose_hop(): edge cost (kInf = inadmissible) and the
+  /// chosen link (-1 = open a new one).
+  struct HopChoice {
+    double cost = kInf;
+    int link = -1;
+  };
+
+  /// Reuse-vs-open selection for one admissible hop at ONE width — the
+  /// single definition of the width-dependent routing decision that the
+  /// leader, every lockstep lane and the certificate Dijkstra re-derive
+  /// over their own width/frequency/port tables. Certificate soundness
+  /// bit-depends on all three evaluating the identical expression chain
+  /// (same operations, same IEEE order), so it is shared, never copied.
+  /// `base_power` is the lazily computed width-invariant marginal power of
+  /// the hop (wire + downstream crossbar + FIFO traversal).
+  template <typename BasePowerFn>
+  VINOC_ALWAYS_INLINE HopChoice choose_hop(
+      double width_bits, double fu, double fv, int max_ports_u,
+      int max_ports_v, double wire_cap_u, bool cross, double len,
+      double latpart, double bw, int existing, std::size_t us, std::size_t vs,
+      BasePowerFn&& base_power) {
+    HopChoice choice;
+    if (existing >= 0) {
+      const TopLink& l = topo_.links[static_cast<std::size_t>(existing)];
+      const double cap = width_bits * std::min(fu, fv);
+      if (l.carried_bw_bits_per_s + bw <= cap + 1e-6) {
+        choice.cost = opts_.alpha_power * base_power() / p_norm_ + latpart;
+        choice.link = existing;
+        return choice;
+      }
+      // Saturated: fall through and consider opening a parallel link.
+    }
+    // Opening needs a free out port on u and in port on v, enough
+    // capacity, and (intra-island) a one-cycle wire.
+    bool ok = scratch_.ports_out[us] + 1 <= max_ports_u &&
+              scratch_.ports_in[vs] + 1 <= max_ports_v;
+    if (ok) {
+      const double cap = width_bits * std::min(fu, fv);
+      ok = !(bw > cap + 1e-6);
+    }
+    if (ok && opts_.enforce_wire_timing && !cross) {
+      ok = !(len > wire_cap_u);
+    }
+    if (ok) {
+      // New ports clock on both sides; wires and (if crossing) a FIFO
+      // leak. Same accumulation order as hop_power_w had.
+      double p = base_power();
+      p += idle_w_per_hz_ * (fu + fv);
+      p += link_leak_c_ * len * width_bits;
+      if (cross) p += fifo_leak_w_;
+      choice.cost = opts_.alpha_power * p / p_norm_ + latpart;
+      choice.link = -1;
+    }
+    return choice;
+  }
+
   /// Marks a lane width-dependent and snapshots the shared state (the
   /// topology BEFORE the diverging flow — its links have not been
   /// materialised yet) so the lane's fallback re-routes only the tail.
@@ -487,7 +590,9 @@ class Router {
     const std::size_t n_lanes = lanes_ != nullptr ? lanes_->size() : 0;
     if (lane_dist_u_.size() < n_lanes) lane_dist_u_.resize(n_lanes, 0.0);
     for (std::size_t k = 0; k < n_lanes; ++k) {
-      if ((*lanes_)[k].diverged) continue;
+      WidthLane& lane = (*lanes_)[k];
+      if (lane.diverged) continue;
+      lane.pending = false;  // every flow starts back in per-decision lockstep
       scratch_.lane_dist[k].assign(n, kInf);
       scratch_.lane_dist[k][static_cast<std::size_t>(s_sw)] = 0.0;
       scratch_.lane_heap[k].clear();
@@ -511,13 +616,16 @@ class Router {
         dist_u = du;
         break;
       }
-      // Lane extractions must select the same node from their own heaps;
-      // a lane whose solo run would extract a different node (or run dry /
-      // keep going when the leader does not) has diverged. The popped key
-      // of a surviving lane IS that lane's dist_u, saved before clobbering.
+      // Lane extractions must select the same node from their own heaps; a
+      // lane whose solo run would extract a different node (or run dry /
+      // keep going when the leader does not) leaves the per-decision
+      // lockstep for THIS flow — the path-level certificate below decides
+      // whether the mismatch was a harmless near-tie flip or a genuine
+      // divergence. The popped key of a matching lane IS that lane's
+      // dist_u, saved before clobbering.
       for (std::size_t k = 0; k < n_lanes; ++k) {
         WidthLane& lane = (*lanes_)[k];
-        if (lane.diverged) continue;
+        if (lane.diverged || lane.pending) continue;
         std::vector<std::pair<double, int>>& lheap = scratch_.lane_heap[k];
         std::vector<double>& ldist = scratch_.lane_dist[k];
         int uk = -1;
@@ -531,7 +639,7 @@ class Router {
           lane_dist_u_[k] = dk;
           break;
         }
-        if (uk != u) diverge(lane);
+        if (uk != u) lane.pending = true;
       }
       if (u < 0) break;
       const auto us = static_cast<std::size_t>(u);
@@ -539,7 +647,8 @@ class Router {
       dist[us] = -kInf;  // done: stales heap entries, trips relax filters
       bool lanes_active = false;
       for (std::size_t k = 0; k < n_lanes; ++k) {
-        if (!(*lanes_)[k].diverged) {
+        const WidthLane& lane = (*lanes_)[k];
+        if (!lane.diverged && !lane.pending) {
           scratch_.lane_dist[k][us] = -kInf;
           lanes_active = true;
         }
@@ -559,23 +668,15 @@ class Router {
         const bool cross = run.crossing != 0;
         const double latpart = cross ? lat_part_cross : lat_part_intra;
         const double lat_thresh = dist_u + latpart;
-      for (int v = run.lo; v < run.hi; ++v) {
+      // One definition of the per-target relaxation, shared by the scalar
+      // loop (live lanes: the body must run even when the leader's filter
+      // skipped, with the leader's choice pinned to "no update") and the
+      // filtered solo loop below (only survivors reach it, lead_skip
+      // false). Force-inlined: a call per surviving target costs ~8% of
+      // the whole evaluation hot path (measured vs the pre-refactor loop).
+      auto process_target = [&](int v, bool lead_skip) VINOC_ALWAYS_INLINE {
         const auto vs = static_cast<std::size_t>(v);
-        // Bit-exact early skips: the full cost is >= latpart, and when no
-        // link exists to reuse it is also >= the pair's opening floor (see
-        // build_floor_matrix); IEEE addition is monotone, so a filtered
-        // relaxation provably would not have updated the LEADER. These two
-        // lines also dispose of done nodes (dist == -inf). They prove
-        // nothing about a lane's own comparison (lane dists accumulate
-        // different width-dependent surcharges), so with live lanes the
-        // body still runs — with the leader's choice pinned to "no update"
-        // — and every lane re-derives its own outcome below.
         const int existing = link_row[vs];
-        const bool lead_skip =
-            lat_thresh >= dist[vs] ||
-            (existing < 0 &&
-             dist_u + (floor_row[vs] + latpart) >= dist[vs]);
-        if (lead_skip && !lanes_active) continue;
         const double len = hop_row[vs];
         // Width-invariant part of the marginal power (wire + downstream
         // crossbar + FIFO traversal), shared by the leader and every lane;
@@ -592,43 +693,16 @@ class Router {
         };
 
         // Leader choice: reuse the existing link when it has residual
-        // capacity, else try to open a new one.
+        // capacity, else try to open a new one (see choose_hop).
         double cost0 = kInf;
         int link0 = -1;
         if (!lead_skip) {
-          if (existing >= 0) {
-            const TopLink& l = topo_.links[static_cast<std::size_t>(existing)];
-            const double cap = width0 * std::min(freq_u, scratch_.freq_of[vs]);
-            if (l.carried_bw_bits_per_s + bw <= cap + 1e-6) {
-              cost0 = opts_.alpha_power * base_power() / p_norm_ + latpart;
-              link0 = existing;
-            }
-            // Saturated: fall through and consider opening a parallel link.
-          }
-          if (link0 < 0) {
-            // Opening needs a free out port on u and in port on v, enough
-            // capacity, and (intra-island) a one-cycle wire.
-            bool ok = scratch_.ports_out[us] + 1 <= opts_.max_ports[us] &&
-                      scratch_.ports_in[vs] + 1 <= opts_.max_ports[vs];
-            if (ok) {
-              const double cap =
-                  width0 * std::min(freq_u, scratch_.freq_of[vs]);
-              ok = !(bw > cap + 1e-6);
-            }
-            if (ok && opts_.enforce_wire_timing && !cross) {
-              ok = !(len > wire_cap_u);
-            }
-            if (ok) {
-              // New ports clock on both sides; wires and (if crossing) a
-              // FIFO leak. Same accumulation order as hop_power_w had.
-              double p = base_power();
-              p += idle_w_per_hz_ * (freq_u + scratch_.freq_of[vs]);
-              p += link_leak_c_ * len * opts_.link_width_bits;
-              if (cross) p += fifo_leak_w_;
-              cost0 = opts_.alpha_power * p / p_norm_ + latpart;
-              link0 = -1;
-            }
-          }
+          const HopChoice hc = choose_hop(
+              width0, freq_u, scratch_.freq_of[vs], opts_.max_ports[us],
+              opts_.max_ports[vs], wire_cap_u, cross, len, latpart, bw,
+              existing, us, vs, base_power);
+          cost0 = hc.cost;
+          link0 = hc.link;
         }
         const bool update0 = std::isfinite(cost0) && dist_u + cost0 < dist[vs];
         if (update0) {
@@ -641,53 +715,29 @@ class Router {
 
         // Lanes: re-derive the same decision at each lane's width and
         // frequencies with the lane's exact solo arithmetic; any outcome
-        // mismatch (update-or-not, or reuse-vs-open) is a divergence.
+        // mismatch (update-or-not, or reuse-vs-open) drops the lane out of
+        // the per-decision lockstep for this flow (the certificate decides
+        // its fate once the leader's path is known).
         for (std::size_t k = 0; k < n_lanes; ++k) {
           WidthLane& lane = (*lanes_)[k];
-          if (lane.diverged) continue;
+          if (lane.diverged || lane.pending) continue;
           std::vector<double>& ldist = scratch_.lane_dist[k];
           const double ldist_u = lane_dist_u_[k];
           double costk = kInf;
           int linkk = -1;
-          bool reuse_hit = false;
           if (!(ldist_u + latpart >= ldist[vs])) {
-            const double fu = lane.switch_freq[us];
-            const double fv = lane.switch_freq[vs];
-            if (existing >= 0) {
-              const TopLink& l = topo_.links[static_cast<std::size_t>(existing)];
-              const double cap =
-                  static_cast<double>(lane.width_bits) * std::min(fu, fv);
-              if (l.carried_bw_bits_per_s + bw <= cap + 1e-6) {
-                costk = opts_.alpha_power * base_power() / p_norm_ + latpart;
-                linkk = existing;
-                reuse_hit = true;
-              }
-            }
-            if (!reuse_hit) {
-              bool ok = scratch_.ports_out[us] + 1 <= lane.max_ports[us] &&
-                        scratch_.ports_in[vs] + 1 <= lane.max_ports[vs];
-              if (ok) {
-                const double cap =
-                    static_cast<double>(lane.width_bits) * std::min(fu, fv);
-                ok = !(bw > cap + 1e-6);
-              }
-              if (ok && opts_.enforce_wire_timing && !cross) {
-                ok = !(len > lane.max_wire_len[us]);
-              }
-              if (ok) {
-                double p = base_power();
-                p += idle_w_per_hz_ * (fu + fv);
-                p += link_leak_c_ * len * lane.width_bits;
-                if (cross) p += fifo_leak_w_;
-                costk = opts_.alpha_power * p / p_norm_ + latpart;
-                linkk = -1;
-              }
-            }
+            const HopChoice hc = choose_hop(
+                static_cast<double>(lane.width_bits), lane.switch_freq[us],
+                lane.switch_freq[vs], lane.max_ports[us], lane.max_ports[vs],
+                lane.max_wire_len[us], cross, len, latpart, bw, existing, us,
+                vs, base_power);
+            costk = hc.cost;
+            linkk = hc.link;
           }
           const bool updatek =
               std::isfinite(costk) && ldist_u + costk < ldist[vs];
           if (updatek != update0 || (update0 && linkk != link0)) {
-            diverge(lane);
+            lane.pending = true;
             continue;
           }
           if (updatek) {
@@ -697,9 +747,101 @@ class Router {
                            scratch_.lane_heap[k].end(), heap_after);
           }
         }
+      };
+
+      if (lanes_active) {
+        for (int v = run.lo; v < run.hi; ++v) {
+          const auto vs = static_cast<std::size_t>(v);
+          // Bit-exact early skips: the full cost is >= latpart, and when no
+          // link exists to reuse it is also >= the pair's opening floor
+          // (see build_floor_matrix); IEEE addition is monotone, so a
+          // filtered relaxation provably would not have updated the LEADER.
+          // The two thresholds also dispose of done nodes (dist == -inf).
+          // They prove nothing about a lane's own comparison (lane dists
+          // accumulate different width-dependent surcharges), so with live
+          // lanes the body still runs with the leader's choice pinned.
+          const bool lead_skip =
+              lat_thresh >= dist[vs] ||
+              (link_row[vs] < 0 &&
+               dist_u + (floor_row[vs] + latpart) >= dist[vs]);
+          process_target(v, lead_skip);
+        }
+      } else {
+        // Leader-only scan: the filter disposes of most targets without
+        // touching the body. The 4-wide path evaluates the SAME two
+        // threshold comparisons per lane (floors are compared, never
+        // accumulated — see simd.hpp), so the survivor set is bit-identical
+        // to the scalar tail loop's.
+        int v = run.lo;
+#if defined(VINOC_SIMD_VECTOR_EXT)
+        if (use_simd_) {
+          for (; v + simd::kWidth <= run.hi; v += simd::kWidth) {
+            unsigned m = relax_survivors4(
+                &dist[static_cast<std::size_t>(v)],
+                &floor_row[static_cast<std::size_t>(v)],
+                &link_row[static_cast<std::size_t>(v)], lat_thresh, dist_u,
+                latpart);
+            while (m != 0) {
+              process_target(v + __builtin_ctz(m), false);
+              m &= m - 1;
+            }
+          }
+        }
+#endif
+        for (; v < run.hi; ++v) {
+          const auto vs = static_cast<std::size_t>(v);
+          const bool lead_skip =
+              lat_thresh >= dist[vs] ||
+              (link_row[vs] < 0 &&
+               dist_u + (floor_row[vs] + latpart) >= dist[vs]);
+          if (!lead_skip) process_target(v, false);
+        }
       }
       }
     }
+
+    // ---- Path-level route-equivalence certificates. A lane whose trace
+    // left the lockstep this flow re-runs the flow's Dijkstra with its OWN
+    // exact solo arithmetic and tie-breaks over the shared (proven-
+    // identical) prefix state; when its canonical path equals the leader's
+    // — same nodes, same reuse-vs-open choices — the topology mutation is
+    // identical and the lane re-locks. Runs before materialisation, so a
+    // rejection snapshots the pre-flow state. ----
+    if (n_lanes != 0) {
+      const bool leader_found =
+          std::isfinite(dist[static_cast<std::size_t>(d_sw)]);
+      for (std::size_t k = 0; k < n_lanes; ++k) {
+        WidthLane& lane = (*lanes_)[k];
+        if (lane.diverged || !lane.pending) continue;
+        lane.pending = false;
+        const bool lane_found = lane_cert_dijkstra(
+            lane, flow, s_sw, d_sw, fclass, lat_part_intra, lat_part_cross);
+        bool ok = lane_found == leader_found;
+        if (ok && leader_found) {
+          // Walk the leader's chain from the destination; at every node the
+          // lane must have recorded the same predecessor AND the same link
+          // choice. Each compared node is proven on the LANE's own path by
+          // induction (it was reached through the lane's pred links from
+          // d_sw), so no stale pred entry is ever trusted.
+          for (int v = d_sw; v != s_sw;) {
+            const auto vsz = static_cast<std::size_t>(v);
+            if (scratch_.cert_pred[vsz] != pred[vsz] ||
+                scratch_.cert_pred_link[vsz] != pred_link[vsz]) {
+              ok = false;
+              break;
+            }
+            v = pred[vsz];
+          }
+        }
+        if (!ok) {
+          diverge(lane);
+          continue;
+        }
+        lane.used_certificate = true;
+        ++lane.certificate_accepts;
+      }
+    }
+
     if (!std::isfinite(dist[static_cast<std::size_t>(d_sw)])) {
       outcome.failure_reason =
           "no admissible path for flow '" + flow.label + "'";
@@ -747,6 +889,102 @@ class Router {
       return false;
     }
     return true;
+  }
+
+  /// The certificate's Dijkstra: the CURRENT flow routed at `lane`'s width
+  /// and frequencies over the current shared topology state, with exactly
+  /// the algorithm (lazy-heap extraction, latency-part relaxation filter,
+  /// done-clobber, reuse-vs-open selection, IEEE operation order) a solo
+  /// run at that width would use — given the proven-identical prefix, the
+  /// resulting dist/pred/pred_link ARE the solo run's. The leader's
+  /// opening-floor filter is deliberately not replicated (its floors are
+  /// built for the leader's width): omitting a provably-no-op filter leaves
+  /// results bit-identical. Fills scratch_.cert_* and returns whether the
+  /// destination was reached.
+  bool lane_cert_dijkstra(const WidthLane& lane, const soc::Flow& flow,
+                          int s_sw, int d_sw,
+                          const RoutingGeometry::FlowClass& fclass,
+                          double lat_part_intra, double lat_part_cross) {
+    const std::size_t n = n_;
+    std::vector<double>& dist = scratch_.cert_dist;
+    std::vector<int>& pred = scratch_.cert_pred;
+    std::vector<int>& pred_link = scratch_.cert_pred_link;
+    std::vector<std::pair<double, int>>& heap = scratch_.cert_heap;
+    dist.assign(n, kInf);
+    if (pred.size() < n) {
+      pred.resize(n, -1);
+      pred_link.resize(n, -1);
+    }
+    dist[static_cast<std::size_t>(s_sw)] = 0.0;
+    heap.clear();
+    heap.emplace_back(0.0, s_sw);
+    auto heap_after = [](const std::pair<double, int>& a,
+                         const std::pair<double, int>& b) {
+      return a.first > b.first || (a.first == b.first && a.second > b.second);
+    };
+    const double bw = flow.bandwidth_bits_per_s;
+    const double widthk = static_cast<double>(lane.width_bits);
+    const bool forbid = opts_.forbid_direct_cross;
+    while (true) {
+      int u = -1;
+      double dist_u = 0.0;
+      while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), heap_after);
+        const auto [du, cand] = heap.back();
+        heap.pop_back();
+        if (du != dist[static_cast<std::size_t>(cand)]) continue;
+        u = cand;
+        dist_u = du;
+        break;
+      }
+      if (u < 0) break;
+      const auto us = static_cast<std::size_t>(u);
+      if (u == d_sw) break;
+      dist[us] = -kInf;
+
+      const double freq_u = lane.switch_freq[us];
+      const double wire_cap_u =
+          opts_.enforce_wire_timing ? lane.max_wire_len[us] : 0.0;
+      const double* hop_row = &scratch_.geometry.hop_len[us * n_];
+      const int* link_row = &scratch_.link_at[us * n_];
+      const int run_end = fclass.run_begin[us + 1];
+      for (int rr = fclass.run_begin[us]; rr < run_end; ++rr) {
+        const RoutingGeometry::HopRun& run =
+            fclass.runs[static_cast<std::size_t>(rr)];
+        if (forbid && run.direct_cross != 0) continue;
+        const bool cross = run.crossing != 0;
+        const double latpart = cross ? lat_part_cross : lat_part_intra;
+        const double lat_thresh = dist_u + latpart;
+        for (int v = run.lo; v < run.hi; ++v) {
+          const auto vs = static_cast<std::size_t>(v);
+          if (lat_thresh >= dist[vs]) continue;  // also disposes done nodes
+          const int existing = link_row[vs];
+          const double len = hop_row[vs];
+          double p_base = -1.0;
+          auto base_power = [&]() {
+            if (p_base < 0.0) {
+              double p = link_dyn_c_ * len * bw;
+              p += scratch_.ebit_of[vs] * bw;
+              if (cross) p += fifo_dyn_c_ * bw;
+              p_base = p;
+            }
+            return p_base;
+          };
+          const HopChoice hc = choose_hop(
+              widthk, freq_u, lane.switch_freq[vs], lane.max_ports[us],
+              lane.max_ports[vs], wire_cap_u, cross, len, latpart, bw,
+              existing, us, vs, base_power);
+          if (std::isfinite(hc.cost) && dist_u + hc.cost < dist[vs]) {
+            dist[vs] = dist_u + hc.cost;
+            pred[vs] = u;
+            pred_link[vs] = hc.link;
+            heap.emplace_back(dist[vs], v);
+            std::push_heap(heap.begin(), heap.end(), heap_after);
+          }
+        }
+      }
+    }
+    return std::isfinite(dist[static_cast<std::size_t>(d_sw)]);
   }
 
   /// Adds the sound, refine-stable part of this bandwidth increment to the
@@ -806,6 +1044,9 @@ class Router {
   std::vector<int> island_begin_;
   std::vector<int> island_end_;
   bool contiguous_ = false;
+  /// Vectorized relaxation filter enabled (compiled in AND not disabled at
+  /// runtime); sampled once at construction.
+  bool use_simd_ = false;
   // Cached model coefficients (see constructor).
   double link_dyn_c_ = 0.0;
   double link_leak_c_ = 0.0;
@@ -975,6 +1216,29 @@ RouteOutcome resume_route_flows(NocTopology& topo, const soc::SocSpec& spec,
     sc.geometry_built_token = sc.geometry_token;
   }
   Router router(topo, spec, options, sc, nullptr, nullptr,
+                options.forbid_direct_cross ? 2 : 1, /*resume_state=*/true);
+  return router.run(static_cast<std::size_t>(resume_order_pos));
+}
+
+RouteOutcome resume_route_flows_multi(NocTopology& topo,
+                                      const soc::SocSpec& spec,
+                                      const RouterOptions& options,
+                                      int resume_order_pos,
+                                      std::vector<WidthLane>& lanes,
+                                      RouterScratch* scratch) {
+  if (options.max_ports.size() != topo.switches.size()) {
+    RouteOutcome out;
+    out.failure_reason = "RouterOptions::max_ports size mismatch";
+    return out;
+  }
+  RouterScratch local;
+  RouterScratch& sc = scratch != nullptr ? *scratch : local;
+  if (sc.geometry_token == 0 || sc.geometry_built_token != sc.geometry_token) {
+    prepare_geometry(sc.geometry, topo, spec.islands.size(),
+                     options.tech.link_leakage_mw_per_wire_mm * 1e-3);
+    sc.geometry_built_token = sc.geometry_token;
+  }
+  Router router(topo, spec, options, sc, nullptr, &lanes,
                 options.forbid_direct_cross ? 2 : 1, /*resume_state=*/true);
   return router.run(static_cast<std::size_t>(resume_order_pos));
 }

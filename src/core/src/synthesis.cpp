@@ -9,6 +9,7 @@
 #include "vinoc/core/candidates.hpp"
 #include "vinoc/core/pareto.hpp"
 #include "vinoc/core/prune.hpp"
+#include "vinoc/exec/ordered_drain.hpp"
 #include "vinoc/exec/parallel_for.hpp"
 
 namespace vinoc::core {
@@ -105,40 +106,53 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
   const ParetoBound empty_bound;
   std::mutex progress_mutex;
   std::size_t progress_done = 0;
-  std::vector<CandidateOutcome> outcomes =
-      exec::parallel_map<CandidateOutcome>(pool, candidates.size(), [&](std::size_t i) {
-        EvalScratch& scratch = scratch_pool.local();
-        std::shared_ptr<const ParetoBound> snap;
-        const ParetoBound* bound = nullptr;
-        if (options.prune) {
-          snap = shared_bound.snapshot();
-          bound = snap != nullptr ? snap.get() : &empty_bound;
-        }
-        CandidateOutcome out = evaluate_candidate(ctx, candidates[i], &scratch, bound);
-        if (options.prune && out.status == EvalStatus::kRouted && out.deadlock_free) {
-          shared_bound.publish(out.point.metrics.noc_dynamic_w,
-                               out.point.metrics.avg_latency_cycles);
-        }
-        if (options.on_progress) {
-          const std::lock_guard<std::mutex> lock(progress_mutex);
-          ++progress_done;
-          options.on_progress(
-              {progress_done, candidates.size(), options.link_width_bits});
-        }
-        return out;
-      });
 
-  // Merge in enumeration order (single definition shared with the width
-  // sweep — see merge_candidate_outcomes in candidates.cpp); the replay
-  // callback re-evaluates a pruned candidate against the merge front for
-  // deterministic pruning.
-  merge_candidate_outcomes(
-      std::move(outcomes), options,
+  // STREAMING merge in enumeration order (single definition shared with
+  // the width sweep — see OutcomeMerger in candidates.hpp): a finished
+  // candidate whose predecessors have all merged is merged immediately and
+  // released; only out-of-order completions are buffered, capping peak
+  // memory at the scheduling skew instead of the whole candidate list. The
+  // replay callback re-evaluates a pruned candidate against the merge front
+  // for deterministic pruning.
+  OutcomeMerger merger(
+      options,
       [&](std::size_t i, const ParetoBound& bound) {
         return evaluate_candidate(ctx, candidates[i], &scratch_pool.local(),
                                   &bound);
       },
       result);
+  exec::OrderedDrainQueue<CandidateOutcome> merge_queue(candidates.size());
+  int buffered = 0;
+  int peak_buffered = 0;  // both only touched under the queue's lock
+  exec::parallel_for_each(pool, candidates.size(), [&](std::size_t i) {
+    EvalScratch& scratch = scratch_pool.local();
+    std::shared_ptr<const ParetoBound> snap;
+    const ParetoBound* bound = nullptr;
+    if (options.prune) {
+      snap = shared_bound.snapshot();
+      bound = snap != nullptr ? snap.get() : &empty_bound;
+    }
+    CandidateOutcome out = evaluate_candidate(ctx, candidates[i], &scratch, bound);
+    if (options.prune && out.status == EvalStatus::kRouted && out.deadlock_free) {
+      shared_bound.publish(out.point.metrics.noc_dynamic_w,
+                           out.point.metrics.avg_latency_cycles);
+    }
+    merge_queue.deposit(
+        i, std::move(out),
+        [&](CandidateOutcome&& ready_out) { merger.add(std::move(ready_out)); },
+        [&](int delta) {
+          buffered += delta;
+          peak_buffered = std::max(peak_buffered, buffered);
+        });
+    if (options.on_progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      ++progress_done;
+      options.on_progress(
+          {progress_done, candidates.size(), options.link_width_bits});
+    }
+  });
+  merger.finish();
+  result.stats.peak_buffered_outcomes = peak_buffered;
 
   result.stats.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

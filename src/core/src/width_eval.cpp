@@ -1,5 +1,6 @@
 #include "vinoc/core/width_eval.hpp"
 
+#include <map>
 #include <utility>
 
 #include "eval_internal.hpp"
@@ -38,6 +39,68 @@ std::vector<double> slice_freqs(const NocTopology& topo, const WidthSlice& s) {
                : s.island_params[static_cast<std::size_t>(isl)].freq_hz;
   }
   return f;
+}
+
+/// Patches a shared-snapshot topology's frequency fields (per-switch,
+/// per-island, intermediate) to slice `s`'s — the ONLY fields in which a
+/// lockstep snapshot differs from that width's own solo state.
+void patch_topology_freqs(NocTopology& topo, const WidthSlice& s) {
+  for (std::size_t sw = 0; sw < topo.switches.size(); ++sw) {
+    const soc::IslandId isl = topo.switches[sw].island;
+    topo.switches[sw].freq_hz =
+        isl == kIntermediateIsland
+            ? s.intermediate_params.freq_hz
+            : s.island_params[static_cast<std::size_t>(isl)].freq_hz;
+  }
+  for (std::size_t isl = 0; isl < s.island_params.size(); ++isl) {
+    topo.island_freq_hz[isl] = s.island_params[isl].freq_hz;
+  }
+  topo.intermediate_freq_hz = s.intermediate_params.freq_hz;
+}
+
+/// RouterOptions of slice `s` over `topo` (per-switch port limits from the
+/// slice's island params). The caller sets forbid_direct_cross.
+RouterOptions router_options_for(const WidthSlice& s, const NocTopology& topo,
+                                 const std::vector<std::size_t>* flow_order) {
+  RouterOptions ropts;
+  ropts.alpha_power = s.options.alpha_power;
+  ropts.link_width_bits = s.options.link_width_bits;
+  ropts.tech = s.options.tech;
+  ropts.enforce_wire_timing = s.options.enforce_wire_timing;
+  ropts.flow_order = flow_order;
+  ropts.max_ports.resize(topo.switches.size());
+  for (std::size_t sw = 0; sw < topo.switches.size(); ++sw) {
+    const soc::IslandId isl = topo.switches[sw].island;
+    ropts.max_ports[sw] =
+        isl == kIntermediateIsland
+            ? s.intermediate_params.max_sw_size
+            : s.island_params[static_cast<std::size_t>(isl)].max_sw_size;
+  }
+  return ropts;
+}
+
+/// Follower-lane tables of slice `s` over the shared topology: per-switch
+/// frequencies, port limits and wire-timing caps exactly as that width's
+/// solo router would derive them (see WidthLane). Resets every lane state
+/// field.
+void build_width_lane(const NocTopology& topo, const WidthSlice& s,
+                      const models::LinkModel& link_model, WidthLane& lane) {
+  lane = WidthLane{};
+  lane.width_bits = s.options.link_width_bits;
+  lane.switch_freq = slice_freqs(topo, s);
+  lane.max_ports.resize(topo.switches.size());
+  lane.max_wire_len.assign(topo.switches.size(), 0.0);
+  for (std::size_t i = 0; i < topo.switches.size(); ++i) {
+    const soc::IslandId isl = topo.switches[i].island;
+    lane.max_ports[i] =
+        isl == kIntermediateIsland
+            ? s.intermediate_params.max_sw_size
+            : s.island_params[static_cast<std::size_t>(isl)].max_sw_size;
+    if (s.options.enforce_wire_timing) {
+      lane.max_wire_len[i] =
+          link_model.max_unpipelined_length_mm(lane.switch_freq[i]);
+    }
+  }
 }
 
 /// Exact replay of the solo evaluator's recorded bound checkpoint for one
@@ -124,33 +187,10 @@ void resume_diverged_lane(const MultiWidthContext& ctx,
   // The shared snapshot differs from the lane's solo state only in the
   // frequency fields; patch them to this width's.
   NocTopology topo = std::move(lane.resume_topo);
-  for (std::size_t sw = 0; sw < topo.switches.size(); ++sw) {
-    const soc::IslandId isl = topo.switches[sw].island;
-    topo.switches[sw].freq_hz =
-        isl == kIntermediateIsland
-            ? s.intermediate_params.freq_hz
-            : s.island_params[static_cast<std::size_t>(isl)].freq_hz;
-  }
-  for (std::size_t isl = 0; isl < s.island_params.size(); ++isl) {
-    topo.island_freq_hz[isl] = s.island_params[isl].freq_hz;
-  }
-  topo.intermediate_freq_hz = s.intermediate_params.freq_hz;
+  patch_topology_freqs(topo, s);
 
-  RouterOptions ropts;
-  ropts.alpha_power = s.options.alpha_power;
-  ropts.link_width_bits = s.options.link_width_bits;
-  ropts.tech = s.options.tech;
-  ropts.enforce_wire_timing = s.options.enforce_wire_timing;
-  ropts.flow_order = ctx.flow_order;
+  RouterOptions ropts = router_options_for(s, topo, ctx.flow_order);
   ropts.forbid_direct_cross = lane.resume_pass == 2;
-  ropts.max_ports.resize(topo.switches.size());
-  for (std::size_t sw = 0; sw < topo.switches.size(); ++sw) {
-    const soc::IslandId isl = topo.switches[sw].island;
-    ropts.max_ports[sw] =
-        isl == kIntermediateIsland
-            ? s.intermediate_params.max_sw_size
-            : s.island_params[static_cast<std::size_t>(isl)].max_sw_size;
-  }
 
   const bool fallback_possible = cand.intermediate_switches > 0;
   RouteOutcome final_outcome = resume_route_flows(
@@ -235,6 +275,282 @@ void resume_diverged_lane(const MultiWidthContext& ctx,
     o.point.metrics = compute_metrics(
         o.point.topology, spec, s.options.tech, s.options.link_width_bits,
         scratch != nullptr ? &scratch->metrics : nullptr);
+  }
+}
+
+/// Everything a surviving width needs to materialise its CandidateOutcome
+/// from a successfully routed shared structure (post compaction and, when
+/// deadlock-free, position refinement). The referenced buffers belong to
+/// the caller and stay untouched until every width of the group has
+/// materialised.
+struct SharedStructure {
+  const NocTopology* topo = nullptr;
+  int kept_intermediate = 0;
+  const std::vector<int>* signature = nullptr;
+  bool deadlock_free = true;
+  bool trajectory_checked = false;
+  bool prune = false;
+  const detail::BaseBoundParts* bound_parts = nullptr;
+  const std::vector<double>* bw_floor = nullptr;
+  const std::vector<double>* ebit_floor = nullptr;
+  const std::vector<double>* min_lat = nullptr;
+};
+
+/// Re-cost phase for ONE surviving width: topology copy with the width's
+/// own frequencies, per-width metrics, and an exact replay of the recorded
+/// pruning-bound trajectory. Shared by the main lockstep's survivors and
+/// cohort survivors — both are proofs that the width's solo run would have
+/// produced this structure.
+void materialize_shared_width(const MultiWidthContext& ctx,
+                              const CandidateConfig& cand,
+                              std::size_t slice_idx, const SharedStructure& ss,
+                              EvalScratch* scratch, CandidateOutcome& o) {
+  const soc::SocSpec& spec = *ctx.spec;
+  const WidthSlice& s = ctx.slices[slice_idx];
+  o.status = EvalStatus::kRouted;
+  o.signature = *ss.signature;
+  o.deadlock_free = ss.deadlock_free;
+  o.point.switches_per_island = cand.switches_per_island;
+  o.point.intermediate_switches = ss.kept_intermediate;
+  const std::vector<double> freqs = slice_freqs(*ss.topo, s);
+  o.point.topology = *ss.topo;
+  for (std::size_t sw = 0; sw < o.point.topology.switches.size(); ++sw) {
+    o.point.topology.switches[sw].freq_hz = freqs[sw];
+  }
+  for (std::size_t isl = 0; isl < s.island_params.size(); ++isl) {
+    o.point.topology.island_freq_hz[isl] = s.island_params[isl].freq_hz;
+  }
+  o.point.topology.intermediate_freq_hz = s.intermediate_params.freq_hz;
+  if (ss.deadlock_free) {
+    o.point.metrics = compute_metrics(
+        o.point.topology, spec, s.options.tech, s.options.link_width_bits,
+        scratch != nullptr ? &scratch->metrics : nullptr);
+  }
+  if (ss.prune) {
+    replay_bound_checkpoint(o, spec, *ss.topo, s.options.tech, *ss.bound_parts,
+                            *ss.bw_floor, *ss.ebit_floor, *ss.min_lat, freqs,
+                            *ctx.flow_order, ss.trajectory_checked);
+  }
+}
+
+/// One diverged lane awaiting its tail resume. `pass1_failure` carries the
+/// pass-1 diagnosis of the lane's lineage (the shared greedy pass it was
+/// locked through), which pass-2 rejections report.
+struct PendingResume {
+  std::size_t slice = 0;
+  WidthLane lane;
+  RouteOutcome pass1_failure;
+};
+
+void resume_pool(const MultiWidthContext& ctx, const CandidateConfig& cand,
+                 EvalScratch* scratch, std::vector<PendingResume>&& pool,
+                 std::vector<CandidateOutcome>& out,
+                 WidthEvalCounters* counters);
+
+/// COHORT tail resume: every lane of `group` diverged at the same decision
+/// of one shared routing pass, so their snapshots are identical — the first
+/// lane's width leads a RESUMED lockstep over the shared tail and the
+/// others verify it exactly like primary lanes (per-decision checks plus
+/// path certificates). When the pass-1 tail strands a flow and an
+/// intermediate island is offered, the cohort enters the retry pass
+/// together from a pristine topology, still in lockstep. Lanes that diverge
+/// again inside the cohort regroup recursively (each cohort consumes its
+/// leader, so the recursion terminates); survivors materialise from the
+/// cohort's shared structure.
+void resume_cohort(const MultiWidthContext& ctx, const CandidateConfig& cand,
+                   EvalScratch* scratch, std::vector<PendingResume>&& group,
+                   std::vector<CandidateOutcome>& out,
+                   WidthEvalCounters* counters) {
+  const soc::SocSpec& spec = *ctx.spec;
+  PendingResume& leader = group.front();
+  const WidthSlice& ls = ctx.slices[leader.slice];
+  const int pass = leader.lane.resume_pass;
+  const int pos = leader.lane.resume_order_pos;
+  const bool fallback_possible = cand.intermediate_switches > 0;
+  if (counters != nullptr) ++counters->cohort_groups;
+
+  // The shared snapshot (identical across the group by construction),
+  // patched to the cohort leader's frequencies.
+  NocTopology topo = std::move(leader.lane.resume_topo);
+  patch_topology_freqs(topo, ls);
+
+  RouterOptions ropts = router_options_for(ls, topo, ctx.flow_order);
+  ropts.forbid_direct_cross = pass == 2;
+
+  // Cohort follower lanes, one per non-leader member.
+  const models::LinkModel link_model(ls.options.tech);
+  std::vector<WidthLane> lanes(group.size() - 1);
+  for (std::size_t j = 1; j < group.size(); ++j) {
+    build_width_lane(topo, ctx.slices[group[j].slice], link_model,
+                     lanes[j - 1]);
+  }
+
+  RouteOutcome final_outcome = resume_route_flows_multi(
+      topo, spec, ropts, pos, lanes,
+      scratch != nullptr ? &scratch->router : nullptr);
+  bool pass2 = pass == 2;
+  RouteOutcome pass1_diag = leader.pass1_failure;
+  std::vector<PendingResume> next;
+  std::vector<std::size_t> locked;
+  for (std::size_t j = 1; j < group.size(); ++j) {
+    WidthLane& lane = lanes[j - 1];
+    if (counters != nullptr) {
+      counters->certificate_accepts += lane.certificate_accepts;
+    }
+    if (lane.diverged) {
+      next.push_back({group[j].slice, std::move(lane), leader.pass1_failure});
+    } else {
+      locked.push_back(group[j].slice);
+    }
+  }
+
+  if (!final_outcome.success && pass == 1 && fallback_possible) {
+    // The cohort's pass-1 tail strands a flow every still-locked member is
+    // proven to strand identically: run the intermediate-island retry as a
+    // cohort too, from a pristine topology at the leader's width.
+    pass1_diag = final_outcome;
+    const EvalContext lane_ctx{spec,
+                               *ctx.floorplan,
+                               ls.island_params,
+                               ls.intermediate_params,
+                               *ctx.partitions,
+                               *ctx.core_traffic,
+                               ls.options,
+                               ctx.flow_order,
+                               ctx.ni_dynamic_base_w};
+    std::vector<const IslandPartition*> parts(cand.switches_per_island.size());
+    for (std::size_t isl = 0; isl < parts.size(); ++isl) {
+      parts[isl] = &ctx.partitions->at(PartitionKey{
+          static_cast<soc::IslandId>(isl), cand.switches_per_island[isl]});
+    }
+    detail::build_switches(topo, lane_ctx, parts, cand.intermediate_switches,
+                           scratch);
+    RouterOptions retry = ropts;
+    retry.forbid_direct_cross = true;
+    std::vector<WidthLane> retry_lanes(locked.size());
+    for (std::size_t j = 0; j < locked.size(); ++j) {
+      build_width_lane(topo, ctx.slices[locked[j]], link_model,
+                       retry_lanes[j]);
+    }
+    final_outcome = resume_route_flows_multi(
+        topo, spec, retry, 0, retry_lanes,
+        scratch != nullptr ? &scratch->router : nullptr);
+    pass2 = true;
+    std::vector<std::size_t> still_locked;
+    for (std::size_t j = 0; j < locked.size(); ++j) {
+      WidthLane& lane = retry_lanes[j];
+      if (counters != nullptr) {
+        counters->certificate_accepts += lane.certificate_accepts;
+      }
+      if (lane.diverged) {
+        next.push_back({locked[j], std::move(lane), pass1_diag});
+      } else {
+        still_locked.push_back(locked[j]);
+      }
+    }
+    locked = std::move(still_locked);
+  }
+
+  // The cohort's results are the leader plus every still-locked member;
+  // lanes that diverged again inside it are classified by whatever finally
+  // resolves them (a child cohort or a solo resume).
+  if (counters != nullptr) {
+    counters->cohort_lanes += 1 + static_cast<int>(locked.size());
+    counters->slice_class[leader.slice] = ShareClass::kCohort;
+    for (const std::size_t slice_idx : locked) {
+      counters->slice_class[slice_idx] = ShareClass::kCohort;
+    }
+  }
+
+  if (!final_outcome.success) {
+    // The leader and every still-locked member fail the same way; pass-2
+    // rejections report the pass-1 diagnosis (see resume_diverged_lane).
+    const bool lat =
+        pass2 ? pass1_diag.latency_violation : final_outcome.latency_violation;
+    const EvalStatus status =
+        lat ? EvalStatus::kRejectedLatency : EvalStatus::kRejectedUnroutable;
+    auto reject = [&](std::size_t slice_idx) {
+      CandidateOutcome& o = out[slice_idx];
+      o.status = status;
+      o.point.switches_per_island = cand.switches_per_island;
+      o.point.intermediate_switches = cand.intermediate_switches;
+    };
+    reject(leader.slice);
+    for (const std::size_t slice_idx : locked) reject(slice_idx);
+  } else {
+    const int kept_intermediate = detail::compact_unused_intermediate(topo);
+    const std::vector<int> signature = detail::design_signature(topo);
+    const bool deadlock_free =
+        !ls.options.enforce_deadlock_freedom || is_deadlock_free(topo);
+    if (deadlock_free) {
+      detail::refine_intermediate_positions(topo, *ctx.floorplan, spec, scratch);
+    }
+    std::vector<double> local_min_lat;
+    std::vector<double> local_bw_floor;
+    std::vector<double> local_ebit_floor;
+    std::vector<double>& min_lat =
+        scratch != nullptr ? scratch->min_flow_latency : local_min_lat;
+    std::vector<double>& bw_floor =
+        scratch != nullptr ? scratch->switch_bw_floor : local_bw_floor;
+    std::vector<double>& ebit_floor =
+        scratch != nullptr ? scratch->switch_ebit_floor : local_ebit_floor;
+    detail::BaseBoundParts bound_parts;
+    const bool prune = ls.options.prune;
+    if (prune) {
+      bound_parts = detail::compute_base_bound_parts(
+          spec, topo, ls.options.tech, ctx.ni_dynamic_base_w, *ctx.core_traffic,
+          min_lat, bw_floor, ebit_floor);
+    }
+    SharedStructure ss;
+    ss.topo = &topo;
+    ss.kept_intermediate = kept_intermediate;
+    ss.signature = &signature;
+    ss.deadlock_free = deadlock_free;
+    ss.trajectory_checked = (!fallback_possible || pass2) && !spec.flows.empty();
+    ss.prune = prune;
+    ss.bound_parts = &bound_parts;
+    ss.bw_floor = &bw_floor;
+    ss.ebit_floor = &ebit_floor;
+    ss.min_lat = &min_lat;
+    materialize_shared_width(ctx, cand, leader.slice, ss, scratch,
+                             out[leader.slice]);
+    for (const std::size_t slice_idx : locked) {
+      materialize_shared_width(ctx, cand, slice_idx, ss, scratch,
+                               out[slice_idx]);
+    }
+  }
+
+  if (!next.empty()) {
+    resume_pool(ctx, cand, scratch, std::move(next), out, counters);
+  }
+}
+
+/// Routes every diverged lane's tail: lanes of one pool share ancestry (one
+/// routing history), so equal (pass, position) implies identical snapshots
+/// — those form cohorts; unique divergence points resume solo.
+void resume_pool(const MultiWidthContext& ctx, const CandidateConfig& cand,
+                 EvalScratch* scratch, std::vector<PendingResume>&& pool,
+                 std::vector<CandidateOutcome>& out,
+                 WidthEvalCounters* counters) {
+  std::map<std::pair<int, int>, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    groups[{pool[i].lane.resume_pass, pool[i].lane.resume_order_pos}]
+        .push_back(i);
+  }
+  for (auto& [key, members] : groups) {
+    if (members.size() == 1) {
+      PendingResume& e = pool[members.front()];
+      if (counters != nullptr) {
+        counters->slice_class[e.slice] = ShareClass::kSolo;
+      }
+      resume_diverged_lane(ctx, cand, scratch, e.slice, e.lane,
+                           e.pass1_failure, out[e.slice]);
+    } else {
+      std::vector<PendingResume> group;
+      group.reserve(members.size());
+      for (const std::size_t i : members) group.push_back(std::move(pool[i]));
+      resume_cohort(ctx, cand, scratch, std::move(group), out, counters);
+    }
   }
 }
 
@@ -336,39 +652,10 @@ void eval_group(const MultiWidthContext& ctx, const CandidateConfig& cand,
   const models::LinkModel link_model(lead.options.tech);
   std::vector<WidthLane> lanes(idx.size() - 1);
   for (std::size_t j = 1; j < idx.size(); ++j) {
-    const WidthSlice& s = ctx.slices[idx[j]];
-    WidthLane& lane = lanes[j - 1];
-    lane.width_bits = s.options.link_width_bits;
-    lane.switch_freq = slice_freqs(topo, s);
-    lane.max_ports.resize(topo.switches.size());
-    lane.max_wire_len.assign(topo.switches.size(), 0.0);
-    for (std::size_t i = 0; i < topo.switches.size(); ++i) {
-      const soc::IslandId isl = topo.switches[i].island;
-      lane.max_ports[i] =
-          isl == kIntermediateIsland
-              ? s.intermediate_params.max_sw_size
-              : s.island_params[static_cast<std::size_t>(isl)].max_sw_size;
-      if (s.options.enforce_wire_timing) {
-        lane.max_wire_len[i] =
-            link_model.max_unpipelined_length_mm(lane.switch_freq[i]);
-      }
-    }
+    build_width_lane(topo, ctx.slices[idx[j]], link_model, lanes[j - 1]);
   }
 
-  RouterOptions ropts;
-  ropts.alpha_power = lead.options.alpha_power;
-  ropts.link_width_bits = lead.options.link_width_bits;
-  ropts.tech = lead.options.tech;
-  ropts.enforce_wire_timing = lead.options.enforce_wire_timing;
-  ropts.flow_order = ctx.flow_order;
-  ropts.max_ports.resize(topo.switches.size());
-  for (std::size_t s = 0; s < topo.switches.size(); ++s) {
-    const soc::IslandId isl = topo.switches[s].island;
-    ropts.max_ports[s] =
-        isl == kIntermediateIsland
-            ? lead.intermediate_params.max_sw_size
-            : lead.island_params[static_cast<std::size_t>(isl)].max_sw_size;
-  }
+  const RouterOptions ropts = router_options_for(lead, topo, ctx.flow_order);
 
   bool pass2_ran = false;
   RouteOutcome pass1_failure;
@@ -377,13 +664,27 @@ void eval_group(const MultiWidthContext& ctx, const CandidateConfig& cand,
       &pass2_ran, &pass1_failure);
 
   std::vector<std::size_t> kept{idx.front()};
-  std::vector<std::size_t> diverged;
+  std::vector<PendingResume> pool;
   for (std::size_t j = 1; j < idx.size(); ++j) {
-    (lanes[j - 1].diverged ? diverged : kept).push_back(idx[j]);
+    WidthLane& lane = lanes[j - 1];
+    if (counters != nullptr) {
+      counters->certificate_accepts += lane.certificate_accepts;
+    }
+    if (lane.diverged) {
+      pool.push_back({idx[j], std::move(lane), pass1_failure});
+    } else {
+      kept.push_back(idx[j]);
+      if (counters != nullptr) {
+        counters->slice_class[idx[j]] = lane.used_certificate
+                                            ? ShareClass::kCertified
+                                            : ShareClass::kShared;
+        if (lane.used_certificate) ++counters->certified;
+      }
+    }
   }
   if (counters != nullptr) {
     counters->shared += static_cast<int>(kept.size()) - 1;
-    counters->fallback += static_cast<int>(diverged.size());
+    counters->fallback += static_cast<int>(pool.size());
   }
 
   if (!outcome.success) {
@@ -420,46 +721,29 @@ void eval_group(const MultiWidthContext& ctx, const CandidateConfig& cand,
     // still have changed the outcome (pass 1 with intermediates offered),
     // always in the pass that actually produced the result otherwise.
     const bool fallback_possible = cand.intermediate_switches > 0;
-    const bool trajectory_checked =
+    SharedStructure ss;
+    ss.topo = &topo;
+    ss.kept_intermediate = kept_intermediate;
+    ss.signature = &signature;
+    ss.deadlock_free = deadlock_free;
+    ss.trajectory_checked =
         (!fallback_possible || pass2_ran) && !spec.flows.empty();
+    ss.prune = prune;
+    ss.bound_parts = &bound_parts;
+    ss.bw_floor = &bw_floor;
+    ss.ebit_floor = &ebit_floor;
+    ss.min_lat = &min_lat;
     for (const std::size_t i : kept) {
-      const WidthSlice& s = ctx.slices[i];
-      CandidateOutcome& o = out[i];
-      o.status = EvalStatus::kRouted;
-      o.signature = signature;
-      o.deadlock_free = deadlock_free;
-      o.point.switches_per_island = cand.switches_per_island;
-      o.point.intermediate_switches = kept_intermediate;
-      const std::vector<double> freqs = slice_freqs(topo, s);
-      o.point.topology = topo;
-      for (std::size_t sw = 0; sw < o.point.topology.switches.size(); ++sw) {
-        o.point.topology.switches[sw].freq_hz = freqs[sw];
-      }
-      for (std::size_t isl = 0; isl < s.island_params.size(); ++isl) {
-        o.point.topology.island_freq_hz[isl] = s.island_params[isl].freq_hz;
-      }
-      o.point.topology.intermediate_freq_hz = s.intermediate_params.freq_hz;
-      if (deadlock_free) {
-        o.point.metrics = compute_metrics(
-            o.point.topology, spec, s.options.tech, s.options.link_width_bits,
-            scratch != nullptr ? &scratch->metrics : nullptr);
-      }
-      if (prune) {
-        replay_bound_checkpoint(o, spec, topo, s.options.tech, bound_parts,
-                                bw_floor, ebit_floor, min_lat, freqs,
-                                *ctx.flow_order, trajectory_checked);
-      }
+      materialize_shared_width(ctx, cand, i, ss, scratch, out[i]);
     }
   }
 
-  // Width-dependent widths: re-route each diverged lane's TAIL from its
-  // snapshot (see resume_diverged_lane) — the shared prefix is never
+  // Width-dependent widths: resume each diverged lane's TAIL from its
+  // snapshot — same-decision divergences lockstep each other as cohorts,
+  // unique ones resume solo (see resume_pool) — the shared prefix is never
   // recomputed.
-  for (std::size_t j = 1; j < idx.size(); ++j) {
-    WidthLane& lane = lanes[j - 1];
-    if (!lane.diverged) continue;
-    resume_diverged_lane(ctx, cand, scratch, idx[j], lane, pass1_failure,
-                         out[idx[j]]);
+  if (!pool.empty()) {
+    resume_pool(ctx, cand, scratch, std::move(pool), out, counters);
   }
 }
 
@@ -470,6 +754,9 @@ std::vector<CandidateOutcome> evaluate_candidate_widths(
     EvalScratch* scratch, const std::vector<const ParetoBound*>* fronts,
     WidthEvalCounters* counters) {
   std::vector<CandidateOutcome> out(ctx.slices.size());
+  if (counters != nullptr) {
+    counters->slice_class.assign(ctx.slices.size(), ShareClass::kLeader);
+  }
   if (ctx.slices.empty()) return out;
   // All of this candidate's routing calls — the lockstep structure pass and
   // any per-width fallbacks — share one routing geometry: switch positions

@@ -1,0 +1,63 @@
+// Enumeration-ordered deposit/drain queue for streaming merges.
+//
+// Workers produce per-index outcomes in arbitrary order; a consumer must
+// fold them IN INDEX ORDER (the synthesis merges are order-sensitive:
+// dedup, stats, deterministic pruning). This queue reorders on the fly:
+// deposit(i) stores outcome i and, unless another thread is already
+// draining, merges every outcome whose predecessors have all merged —
+// releasing each one immediately, so only the out-of-order window is ever
+// buffered (callers surface the high-water mark via the on_buffered hook).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace vinoc::exec {
+
+/// See the file header. One drainer runs at a time (the `draining` flag);
+/// the internal lock is DROPPED around each merge call, which may be
+/// expensive (synthesis deterministic-prune replays re-evaluate whole
+/// candidates), so depositors never stall on a merge in progress. A
+/// deposit landing mid-drain is picked up when the drainer re-checks the
+/// cursor under the lock, or by the next depositor after the drainer bowed
+/// out — when every deposit() call has returned, everything has merged.
+/// `merge` calls are serialised (exclusive drainer, handed off under the
+/// lock) and in strict index order; `on_buffered(+1/-1)` runs under the
+/// lock on every buffer change.
+template <typename Outcome>
+class OrderedDrainQueue {
+ public:
+  explicit OrderedDrainQueue(std::size_t n) : pending_(n), ready_(n, 0) {}
+
+  template <typename MergeFn, typename BufferFn>
+  void deposit(std::size_t index, Outcome&& outcome, MergeFn&& merge,
+               BufferFn&& on_buffered) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    pending_[index] = std::move(outcome);
+    ready_[index] = 1;
+    on_buffered(+1);
+    if (draining_) return;
+    draining_ = true;
+    while (next_ < pending_.size() && ready_[next_] != 0) {
+      Outcome ready_outcome = std::move(pending_[next_]);
+      pending_[next_] = Outcome{};  // release the merged slot's buffers
+      ++next_;
+      on_buffered(-1);
+      lock.unlock();
+      merge(std::move(ready_outcome));
+      lock.lock();
+    }
+    draining_ = false;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::size_t next_ = 0;  ///< first index not yet merged
+  bool draining_ = false;
+  std::vector<Outcome> pending_;
+  std::vector<char> ready_;
+};
+
+}  // namespace vinoc::exec

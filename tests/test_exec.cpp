@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "vinoc/exec/ordered_drain.hpp"
 #include "vinoc/exec/parallel_for.hpp"
 #include "vinoc/exec/thread_pool.hpp"
 
@@ -143,6 +144,53 @@ TEST(Exec, SubmitFrontRunsInlineWithoutWorkers) {
   bool ran = false;
   pool.submit_front([&ran] { ran = true; });
   EXPECT_TRUE(ran);
+}
+
+TEST(OrderedDrainQueue, MergesInIndexOrderWithEverythingDrainedAtBarrier) {
+  // Concurrent out-of-order deposits must merge in strict index order, the
+  // buffer hook must balance to zero, and once every deposit() returned
+  // (the fan-out barrier) nothing may remain buffered. `merged` needs no
+  // lock: merge calls are serialised by the queue (exclusive drainer,
+  // handed off under its mutex).
+  constexpr std::size_t kN = 64;
+  OrderedDrainQueue<int> queue(kN);
+  std::vector<int> merged;
+  int buffered = 0;
+  int peak = 0;
+  ThreadPool pool(4);
+  parallel_for_each(pool, kN, [&](std::size_t i) {
+    queue.deposit(
+        i, static_cast<int>(i * 10),
+        [&merged](int&& value) { merged.push_back(value); },
+        [&](int delta) {
+          buffered += delta;
+          peak = std::max(peak, buffered);
+        });
+  });
+  ASSERT_EQ(merged.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(merged[i], static_cast<int>(i * 10));
+  }
+  EXPECT_EQ(buffered, 0);
+  EXPECT_GE(peak, 1);
+}
+
+TEST(OrderedDrainQueue, SequentialDepositsMergeImmediately) {
+  OrderedDrainQueue<int> queue(8);
+  std::vector<int> merged;
+  int peak = 0;
+  int buffered = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    queue.deposit(i, static_cast<int>(i),
+                  [&merged](int&& v) { merged.push_back(v); },
+                  [&](int delta) {
+                    buffered += delta;
+                    peak = std::max(peak, buffered);
+                  });
+  }
+  ASSERT_EQ(merged.size(), 8u);
+  EXPECT_EQ(peak, 1);  // in-order arrival never buffers more than itself
+  EXPECT_EQ(buffered, 0);
 }
 
 TEST(Exec, SubmitRunsJobs) {

@@ -2,13 +2,18 @@
 // explore_link_widths() / synthesize_width_set() against per-width
 // synthesize() for every thread count and both prune settings, sound
 // fallback when routing is width-dependent, true structure sharing when the
-// widths' derived frequencies coincide, sweep-global progress reporting,
-// and the flat PartitionTable container.
+// widths' derived frequencies coincide, path-level route-equivalence
+// certificates (near-tie trace flips share; genuine divergences don't),
+// same-decision divergence cohorts, SIMD-vs-scalar relaxation-filter
+// bit-identity, the streaming per-width merge's buffer cap, sweep-global
+// progress reporting, and the flat PartitionTable container.
 #include <gtest/gtest.h>
 
 #include <mutex>
 #include <set>
 #include <vector>
+
+#include "vinoc/core/router.hpp"
 
 #include "vinoc/campaign/spec_hash.hpp"
 #include "vinoc/core/candidates.hpp"
@@ -140,6 +145,145 @@ TEST(WidthSweep, SharesStructuresWhenFrequenciesCoincide) {
     ASSERT_TRUE(entries[i].feasible);
     EXPECT_EQ(fp(entries[i].result), solo_fp(spec, opt, widths[i]));
   }
+}
+
+TEST(WidthSweep, CertificateSharesNearTieTraceFlips) {
+  // d24 at widths {128, 160} snaps to CLOSE island frequencies: the two
+  // Dijkstras' traces differ (near-tie heap pops flip under the shifted
+  // opening costs), so PR 4's per-decision lockstep diverged on every
+  // candidate — but the chosen paths mostly coincide, which the path-level
+  // certificate proves, unlocking full-candidate sharing. Results must stay
+  // bit-identical to per-width synthesize().
+  const soc::Benchmark d24 = soc::make_d24_imaging_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d24.soc, 5, d24.use_cases);
+  const std::vector<int> widths = {128, 160};
+  SynthesisOptions opt;
+  exec::ThreadPool pool(1);
+  EvalScratchPool scratch;
+  WidthSetStats stats;
+  const std::vector<WidthSweepEntry> entries =
+      synthesize_width_set(spec, widths, opt, pool, scratch, &stats);
+  EXPECT_GT(stats.certified_evals, 0);      // trace differed, path certified
+  EXPECT_GT(stats.certificate_accepts, 0);  // flow-level acceptances
+  EXPECT_GT(stats.shared_evals, 0);
+  EXPECT_GE(stats.shared_evals, stats.certified_evals);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    ASSERT_TRUE(entries[i].feasible);
+    EXPECT_EQ(fp(entries[i].result), solo_fp(spec, opt, widths[i]));
+  }
+  // Per-width attribution sums back to the sweep totals (the leader width
+  // contributes nothing).
+  int shared = 0;
+  int certified = 0;
+  for (const WidthSweepEntry& e : entries) {
+    shared += e.result.stats.width_shared;
+    certified += e.result.stats.width_certified;
+  }
+  EXPECT_EQ(shared, stats.shared_evals);
+  EXPECT_EQ(certified, stats.certified_evals);
+}
+
+TEST(WidthSweep, CohortsLockstepSameDecisionDivergences) {
+  // The dense d26 grid {128, 160, 192, 256} makes several follower lanes
+  // genuinely diverge at the SAME decision with identical snapshots — those
+  // tails resume as cohorts (one lane leads, the rest verify in lockstep)
+  // instead of solo, and every entry stays bit-identical to the solo run.
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const soc::SocSpec spec = soc::with_logical_islands(d26.soc, 4, d26.use_cases);
+  const std::vector<int> widths = {128, 160, 192, 256};
+  SynthesisOptions opt;
+  exec::ThreadPool pool(1);
+  EvalScratchPool scratch;
+  WidthSetStats stats;
+  const std::vector<WidthSweepEntry> entries =
+      synthesize_width_set(spec, widths, opt, pool, scratch, &stats);
+  EXPECT_GE(stats.cohort_groups, 1);
+  EXPECT_GE(stats.cohort_evals, 2);  // a cohort is >= 2 lanes by definition
+  EXPECT_GE(stats.fallback_evals, stats.cohort_evals);  // cohorts are a subset
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    ASSERT_TRUE(entries[i].feasible);
+    EXPECT_EQ(fp(entries[i].result), solo_fp(spec, opt, widths[i]))
+        << "width " << widths[i];
+  }
+  int cohort = 0;
+  for (const WidthSweepEntry& e : entries) cohort += e.result.stats.width_cohort;
+  EXPECT_EQ(cohort, stats.cohort_evals);
+}
+
+TEST(WidthSweep, SimdAndScalarRelaxationFiltersAreBitIdentical) {
+  // The 4-wide relaxation filter must be a pure accelerant: across the
+  // widths x threads x prune matrix (covering solo evaluation, lockstep,
+  // certificates and cohort resumes), fingerprints with the vector filter
+  // must equal the scalar reference's. In VINOC_SIMD_FORCE_SCALAR builds
+  // the toggle is a no-op and both passes run the scalar path.
+  const soc::Benchmark d26 = soc::make_d26_media_soc();
+  const std::vector<soc::SocSpec> specs = {
+      multi_island_spec(12, 3),
+      soc::with_logical_islands(d26.soc, 4, d26.use_cases)};
+  const std::vector<int> widths = {32, 64, 128, 160};
+  const bool was_enabled = router_simd_enabled();
+  for (const soc::SocSpec& spec : specs) {
+    for (const bool prune : {true, false}) {
+      for (const int threads : {1, 4}) {
+        SynthesisOptions opt;
+        opt.prune = prune;
+        opt.threads = threads;
+        std::vector<std::uint64_t> scalar_fps;
+        set_router_simd_enabled(false);
+        for (const WidthSweepEntry& e :
+             explore_link_widths(spec, widths, opt).entries) {
+          scalar_fps.push_back(e.feasible ? fp(e.result) : 0);
+        }
+        set_router_simd_enabled(true);
+        std::vector<std::uint64_t> simd_fps;
+        for (const WidthSweepEntry& e :
+             explore_link_widths(spec, widths, opt).entries) {
+          simd_fps.push_back(e.feasible ? fp(e.result) : 0);
+        }
+        EXPECT_EQ(scalar_fps, simd_fps)
+            << "prune " << prune << " threads " << threads;
+      }
+    }
+  }
+  set_router_simd_enabled(was_enabled);
+}
+
+TEST(WidthSweep, StreamingMergeCapsBufferedOutcomes) {
+  // With one thread every candidate merges as soon as it finishes, so the
+  // streaming merge never buffers more than one evaluation batch: the
+  // sweep's high-water mark is at most the width count, and a solo
+  // synthesize() buffers exactly one outcome at a time.
+  const soc::SocSpec spec = multi_island_spec(12, 3);
+  const std::vector<int> widths = {32, 64, 128};
+  SynthesisOptions opt;
+  exec::ThreadPool pool(1);
+  EvalScratchPool scratch;
+  WidthSetStats stats;
+  const std::vector<WidthSweepEntry> entries =
+      synthesize_width_set(spec, widths, opt, pool, scratch, &stats);
+  EXPECT_GT(stats.peak_buffered_outcomes, 0);
+  EXPECT_LE(stats.peak_buffered_outcomes, static_cast<int>(widths.size()));
+  long long total_outcomes = 0;
+  for (const WidthSweepEntry& e : entries) {
+    EXPECT_EQ(e.result.stats.peak_buffered_outcomes,
+              stats.peak_buffered_outcomes);  // sweep-global, stamped per entry
+    total_outcomes += e.result.stats.configs_explored;
+  }
+  EXPECT_LT(stats.peak_buffered_outcomes, total_outcomes);
+
+  SynthesisOptions solo;
+  solo.threads = 1;
+  solo.link_width_bits = 64;
+  const SynthesisResult r = synthesize(spec, solo);
+  EXPECT_EQ(r.stats.peak_buffered_outcomes, 1);
+
+  // Parallel runs may buffer out-of-order completions, but never more than
+  // the whole candidate list.
+  SynthesisOptions par = solo;
+  par.threads = 4;
+  const SynthesisResult rp = synthesize(spec, par);
+  EXPECT_GE(rp.stats.peak_buffered_outcomes, 1);
+  EXPECT_LE(rp.stats.peak_buffered_outcomes, rp.stats.configs_explored);
 }
 
 TEST(WidthSweep, CrossWidthPartitionCacheServesRepeatedProblems) {

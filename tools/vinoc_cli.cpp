@@ -305,12 +305,16 @@ int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
                    p.completed, p.total, p.link_width_bits);
     };
   }
+  core::WidthSetStats sweep_stats;
   const core::WidthSweepResult sweep =
-      core::explore_link_widths(spec, args.widths, options);
+      core::explore_link_widths(spec, args.widths, options, &sweep_stats);
   if (args.progress) std::fprintf(stderr, "\n");
   if (args.json) {
     // One campaign-format record per width (infeasible widths included with
-    // feasible=false), machine-readable counterpart of the table below.
+    // feasible=false), machine-readable counterpart of the table below,
+    // then one sweep-level telemetry record: how much of the width sweep
+    // was served from shared structures (certificates / cohorts — see
+    // core::WidthSetStats).
     for (const core::WidthSweepEntry& e : sweep.entries) {
       core::SynthesisOptions wopt = options;
       wopt.link_width_bits = e.width_bits;
@@ -318,6 +322,18 @@ int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
           record_for(args, spec, wopt, e.feasible ? &e.result : nullptr),
           !args.no_timing);
     }
+    io::JsonlWriter w;
+    w.field("record", "width_sweep_stats")
+        .field("width_classes", sweep_stats.width_classes)
+        .field("shared_evals", sweep_stats.shared_evals)
+        .field("certified_evals", sweep_stats.certified_evals)
+        .field("certificate_accepts", sweep_stats.certificate_accepts)
+        .field("cohort_evals", sweep_stats.cohort_evals)
+        .field("cohort_groups", sweep_stats.cohort_groups)
+        .field("fallback_evals", sweep_stats.fallback_evals)
+        .field("shared_rate", sweep_stats.shared_rate())
+        .field("peak_buffered_outcomes", sweep_stats.peak_buffered_outcomes);
+    std::printf("%s\n", w.line().c_str());
     return kExitOk;
   }
   std::printf("%-8s %-10s %-18s %-18s\n", "width", "points", "best power [mW]",
@@ -342,6 +358,12 @@ int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
     std::printf("  %3d-bit  %8.2f mW  %6.2f cycles\n", sweep.width_of(ref),
                 m.noc_dynamic_w * 1e3, m.avg_latency_cycles);
   }
+  std::printf(
+      "sharing: %d shared (%d certified), %d cohort, %d solo fallback "
+      "(%.0f%% shared rate, %d certificate accepts)\n",
+      sweep_stats.shared_evals, sweep_stats.certified_evals,
+      sweep_stats.cohort_evals, sweep_stats.fallback_evals - sweep_stats.cohort_evals,
+      sweep_stats.shared_rate() * 100.0, sweep_stats.certificate_accepts);
   return kExitOk;
 }
 
@@ -466,7 +488,12 @@ int cmd_campaign(const Args& args) {
         .field("infeasible", result.infeasible)
         .field("total", result.jobs_total)
         .field("structure_groups", result.structure_groups)
-        .field("structure_shared_jobs", result.structure_shared_jobs);
+        .field("structure_shared_jobs", result.structure_shared_jobs)
+        .field("width_shared_evals", result.width_shared_evals)
+        .field("width_certified_evals", result.width_certified_evals)
+        .field("width_cohort_evals", result.width_cohort_evals)
+        .field("width_fallback_evals", result.width_fallback_evals)
+        .field("certificate_accepts", result.certificate_accepts);
     std::fprintf(stderr, "resume_summary %s\n", w.line().c_str());
   }
   std::fprintf(stderr, "wrote %s.{jsonl,csv}\n", args.out.c_str());
