@@ -18,7 +18,9 @@
 #include "bench_util.hpp"
 
 #include <chrono>
+#include <cstdlib>
 
+#include "vinoc/campaign/spec_hash.hpp"
 #include "vinoc/core/candidates.hpp"
 #include "vinoc/core/prune.hpp"
 #include "vinoc/exec/thread_pool.hpp"
@@ -113,54 +115,123 @@ void print_table(bool quick) {
   core::EvalScratchPool scratch;
   const int reps = quick ? 3 : 5;
 
+  // Median-of-`reps` timing (see bench::time_repeats): each rep evaluates
+  // the full case list once; the gated rate uses the median rep.
   auto time_mode = [&](Mode mode) {
     // Warm-up evaluates everything once (fills arenas, faults pages).
-    for (const SweepSetup& c : cases) (void)run_sweep(c, mode, scratch);
-    const auto t0 = std::chrono::steady_clock::now();
-    int total = 0;
-    for (int r = 0; r < reps; ++r) {
-      for (const SweepSetup& c : cases) total += run_sweep(c, mode, scratch);
-    }
-    const double s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    return std::pair<int, double>{total, s};
+    int per_rep = 0;
+    for (const SweepSetup& c : cases) per_rep += run_sweep(c, mode, scratch);
+    const bench::RepeatTiming t = bench::time_repeats(reps, [&] {
+      for (const SweepSetup& c : cases) {
+        benchmark::DoNotOptimize(run_sweep(c, mode, scratch));
+      }
+    });
+    return std::pair<int, bench::RepeatTiming>{per_rep, t};
   };
 
-  const auto [cold_n, cold_s] = time_mode(Mode::kCold);
-  const auto [scr_n, scr_s] = time_mode(Mode::kScratch);
-  const auto [pr_n, pr_s] = time_mode(Mode::kPruned);
-  const double cold_rate = cold_n / cold_s;
-  const double scr_rate = scr_n / scr_s;
-  const double pr_rate = pr_n / pr_s;
+  const auto [n_cands, cold_t] = time_mode(Mode::kCold);
+  const auto [scr_n, scr_t] = time_mode(Mode::kScratch);
+  const auto [pr_n, pr_t] = time_mode(Mode::kPruned);
+  (void)scr_n;
+  (void)pr_n;
+  const double cold_rate = n_cands / cold_t.median_s;
+  const double scr_rate = n_cands / scr_t.median_s;
+  const double pr_rate = n_cands / pr_t.median_s;
 
-  std::printf("%-18s %-12s %-14s %-10s\n", "mode", "candidates", "cands/s", "speedup");
-  std::printf("%-18s %-12d %-14.0f %-10s\n", "cold (legacy)", cold_n, cold_rate, "1.00x");
-  std::printf("%-18s %-12d %-14.0f %.2fx\n", "scratch", scr_n, scr_rate,
-              scr_rate / cold_rate);
-  std::printf("%-18s %-12d %-14.0f %.2fx\n", "scratch+prune", pr_n, pr_rate,
-              pr_rate / cold_rate);
+  std::printf("%-18s %-12s %-14s %-10s %-24s\n", "mode", "candidates",
+              "cands/s", "speedup", "per-rep s (min/med/max)");
+  auto row = [&](const char* name, int cands, double rate,
+                 const bench::RepeatTiming& t) {
+    std::printf("%-18s %-12d %-14.0f %-10.2f %.4f/%.4f/%.4f\n", name, cands,
+                rate, rate / cold_rate, t.min_s, t.median_s, t.max_s);
+  };
+  row("cold (legacy)", n_cands, cold_rate, cold_t);
+  row("scratch", n_cands, scr_rate, scr_t);
+  row("scratch+prune", n_cands, pr_rate, pr_t);
 
-  // End-to-end synthesize() throughput (prune on — the production path).
-  double synth_s = 0.0;
-  int synth_cands = 0;
-  for (int r = 0; r < reps; ++r) {
-    for (const SweepSetup& c : cases) {
-      const auto t0 = std::chrono::steady_clock::now();
-      const core::SynthesisResult res = core::synthesize(c.spec, {});
-      synth_s +=
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-      synth_cands += res.stats.configs_explored;
-      benchmark::DoNotOptimize(res.points.size());
+  // End-to-end synthesize() throughput (prune on — the production path),
+  // A/B'd delta-off vs delta-on. Every rep gates bit-identity: a
+  // result_fingerprint mismatch between the two means the delta evaluator's
+  // replay is NOT equivalent to from-scratch evaluation, and the bench
+  // exits non-zero (the speedup number would be meaningless).
+  //
+  // The A/B runs its own case list: delta replay only serves intra-island
+  // flows, so its reuse rate is bounded by the intra/cross flow mix — low
+  // island counts are the representative regime (at 7+ islands most flows
+  // cross islands and the delta evaluator correctly sits out). The gated
+  // delta_reuse_rate tracks THIS list; the table above keeps the historical
+  // per-candidate case list.
+  std::vector<SweepSetup> synth_cases;
+  {
+    const soc::Benchmark d26 = soc::make_d26_media_soc();
+    synth_cases.emplace_back(
+        soc::with_logical_islands(d26.soc, 2, d26.use_cases));
+    const soc::Benchmark d36 = soc::make_d36_settop_soc();
+    synth_cases.emplace_back(
+        soc::with_logical_islands(d36.soc, 2, d36.use_cases));
+    if (!quick) {
+      const soc::Benchmark d64 = soc::make_d64_tile_soc();
+      synth_cases.emplace_back(
+          soc::with_logical_islands(d64.soc, 3, d64.use_cases));
     }
   }
-  const double synth_rate = synth_cands / synth_s;
-  std::printf("%-18s %-12d %-14.0f\n", "synthesize()", synth_cands, synth_rate);
+  int synth_cands = 0;
+  long long delta_eligible = 0;
+  long long delta_served = 0;
+  std::vector<std::uint64_t> fps_scratch;
+  std::vector<std::uint64_t> fps_delta;
+  auto time_synth = [&](bool delta_on) {
+    return bench::time_repeats(reps, [&] {
+      synth_cands = 0;
+      std::vector<std::uint64_t>& fps = delta_on ? fps_delta : fps_scratch;
+      fps.clear();
+      if (delta_on) {
+        delta_eligible = 0;
+        delta_served = 0;
+      }
+      for (const SweepSetup& c : synth_cases) {
+        core::SynthesisOptions opt;
+        opt.delta_eval = delta_on;
+        const core::SynthesisResult res = core::synthesize(c.spec, opt);
+        synth_cands += res.stats.configs_explored;
+        fps.push_back(campaign::result_fingerprint(res));
+        if (delta_on) {
+          const long long reused =
+              res.stats.delta_flows_reused + res.stats.delta_flows_certified;
+          delta_served += reused;
+          delta_eligible += reused + res.stats.delta_flows_rerouted;
+        }
+        benchmark::DoNotOptimize(res.points.size());
+      }
+    });
+  };
+  const bench::RepeatTiming synth_t = time_synth(/*delta_on=*/false);
+  const bench::RepeatTiming delta_t = time_synth(/*delta_on=*/true);
+  if (fps_scratch != fps_delta) {
+    std::fprintf(stderr,
+                 "bench_eval_hotpath: FINGERPRINT MISMATCH — delta evaluation "
+                 "is not bit-identical to from-scratch evaluation\n");
+    std::exit(1);
+  }
+  const double synth_rate = synth_cands / synth_t.median_s;
+  const double delta_rate = synth_cands / delta_t.median_s;
+  const double delta_reuse_rate =
+      delta_eligible > 0
+          ? static_cast<double>(delta_served) / static_cast<double>(delta_eligible)
+          : 0.0;
+  row("synthesize()", synth_cands, synth_rate, synth_t);
+  row("synthesize()+delta", synth_cands, delta_rate, delta_t);
+  std::printf("delta reuse rate: %.3f (%lld of %lld eligible flows replayed)\n",
+              delta_reuse_rate, delta_served, delta_eligible);
 
   std::printf("\n--- BEGIN JSONL (eval_hotpath) ---\n");
   io::JsonlWriter w;
   w.field("bench", "eval_hotpath")
       .field("quick", quick)
       .field("candidates_per_s", synth_rate)
+      .field("cands_per_s_delta", delta_rate)
+      .field("delta_reuse_rate", delta_reuse_rate)
+      .field("speedup_delta", delta_rate / synth_rate)
       .field("eval_cold_per_s", cold_rate)
       .field("eval_scratch_per_s", scr_rate)
       .field("eval_pruned_per_s", pr_rate)

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -75,6 +77,44 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("%s\n", title);
   std::printf("reproduces: %s\n", paper_ref);
   std::printf("==============================================================\n");
+}
+
+/// Min / median / max over repeated timed runs. Gated metrics use the
+/// MEDIAN (robust to a one-off scheduling stall, unlike best-of which
+/// under-reports and mean which over-reports); min/max are printed so a
+/// noisy machine is visible in the bench output.
+struct RepeatTiming {
+  double min_s = 0.0;
+  double median_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// Summarises per-rep wall-clock seconds (sorts a copy; for an even count
+/// the upper-middle element is reported — run an odd number of reps, e.g.
+/// median-of-3, to get a true median).
+inline RepeatTiming summarize_runs(std::vector<double> runs) {
+  RepeatTiming t;
+  if (runs.empty()) return t;
+  std::sort(runs.begin(), runs.end());
+  t.min_s = runs.front();
+  t.median_s = runs[runs.size() / 2];
+  t.max_s = runs.back();
+  return t;
+}
+
+/// Times `fn()` `reps` times and summarises (see summarize_runs).
+template <typename Fn>
+RepeatTiming time_repeats(int reps, Fn&& fn) {
+  std::vector<double> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    runs.push_back(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+  }
+  return summarize_runs(std::move(runs));
 }
 
 /// Standard google-benchmark tail: time a full synthesize() call.

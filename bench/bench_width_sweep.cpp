@@ -107,28 +107,30 @@ std::vector<std::uint64_t> shared_sweep(const soc::SocSpec& spec,
   return fps;
 }
 
-/// One timed legacy-vs-shared A/B over `widths`: best-of-`reps` wall clock
-/// per side, every rep fingerprint-gated (exits non-zero on mismatch — the
-/// single protocol behind BOTH gated speedup metrics). `evals` receives the
-/// shared side's candidate-evaluation count of the last rep.
+/// One timed legacy-vs-shared A/B over `widths`: median-of-`reps` wall
+/// clock per side (min/med/max reported — see bench::summarize_runs), every
+/// rep fingerprint-gated (exits non-zero on mismatch — the single protocol
+/// behind BOTH gated speedup metrics). `evals` receives the shared side's
+/// candidate-evaluation count of the last rep.
 struct AbResult {
-  double legacy_s = 1e100;
-  double shared_s = 1e100;
+  bench::RepeatTiming legacy;
+  bench::RepeatTiming shared;
 };
 AbResult timed_ab(const Case& c, const std::vector<int>& widths,
                   const core::SynthesisOptions& options, int reps,
                   const char* grid_label, long long* evals = nullptr) {
-  AbResult r;
+  std::vector<double> legacy_runs;
+  std::vector<double> shared_runs;
   for (int rep = 0; rep < reps; ++rep) {
     if (evals != nullptr) *evals = 0;
     auto t0 = Clock::now();
     const std::vector<std::uint64_t> a = shared_sweep(c.spec, widths, options, evals);
-    r.shared_s = std::min(
-        r.shared_s, std::chrono::duration<double>(Clock::now() - t0).count());
+    shared_runs.push_back(
+        std::chrono::duration<double>(Clock::now() - t0).count());
     t0 = Clock::now();
     const std::vector<std::uint64_t> b = legacy_sweep(c.spec, widths, options, nullptr);
-    r.legacy_s = std::min(
-        r.legacy_s, std::chrono::duration<double>(Clock::now() - t0).count());
+    legacy_runs.push_back(
+        std::chrono::duration<double>(Clock::now() - t0).count());
     if (a != b) {
       std::fprintf(stderr,
                    "bench_width_sweep: FINGERPRINT MISMATCH on %s (%s) — the "
@@ -138,7 +140,8 @@ AbResult timed_ab(const Case& c, const std::vector<int>& widths,
       std::exit(1);
     }
   }
-  return r;
+  return {bench::summarize_runs(std::move(legacy_runs)),
+          bench::summarize_runs(std::move(shared_runs))};
 }
 
 void print_table(bool quick) {
@@ -147,7 +150,9 @@ void print_table(bool quick) {
       "beyond the paper (sweep-structured evaluation of Algorithm 1)");
   std::vector<Case> cases = sweep_cases(quick);
   core::SynthesisOptions options;  // threads = 1, prune on: the default path
-  const int reps = quick ? 2 : 3;
+  // Median-of-3 in quick mode too: the gated speedups come from the median
+  // rep, so two reps would report the upper-middle (i.e. the max) instead.
+  const int reps = 3;
 
   // Warm-up pass (pages/caches); every timed rep below re-asserts
   // bit-identity through timed_ab's per-rep fingerprint gate.
@@ -158,19 +163,26 @@ void print_table(bool quick) {
   double shared_total = 0.0;
   double legacy_total = 0.0;
   long long evals_total = 0;
-  std::printf("%-10s %-12s %-12s %-10s\n", "case", "legacy [s]", "shared [s]",
-              "speedup");
+  std::printf("%-10s %-26s %-26s %-10s\n", "case",
+              "legacy s (min/med/max)", "shared s (min/med/max)", "speedup");
+  auto range = [](const bench::RepeatTiming& t) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.4f/%.4f/%.4f", t.min_s, t.median_s,
+                  t.max_s);
+    return std::string(buf);
+  };
   for (const Case& c : cases) {
     long long evals = 0;
     const AbResult ab = timed_ab(c, kWidths, options, reps, "default grid",
                                  &evals);
-    shared_total += ab.shared_s;
-    legacy_total += ab.legacy_s;
+    shared_total += ab.shared.median_s;
+    legacy_total += ab.legacy.median_s;
     evals_total += evals;
-    std::printf("%-10s %-12.4f %-12.4f %.2fx\n", c.name.c_str(), ab.legacy_s,
-                ab.shared_s, ab.legacy_s / ab.shared_s);
+    std::printf("%-10s %-26s %-26s %.2fx\n", c.name.c_str(),
+                range(ab.legacy).c_str(), range(ab.shared).c_str(),
+                ab.legacy.median_s / ab.shared.median_s);
   }
-  std::printf("%-10s %-12.4f %-12.4f %.2fx\n", "TOTAL", legacy_total,
+  std::printf("%-10s %-26.4f %-26.4f %.2fx\n", "TOTAL (med)", legacy_total,
               shared_total, legacy_total / shared_total);
 
   // Sharing observability on the aggregate case list (default width set).
@@ -201,12 +213,13 @@ void print_table(bool quick) {
   long long fine_cohort = 0;
   long long fine_fallback = 0;
   std::printf("\nfine width grid {128,160,192,256} (certificate regime):\n");
-  std::printf("%-10s %-12s %-12s %-10s %-22s\n", "case", "legacy [s]",
-              "shared [s]", "speedup", "shared/cert/cohort/solo");
+  std::printf("%-10s %-26s %-26s %-10s %-22s\n", "case",
+              "legacy s (min/med/max)", "shared s (min/med/max)", "speedup",
+              "shared/cert/cohort/solo");
   for (const Case& c : cases) {
     const AbResult ab = timed_ab(c, kFineWidths, options, reps, "fine grid");
-    fine_shared_s += ab.shared_s;
-    fine_legacy_s += ab.legacy_s;
+    fine_shared_s += ab.shared.median_s;
+    fine_legacy_s += ab.legacy.median_s;
     exec::ThreadPool pool(1);
     core::EvalScratchPool scratch;
     core::WidthSetStats st;
@@ -218,9 +231,10 @@ void print_table(bool quick) {
     fine_cohort += st.cohort_evals;
     fine_fallback += st.fallback_evals;
     peak_buffered = std::max(peak_buffered, st.peak_buffered_outcomes);
-    std::printf("%-10s %-12.4f %-12.4f %-10.2f %d/%d/%d/%d\n", c.name.c_str(),
-                ab.legacy_s, ab.shared_s, ab.legacy_s / ab.shared_s,
-                st.shared_evals, st.certified_evals, st.cohort_evals,
+    std::printf("%-10s %-26s %-26s %-10.2f %d/%d/%d/%d\n", c.name.c_str(),
+                range(ab.legacy).c_str(), range(ab.shared).c_str(),
+                ab.legacy.median_s / ab.shared.median_s, st.shared_evals,
+                st.certified_evals, st.cohort_evals,
                 st.fallback_evals - st.cohort_evals);
   }
   const long long fine_followers = fine_shared + fine_fallback;

@@ -79,7 +79,27 @@ struct CampaignResult {
   int width_cohort_evals = 0;
   int width_fallback_evals = 0;
   int certificate_accepts = 0;
+  /// Cohorts formed across this run's width-set syntheses, and the
+  /// sweep-global high-water mark of outcomes buffered by the streaming
+  /// merges (max over groups — a memory bound, not a sum).
+  int cohort_groups = 0;
+  int peak_buffered_outcomes = 0;
+  /// Candidate-level delta evaluation summed over this run's syntheses
+  /// (see core::WidthSetStats / core::SynthesisStats delta_* counters).
+  int delta_candidates = 0;
+  long long delta_flows_reused = 0;
+  long long delta_flows_certified = 0;
+  long long delta_flows_rerouted = 0;
+  int delta_cert_rejects = 0;
   double wall_s = 0.0;  ///< whole-campaign wall time
+
+  /// Fraction of delta-eligible flows served without a live Dijkstra.
+  [[nodiscard]] double delta_reuse_rate() const {
+    const long long reused = delta_flows_reused + delta_flows_certified;
+    const long long total = reused + delta_flows_rerouted;
+    return total > 0 ? static_cast<double>(reused) / static_cast<double>(total)
+                     : 0.0;
+  }
 
   /// All records as JSONL text (one line each, trailing newline).
   [[nodiscard]] std::string to_jsonl(bool include_timing = true) const;

@@ -91,6 +91,13 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   std::atomic<int> width_cohort_evals{0};
   std::atomic<int> width_fallback_evals{0};
   std::atomic<int> certificate_accepts{0};
+  std::atomic<int> cohort_groups{0};
+  std::atomic<int> peak_buffered_outcomes{0};
+  std::atomic<int> delta_candidates{0};
+  std::atomic<long long> delta_flows_reused{0};
+  std::atomic<long long> delta_flows_certified{0};
+  std::atomic<long long> delta_flows_rerouted{0};
+  std::atomic<int> delta_cert_rejects{0};
 
   // The campaign-level structure cache: jobs that differ ONLY in
   // link_width_bits share every width-invariant input (floorplan, traffic,
@@ -216,6 +223,20 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     width_cohort_evals.fetch_add(set_stats.cohort_evals);
     width_fallback_evals.fetch_add(set_stats.fallback_evals);
     certificate_accepts.fetch_add(set_stats.certificate_accepts);
+    cohort_groups.fetch_add(set_stats.cohort_groups);
+    {
+      // A memory bound, not a throughput counter: report the campaign's max.
+      int peak = peak_buffered_outcomes.load();
+      while (set_stats.peak_buffered_outcomes > peak &&
+             !peak_buffered_outcomes.compare_exchange_weak(
+                 peak, set_stats.peak_buffered_outcomes)) {
+      }
+    }
+    delta_candidates.fetch_add(set_stats.delta_candidates);
+    delta_flows_reused.fetch_add(set_stats.delta_flows_reused);
+    delta_flows_certified.fetch_add(set_stats.delta_flows_certified);
+    delta_flows_rerouted.fetch_add(set_stats.delta_flows_rerouted);
+    delta_cert_rejects.fetch_add(set_stats.delta_cert_rejects);
     const double wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - t0)
                                .count() /
@@ -240,6 +261,13 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   out.width_cohort_evals = width_cohort_evals.load();
   out.width_fallback_evals = width_fallback_evals.load();
   out.certificate_accepts = certificate_accepts.load();
+  out.cohort_groups = cohort_groups.load();
+  out.peak_buffered_outcomes = peak_buffered_outcomes.load();
+  out.delta_candidates = delta_candidates.load();
+  out.delta_flows_reused = delta_flows_reused.load();
+  out.delta_flows_certified = delta_flows_certified.load();
+  out.delta_flows_rerouted = delta_flows_rerouted.load();
+  out.delta_cert_rejects = delta_cert_rejects.load();
   out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              t_start)
                    .count();

@@ -136,7 +136,8 @@ std::uint64_t hash_options_impl(const core::SynthesisOptions& options,
       .boolean(options.enforce_deadlock_freedom)
       .boolean(options.prune)
       .boolean(options.deterministic_prune);
-  // threads / on_progress intentionally omitted (see header).
+  // threads / delta_eval / on_progress intentionally omitted: pure
+  // wall-clock knobs, bit-identical results either way (see header).
   hash_technology(h, options.tech);
   h.tag(kTagFloorplan)
       .f64(options.floorplan.whitespace)

@@ -171,6 +171,10 @@ struct EvalScratch {
   std::vector<double> switch_bw_floor;    ///< per-switch endpoint traffic
   std::vector<double> switch_ebit_floor;  ///< per-switch energy/bit floor
   std::vector<double> switch_freq;        ///< per-switch frequency table
+  /// Delta-evaluation replay state (taint vector, hop-comparison buffer,
+  /// per-candidate counters); the caller points its `ref` at the group's
+  /// published DeltaReference before each delta evaluation.
+  DeltaRouteState delta;
 };
 
 /// Thread-keyed pool of EvalScratch arenas (exec::WorkerLocal). One slot
@@ -196,10 +200,19 @@ class EvalScratchPool {
 /// front — before routing when the pre-routing floor already is, or after
 /// any routed flow otherwise (restricted to topologies where the
 /// intermediate-island fallback cannot change the outcome; see router.hpp).
+///
+/// `delta_record` / `delta` opt into the candidate-level delta evaluator
+/// (see route_all_flows): a group REFERENCE evaluation records its routed
+/// hop sequences into `delta_record` (pure observation); an adjacent
+/// MEMBER evaluation replays them via `delta`, re-routing only the flows
+/// the config diff can affect. Either way the outcome is bit-identical to
+/// a plain evaluation of the same candidate.
 [[nodiscard]] CandidateOutcome evaluate_candidate(const EvalContext& ctx,
                                                   const CandidateConfig& cand,
                                                   EvalScratch* scratch = nullptr,
-                                                  const ParetoBound* bound = nullptr);
+                                                  const ParetoBound* bound = nullptr,
+                                                  DeltaReference* delta_record = nullptr,
+                                                  DeltaRouteState* delta = nullptr);
 
 /// Incremental, enumeration-ordered merge of candidate outcomes into a
 /// SynthesisResult — the single definition of Algorithm 1's dedup / stats /

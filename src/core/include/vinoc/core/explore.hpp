@@ -79,12 +79,30 @@ struct WidthSetStats {
   /// streaming per-width merges (see SynthesisStats::
   /// peak_buffered_outcomes).
   int peak_buffered_outcomes = 0;
+  /// Candidate-level delta evaluation on the sweep's solo-schedule
+  /// evaluations (one-width classes and classes voted out of lockstep);
+  /// same meaning as the SynthesisStats::delta_* counters, summed across
+  /// every (candidate, width) of the set. Multi-width lockstep evaluations
+  /// already share whole structures, so delta does not apply there.
+  int delta_candidates = 0;
+  long long delta_flows_reused = 0;
+  long long delta_flows_certified = 0;
+  long long delta_flows_rerouted = 0;
+  int delta_cert_rejects = 0;
 
   /// Share of non-leader (candidate, width) results served from a shared
   /// structure; 0 when the sweep had no followers.
   [[nodiscard]] double shared_rate() const {
     const int followers = shared_evals + fallback_evals;
     return followers > 0 ? static_cast<double>(shared_evals) / followers : 0.0;
+  }
+  /// Fraction of delta-eligible flows served without a live Dijkstra
+  /// (see SynthesisStats::delta_reuse_rate).
+  [[nodiscard]] double delta_reuse_rate() const {
+    const long long reused = delta_flows_reused + delta_flows_certified;
+    const long long total = reused + delta_flows_rerouted;
+    return total > 0 ? static_cast<double>(reused) / static_cast<double>(total)
+                     : 0.0;
   }
 };
 

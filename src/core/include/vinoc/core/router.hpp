@@ -188,6 +188,66 @@ struct WidthLane {
   int resume_pass = 0;
 };
 
+/// One hop of a recorded reference route (see DeltaReference): the endpoint
+/// switch ids plus whether the reference run OPENED a new link for it (as
+/// opposed to reusing the pair's latest existing link). Island switch ids
+/// are stable across the candidates of one enumeration group (identical
+/// island partitions, built in identical order), which is what lets a
+/// recorded hop be replayed on an adjacent candidate's topology.
+struct DeltaHop {
+  int src = -1;
+  int dst = -1;
+  unsigned char open = 0;
+  friend bool operator==(const DeltaHop& a, const DeltaHop& b) {
+    return a.src == b.src && a.dst == b.dst && a.open == b.open;
+  }
+};
+
+/// The hop sequence of one routed flow, in path order. Empty when the
+/// flow's endpoints share a switch (nothing to replay).
+struct DeltaRouteRec {
+  std::vector<DeltaHop> hops;
+};
+
+/// Recording of a REFERENCE candidate's pass-1 routing, consumed by the
+/// delta evaluation of the adjacent candidates in its enumeration group
+/// (same per-island switch counts, different intermediate-switch counts).
+/// `records` holds the routed prefix of the flow order — a reference that
+/// failed or was pruned mid-routing still yields a usable prefix. `p_norm`
+/// is the reference Router's power normalizer; it is the ONLY cross-
+/// candidate coupling of intra-island routing decisions (see router.cpp),
+/// so delta reuse is gated on the consumer's normalizer being bit-equal.
+struct DeltaReference {
+  std::vector<DeltaRouteRec> records;  ///< by routing-order position (prefix)
+  double p_norm = 0.0;
+  bool valid = false;  ///< pass-1 routing ran with recording attached
+};
+
+/// Per-evaluation state of a delta (route-reuse) routing run; see
+/// route_all_flows. `ref` is the input; everything else is output counters
+/// and router-managed scratch. The router classifies each flow: intra-
+/// island flows of an island whose state is still IN SYNC with the
+/// reference's are replayed from the record (flows_reused; or, under
+/// set_delta_cert_forced, re-derived by their own solo Dijkstra and
+/// verified against it — flows_certified); everything else routes live
+/// (flows_rerouted), and a live cross-island route whose hop sequence
+/// differs from the record's taints the islands it touches, ending reuse
+/// for them.
+struct DeltaRouteState {
+  const DeltaReference* ref = nullptr;
+  /// Output: the consumer's power normalizer was bit-equal to the
+  /// reference's, so replay was armed (always inspect before reading the
+  /// counters as a reuse rate).
+  bool pnorm_matched = false;
+  int flows_reused = 0;     ///< replayed from the record, no Dijkstra
+  int flows_certified = 0;  ///< forced-certificate mode: verified replays
+  int flows_rerouted = 0;   ///< routed live (affected or tainted)
+  int cert_rejects = 0;     ///< forced-certificate mismatches (expected 0)
+  /// Router-managed scratch (reset per pass, buffers reused).
+  std::vector<char> island_tainted;
+  std::vector<DeltaHop> actual_hops;
+};
+
 /// Cost-bound pruning input for one routing call (see vinoc/core/prune.hpp).
 /// All bounds are monotone non-decreasing as routing proceeds and never
 /// exceed the candidate's final metrics, so a `front` hit is a proof the
@@ -247,10 +307,25 @@ struct RouteOutcome {
 /// topologies where the intermediate-island fallback pass cannot change the
 /// outcome (no intermediate switches, or already in the fallback pass), so
 /// pruning never hides a design the unpruned path would have produced.
+///
+/// `record` (optional) attaches a pure OBSERVER to the greedy pass: the
+/// reference candidate's routed hop sequences and power normalizer are
+/// captured into it (routing results are unchanged). `delta` (optional)
+/// replays such a recording on an ADJACENT candidate of the same
+/// enumeration group: flows whose admissible structure is untouched by the
+/// config diff (intra-island flows, while their island's incremental state
+/// is proven in sync with the reference's) reuse the recorded route
+/// without a Dijkstra; affected flows (cross-island, or on a tainted
+/// island) route live. Results are bit-identical to a run without `delta`
+/// — replay is sound exactly because, per island, the router's state
+/// equals the reference's at the same routing position until a diverging
+/// live route taints it (see README).
 RouteOutcome route_all_flows(NocTopology& topo, const soc::SocSpec& spec,
                              const RouterOptions& options,
                              RouterScratch* scratch = nullptr,
-                             const RouteBound* bound = nullptr);
+                             const RouteBound* bound = nullptr,
+                             DeltaReference* record = nullptr,
+                             DeltaRouteState* delta = nullptr);
 
 /// route_all_flows() for the LEADER width of `options` while verifying, per
 /// routing decision, that every lane in `lanes` would decide identically
@@ -302,6 +377,18 @@ RouteOutcome resume_route_flows_multi(NocTopology& topo,
 /// value. No-op (always scalar) in builds without the vector path.
 bool set_router_simd_enabled(bool enabled);
 [[nodiscard]] bool router_simd_enabled();
+
+/// Runtime toggle forcing the delta evaluator to VERIFY every would-be
+/// replay with the flow's own full solo Dijkstra (the route-equivalence
+/// certificate, sharing Router::choose_hop with the width-lane
+/// certificates) instead of trusting the in-sync proof: a reuse whose
+/// certified path differs from the record is rejected — the island taints
+/// and the certified path is used, so results stay bit-identical either
+/// way. This trades away the entire delta speedup for a per-flow runtime
+/// check of the soundness argument; tests and the A/B harness flip it on.
+/// Returns the previous value.
+bool set_delta_cert_forced(bool enabled);
+[[nodiscard]] bool delta_cert_forced();
 
 /// True if a link from switch `a` to switch `b` is admissible for a flow
 /// going from island `src_isl` to island `dst_isl` under the shutdown-safety

@@ -97,6 +97,15 @@ struct SynthesisOptions {
   /// exact, but WHICH dominated points are dropped may vary with thread
   /// scheduling.
   bool deterministic_prune = true;
+  /// Candidate-level delta evaluation: the first candidate of each
+  /// enumeration group (same per-island switch counts, k_int = 0) records
+  /// its routed hop sequences; adjacent group members replay the routes of
+  /// flows the config diff cannot affect and re-route only the affected
+  /// ones (see route_all_flows in vinoc/core/router.hpp). Results are
+  /// bit-identical either way — like `threads`, this is purely a
+  /// wall-clock knob (excluded from campaign job keys) — so it exists to
+  /// A/B the delta path against from-scratch evaluation.
+  bool delta_eval = true;
   /// Worker strands for the candidate-evaluation stage: 1 = fully
   /// sequential (default), 0 = hardware concurrency, N = exactly N.
   /// Results are bit-identical for every value (candidates are evaluated
@@ -149,6 +158,28 @@ struct SynthesisStats {
   int width_certified = 0;
   int width_cohort = 0;
   int width_fallback = 0;
+  /// Delta-evaluation telemetry (options.delta_eval): member candidates
+  /// whose evaluation ran with replay armed (a published group reference
+  /// with a bit-equal power normalizer), and their per-flow tallies —
+  /// routes replayed without a Dijkstra (`delta_flows_reused`), replays
+  /// verified by the forced route-equivalence certificate
+  /// (`delta_flows_certified`, only under set_delta_cert_forced), and
+  /// flows routed live because the config diff could affect them
+  /// (`delta_flows_rerouted`). `delta_cert_rejects` counts forced-
+  /// certificate mismatches (expected 0; a reject falls back to the
+  /// certified path, preserving bit-identity).
+  int delta_candidates = 0;
+  long long delta_flows_reused = 0;
+  long long delta_flows_certified = 0;
+  long long delta_flows_rerouted = 0;
+  int delta_cert_rejects = 0;
+  /// Fraction of delta-eligible flows served without a live Dijkstra.
+  [[nodiscard]] double delta_reuse_rate() const {
+    const long long reused = delta_flows_reused + delta_flows_certified;
+    const long long total = reused + delta_flows_rerouted;
+    return total > 0 ? static_cast<double>(reused) / static_cast<double>(total)
+                     : 0.0;
+  }
   /// High-water mark of candidate outcomes buffered by the streaming merge
   /// (results waiting for an enumeration-order predecessor still being
   /// evaluated). Caps peak memory: with threads == 1 it equals one

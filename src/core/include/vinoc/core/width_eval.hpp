@@ -124,10 +124,19 @@ struct WidthEvalCounters {
 /// a candidate whose pre-routing floor is dominated at EVERY width is
 /// abandoned before routing, and solo fallback evaluations prune against
 /// their width's snapshot.
+///
+/// `delta_record` / `delta` opt the SINGLE-SLICE path into the candidate-
+/// level delta evaluator (see evaluate_candidate): the sweep's solo
+/// schedule records the group reference per (class, width) and replays it
+/// for adjacent group members. Both are ignored for multi-slice calls —
+/// the lockstep already shares whole routed structures across widths, and
+/// per-lane replay certificates per applied flow would cost more than the
+/// lockstep's relaxation sharing.
 [[nodiscard]] std::vector<CandidateOutcome> evaluate_candidate_widths(
     const MultiWidthContext& ctx, const CandidateConfig& cand,
     EvalScratch* scratch = nullptr,
     const std::vector<const ParetoBound*>* fronts = nullptr,
-    WidthEvalCounters* counters = nullptr);
+    WidthEvalCounters* counters = nullptr,
+    DeltaReference* delta_record = nullptr, DeltaRouteState* delta = nullptr);
 
 }  // namespace vinoc::core

@@ -402,7 +402,9 @@ PartitionTable compute_partitions(
 CandidateOutcome evaluate_candidate(const EvalContext& ctx,
                                     const CandidateConfig& cand,
                                     EvalScratch* scratch,
-                                    const ParetoBound* bound) {
+                                    const ParetoBound* bound,
+                                    DeltaReference* delta_record,
+                                    DeltaRouteState* delta) {
   CandidateOutcome out;
   out.point.switches_per_island = cand.switches_per_island;
   out.point.intermediate_switches = cand.intermediate_switches;
@@ -477,7 +479,7 @@ CandidateOutcome evaluate_candidate(const EvalContext& ctx,
   const RouteOutcome outcome =
       route_all_flows(out.point.topology, ctx.spec, ropts,
                       scratch != nullptr ? &scratch->router : nullptr,
-                      bound != nullptr ? &rbound : nullptr);
+                      bound != nullptr ? &rbound : nullptr, delta_record, delta);
   if (outcome.pruned) {
     out.status = EvalStatus::kPruned;
     out.pruned_power_lb_w = outcome.pruned_power_lb_w;

@@ -163,6 +163,46 @@ std::vector<WidthSweepEntry> synthesize_width_set(
     }
   }
 
+  // Candidate-level delta evaluation on the sweep's SOLO schedule (one-width
+  // classes, and classes voted out of lockstep below): same group map as
+  // synthesize() — consecutive candidates sharing switches_per_island — with
+  // one reference slot per (class, width) since the recorded hop sequences
+  // are width-dependent (frequencies and capacities differ). Publication is
+  // opportunistic; members without a published reference evaluate solo.
+  // Lockstep evaluations don't participate: they already share whole routed
+  // structures across widths.
+  struct DeltaPlan {
+    std::vector<int> group_of;   ///< per candidate of the class
+    std::vector<char> leader;    ///< per candidate: first of its group
+    std::vector<int> group_size; ///< per group
+    /// refs[j * group_size.size() + g] for width slot j, group g.
+    std::vector<std::shared_ptr<const DeltaReference>> refs;
+    std::mutex mutex;
+  };
+  std::vector<std::unique_ptr<DeltaPlan>> delta_plans(classes.size());
+  if (base_options.delta_eval) {
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      const WidthClass& wc = classes[c];
+      auto dp = std::make_unique<DeltaPlan>();
+      dp->group_of.resize(wc.candidates.size(), 0);
+      dp->leader.resize(wc.candidates.size(), 0);
+      int n_groups = 0;
+      for (std::size_t k = 0; k < wc.candidates.size(); ++k) {
+        if (k == 0 || wc.candidates[k].switches_per_island !=
+                          wc.candidates[k - 1].switches_per_island) {
+          dp->leader[k] = 1;
+          ++n_groups;
+        }
+        dp->group_of[k] = n_groups - 1;
+      }
+      dp->group_size.resize(static_cast<std::size_t>(n_groups), 0);
+      for (const int g : dp->group_of) ++dp->group_size[g];
+      dp->refs.resize(wc.width_indices.size() *
+                      static_cast<std::size_t>(n_groups));
+      delta_plans[c] = std::move(dp);
+    }
+  }
+
   // Flatten (class, candidate) into one work list so every class's
   // candidates fan out over the same pool concurrently.
   struct Unit {
@@ -250,11 +290,21 @@ std::vector<WidthSweepEntry> synthesize_width_set(
   std::vector<std::atomic<int>> width_certified(widths.size());
   std::vector<std::atomic<int>> width_cohort(widths.size());
   std::vector<std::atomic<int>> width_fallback(widths.size());
+  std::vector<std::atomic<int>> delta_cands_w(widths.size());
+  std::vector<std::atomic<long long>> delta_reused_w(widths.size());
+  std::vector<std::atomic<long long>> delta_certified_w(widths.size());
+  std::vector<std::atomic<long long>> delta_rerouted_w(widths.size());
+  std::vector<std::atomic<int>> delta_rejects_w(widths.size());
   for (std::size_t i = 0; i < widths.size(); ++i) {
     width_shared[i].store(0);
     width_certified[i].store(0);
     width_cohort[i].store(0);
     width_fallback[i].store(0);
+    delta_cands_w[i].store(0);
+    delta_reused_w[i].store(0);
+    delta_certified_w[i].store(0);
+    delta_rerouted_w[i].store(0);
+    delta_rejects_w[i].store(0);
   }
   std::mutex progress_mutex;
   std::size_t progress_done = 0;
@@ -300,14 +350,59 @@ std::vector<WidthSweepEntry> synthesize_width_set(
       // the same entry point. One geometry token spans all widths of the
       // candidate, so the hop/leakage matrices and class runs are still
       // built once (positions and admissibility are width-invariant).
+      // Solo evaluations compose with the delta evaluator: per (class,
+      // width), the group reference's hop record replays for adjacent group
+      // members exactly as in synthesize().
+      DeltaPlan* dp = delta_plans[unit.class_id].get();
+      const int g = dp != nullptr ? dp->group_of[unit.cand_id] : 0;
       outs.resize(wc.mctx.slices.size());
       es.router.geometry_token = ++es.router.geometry_token_counter;
       for (std::size_t j = 0; j < wc.mctx.slices.size(); ++j) {
+        std::shared_ptr<DeltaReference> rec;
+        std::shared_ptr<const DeltaReference> ref;
+        DeltaRouteState* delta = nullptr;
+        const std::size_t slot =
+            j * (dp != nullptr ? dp->group_size.size() : 0) +
+            static_cast<std::size_t>(g);
+        if (dp != nullptr) {
+          if (dp->leader[unit.cand_id]) {
+            if (dp->group_size[g] > 1) rec = std::make_shared<DeltaReference>();
+          } else {
+            {
+              const std::lock_guard<std::mutex> lock(dp->mutex);
+              ref = dp->refs[slot];
+            }
+            if (ref != nullptr) {
+              es.delta.ref = ref.get();
+              delta = &es.delta;
+            }
+          }
+        }
         std::vector<const ParetoBound*> solo_front(1, fronts[j]);
         std::vector<CandidateOutcome> one = evaluate_candidate_widths(
             wc.solo_ctx[j], wc.candidates[unit.cand_id], &es,
-            base_options.prune ? &solo_front : nullptr, &counters);
+            base_options.prune ? &solo_front : nullptr, &counters, rec.get(),
+            delta);
         outs[j] = std::move(one.front());
+        if (rec != nullptr && rec->valid) {
+          const std::lock_guard<std::mutex> lock(dp->mutex);
+          dp->refs[slot] = std::move(rec);
+        }
+        if (delta != nullptr) {
+          es.delta.ref = nullptr;  // `ref` dies with this width slot
+          if (delta->pnorm_matched) {
+            const std::size_t wi = wc.width_indices[j];
+            delta_cands_w[wi].fetch_add(1, std::memory_order_relaxed);
+            delta_reused_w[wi].fetch_add(delta->flows_reused,
+                                         std::memory_order_relaxed);
+            delta_certified_w[wi].fetch_add(delta->flows_certified,
+                                            std::memory_order_relaxed);
+            delta_rerouted_w[wi].fetch_add(delta->flows_rerouted,
+                                           std::memory_order_relaxed);
+            delta_rejects_w[wi].fetch_add(delta->cert_rejects,
+                                          std::memory_order_relaxed);
+          }
+        }
       }
       es.router.geometry_token = 0;
     }
@@ -403,6 +498,11 @@ std::vector<WidthSweepEntry> synthesize_width_set(
     st.width_certified = width_certified[i].load();
     st.width_cohort = width_cohort[i].load();
     st.width_fallback = width_fallback[i].load();
+    st.delta_candidates = delta_cands_w[i].load();
+    st.delta_flows_reused = delta_reused_w[i].load();
+    st.delta_flows_certified = delta_certified_w[i].load();
+    st.delta_flows_rerouted = delta_rerouted_w[i].load();
+    st.delta_cert_rejects = delta_rejects_w[i].load();
     st.peak_buffered_outcomes = peak_buffered.load();
   }
 
@@ -417,6 +517,13 @@ std::vector<WidthSweepEntry> synthesize_width_set(
     stats->partition_cache_hits =
         class_slots_total - static_cast<int>(partition_cache.size());
     stats->peak_buffered_outcomes = peak_buffered.load();
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      stats->delta_candidates += delta_cands_w[i].load();
+      stats->delta_flows_reused += delta_reused_w[i].load();
+      stats->delta_flows_certified += delta_certified_w[i].load();
+      stats->delta_flows_rerouted += delta_rerouted_w[i].load();
+      stats->delta_cert_rejects += delta_rejects_w[i].load();
+    }
   }
   return entries;
 }

@@ -30,6 +30,11 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// knob.
 std::atomic<bool> g_router_simd{true};
 
+/// Runtime switch forcing the delta evaluator to verify every replay with
+/// the flow's own solo Dijkstra (see set_delta_cert_forced); read once per
+/// Router construction, like the SIMD toggle.
+std::atomic<bool> g_delta_cert_forced{false};
+
 soc::IslandId island_of_switch(const NocTopology& topo, int sw) {
   return topo.switches[static_cast<std::size_t>(sw)].island;
 }
@@ -65,6 +70,14 @@ bool set_router_simd_enabled(bool enabled) {
 
 bool router_simd_enabled() {
   return g_router_simd.load(std::memory_order_relaxed);
+}
+
+bool set_delta_cert_forced(bool enabled) {
+  return g_delta_cert_forced.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool delta_cert_forced() {
+  return g_delta_cert_forced.load(std::memory_order_relaxed);
 }
 
 std::vector<std::size_t> bandwidth_descending_order(const soc::SocSpec& spec) {
@@ -129,10 +142,11 @@ class Router {
   Router(NocTopology& topo, const soc::SocSpec& spec, const RouterOptions& opts,
          RouterScratch& scratch, const RouteBound* bound,
          std::vector<WidthLane>* lanes = nullptr, int pass_id = 1,
-         bool resume_state = false)
+         bool resume_state = false, DeltaReference* rec_out = nullptr,
+         DeltaRouteState* delta = nullptr)
       : topo_(topo), spec_(spec), opts_(opts), scratch_(scratch), bound_(bound),
-        lanes_(lanes), sw_model_(opts.tech), link_model_(opts.tech),
-        fifo_model_(opts.tech), pass_id_(pass_id) {
+        lanes_(lanes), rec_out_(rec_out), delta_(delta), sw_model_(opts.tech),
+        link_model_(opts.tech), fifo_model_(opts.tech), pass_id_(pass_id) {
     const std::size_t n_sw = topo_.switches.size();
     n_ = n_sw;
     scratch_.ports_in.assign(n_sw, 0);
@@ -258,8 +272,27 @@ class Router {
     use_simd_ = simd::compiled_vector() &&
                 g_router_simd.load(std::memory_order_relaxed);
 
+    // Arm delta replay only when the reference's power normalizer is
+    // bit-equal to ours: p_norm is the single cross-candidate coupling of
+    // intra-island routing decisions (everything else an intra Dijkstra
+    // reads is island-local), so with equal normalizers an in-sync
+    // island's decisions are input-identical to the reference's. Each pass
+    // re-arms with a fresh taint vector (pass 2 restarts from a pristine
+    // topology compared against the same pass-1 records).
+    if (delta_ != nullptr) {
+      delta_->pnorm_matched = delta_->ref != nullptr && delta_->ref->valid &&
+                              delta_->ref->p_norm == p_norm_;
+      delta_apply_ = delta_->pnorm_matched;
+      if (delta_apply_) {
+        delta_->island_tainted.assign(spec.islands.size(), 0);
+        cert_forced_ = g_delta_cert_forced.load(std::memory_order_relaxed);
+      }
+    }
+
     build_floor_matrix();
   }
+
+  [[nodiscard]] double p_norm() const { return p_norm_; }
 
   RouteOutcome run(std::size_t start_pos = 0) {
     if (start_pos == 0) {
@@ -287,7 +320,16 @@ class Router {
     for (std::size_t pos = start_pos; pos < order->size(); ++pos) {
       const std::size_t f = (*order)[pos];
       order_pos_ = pos;
-      if (!route_flow(f, outcome)) return outcome;
+      const bool ok = delta_apply_ && pos < delta_->ref->records.size()
+                          ? delta_route_flow(pos, f, outcome)
+                          : route_flow(f, outcome);
+      if (ok && rec_out_ != nullptr) {
+        // Pure observation: the routed hop sequence, reconstructed from the
+        // finished route (a link was opened by this flow iff the flow is
+        // its first user).
+        reconstruct_hops(f, rec_out_->records.emplace_back().hops);
+      }
+      if (!ok) return outcome;
       ++outcome.flows_routed;
       if (bounding) {
         // Replace this flow's minimum latency with its exact final latency
@@ -750,16 +792,35 @@ class Router {
       };
 
       if (lanes_active) {
-        for (int v = run.lo; v < run.hi; ++v) {
+        // Bit-exact early skips: the full cost is >= latpart, and when no
+        // link exists to reuse it is also >= the pair's opening floor
+        // (see build_floor_matrix); IEEE addition is monotone, so a
+        // filtered relaxation provably would not have updated the LEADER.
+        // The two thresholds also dispose of done nodes (dist == -inf).
+        // They prove nothing about a lane's own comparison (lane dists
+        // accumulate different width-dependent surcharges), so with live
+        // lanes the body still runs for EVERY target, with the leader's
+        // choice pinned to "no update" when its filter fires. The 4-wide
+        // path only batches the leader's two threshold comparisons (the
+        // same lanes as the solo scan below), so the lead_skip flags — and
+        // everything downstream — are bit-identical to the scalar loop's.
+        int v = run.lo;
+#if defined(VINOC_SIMD_VECTOR_EXT)
+        if (use_simd_) {
+          for (; v + simd::kWidth <= run.hi; v += simd::kWidth) {
+            const unsigned m = relax_survivors4(
+                &dist[static_cast<std::size_t>(v)],
+                &floor_row[static_cast<std::size_t>(v)],
+                &link_row[static_cast<std::size_t>(v)], lat_thresh, dist_u,
+                latpart);
+            for (int j = 0; j < simd::kWidth; ++j) {
+              process_target(v + j, ((m >> j) & 1u) == 0u);
+            }
+          }
+        }
+#endif
+        for (; v < run.hi; ++v) {
           const auto vs = static_cast<std::size_t>(v);
-          // Bit-exact early skips: the full cost is >= latpart, and when no
-          // link exists to reuse it is also >= the pair's opening floor
-          // (see build_floor_matrix); IEEE addition is monotone, so a
-          // filtered relaxation provably would not have updated the LEADER.
-          // The two thresholds also dispose of done nodes (dist == -inf).
-          // They prove nothing about a lane's own comparison (lane dists
-          // accumulate different width-dependent surcharges), so with live
-          // lanes the body still runs with the leader's choice pinned.
           const bool lead_skip =
               lat_thresh >= dist[vs] ||
               (link_row[vs] < 0 &&
@@ -887,6 +948,173 @@ class Router {
       outcome.failed_flow = static_cast<int>(flow_idx);
       outcome.latency_violation = true;
       return false;
+    }
+    return true;
+  }
+
+  /// Rebuilds the hop sequence of a FINISHED route in path order: endpoint
+  /// switch ids per link plus whether THIS flow opened the link (it did iff
+  /// it is the link's first user — links record their users in routing
+  /// order). Shared by the delta recorder and the live-route comparison.
+  void reconstruct_hops(std::size_t flow_idx, std::vector<DeltaHop>& hops) const {
+    hops.clear();
+    const FlowRoute& route = topo_.routes[flow_idx];
+    for (const int lid : route.links) {
+      const TopLink& l = topo_.links[static_cast<std::size_t>(lid)];
+      DeltaHop h;
+      h.src = l.src_switch;
+      h.dst = l.dst_switch;
+      h.open = !l.flows.empty() && l.flows.front() == static_cast<int>(flow_idx)
+                   ? 1
+                   : 0;
+      hops.push_back(h);
+    }
+  }
+
+  /// Marks every REAL island touched by `hops` as diverged from the
+  /// reference: its incremental state no longer matches, so later intra-
+  /// island flows of that island must route live. (The intermediate VI
+  /// carries no intra-island flows; it needs no taint.)
+  void taint_hops(const std::vector<DeltaHop>& hops) {
+    for (const DeltaHop& h : hops) {
+      for (const int sw : {h.src, h.dst}) {
+        if (sw < 0 || sw >= static_cast<int>(n_)) continue;
+        const int isl = scratch_.island_of[static_cast<std::size_t>(sw)];
+        if (isl != kIntermediateIsland &&
+            static_cast<std::size_t>(isl) < delta_->island_tainted.size()) {
+          delta_->island_tainted[static_cast<std::size_t>(isl)] = 1;
+        }
+      }
+    }
+  }
+
+  /// Replays a recorded reference route onto the current topology without a
+  /// Dijkstra: open where the reference opened, reuse the pair's latest
+  /// link where it reused, with exactly the state mutations and bound
+  /// accounting the materialisation loop performs. Returns 1 when routed,
+  /// 0 on a latency violation (`outcome` filled, identically to the live
+  /// path), -1 when the record is not applicable (malformed chain or a
+  /// missing reuse link — never expected for an in-sync island; the caller
+  /// falls back to live routing).
+  int replay_recorded_flow(std::size_t flow_idx, const DeltaRouteRec& rec,
+                           int s_sw, int d_sw, RouteOutcome& outcome) {
+    // Validate before mutating anything.
+    if (rec.hops.empty() || rec.hops.front().src != s_sw ||
+        rec.hops.back().dst != d_sw) {
+      return -1;
+    }
+    int prev = s_sw;
+    for (const DeltaHop& h : rec.hops) {
+      if (h.src != prev || h.src < 0 || h.dst < 0 ||
+          h.src >= static_cast<int>(n_) || h.dst >= static_cast<int>(n_)) {
+        return -1;
+      }
+      if (h.open == 0 &&
+          scratch_.link_at[static_cast<std::size_t>(h.src) * n_ +
+                           static_cast<std::size_t>(h.dst)] < 0) {
+        return -1;
+      }
+      prev = h.dst;
+    }
+
+    const soc::Flow& flow = spec_.flows[flow_idx];
+    FlowRoute& route = topo_.routes[flow_idx];
+    route.src_switch = s_sw;
+    route.dst_switch = d_sw;
+    const double bw = flow.bandwidth_bits_per_s;
+    for (const DeltaHop& h : rec.hops) {
+      const int link_id =
+          h.open != 0 ? open_link(h.src, h.dst)
+                      : scratch_.link_at[static_cast<std::size_t>(h.src) * n_ +
+                                         static_cast<std::size_t>(h.dst)];
+      TopLink& l = topo_.links[static_cast<std::size_t>(link_id)];
+      l.carried_bw_bits_per_s += bw;
+      l.flows.push_back(static_cast<int>(flow_idx));
+      route.links.push_back(link_id);
+      if (power_lb_ >= 0.0) {
+        accumulate_power_lb(h.src, h.dst, l, bw, /*pass_through=*/h.dst != d_sw);
+      }
+    }
+    route.crossings = 0;
+    for (const int l : route.links) {
+      if (topo_.links[static_cast<std::size_t>(l)].crosses_island) ++route.crossings;
+    }
+    route.latency_cycles = route_latency_cycles(topo_, route, opts_.tech);
+    if (route.latency_cycles > flow.max_latency_cycles + 1e-9) {
+      outcome.failure_reason = "latency violated for flow '" + flow.label +
+                               "' (" + std::to_string(route.latency_cycles) +
+                               " > " + std::to_string(flow.max_latency_cycles) + ")";
+      outcome.failed_flow = static_cast<int>(flow_idx);
+      outcome.latency_violation = true;
+      return 0;
+    }
+    return 1;
+  }
+
+  /// One flow of an armed delta run (see DeltaRouteState). UNTOUCHED flows
+  /// — intra-island, island still in sync — replay the record (or, under
+  /// the forced certificate, re-derive the path with their own solo
+  /// Dijkstra and verify it against the record). AFFECTED flows — cross-
+  /// island (their admissible switch set includes the intermediates the
+  /// config diff changed) or on a tainted island — route live; a live
+  /// cross route whose hop sequence differs from the record's ends reuse
+  /// for every island either sequence touches.
+  bool delta_route_flow(std::size_t pos, std::size_t flow_idx,
+                        RouteOutcome& outcome) {
+    const soc::Flow& flow = spec_.flows[flow_idx];
+    const int s_sw = topo_.switch_of_core[static_cast<std::size_t>(flow.src)];
+    const int d_sw = topo_.switch_of_core[static_cast<std::size_t>(flow.dst)];
+    if (s_sw == d_sw) {
+      // Trivial either way (no links, no state change): route live,
+      // uncounted — it would inflate the reuse rate without saving work.
+      return route_flow(flow_idx, outcome);
+    }
+    const soc::IslandId src_isl =
+        spec_.cores[static_cast<std::size_t>(flow.src)].island;
+    const soc::IslandId dst_isl =
+        spec_.cores[static_cast<std::size_t>(flow.dst)].island;
+    const DeltaRouteRec& rec = delta_->ref->records[pos];
+    const bool intra = src_isl == dst_isl;
+    if (intra && delta_->island_tainted[static_cast<std::size_t>(src_isl)] == 0) {
+      if (cert_forced_) {
+        // Route-equivalence certificate: the flow's own solo Dijkstra over
+        // the current state (route_flow IS that Dijkstra; it shares
+        // choose_hop with the width-lane certificates). Acceptance proves
+        // the replay would have been bit-identical; a rejection taints the
+        // island and keeps the certified path, so results never depend on
+        // the record being right.
+        if (!route_flow(flow_idx, outcome)) return false;
+        reconstruct_hops(flow_idx, delta_->actual_hops);
+        if (delta_->actual_hops == rec.hops) {
+          ++delta_->flows_certified;
+        } else {
+          ++delta_->cert_rejects;
+          ++delta_->flows_rerouted;
+          taint_hops(rec.hops);
+          taint_hops(delta_->actual_hops);
+        }
+        return true;
+      }
+      const int replayed = replay_recorded_flow(flow_idx, rec, s_sw, d_sw, outcome);
+      if (replayed >= 0) {
+        ++delta_->flows_reused;
+        return replayed != 0;
+      }
+      // Record not applicable (defensive; never expected while in sync):
+      // end reuse for this island and route live below.
+      delta_->island_tainted[static_cast<std::size_t>(src_isl)] = 1;
+    }
+    if (!route_flow(flow_idx, outcome)) return false;
+    ++delta_->flows_rerouted;
+    if (!intra) {
+      // A cross flow that routed exactly as the reference's record leaves
+      // every island it touched in sync; any difference (typically: the
+      // intermediate VI absorbed it) diverges them.
+      reconstruct_hops(flow_idx, delta_->actual_hops);
+      if (!(delta_->actual_hops == rec.hops)) {
+        taint_hops(rec.hops);
+        taint_hops(delta_->actual_hops);
+      }
     }
     return true;
   }
@@ -1035,6 +1263,10 @@ class Router {
   RouterScratch& scratch_;
   const RouteBound* bound_ = nullptr;
   std::vector<WidthLane>* lanes_ = nullptr;
+  DeltaReference* rec_out_ = nullptr;  ///< recording observer (reference runs)
+  DeltaRouteState* delta_ = nullptr;   ///< delta replay state (member runs)
+  bool delta_apply_ = false;  ///< delta armed: reference valid, p_norm equal
+  bool cert_forced_ = false;  ///< verify every replay with its solo Dijkstra
   models::SwitchModel sw_model_;
   models::LinkModel link_model_;
   models::BisyncFifoModel fifo_model_;
@@ -1093,7 +1325,8 @@ void prepare_geometry(RoutingGeometry& g, const NocTopology& topo,
 
 RouteOutcome route_all_flows(NocTopology& topo, const soc::SocSpec& spec,
                              const RouterOptions& options, RouterScratch* scratch,
-                             const RouteBound* bound) {
+                             const RouteBound* bound, DeltaReference* record,
+                             DeltaRouteState* delta) {
   if (options.max_ports.size() != topo.switches.size()) {
     RouteOutcome out;
     out.failure_reason = "RouterOptions::max_ports size mismatch";
@@ -1105,6 +1338,18 @@ RouteOutcome route_all_flows(NocTopology& topo, const soc::SocSpec& spec,
     prepare_geometry(sc.geometry, topo, spec.islands.size(),
                      options.tech.link_leakage_mw_per_wire_mm * 1e-3);
     sc.geometry_built_token = sc.geometry_token;
+  }
+  if (record != nullptr) {
+    record->records.clear();
+    record->p_norm = 0.0;
+    record->valid = false;
+  }
+  if (delta != nullptr) {
+    delta->pnorm_matched = false;
+    delta->flows_reused = 0;
+    delta->flows_certified = 0;
+    delta->flows_rerouted = 0;
+    delta->cert_rejects = 0;
   }
 
   bool has_intermediate = false;
@@ -1123,7 +1368,17 @@ RouteOutcome route_all_flows(NocTopology& topo, const soc::SocSpec& spec,
   }
   RouteOutcome first;
   {
-    Router router(topo, spec, options, sc, pass1_bound);
+    // Recording observes pass 1 only: the records describe the greedy
+    // pass's trajectory, which is exactly what a consumer's pass 1 (and,
+    // for intra-island flows, its pass 2) must be compared against. A
+    // reference that fails or prunes mid-pass still leaves a usable
+    // routed prefix.
+    Router router(topo, spec, options, sc, pass1_bound, nullptr, /*pass_id=*/1,
+                  /*resume_state=*/false, record, delta);
+    if (record != nullptr) {
+      record->p_norm = router.p_norm();
+      record->valid = true;
+    }
     first = router.run();
     if (first.success || first.pruned || options.forbid_direct_cross) {
       return first;
@@ -1136,7 +1391,8 @@ RouteOutcome route_all_flows(NocTopology& topo, const soc::SocSpec& spec,
   topo = sc.fallback;
   RouterOptions retry = options;
   retry.forbid_direct_cross = true;
-  Router router(topo, spec, retry, sc, bound);
+  Router router(topo, spec, retry, sc, bound, nullptr, /*pass_id=*/2,
+                /*resume_state=*/false, nullptr, delta);
   RouteOutcome second = router.run();
   if (!second.success && !second.pruned) {
     // Report the greedy pass's diagnosis; it is usually more informative.

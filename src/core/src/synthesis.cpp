@@ -1,6 +1,7 @@
 #include "vinoc/core/synthesis.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <mutex>
@@ -107,6 +108,38 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
   std::mutex progress_mutex;
   std::size_t progress_done = 0;
 
+  // Delta-evaluation group map: consecutive candidates sharing
+  // switches_per_island form a GROUP (the inner k_int sweep); the group's
+  // first candidate (k_int == 0) is its reference. The reference evaluation
+  // records its routed hop sequences; once published, later group members
+  // replay the routes of flows the k_int diff cannot affect (see
+  // route_all_flows). Publication is opportunistic — a member that runs
+  // before its reference finishes simply evaluates solo — so results stay
+  // bit-identical for every thread schedule, and threads == 1 always
+  // replays (the reference precedes its members in enumeration order).
+  const bool delta_on = options.delta_eval;
+  std::vector<int> group_of(candidates.size(), 0);
+  std::vector<char> group_leader(candidates.size(), 0);
+  int n_groups = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (i == 0 || candidates[i].switches_per_island !=
+                      candidates[i - 1].switches_per_island) {
+      group_leader[i] = 1;
+      ++n_groups;
+    }
+    group_of[i] = n_groups - 1;
+  }
+  std::vector<int> group_size(static_cast<std::size_t>(n_groups), 0);
+  for (std::size_t i = 0; i < candidates.size(); ++i) ++group_size[group_of[i]];
+  std::vector<std::shared_ptr<const DeltaReference>> group_refs(
+      static_cast<std::size_t>(n_groups));
+  std::mutex delta_mutex;
+  std::atomic<int> delta_candidates{0};
+  std::atomic<long long> delta_reused{0};
+  std::atomic<long long> delta_certified{0};
+  std::atomic<long long> delta_rerouted{0};
+  std::atomic<int> delta_rejects{0};
+
   // STREAMING merge in enumeration order (single definition shared with
   // the width sweep — see OutcomeMerger in candidates.hpp): a finished
   // candidate whose predecessors have all merged is merged immediately and
@@ -132,7 +165,42 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
       snap = shared_bound.snapshot();
       bound = snap != nullptr ? snap.get() : &empty_bound;
     }
-    CandidateOutcome out = evaluate_candidate(ctx, candidates[i], &scratch, bound);
+    std::shared_ptr<DeltaReference> rec;             // group reference: record
+    std::shared_ptr<const DeltaReference> ref;       // group member: replay
+    DeltaRouteState* delta = nullptr;
+    const int g = delta_on ? group_of[i] : 0;
+    if (delta_on) {
+      if (group_leader[i]) {
+        if (group_size[g] > 1) rec = std::make_shared<DeltaReference>();
+      } else {
+        {
+          const std::lock_guard<std::mutex> lock(delta_mutex);
+          ref = group_refs[g];
+        }
+        if (ref != nullptr) {
+          scratch.delta.ref = ref.get();
+          delta = &scratch.delta;
+        }
+      }
+    }
+    CandidateOutcome out = evaluate_candidate(ctx, candidates[i], &scratch, bound,
+                                              rec.get(), delta);
+    if (rec != nullptr && rec->valid) {
+      const std::lock_guard<std::mutex> lock(delta_mutex);
+      group_refs[g] = std::move(rec);
+    }
+    if (delta != nullptr) {
+      scratch.delta.ref = nullptr;  // `ref` dies with this iteration
+      if (delta->pnorm_matched) {
+        delta_candidates.fetch_add(1, std::memory_order_relaxed);
+        delta_reused.fetch_add(delta->flows_reused, std::memory_order_relaxed);
+        delta_certified.fetch_add(delta->flows_certified,
+                                  std::memory_order_relaxed);
+        delta_rerouted.fetch_add(delta->flows_rerouted,
+                                 std::memory_order_relaxed);
+        delta_rejects.fetch_add(delta->cert_rejects, std::memory_order_relaxed);
+      }
+    }
     if (options.prune && out.status == EvalStatus::kRouted && out.deadlock_free) {
       shared_bound.publish(out.point.metrics.noc_dynamic_w,
                            out.point.metrics.avg_latency_cycles);
@@ -153,6 +221,11 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
   });
   merger.finish();
   result.stats.peak_buffered_outcomes = peak_buffered;
+  result.stats.delta_candidates = delta_candidates.load();
+  result.stats.delta_flows_reused = delta_reused.load();
+  result.stats.delta_flows_certified = delta_certified.load();
+  result.stats.delta_flows_rerouted = delta_rerouted.load();
+  result.stats.delta_cert_rejects = delta_rejects.load();
 
   result.stats.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

@@ -559,7 +559,8 @@ void eval_group(const MultiWidthContext& ctx, const CandidateConfig& cand,
                 const std::vector<const ParetoBound*>* fronts,
                 const std::vector<std::size_t>& idx,
                 std::vector<CandidateOutcome>& out,
-                WidthEvalCounters* counters) {
+                WidthEvalCounters* counters, DeltaReference* delta_record,
+                DeltaRouteState* delta) {
   const soc::SocSpec& spec = *ctx.spec;
   const WidthSlice& lead = ctx.slices[idx.front()];
   const EvalContext lead_ctx{spec,
@@ -582,7 +583,8 @@ void eval_group(const MultiWidthContext& ctx, const CandidateConfig& cand,
                   ? (*fronts)[idx.front()]
                   : &kEmptyBound;
     }
-    out[idx.front()] = evaluate_candidate(lead_ctx, cand, scratch, bound);
+    out[idx.front()] =
+        evaluate_candidate(lead_ctx, cand, scratch, bound, delta_record, delta);
     return;
   }
 
@@ -752,7 +754,8 @@ void eval_group(const MultiWidthContext& ctx, const CandidateConfig& cand,
 std::vector<CandidateOutcome> evaluate_candidate_widths(
     const MultiWidthContext& ctx, const CandidateConfig& cand,
     EvalScratch* scratch, const std::vector<const ParetoBound*>* fronts,
-    WidthEvalCounters* counters) {
+    WidthEvalCounters* counters, DeltaReference* delta_record,
+    DeltaRouteState* delta) {
   std::vector<CandidateOutcome> out(ctx.slices.size());
   if (counters != nullptr) {
     counters->slice_class.assign(ctx.slices.size(), ShareClass::kLeader);
@@ -772,7 +775,9 @@ std::vector<CandidateOutcome> evaluate_candidate_widths(
   }
   std::vector<std::size_t> idx(ctx.slices.size());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  eval_group(ctx, cand, scratch, fronts, idx, out, counters);
+  eval_group(ctx, cand, scratch, fronts, idx, out, counters,
+             ctx.slices.size() == 1 ? delta_record : nullptr,
+             ctx.slices.size() == 1 ? delta : nullptr);
   if (own_token) scratch->router.geometry_token = 0;
   return out;
 }

@@ -175,6 +175,126 @@ TEST(OrderedDrainQueue, MergesInIndexOrderWithEverythingDrainedAtBarrier) {
   EXPECT_GE(peak, 1);
 }
 
+TEST(OrderedDrainQueue, SlowDrainerPicksUpConcurrentDepositsWithoutStalling) {
+  // One deposit's merge is made artificially slow while every other deposit
+  // lands. The contention contract under test: depositors must NOT stall on
+  // the in-progress merge (the queue drops its lock around merge calls), the
+  // mid-drain deposits must be picked up when the drainer re-checks the
+  // cursor, and — because the drainer only bows out when the queue is empty —
+  // every merge of this run happens on the first depositor's thread.
+  constexpr std::size_t kN = 48;
+  OrderedDrainQueue<int> queue(kN);
+  std::vector<int> merged;
+  std::atomic<bool> gate{false};
+  std::atomic<bool> first_merge_entered{false};
+  int buffered = 0;  // mutated under the queue lock only
+  int peak = 0;
+  bool single_drainer = true;  // mutated by serialised merge calls only
+  std::thread::id drainer_id;
+  auto on_buffered = [&](int delta) {
+    buffered += delta;
+    peak = std::max(peak, buffered);
+  };
+  std::thread drainer([&] {
+    drainer_id = std::this_thread::get_id();
+    queue.deposit(
+        0, 0,
+        [&](int&& value) {
+          if (value == 0) {
+            first_merge_entered.store(true);
+            while (!gate.load()) std::this_thread::yield();
+          }
+          if (std::this_thread::get_id() != drainer_id) single_drainer = false;
+          merged.push_back(value);
+        },
+        on_buffered);
+  });
+  while (!first_merge_entered.load()) std::this_thread::yield();
+  // The drainer is parked inside merge(0) with the lock dropped: all these
+  // deposits must return promptly instead of waiting for the merge.
+  std::vector<std::thread> depositors;
+  for (std::size_t i = 1; i < kN; ++i) {
+    depositors.emplace_back([&queue, &merged, &on_buffered, i] {
+      queue.deposit(
+          i, static_cast<int>(i),
+          [&merged](int&& value) { merged.push_back(value); }, on_buffered);
+    });
+  }
+  for (std::thread& t : depositors) t.join();
+  gate.store(true);
+  drainer.join();
+  ASSERT_EQ(merged.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(merged[i], static_cast<int>(i));
+  }
+  EXPECT_TRUE(single_drainer);
+  EXPECT_EQ(buffered, 0);
+  // Index 0 left the buffer before its merge began; every other deposit then
+  // landed while that merge was parked, so the high-water mark is exactly
+  // the full out-of-order window.
+  EXPECT_EQ(peak, static_cast<int>(kN) - 1);
+}
+
+TEST(OrderedDrainQueue, ReverseOrderBuffersFullWindowThenDrainsInOneSweep) {
+  // Deposits arrive in strictly reverse order, i.e. every deposit is beyond
+  // the buffered window until index 0 lands: nothing may merge early, the
+  // whole queue is buffered at the peak, and the final deposit's drain loop
+  // releases everything in index order before deposit(0) returns.
+  constexpr std::size_t kN = 16;
+  OrderedDrainQueue<int> queue(kN);
+  std::vector<int> merged;
+  int buffered = 0;
+  int peak = 0;
+  auto on_buffered = [&](int delta) {
+    buffered += delta;
+    peak = std::max(peak, buffered);
+  };
+  auto merge = [&merged](int&& value) { merged.push_back(value); };
+  for (std::size_t i = kN; i-- > 1;) {
+    queue.deposit(i, static_cast<int>(i), merge, on_buffered);
+    EXPECT_TRUE(merged.empty());
+    EXPECT_EQ(buffered, static_cast<int>(kN - i));
+  }
+  queue.deposit(0, 0, merge, on_buffered);
+  ASSERT_EQ(merged.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(merged[i], static_cast<int>(i));
+  }
+  EXPECT_EQ(buffered, 0);
+  EXPECT_EQ(peak, static_cast<int>(kN));
+}
+
+TEST(OrderedDrainQueue, EverythingMergedOnceEveryDepositHasReturned) {
+  // The queue has no close(): its drain-after-last-deposit contract is that
+  // once every deposit() call has RETURNED, every outcome has merged. The
+  // risky interleaving is a deposit landing exactly while the current
+  // drainer is bowing out (it must either be seen by the drainer's cursor
+  // re-check or trigger its own drain). Stress that window with two
+  // interleaved depositor threads over many rounds.
+  constexpr std::size_t kN = 32;
+  for (int round = 0; round < 200; ++round) {
+    OrderedDrainQueue<int> queue(kN);
+    std::vector<int> merged;
+    int buffered = 0;
+    auto on_buffered = [&buffered](int delta) { buffered += delta; };
+    auto merge = [&merged](int&& value) { merged.push_back(value); };
+    auto work = [&](std::size_t first) {
+      for (std::size_t i = first; i < kN; i += 2) {
+        queue.deposit(i, static_cast<int>(i), merge, on_buffered);
+      }
+    };
+    std::thread a(work, 0);
+    std::thread b(work, 1);
+    a.join();
+    b.join();
+    ASSERT_EQ(merged.size(), kN) << "round " << round;
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(merged[i], static_cast<int>(i));
+    }
+    EXPECT_EQ(buffered, 0);
+  }
+}
+
 TEST(OrderedDrainQueue, SequentialDepositsMergeImmediately) {
   OrderedDrainQueue<int> queue(8);
   std::vector<int> merged;

@@ -9,6 +9,7 @@
 // `--strategy spec` (default) keeps the island assignment from the file;
 // `logical`/`comm` re-island the cores with the requested island count.
 // Run `vinoc` with no arguments for the full flag list and exit codes.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -332,7 +333,16 @@ int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
         .field("cohort_groups", sweep_stats.cohort_groups)
         .field("fallback_evals", sweep_stats.fallback_evals)
         .field("shared_rate", sweep_stats.shared_rate())
-        .field("peak_buffered_outcomes", sweep_stats.peak_buffered_outcomes);
+        .field("peak_buffered_outcomes", sweep_stats.peak_buffered_outcomes)
+        .field("delta_candidates", sweep_stats.delta_candidates)
+        .field("delta_flows_reused",
+               static_cast<std::int64_t>(sweep_stats.delta_flows_reused))
+        .field("delta_flows_certified",
+               static_cast<std::int64_t>(sweep_stats.delta_flows_certified))
+        .field("delta_flows_rerouted",
+               static_cast<std::int64_t>(sweep_stats.delta_flows_rerouted))
+        .field("delta_cert_rejects", sweep_stats.delta_cert_rejects)
+        .field("delta_reuse_rate", sweep_stats.delta_reuse_rate());
     std::printf("%s\n", w.line().c_str());
     return kExitOk;
   }
@@ -358,12 +368,24 @@ int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
     std::printf("  %3d-bit  %8.2f mW  %6.2f cycles\n", sweep.width_of(ref),
                 m.noc_dynamic_w * 1e3, m.avg_latency_cycles);
   }
+  // Every counter of the --json width_sweep_stats record, same names and
+  // values — the two surfaces must not disagree.
   std::printf(
-      "sharing: %d shared (%d certified), %d cohort, %d solo fallback "
-      "(%.0f%% shared rate, %d certificate accepts)\n",
-      sweep_stats.shared_evals, sweep_stats.certified_evals,
-      sweep_stats.cohort_evals, sweep_stats.fallback_evals - sweep_stats.cohort_evals,
-      sweep_stats.shared_rate() * 100.0, sweep_stats.certificate_accepts);
+      "sharing: %d width classes, %d shared (%d certified), %d cohort in %d "
+      "groups, %d solo fallback (%.0f%% shared rate, %d certificate accepts, "
+      "peak %d buffered outcomes)\n",
+      sweep_stats.width_classes, sweep_stats.shared_evals,
+      sweep_stats.certified_evals, sweep_stats.cohort_evals,
+      sweep_stats.cohort_groups,
+      sweep_stats.fallback_evals - sweep_stats.cohort_evals,
+      sweep_stats.shared_rate() * 100.0, sweep_stats.certificate_accepts,
+      sweep_stats.peak_buffered_outcomes);
+  std::printf(
+      "delta: %d candidates replayed, %lld flows reused + %lld certified, "
+      "%lld rerouted (%.0f%% reuse rate, %d certificate rejects)\n",
+      sweep_stats.delta_candidates, sweep_stats.delta_flows_reused,
+      sweep_stats.delta_flows_certified, sweep_stats.delta_flows_rerouted,
+      sweep_stats.delta_reuse_rate() * 100.0, sweep_stats.delta_cert_rejects);
   return kExitOk;
 }
 
@@ -479,6 +501,18 @@ int cmd_campaign(const Args& args) {
                result.expand.filtered, result.expand.deduped, result.jobs_run,
                result.structure_shared_jobs, result.structure_groups,
                result.cache_hits, result.infeasible, result.wall_s);
+  std::fprintf(stderr,
+               "sharing: %d shared (%d certified), %d cohort in %d groups, "
+               "%d solo fallback (%d certificate accepts, peak %d buffered "
+               "outcomes); delta: %d candidates, %lld reused + %lld "
+               "certified, %lld rerouted (%.0f%% reuse rate)\n",
+               result.width_shared_evals, result.width_certified_evals,
+               result.width_cohort_evals, result.cohort_groups,
+               result.width_fallback_evals - result.width_cohort_evals,
+               result.certificate_accepts, result.peak_buffered_outcomes,
+               result.delta_candidates, result.delta_flows_reused,
+               result.delta_flows_certified, result.delta_flows_rerouted,
+               result.delta_reuse_rate() * 100.0);
   // Machine-readable run summary: scripts (and CI's resume assertion) parse
   // this line instead of the human-formatted one above.
   {
@@ -493,7 +527,20 @@ int cmd_campaign(const Args& args) {
         .field("width_certified_evals", result.width_certified_evals)
         .field("width_cohort_evals", result.width_cohort_evals)
         .field("width_fallback_evals", result.width_fallback_evals)
-        .field("certificate_accepts", result.certificate_accepts);
+        .field("certificate_accepts", result.certificate_accepts)
+        // New fields append AFTER the ones above: scripts assert on the
+        // line's prefix.
+        .field("cohort_groups", result.cohort_groups)
+        .field("peak_buffered_outcomes", result.peak_buffered_outcomes)
+        .field("delta_candidates", result.delta_candidates)
+        .field("delta_flows_reused",
+               static_cast<std::int64_t>(result.delta_flows_reused))
+        .field("delta_flows_certified",
+               static_cast<std::int64_t>(result.delta_flows_certified))
+        .field("delta_flows_rerouted",
+               static_cast<std::int64_t>(result.delta_flows_rerouted))
+        .field("delta_cert_rejects", result.delta_cert_rejects)
+        .field("delta_reuse_rate", result.delta_reuse_rate());
     std::fprintf(stderr, "resume_summary %s\n", w.line().c_str());
   }
   std::fprintf(stderr, "wrote %s.{jsonl,csv}\n", args.out.c_str());
