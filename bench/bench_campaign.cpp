@@ -56,13 +56,13 @@ void print_table(bool quick) {
     opt.cache = &cache;
     const campaign::CampaignResult cold = campaign::run_campaign(spec, opt);
     const campaign::CampaignResult warm = campaign::run_campaign(spec, opt);
-    if (warm.cache_hits != warm.jobs_total) {
+    if (warm.cache_hits() != warm.jobs_total()) {
       std::printf("ERROR: warm run expected all hits, got %d/%d\n",
-                  warm.cache_hits, warm.jobs_total);
+                  warm.cache_hits(), warm.jobs_total());
     }
-    rows.push_back({threads, cold.jobs_total, cold.wall_s, warm.wall_s});
+    rows.push_back({threads, cold.jobs_total(), cold.wall_s, warm.wall_s});
     std::printf("%-10d %-8d %-12.3f %-12.1f %-12.4f %.0fx\n", threads,
-                cold.jobs_total, cold.wall_s, cold.jobs_total / cold.wall_s,
+                cold.jobs_total(), cold.wall_s, cold.jobs_total() / cold.wall_s,
                 warm.wall_s, cold.wall_s / warm.wall_s);
   }
   std::printf("\n--- BEGIN JSONL (campaign_cache_speedup) ---\n");
@@ -75,6 +75,7 @@ void print_table(bool quick) {
         .field("warm_s", r.warm_s)
         .field("jobs_per_s", r.jobs / r.cold_s)
         .field("speedup", r.cold_s / r.warm_s);
+    bench::append_env_provenance(w);
     std::printf("%s\n", w.line().c_str());
   }
   // One-line summary (threads = 1 row) keyed for tools/bench_check.
@@ -83,6 +84,7 @@ void print_table(bool quick) {
       .field("quick", quick)
       .field("jobs_per_s", rows[0].jobs / rows[0].cold_s)
       .field("warm_speedup", rows[0].cold_s / rows[0].warm_s);
+  bench::append_env_provenance(summary);
   std::printf("%s\n", summary.line().c_str());
   std::printf("--- END JSONL ---\n\n");
 }
@@ -107,7 +109,7 @@ void BM_CampaignWarm(benchmark::State& state) {
   (void)campaign::run_campaign(spec, opt);  // fill the cache once
   for (auto _ : state) {
     const campaign::CampaignResult r = campaign::run_campaign(spec, opt);
-    benchmark::DoNotOptimize(r.cache_hits);
+    benchmark::DoNotOptimize(r.cache_hits());
   }
 }
 BENCHMARK(BM_CampaignWarm)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);

@@ -25,6 +25,9 @@
 #include "vinoc/core/prune.hpp"
 #include "vinoc/exec/thread_pool.hpp"
 #include "vinoc/io/jsonl.hpp"
+#include "vinoc/io/obs_writers.hpp"
+#include "vinoc/obs/profile.hpp"
+#include "vinoc/obs/trace.hpp"
 
 namespace {
 
@@ -237,8 +240,51 @@ void print_table(bool quick) {
       .field("eval_pruned_per_s", pr_rate)
       .field("speedup_scratch", scr_rate / cold_rate)
       .field("speedup_total", pr_rate / cold_rate);
+  bench::append_env_provenance(w);
   std::printf("%s\n", w.line().c_str());
   std::printf("--- END JSONL ---\n\n");
+
+  // Tracing/profiling A/B — deliberately OUTSIDE the BEGIN/END markers, so
+  // the perf gate's baselines never include it (the gated timings above run
+  // with observability off, keeping the disabled-path overhead inside
+  // bench_check's tolerance). This block gates CORRECTNESS: armed spans and
+  // phase attribution must not perturb results, so a fingerprint mismatch
+  // between the traced and untraced runs exits non-zero. The armed overhead
+  // and the per-phase attribution are reported for inspection.
+  {
+    auto fingerprints = [&] {
+      std::vector<std::uint64_t> fps;
+      for (const SweepSetup& c : synth_cases) {
+        const core::SynthesisResult res =
+            core::synthesize(c.spec, core::SynthesisOptions{});
+        fps.push_back(campaign::result_fingerprint(res));
+      }
+      return fps;
+    };
+    const bench::RepeatTiming off_t =
+        bench::time_repeats(reps, [&] { benchmark::DoNotOptimize(fingerprints()); });
+    const std::vector<std::uint64_t> fps_off = fingerprints();
+    obs::set_tracing_enabled(true);
+    obs::set_profiling_enabled(true);
+    obs::reset_phase_totals();
+    const bench::RepeatTiming on_t =
+        bench::time_repeats(reps, [&] { benchmark::DoNotOptimize(fingerprints()); });
+    const std::vector<std::uint64_t> fps_on = fingerprints();
+    obs::set_tracing_enabled(false);
+    obs::set_profiling_enabled(false);
+    if (fps_off != fps_on) {
+      std::fprintf(stderr,
+                   "bench_eval_hotpath: FINGERPRINT MISMATCH — tracing "
+                   "perturbed synthesis results\n");
+      std::exit(1);
+    }
+    std::printf("tracing armed overhead: %.2f%% (untraced %.4f s, traced "
+                "%.4f s median; fingerprints bit-identical)\n",
+                (on_t.median_s / off_t.median_s - 1.0) * 100.0, off_t.median_s,
+                on_t.median_s);
+    std::printf("%s\n", io::phase_profile_record(obs::phase_totals()).c_str());
+    obs::reset_tracing();  // drop the buffered spans; nothing exports them
+  }
 }
 
 void BM_EvaluateSweep(benchmark::State& state) {

@@ -10,14 +10,68 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "vinoc/core/synthesis.hpp"
+#include "vinoc/io/jsonl.hpp"
 #include "vinoc/soc/benchmarks.hpp"
 #include "vinoc/soc/islanding.hpp"
 
 namespace vinoc::bench {
+
+/// First line of `path` with the `key:`-style prefix stripped, or
+/// `fallback` when the file is unreadable (containers often hide
+/// /sys/devices/system/cpu cpufreq nodes).
+inline std::string read_first_line(const std::string& path,
+                                   const std::string& key,
+                                   const std::string& fallback) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (key.empty()) return line.empty() ? fallback : line;
+    if (line.compare(0, key.size(), key) == 0) {
+      std::size_t pos = line.find(':');
+      pos = line.find_first_not_of(" \t", pos == std::string::npos ? pos
+                                                                   : pos + 1);
+      if (pos != std::string::npos) return line.substr(pos);
+    }
+  }
+  return fallback;
+}
+
+/// Appends machine + build provenance to a bench JSONL record so a stored
+/// baseline identifies the environment that produced it: CPU model and
+/// visible core count, the cpufreq governor (a "powersave" baseline is not
+/// comparable to a "performance" one), compiler, and the build type/flags
+/// baked in by CMake. Extra fields are ignored by tools/bench_check, so
+/// provenance never breaks an existing baseline comparison.
+inline io::JsonlWriter& append_env_provenance(io::JsonlWriter& w) {
+  w.field("cpu_model",
+          read_first_line("/proc/cpuinfo", "model name", "unknown"));
+  w.field("cpu_cores",
+          static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  w.field("cpu_governor",
+          read_first_line(
+              "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor", "",
+              "unknown"));
+#if defined(__clang__)
+  w.field("compiler", std::string("clang ") + __clang_version__);
+#elif defined(__GNUC__)
+  w.field("compiler", std::string("gcc ") + __VERSION__);
+#else
+  w.field("compiler", "unknown");
+#endif
+#if defined(VINOC_BUILD_TYPE)
+  w.field("build_type", VINOC_BUILD_TYPE);
+#endif
+#if defined(VINOC_BUILD_FLAGS)
+  w.field("build_flags", VINOC_BUILD_FLAGS);
+#endif
+  return w;
+}
 
 /// Detects and strips `--quick` from the argument list (so it never reaches
 /// google-benchmark's parser). Quick mode is the CI perf-smoke contract:

@@ -261,6 +261,7 @@ void print_table(bool quick) {
       .field("certificate_accepts", static_cast<double>(fine_accepts))
       .field("cohort_evals", static_cast<double>(fine_cohort))
       .field("peak_buffered_outcomes", static_cast<double>(peak_buffered));
+  bench::append_env_provenance(w);
   std::printf("%s\n", w.line().c_str());
   std::printf("--- END JSONL ---\n\n");
 }

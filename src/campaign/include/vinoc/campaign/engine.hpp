@@ -27,6 +27,7 @@
 #include "vinoc/campaign/campaign_spec.hpp"
 #include "vinoc/campaign/report.hpp"
 #include "vinoc/campaign/result_cache.hpp"
+#include "vinoc/obs/registry.hpp"
 
 namespace vinoc::campaign {
 
@@ -57,46 +58,93 @@ struct CampaignOptions {
 struct CampaignResult {
   std::vector<JobRecord> records;  ///< job order
   ExpandStats expand;
-  int jobs_total = 0;
-  int jobs_run = 0;     ///< actually synthesized this run
-  int cache_hits = 0;
-  int infeasible = 0;
-  /// Width-sharing groups actually computed this run (two or more jobs that
-  /// differ only in link_width_bits, synthesized together through
-  /// core::synthesize_width_set — the campaign-level structure cache), and
-  /// the number of jobs they covered.
-  int structure_groups = 0;
-  int structure_shared_jobs = 0;
-  /// Sharing telemetry summed over this run's width-set group syntheses
-  /// (see core::WidthSetStats): (candidate, width) results materialised
-  /// from a shared structure, the subset unlocked by path-level
-  /// route-equivalence certificates, and flow-level certificate
-  /// acceptances. width_fallback_evals counts ALL width-dependent results
-  /// (tails resumed after a genuine divergence); width_cohort_evals is the
-  /// subset of those resolved by a cohort lockstep, the rest resumed solo.
-  int width_shared_evals = 0;
-  int width_certified_evals = 0;
-  int width_cohort_evals = 0;
-  int width_fallback_evals = 0;
-  int certificate_accepts = 0;
-  /// Cohorts formed across this run's width-set syntheses, and the
-  /// sweep-global high-water mark of outcomes buffered by the streaming
-  /// merges (max over groups — a memory bound, not a sum).
-  int cohort_groups = 0;
-  int peak_buffered_outcomes = 0;
-  /// Candidate-level delta evaluation summed over this run's syntheses
-  /// (see core::WidthSetStats / core::SynthesisStats delta_* counters).
-  int delta_candidates = 0;
-  long long delta_flows_reused = 0;
-  long long delta_flows_certified = 0;
-  long long delta_flows_rerouted = 0;
-  int delta_cert_rejects = 0;
+
+  /// The single source of truth for every campaign counter, accumulated in
+  /// per-worker obs registry shards and merged deterministically after the
+  /// pool joins. Counters are registered in the CANONICAL resume_summary
+  /// field order (test_campaign locks the serialization in), so
+  /// io::registry_record emits the CLI's resume_summary line and --json
+  /// record directly — there is no hand-maintained duplicate field list to
+  /// drift. The accessors below are thin views for programmatic use:
+  ///
+  ///   run                    jobs actually synthesized this run
+  ///   cache_hits, infeasible, total
+  ///   structure_groups       width-sharing groups computed this run (two+
+  ///                          jobs differing only in link_width_bits,
+  ///                          synthesized together via synthesize_width_set)
+  ///   structure_shared_jobs  jobs those groups covered
+  ///   width_*_evals          sharing telemetry summed over the run's
+  ///                          width-set syntheses (see core::WidthSetStats);
+  ///                          width_fallback_evals counts ALL
+  ///                          width-dependent results, width_cohort_evals
+  ///                          the subset resolved by a cohort lockstep
+  ///   certificate_accepts, cohort_groups
+  ///   peak_buffered_outcomes streaming-merge high-water mark (MAX over
+  ///                          groups — a memory bound, not a sum)
+  ///   delta_*                candidate-level delta evaluation sums
+  obs::Registry metrics;
   double wall_s = 0.0;  ///< whole-campaign wall time
 
-  /// Fraction of delta-eligible flows served without a live Dijkstra.
+  [[nodiscard]] int jobs_total() const {
+    return static_cast<int>(metrics.value("total"));
+  }
+  [[nodiscard]] int jobs_run() const {
+    return static_cast<int>(metrics.value("run"));
+  }
+  [[nodiscard]] int cache_hits() const {
+    return static_cast<int>(metrics.value("cache_hits"));
+  }
+  [[nodiscard]] int infeasible() const {
+    return static_cast<int>(metrics.value("infeasible"));
+  }
+  [[nodiscard]] int structure_groups() const {
+    return static_cast<int>(metrics.value("structure_groups"));
+  }
+  [[nodiscard]] int structure_shared_jobs() const {
+    return static_cast<int>(metrics.value("structure_shared_jobs"));
+  }
+  [[nodiscard]] int width_shared_evals() const {
+    return static_cast<int>(metrics.value("width_shared_evals"));
+  }
+  [[nodiscard]] int width_certified_evals() const {
+    return static_cast<int>(metrics.value("width_certified_evals"));
+  }
+  [[nodiscard]] int width_cohort_evals() const {
+    return static_cast<int>(metrics.value("width_cohort_evals"));
+  }
+  [[nodiscard]] int width_fallback_evals() const {
+    return static_cast<int>(metrics.value("width_fallback_evals"));
+  }
+  [[nodiscard]] int certificate_accepts() const {
+    return static_cast<int>(metrics.value("certificate_accepts"));
+  }
+  [[nodiscard]] int cohort_groups() const {
+    return static_cast<int>(metrics.value("cohort_groups"));
+  }
+  [[nodiscard]] int peak_buffered_outcomes() const {
+    return static_cast<int>(metrics.value("peak_buffered_outcomes"));
+  }
+  [[nodiscard]] int delta_candidates() const {
+    return static_cast<int>(metrics.value("delta_candidates"));
+  }
+  [[nodiscard]] long long delta_flows_reused() const {
+    return metrics.value("delta_flows_reused");
+  }
+  [[nodiscard]] long long delta_flows_certified() const {
+    return metrics.value("delta_flows_certified");
+  }
+  [[nodiscard]] long long delta_flows_rerouted() const {
+    return metrics.value("delta_flows_rerouted");
+  }
+  [[nodiscard]] int delta_cert_rejects() const {
+    return static_cast<int>(metrics.value("delta_cert_rejects"));
+  }
+
+  /// Fraction of delta-eligible flows served without a live Dijkstra
+  /// (also stored as the registry gauge "delta_reuse_rate").
   [[nodiscard]] double delta_reuse_rate() const {
-    const long long reused = delta_flows_reused + delta_flows_certified;
-    const long long total = reused + delta_flows_rerouted;
+    const long long reused = delta_flows_reused() + delta_flows_certified();
+    const long long total = reused + delta_flows_rerouted();
     return total > 0 ? static_cast<double>(reused) / static_cast<double>(total)
                      : 0.0;
   }

@@ -12,6 +12,7 @@
 #include "vinoc/core/explore.hpp"
 #include "vinoc/exec/parallel_for.hpp"
 #include "vinoc/exec/thread_pool.hpp"
+#include "vinoc/obs/trace.hpp"
 
 namespace vinoc::campaign {
 
@@ -65,10 +66,10 @@ std::string CampaignResult::to_jsonl(bool include_timing) const {
 
 CampaignResult run_campaign(const CampaignSpec& spec,
                             const CampaignOptions& options) {
+  OBS_SPAN("run_campaign");
   const auto t_start = std::chrono::steady_clock::now();
   CampaignResult out;
   const std::vector<CampaignJob> jobs = expand_jobs(spec, &out.expand);
-  out.jobs_total = static_cast<int>(jobs.size());
   out.records.reserve(jobs.size());
 
   ResultCache own_cache(options.cache != nullptr ? std::string()
@@ -81,23 +82,12 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   cache.load_store();
 
   OrderedEmitter emitter(options, out.records);
-  std::atomic<int> jobs_run{0};
-  std::atomic<int> cache_hits{0};
-  std::atomic<int> infeasible{0};
-  std::atomic<int> structure_groups{0};
-  std::atomic<int> structure_shared_jobs{0};
-  std::atomic<int> width_shared_evals{0};
-  std::atomic<int> width_certified_evals{0};
-  std::atomic<int> width_cohort_evals{0};
-  std::atomic<int> width_fallback_evals{0};
-  std::atomic<int> certificate_accepts{0};
-  std::atomic<int> cohort_groups{0};
-  std::atomic<int> peak_buffered_outcomes{0};
-  std::atomic<int> delta_candidates{0};
-  std::atomic<long long> delta_flows_reused{0};
-  std::atomic<long long> delta_flows_certified{0};
-  std::atomic<long long> delta_flows_rerouted{0};
-  std::atomic<int> delta_cert_rejects{0};
+  // All campaign counters accumulate in per-worker obs registry shards
+  // (integer sums; the buffered-outcome high-water as a kMax merge — each
+  // group's peak is independent, so max-of-maxes is exact) and merge
+  // deterministically after the pool joins. out.metrics is then built from
+  // the merge in the canonical resume_summary registration order.
+  obs::ShardedRegistry metrics;
 
   // The campaign-level structure cache: jobs that differ ONLY in
   // link_width_bits share every width-invariant input (floorplan, traffic,
@@ -143,8 +133,8 @@ CampaignResult run_campaign(const CampaignSpec& spec,
         rec.width = job.width;
         rec.seed = job.seed;
         rec.cache_hit = true;
-        cache_hits.fetch_add(1);
-        if (!rec.feasible) infeasible.fetch_add(1);
+        metrics.local().add("cache_hits", 1);
+        if (!rec.feasible) metrics.local().add("infeasible", 1);
         emitter.emit(i, std::move(rec));
         return true;
       }
@@ -152,7 +142,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     if (auto result = cache.find_result(job.key)) {
       rec = summarize(spec.name, job, result.get());
       rec.cache_hit = true;  // wall_ms stays 0: the hit costs nothing
-      cache_hits.fetch_add(1);
+      metrics.local().add("cache_hits", 1);
       JobRecord stored = rec;
       stored.cache_hit = false;  // the store holds computed-job records
       cache.put_record(stored);
@@ -172,14 +162,15 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     if (result != nullptr) {
       cache.put_result(job.key, result);
     } else {
-      infeasible.fetch_add(1);
+      metrics.local().add("infeasible", 1);
     }
-    jobs_run.fetch_add(1);
+    metrics.local().add("run", 1);
     cache.put_record(rec);  // cache_hit is false here by construction
     emitter.emit(i, std::move(rec));
   };
 
   exec::parallel_for_each(pool, groups.size(), [&](std::size_t g) {
+    OBS_SPAN("campaign_group");
     std::vector<std::size_t> compute;
     for (const std::size_t i : groups[g]) {
       if (!serve_from_cache(i)) compute.push_back(i);
@@ -207,8 +198,11 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     // width-set synthesis. Infeasible widths come back as infeasible
     // entries (the solo path's InfeasibleWidthError); the group's wall
     // time is amortised uniformly over its jobs.
-    structure_groups.fetch_add(1);
-    structure_shared_jobs.fetch_add(static_cast<int>(compute.size()));
+    {
+      obs::Registry& shard = metrics.local();
+      shard.add("structure_groups", 1);
+      shard.add("structure_shared_jobs", static_cast<int>(compute.size()));
+    }
     const CampaignJob& first = jobs[compute.front()];
     std::vector<int> widths;
     widths.reserve(compute.size());
@@ -218,25 +212,23 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     std::vector<core::WidthSweepEntry> entries =
         core::synthesize_width_set(first.spec, widths, first.options, pool,
                                    scratch, &set_stats);
-    width_shared_evals.fetch_add(set_stats.shared_evals);
-    width_certified_evals.fetch_add(set_stats.certified_evals);
-    width_cohort_evals.fetch_add(set_stats.cohort_evals);
-    width_fallback_evals.fetch_add(set_stats.fallback_evals);
-    certificate_accepts.fetch_add(set_stats.certificate_accepts);
-    cohort_groups.fetch_add(set_stats.cohort_groups);
     {
-      // A memory bound, not a throughput counter: report the campaign's max.
-      int peak = peak_buffered_outcomes.load();
-      while (set_stats.peak_buffered_outcomes > peak &&
-             !peak_buffered_outcomes.compare_exchange_weak(
-                 peak, set_stats.peak_buffered_outcomes)) {
-      }
+      obs::Registry& shard = metrics.local();
+      shard.add("width_shared_evals", set_stats.shared_evals);
+      shard.add("width_certified_evals", set_stats.certified_evals);
+      shard.add("width_cohort_evals", set_stats.cohort_evals);
+      shard.add("width_fallback_evals", set_stats.fallback_evals);
+      shard.add("certificate_accepts", set_stats.certificate_accepts);
+      shard.add("cohort_groups", set_stats.cohort_groups);
+      // A memory bound, not a throughput counter: max-merged across shards.
+      shard.record_max("peak_buffered_outcomes",
+                       set_stats.peak_buffered_outcomes);
+      shard.add("delta_candidates", set_stats.delta_candidates);
+      shard.add("delta_flows_reused", set_stats.delta_flows_reused);
+      shard.add("delta_flows_certified", set_stats.delta_flows_certified);
+      shard.add("delta_flows_rerouted", set_stats.delta_flows_rerouted);
+      shard.add("delta_cert_rejects", set_stats.delta_cert_rejects);
     }
-    delta_candidates.fetch_add(set_stats.delta_candidates);
-    delta_flows_reused.fetch_add(set_stats.delta_flows_reused);
-    delta_flows_certified.fetch_add(set_stats.delta_flows_certified);
-    delta_flows_rerouted.fetch_add(set_stats.delta_flows_rerouted);
-    delta_cert_rejects.fetch_add(set_stats.delta_cert_rejects);
     const double wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - t0)
                                .count() /
@@ -251,23 +243,32 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     }
   });
 
-  out.jobs_run = jobs_run.load();
-  out.cache_hits = cache_hits.load();
-  out.infeasible = infeasible.load();
-  out.structure_groups = structure_groups.load();
-  out.structure_shared_jobs = structure_shared_jobs.load();
-  out.width_shared_evals = width_shared_evals.load();
-  out.width_certified_evals = width_certified_evals.load();
-  out.width_cohort_evals = width_cohort_evals.load();
-  out.width_fallback_evals = width_fallback_evals.load();
-  out.certificate_accepts = certificate_accepts.load();
-  out.cohort_groups = cohort_groups.load();
-  out.peak_buffered_outcomes = peak_buffered_outcomes.load();
-  out.delta_candidates = delta_candidates.load();
-  out.delta_flows_reused = delta_flows_reused.load();
-  out.delta_flows_certified = delta_flows_certified.load();
-  out.delta_flows_rerouted = delta_flows_rerouted.load();
-  out.delta_cert_rejects = delta_cert_rejects.load();
+  // Build out.metrics from the deterministic shard merge, registering the
+  // counters in the CANONICAL resume_summary order: io::registry_record of
+  // this registry IS the resume_summary line / --json campaign record. New
+  // fields must be registered after the existing ones — the CI greps match
+  // line prefixes, and test_campaign asserts this exact serialization.
+  const obs::Registry acc = metrics.merged();
+  out.metrics.add("run", acc.value("run"));
+  out.metrics.add("cache_hits", acc.value("cache_hits"));
+  out.metrics.add("infeasible", acc.value("infeasible"));
+  out.metrics.add("total", static_cast<std::int64_t>(jobs.size()));
+  out.metrics.add("structure_groups", acc.value("structure_groups"));
+  out.metrics.add("structure_shared_jobs", acc.value("structure_shared_jobs"));
+  out.metrics.add("width_shared_evals", acc.value("width_shared_evals"));
+  out.metrics.add("width_certified_evals", acc.value("width_certified_evals"));
+  out.metrics.add("width_cohort_evals", acc.value("width_cohort_evals"));
+  out.metrics.add("width_fallback_evals", acc.value("width_fallback_evals"));
+  out.metrics.add("certificate_accepts", acc.value("certificate_accepts"));
+  out.metrics.add("cohort_groups", acc.value("cohort_groups"));
+  out.metrics.record_max("peak_buffered_outcomes",
+                         acc.value("peak_buffered_outcomes"));
+  out.metrics.add("delta_candidates", acc.value("delta_candidates"));
+  out.metrics.add("delta_flows_reused", acc.value("delta_flows_reused"));
+  out.metrics.add("delta_flows_certified", acc.value("delta_flows_certified"));
+  out.metrics.add("delta_flows_rerouted", acc.value("delta_flows_rerouted"));
+  out.metrics.add("delta_cert_rejects", acc.value("delta_cert_rejects"));
+  out.metrics.set_gauge("delta_reuse_rate", out.delta_reuse_rate());
   out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              t_start)
                    .count();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "vinoc/core/synthesis.hpp"
+#include "vinoc/obs/registry.hpp"
 
 namespace vinoc::exec {
 class ThreadPool;
@@ -104,6 +105,13 @@ struct WidthSetStats {
     return total > 0 ? static_cast<double>(reused) / static_cast<double>(total)
                      : 0.0;
   }
+
+  /// The canonical registry view of these stats: counters registered in the
+  /// `width_sweep_stats` record order, shared_rate/delta_reuse_rate as
+  /// gauges. io::registry_record of this registry IS the CLI's --json
+  /// width_sweep_stats record, and the `sharing:`/`delta:` console lines
+  /// read their values from it — one serialization path, no drift.
+  [[nodiscard]] obs::Registry to_registry() const;
 };
 
 /// Core engine of the width sweep: synthesizes `spec` at every width of

@@ -13,6 +13,8 @@
 #include "vinoc/core/router.hpp"
 #include "vinoc/core/vcg.hpp"
 #include "vinoc/exec/parallel_for.hpp"
+#include "vinoc/obs/profile.hpp"
+#include "vinoc/obs/trace.hpp"
 #include "vinoc/partition/kway.hpp"
 
 namespace vinoc::core {
@@ -391,6 +393,8 @@ PartitionTable compute_partitions(
 
   const VcgScaling scaling = vcg_scaling(spec);
   exec::parallel_for_each(pool, table.size(), [&](std::size_t i) {
+    OBS_SPAN("partition_mincut");
+    const obs::PhaseScope obs_phase(obs::Phase::kPartition);
     const PartitionKey& key = table.key(i);
     table.slot(i) = detail::partition_island_mincut(
         spec, options, scaling, key.first, key.second,
@@ -427,6 +431,7 @@ CandidateOutcome evaluate_candidate(const EvalContext& ctx,
   std::vector<double> local_bw_floor;
   std::vector<double> local_ebit_floor;
   if (bound != nullptr) {
+    const obs::PhaseScope obs_phase(obs::Phase::kPrune);
     std::vector<double>& min_lat =
         scratch != nullptr ? scratch->min_flow_latency : local_min_lat;
     std::vector<double>& bw_floor =
@@ -476,10 +481,14 @@ CandidateOutcome evaluate_candidate(const EvalContext& ctx,
             : ctx.island_params[static_cast<std::size_t>(isl)].max_sw_size;
   }
 
-  const RouteOutcome outcome =
-      route_all_flows(out.point.topology, ctx.spec, ropts,
-                      scratch != nullptr ? &scratch->router : nullptr,
-                      bound != nullptr ? &rbound : nullptr, delta_record, delta);
+  const RouteOutcome outcome = [&] {
+    OBS_SPAN("route_flows");
+    const obs::PhaseScope obs_phase(obs::Phase::kRoute);
+    return route_all_flows(out.point.topology, ctx.spec, ropts,
+                           scratch != nullptr ? &scratch->router : nullptr,
+                           bound != nullptr ? &rbound : nullptr, delta_record,
+                           delta);
+  }();
   if (outcome.pruned) {
     out.status = EvalStatus::kPruned;
     out.pruned_power_lb_w = outcome.pruned_power_lb_w;
@@ -515,10 +524,14 @@ CandidateOutcome evaluate_candidate(const EvalContext& ctx,
   if (!out.deadlock_free) return out;  // merge rejects it; skip the metrics
   detail::refine_intermediate_positions(out.point.topology, ctx.floorplan, ctx.spec,
                                         scratch);
-  out.point.metrics =
-      compute_metrics(out.point.topology, ctx.spec, ctx.options.tech,
-                      ctx.options.link_width_bits,
-                      scratch != nullptr ? &scratch->metrics : nullptr);
+  {
+    OBS_SPAN("compute_metrics");
+    const obs::PhaseScope obs_phase(obs::Phase::kMetrics);
+    out.point.metrics =
+        compute_metrics(out.point.topology, ctx.spec, ctx.options.tech,
+                        ctx.options.link_width_bits,
+                        scratch != nullptr ? &scratch->metrics : nullptr);
+  }
   return out;
 }
 
@@ -527,6 +540,7 @@ OutcomeMerger::OutcomeMerger(const SynthesisOptions& options, ReplayFn replay,
     : options_(options), replay_(std::move(replay)), result_(result) {}
 
 void OutcomeMerger::add(CandidateOutcome&& out) {
+  const obs::PhaseScope obs_phase(obs::Phase::kMerge);
   // Merge — strictly in enumeration order (the caller feeds candidate
   // index_ here), so duplicate suppression, the stats counters and the
   // saved-point list are independent of how the evaluations were scheduled

@@ -16,6 +16,9 @@
 #include "vinoc/core/width_eval.hpp"
 #include "vinoc/exec/ordered_drain.hpp"
 #include "vinoc/exec/parallel_for.hpp"
+#include "vinoc/obs/profile.hpp"
+#include "vinoc/obs/registry.hpp"
+#include "vinoc/obs/trace.hpp"
 
 namespace vinoc::core {
 
@@ -41,6 +44,7 @@ std::vector<WidthSweepEntry> synthesize_width_set(
     const soc::SocSpec& spec, const std::vector<int>& widths,
     const SynthesisOptions& base_options, exec::ThreadPool& pool,
     EvalScratchPool& scratch, WidthSetStats* stats) {
+  OBS_SPAN("synthesize_width_set");
   const auto t0 = std::chrono::steady_clock::now();
   {
     const auto problems = spec.validate();
@@ -83,8 +87,11 @@ std::vector<WidthSweepEntry> synthesize_width_set(
   }
 
   // Width-invariant inputs shared by the WHOLE set.
-  const floorplan::Floorplan plan =
-      floorplan::Floorplan::build(spec, base_options.floorplan);
+  const floorplan::Floorplan plan = [&] {
+    OBS_SPAN("floorplan");
+    const obs::PhaseScope obs_phase(obs::Phase::kFloorplan);
+    return floorplan::Floorplan::build(spec, base_options.floorplan);
+  }();
   const std::vector<double> traffic = compute_core_traffic(spec);
   const std::vector<std::size_t> flow_order = bandwidth_descending_order(spec);
   const double ni_base = base_options.prune
@@ -127,6 +134,8 @@ std::vector<WidthSweepEntry> synthesize_width_set(
     }
     const VcgScaling scaling = vcg_scaling(spec);
     exec::parallel_for_each(pool, cache_slots.size(), [&](std::size_t i) {
+      OBS_SPAN("partition_mincut");
+      const obs::PhaseScope obs_phase(obs::Phase::kPartition);
       const auto& [island, k, max_sw] = cache_slots[i]->first;
       cache_slots[i]->second = detail::partition_island_mincut(
           spec, base_options, scaling, island, k, max_sw);
@@ -276,12 +285,13 @@ std::vector<WidthSweepEntry> synthesize_width_set(
     merge_states.push_back(std::move(ms));
   }
 
-  std::atomic<int> shared_evals{0};
-  std::atomic<int> fallback_evals{0};
-  std::atomic<int> certified_evals{0};
-  std::atomic<int> certificate_accepts{0};
-  std::atomic<int> cohort_evals{0};
-  std::atomic<int> cohort_groups{0};
+  // Sweep-global share counters accumulate in per-worker obs registry
+  // shards and merge deterministically after the pool joins; WidthSetStats
+  // is a derived view of the merged registry. The buffered-outcome
+  // high-water mark is the one exception: it is a RUNNING global sum (no
+  // per-shard decomposition exists), so it stays an atomic CAS-max and is
+  // folded into the registry afterwards.
+  obs::ShardedRegistry metrics;
   std::atomic<int> buffered_outcomes{0};
   std::atomic<int> peak_buffered{0};
   // Per-width share-class attribution for SynthesisStats (observability;
@@ -322,6 +332,7 @@ std::vector<WidthSweepEntry> synthesize_width_set(
   for (auto& v : lockstep_vote) v.store(0);
 
   exec::parallel_for_each(pool, units.size(), [&](std::size_t u) {
+    OBS_SPAN("sweep_unit");
     const Unit unit = units[u];
     WidthClass& wc = classes[unit.class_id];
     EvalScratch& es = scratch.local();
@@ -412,12 +423,15 @@ std::vector<WidthSweepEntry> synthesize_width_set(
       lockstep_vote[unit.class_id].fetch_add(counters.shared > 0 ? 1000 : -1,
                                              std::memory_order_relaxed);
     }
-    shared_evals.fetch_add(counters.shared);
-    fallback_evals.fetch_add(counters.fallback);
-    certified_evals.fetch_add(counters.certified);
-    certificate_accepts.fetch_add(counters.certificate_accepts);
-    cohort_evals.fetch_add(counters.cohort_lanes);
-    cohort_groups.fetch_add(counters.cohort_groups);
+    {
+      obs::Registry& shard = metrics.local();
+      shard.add("shared_evals", counters.shared);
+      shard.add("fallback_evals", counters.fallback);
+      shard.add("certified_evals", counters.certified);
+      shard.add("certificate_accepts", counters.certificate_accepts);
+      shard.add("cohort_evals", counters.cohort_lanes);
+      shard.add("cohort_groups", counters.cohort_groups);
+    }
     if (lockstep) {
       for (std::size_t j = 0; j < counters.slice_class.size(); ++j) {
         const std::size_t wi = wc.width_indices[j];
@@ -507,13 +521,15 @@ std::vector<WidthSweepEntry> synthesize_width_set(
   }
 
   if (stats != nullptr) {
+    const obs::Registry merged = metrics.merged();
     stats->width_classes = static_cast<int>(classes.size());
-    stats->shared_evals = shared_evals.load();
-    stats->fallback_evals = fallback_evals.load();
-    stats->certified_evals = certified_evals.load();
-    stats->certificate_accepts = certificate_accepts.load();
-    stats->cohort_evals = cohort_evals.load();
-    stats->cohort_groups = cohort_groups.load();
+    stats->shared_evals = static_cast<int>(merged.value("shared_evals"));
+    stats->fallback_evals = static_cast<int>(merged.value("fallback_evals"));
+    stats->certified_evals = static_cast<int>(merged.value("certified_evals"));
+    stats->certificate_accepts =
+        static_cast<int>(merged.value("certificate_accepts"));
+    stats->cohort_evals = static_cast<int>(merged.value("cohort_evals"));
+    stats->cohort_groups = static_cast<int>(merged.value("cohort_groups"));
     stats->partition_cache_hits =
         class_slots_total - static_cast<int>(partition_cache.size());
     stats->peak_buffered_outcomes = peak_buffered.load();
@@ -563,6 +579,26 @@ WidthSweepResult explore_link_widths(const soc::SocSpec& spec,
                               return out.point(ref).metrics;
                             });
   return out;
+}
+
+obs::Registry WidthSetStats::to_registry() const {
+  obs::Registry reg;
+  reg.add("width_classes", width_classes);
+  reg.add("shared_evals", shared_evals);
+  reg.add("certified_evals", certified_evals);
+  reg.add("certificate_accepts", certificate_accepts);
+  reg.add("cohort_evals", cohort_evals);
+  reg.add("cohort_groups", cohort_groups);
+  reg.add("fallback_evals", fallback_evals);
+  reg.record_max("peak_buffered_outcomes", peak_buffered_outcomes);
+  reg.add("delta_candidates", delta_candidates);
+  reg.add("delta_flows_reused", delta_flows_reused);
+  reg.add("delta_flows_certified", delta_flows_certified);
+  reg.add("delta_flows_rerouted", delta_flows_rerouted);
+  reg.add("delta_cert_rejects", delta_cert_rejects);
+  reg.set_gauge("shared_rate", shared_rate());
+  reg.set_gauge("delta_reuse_rate", delta_reuse_rate());
+  return reg;
 }
 
 }  // namespace vinoc::core

@@ -8,6 +8,7 @@
 
 #include "vinoc/core/prune.hpp"
 #include "vinoc/core/simd.hpp"
+#include "vinoc/obs/trace.hpp"
 
 // Load-bearing inlining hint for the relaxation body (see route_flow): a
 // call per surviving target costs ~8% of the evaluation hot path. Non-GNU
@@ -1388,6 +1389,7 @@ RouteOutcome route_all_flows(NocTopology& topo, const soc::SocSpec& spec,
   // Greedy pass stranded a flow. An intermediate switch exists, so retry
   // with all cross-island traffic concentrated through the NoC VI (far
   // fewer ports consumed on the island switches).
+  OBS_SPAN("route_fallback_pass");
   topo = sc.fallback;
   RouterOptions retry = options;
   retry.forbid_direct_cross = true;

@@ -12,6 +12,9 @@
 #include "vinoc/core/prune.hpp"
 #include "vinoc/exec/ordered_drain.hpp"
 #include "vinoc/exec/parallel_for.hpp"
+#include "vinoc/obs/profile.hpp"
+#include "vinoc/obs/registry.hpp"
+#include "vinoc/obs/trace.hpp"
 
 namespace vinoc::core {
 
@@ -46,6 +49,7 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
 
 SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& options,
                            exec::ThreadPool& pool, EvalScratchPool& scratch_pool) {
+  OBS_SPAN("synthesize");
   const auto t0 = std::chrono::steady_clock::now();
   {
     const auto problems = spec.validate();
@@ -59,7 +63,11 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
   }
 
   SynthesisResult result;
-  result.floorplan = floorplan::Floorplan::build(spec, options.floorplan);
+  {
+    OBS_SPAN("floorplan");
+    const obs::PhaseScope phase(obs::Phase::kFloorplan);
+    result.floorplan = floorplan::Floorplan::build(spec, options.floorplan);
+  }
   result.island_params =
       derive_island_params(spec, options.tech, options.link_width_bits,
                            options.port_reserve);
@@ -74,10 +82,17 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
 
   // Stage 1 — enumeration (pure, sequential): the (outer x inner) sweep as
   // a flat candidate list, plus every min-cut partition it will need.
-  const std::vector<CandidateConfig> candidates =
-      enumerate_candidates(spec, result.island_params, options);
-  const PartitionTable partitions = compute_partitions(
-      spec, options, result.island_params, candidates, pool);
+  const std::vector<CandidateConfig> candidates = [&] {
+    OBS_SPAN("enumerate_candidates");
+    return enumerate_candidates(spec, result.island_params, options);
+  }();
+  const PartitionTable partitions = [&] {
+    // Phase attribution happens inside compute_partitions' per-item lambda
+    // (worker-side CPU time); this span is the caller's wall-clock bracket.
+    OBS_SPAN("compute_partitions");
+    return compute_partitions(spec, options, result.island_params, candidates,
+                              pool);
+  }();
   const std::vector<double> traffic = compute_core_traffic(spec);
 
   // Candidate-invariant hot-path inputs, computed once per run: the
@@ -134,11 +149,11 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
   std::vector<std::shared_ptr<const DeltaReference>> group_refs(
       static_cast<std::size_t>(n_groups));
   std::mutex delta_mutex;
-  std::atomic<int> delta_candidates{0};
-  std::atomic<long long> delta_reused{0};
-  std::atomic<long long> delta_certified{0};
-  std::atomic<long long> delta_rerouted{0};
-  std::atomic<int> delta_rejects{0};
+  // Delta counters accumulate in per-worker obs registry shards and are
+  // merged (deterministically — integer sums) into SynthesisStats after the
+  // pool joins. The registry is the source of truth; the stats fields are a
+  // derived view.
+  obs::ShardedRegistry metrics;
 
   // STREAMING merge in enumeration order (single definition shared with
   // the width sweep — see OutcomeMerger in candidates.hpp): a finished
@@ -158,6 +173,7 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
   int buffered = 0;
   int peak_buffered = 0;  // both only touched under the queue's lock
   exec::parallel_for_each(pool, candidates.size(), [&](std::size_t i) {
+    OBS_SPAN("candidate");
     EvalScratch& scratch = scratch_pool.local();
     std::shared_ptr<const ParetoBound> snap;
     const ParetoBound* bound = nullptr;
@@ -192,13 +208,12 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
     if (delta != nullptr) {
       scratch.delta.ref = nullptr;  // `ref` dies with this iteration
       if (delta->pnorm_matched) {
-        delta_candidates.fetch_add(1, std::memory_order_relaxed);
-        delta_reused.fetch_add(delta->flows_reused, std::memory_order_relaxed);
-        delta_certified.fetch_add(delta->flows_certified,
-                                  std::memory_order_relaxed);
-        delta_rerouted.fetch_add(delta->flows_rerouted,
-                                 std::memory_order_relaxed);
-        delta_rejects.fetch_add(delta->cert_rejects, std::memory_order_relaxed);
+        obs::Registry& shard = metrics.local();
+        shard.add("delta_candidates", 1);
+        shard.add("delta_flows_reused", delta->flows_reused);
+        shard.add("delta_flows_certified", delta->flows_certified);
+        shard.add("delta_flows_rerouted", delta->flows_rerouted);
+        shard.add("delta_cert_rejects", delta->cert_rejects);
       }
     }
     if (options.prune && out.status == EvalStatus::kRouted && out.deadlock_free) {
@@ -221,11 +236,13 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
   });
   merger.finish();
   result.stats.peak_buffered_outcomes = peak_buffered;
-  result.stats.delta_candidates = delta_candidates.load();
-  result.stats.delta_flows_reused = delta_reused.load();
-  result.stats.delta_flows_certified = delta_certified.load();
-  result.stats.delta_flows_rerouted = delta_rerouted.load();
-  result.stats.delta_cert_rejects = delta_rejects.load();
+  const obs::Registry merged = metrics.merged();
+  result.stats.delta_candidates = static_cast<int>(merged.value("delta_candidates"));
+  result.stats.delta_flows_reused = merged.value("delta_flows_reused");
+  result.stats.delta_flows_certified = merged.value("delta_flows_certified");
+  result.stats.delta_flows_rerouted = merged.value("delta_flows_rerouted");
+  result.stats.delta_cert_rejects =
+      static_cast<int>(merged.value("delta_cert_rejects"));
 
   result.stats.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

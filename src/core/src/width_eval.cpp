@@ -7,6 +7,7 @@
 #include "vinoc/core/deadlock.hpp"
 #include "vinoc/core/prune.hpp"
 #include "vinoc/core/router.hpp"
+#include "vinoc/obs/trace.hpp"
 
 namespace vinoc::core {
 
@@ -179,6 +180,7 @@ void resume_diverged_lane(const MultiWidthContext& ctx,
                           std::size_t slice_idx, WidthLane& lane,
                           const RouteOutcome& leader_pass1_failure,
                           CandidateOutcome& o) {
+  OBS_SPAN("resume_diverged_lane");
   const soc::SocSpec& spec = *ctx.spec;
   const WidthSlice& s = ctx.slices[slice_idx];
   o.point.switches_per_island = cand.switches_per_island;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "vinoc/obs/trace.hpp"
+
 namespace vinoc::exec {
 
 int resolve_thread_count(int requested) {
@@ -58,17 +60,24 @@ bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
 
 void ThreadPool::worker_loop() {
   t_on_worker_thread = true;
+  // Observability hook: label this lane in any trace export, and flush the
+  // per-thread span sink when the pool quiesces so a trace collected after
+  // the pool is destroyed still contains every worker's events. (The CLI
+  // arms tracing before any pool exists, so the guard costs nothing real —
+  // it only avoids allocating sinks on untraced runs.)
+  if (obs::tracing_enabled()) obs::set_thread_trace_name("worker");
   for (;;) {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
+      if (queue_.empty()) break;  // stopping_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
     }
     job();
   }
+  obs::flush_thread_trace_sink();
 }
 
 }  // namespace vinoc::exec

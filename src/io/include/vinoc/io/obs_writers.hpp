@@ -1,0 +1,64 @@
+// Serialization for the vinoc::obs layer — the ONE place trace snapshots,
+// metric registries and phase profiles become bytes. The CLI, benches and
+// tools/trace_check all go through these functions, so a format change
+// cannot fork between producers and the validator.
+//
+//  * write_chrome_trace: Chrome trace_event JSON ("X" complete events,
+//    microsecond timestamps) — loadable in Perfetto / chrome://tracing.
+//  * validate_chrome_trace: the checker behind tools/trace_check. Scope is
+//    the writer's output format, not general trace JSON.
+//  * registry_record / phase_profile_record: flat JSONL lines in the
+//    repo-wide JsonlWriter format (deterministic field order: counters,
+//    then gauges, each name-sorted by obs::Registry's merge).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "vinoc/obs/profile.hpp"
+#include "vinoc/obs/registry.hpp"
+#include "vinoc/obs/trace.hpp"
+
+namespace vinoc::io {
+
+/// Writes `snap` as a Chrome trace_event JSON document:
+/// {"traceEvents":[...],"displayTimeUnit":"ms","otherData":{...}}.
+/// Each span is an "X" event with ts/dur in (fractional) microseconds;
+/// thread_name metadata events label the lanes; the total ring-overflow
+/// drop count is recorded under otherData.dropped_events.
+void write_chrome_trace(std::ostream& os, const obs::TraceSnapshot& snap);
+
+/// Convenience: write_chrome_trace to `path`. Returns false if the file
+/// cannot be opened.
+[[nodiscard]] bool write_chrome_trace_file(const std::string& path,
+                                           const obs::TraceSnapshot& snap);
+
+/// Validates a trace document produced by write_chrome_trace:
+///  - well-formed JSON of the expected shape,
+///  - every event has name/ph/ts/dur/pid/tid with ph=="X", ts/dur >= 0,
+///  - per tid, event start timestamps are monotone non-decreasing,
+///  - per tid, spans are properly nested (an event either encloses or is
+///    disjoint from its predecessors — no partial overlap).
+/// Returns true and leaves `error` empty on success; on failure `error`
+/// names the first offending event.
+[[nodiscard]] bool validate_chrome_trace(std::string_view json,
+                                         std::string& error);
+
+/// One flat JSONL line for a merged registry: {"record":<record_name>,
+/// <counter fields...>, <histogram summaries...>, <gauge fields...>}.
+/// An empty record_name omits the "record" field (the CLI's resume_summary
+/// payload). Counter/gauge order is the registry's ENTRY order —
+/// registration order for a hand-built registry (the campaign's canonical
+/// resume_summary order), name-sorted after ShardedRegistry::merged()
+/// (hence byte-identical for any thread count).
+[[nodiscard]] std::string registry_record(std::string_view record_name,
+                                          const obs::Registry& registry);
+
+/// One flat JSONL line for accumulated phase totals:
+/// {"record":"phase_profile","total_wall_s":...,
+///  "<phase>_wall_s":...,"<phase>_cpu_s":...,"<phase>_scopes":...}
+/// with phases in obs::Phase enum order.
+[[nodiscard]] std::string phase_profile_record(const obs::PhaseTotals& totals);
+
+}  // namespace vinoc::io

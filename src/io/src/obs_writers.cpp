@@ -1,0 +1,308 @@
+#include "vinoc/io/obs_writers.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "vinoc/io/jsonl.hpp"
+
+namespace vinoc::io {
+namespace {
+
+/// Microsecond timestamp with millinanosecond digits: %.3f of ns/1000.0
+/// renders the exact integer nanosecond, so the validator can reconstruct
+/// ns losslessly (std::llround(us * 1000)).
+std::string us_from_ns(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const obs::TraceSnapshot& snap) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (std::size_t tid = 0; tid < snap.thread_names.size(); ++tid) {
+    std::string name = snap.thread_names[tid];
+    if (name.empty()) name = tid == 0 ? "main" : "thread";
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const obs::TraceEvent& ev : snap.events) {
+    sep();
+    os << "{\"name\":\"" << json_escape(ev.name)
+       << "\",\"ph\":\"X\",\"ts\":" << us_from_ns(ev.start_ns)
+       << ",\"dur\":" << us_from_ns(ev.dur_ns) << ",\"pid\":1,\"tid\":"
+       << ev.tid << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+     << snap.dropped_events << "}}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const obs::TraceSnapshot& snap) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os, snap);
+  return static_cast<bool>(os);
+}
+
+namespace {
+
+// --- Minimal JSON scanner for the validator ---------------------------------
+// Handles full JSON value syntax (the writer only emits a subset, but the
+// validator should reject malformed documents rather than misparse them).
+
+std::size_t skip_ws(std::string_view s, std::size_t pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+constexpr std::size_t npos = std::string_view::npos;
+
+std::size_t skip_string(std::string_view s, std::size_t pos) {
+  if (pos >= s.size() || s[pos] != '"') return npos;
+  for (++pos; pos < s.size(); ++pos) {
+    if (s[pos] == '\\') {
+      ++pos;  // skip the escaped char (sufficient for \" and \\ handling)
+    } else if (s[pos] == '"') {
+      return pos + 1;
+    }
+  }
+  return npos;
+}
+
+std::size_t skip_value(std::string_view s, std::size_t pos);
+
+std::size_t skip_container(std::string_view s, std::size_t pos, char open,
+                           char close, bool keyed) {
+  if (pos >= s.size() || s[pos] != open) return npos;
+  pos = skip_ws(s, pos + 1);
+  if (pos < s.size() && s[pos] == close) return pos + 1;
+  for (;;) {
+    if (keyed) {
+      pos = skip_string(s, skip_ws(s, pos));
+      if (pos == npos) return npos;
+      pos = skip_ws(s, pos);
+      if (pos >= s.size() || s[pos] != ':') return npos;
+      ++pos;
+    }
+    pos = skip_value(s, skip_ws(s, pos));
+    if (pos == npos) return npos;
+    pos = skip_ws(s, pos);
+    if (pos >= s.size()) return npos;
+    if (s[pos] == close) return pos + 1;
+    if (s[pos] != ',') return npos;
+    ++pos;
+  }
+}
+
+std::size_t skip_value(std::string_view s, std::size_t pos) {
+  if (pos >= s.size()) return npos;
+  const char c = s[pos];
+  if (c == '"') return skip_string(s, pos);
+  if (c == '{') return skip_container(s, pos, '{', '}', /*keyed=*/true);
+  if (c == '[') return skip_container(s, pos, '[', ']', /*keyed=*/false);
+  if (s.compare(pos, 4, "true") == 0) return pos + 4;
+  if (s.compare(pos, 5, "false") == 0) return pos + 5;
+  if (s.compare(pos, 4, "null") == 0) return pos + 4;
+  // Number: [-]digits[.digits][eE...]
+  std::size_t end = pos;
+  if (end < s.size() && (s[end] == '-' || s[end] == '+')) ++end;
+  const std::size_t digits_start = end;
+  while (end < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[end])) || s[end] == '.' ||
+          s[end] == 'e' || s[end] == 'E' || s[end] == '-' || s[end] == '+')) {
+    ++end;
+  }
+  return end == digits_start ? npos : end;
+}
+
+/// Extracts top-level key -> raw-value-text of one JSON object.
+bool parse_object_fields(std::string_view s,
+                         std::map<std::string, std::string>& out,
+                         std::size_t* end_pos) {
+  std::size_t pos = skip_ws(s, 0);
+  if (pos >= s.size() || s[pos] != '{') return false;
+  pos = skip_ws(s, pos + 1);
+  if (pos < s.size() && s[pos] == '}') {
+    if (end_pos != nullptr) *end_pos = pos + 1;
+    return true;
+  }
+  for (;;) {
+    pos = skip_ws(s, pos);
+    const std::size_t key_start = pos;
+    pos = skip_string(s, pos);
+    if (pos == npos) return false;
+    const std::string key(s.substr(key_start + 1, pos - key_start - 2));
+    pos = skip_ws(s, pos);
+    if (pos >= s.size() || s[pos] != ':') return false;
+    pos = skip_ws(s, pos + 1);
+    const std::size_t val_start = pos;
+    pos = skip_value(s, pos);
+    if (pos == npos) return false;
+    out[key] = std::string(s.substr(val_start, pos - val_start));
+    pos = skip_ws(s, pos);
+    if (pos >= s.size()) return false;
+    if (s[pos] == '}') {
+      if (end_pos != nullptr) *end_pos = pos + 1;
+      return true;
+    }
+    if (s[pos] != ',') return false;
+    ++pos;
+  }
+}
+
+bool parse_number(const std::string& raw, double& out) {
+  if (raw.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(raw.c_str(), &end);
+  return end == raw.c_str() + raw.size();
+}
+
+struct OpenSpan {
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+};
+
+}  // namespace
+
+bool validate_chrome_trace(std::string_view json, std::string& error) {
+  error.clear();
+  auto fail = [&](std::string msg) {
+    error = std::move(msg);
+    return false;
+  };
+
+  std::map<std::string, std::string> top;
+  if (!parse_object_fields(json, top, nullptr)) {
+    return fail("malformed JSON document");
+  }
+  const auto events_it = top.find("traceEvents");
+  if (events_it == top.end()) return fail("missing traceEvents array");
+  const std::string_view arr = events_it->second;
+  if (arr.empty() || arr.front() != '[') {
+    return fail("traceEvents is not an array");
+  }
+
+  // Per-tid monotonicity + nesting state. Events for one tid must appear in
+  // non-decreasing start order, and each must either nest inside or lie
+  // entirely after every still-open predecessor.
+  std::map<long long, std::vector<OpenSpan>> open_stacks;
+  std::map<long long, std::int64_t> last_start;
+
+  std::size_t pos = skip_ws(arr, 1);
+  std::size_t index = 0;
+  bool any_x = false;
+  while (pos < arr.size() && arr[pos] != ']') {
+    std::map<std::string, std::string> ev;
+    std::size_t end = 0;
+    if (!parse_object_fields(arr.substr(pos), ev, &end)) {
+      return fail("malformed event object at index " + std::to_string(index));
+    }
+    pos = skip_ws(arr, pos + end);
+    if (pos < arr.size() && arr[pos] == ',') pos = skip_ws(arr, pos + 1);
+
+    const std::string at = " at event index " + std::to_string(index);
+    ++index;
+    const auto ph_it = ev.find("ph");
+    if (ph_it == ev.end()) return fail("event missing ph" + at);
+    if (ph_it->second == "\"M\"") continue;  // metadata (thread_name)
+    if (ph_it->second != "\"X\"") {
+      return fail("unexpected ph " + ph_it->second + at);
+    }
+    any_x = true;
+    for (const char* req : {"name", "ts", "dur", "pid", "tid"}) {
+      if (ev.find(req) == ev.end()) {
+        return fail(std::string("event missing ") + req + at);
+      }
+    }
+    if (ev["name"].empty() || ev["name"].front() != '"') {
+      return fail("event name is not a string" + at);
+    }
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    double tid_d = 0.0;
+    if (!parse_number(ev["ts"], ts_us) || ts_us < 0.0) {
+      return fail("bad ts " + ev["ts"] + at);
+    }
+    if (!parse_number(ev["dur"], dur_us) || dur_us < 0.0) {
+      return fail("bad dur " + ev["dur"] + at);
+    }
+    if (!parse_number(ev["tid"], tid_d)) return fail("bad tid " + ev["tid"] + at);
+    const auto tid = static_cast<long long>(tid_d);
+    const auto start_ns = std::llround(ts_us * 1000.0);
+    const auto end_ns = start_ns + std::llround(dur_us * 1000.0);
+
+    const auto last_it = last_start.find(tid);
+    if (last_it != last_start.end() && start_ns < last_it->second) {
+      return fail("non-monotone ts on tid " + std::to_string(tid) + at);
+    }
+    last_start[tid] = start_ns;
+
+    auto& stack = open_stacks[tid];
+    while (!stack.empty() && stack.back().end_ns <= start_ns) stack.pop_back();
+    if (!stack.empty() && end_ns > stack.back().end_ns) {
+      return fail("partially overlapping spans on tid " + std::to_string(tid) +
+                  at);
+    }
+    stack.push_back(OpenSpan{start_ns, end_ns});
+  }
+  if (pos >= arr.size()) return fail("unterminated traceEvents array");
+  if (!any_x) return fail("trace contains no spans");
+  return true;
+}
+
+std::string registry_record(std::string_view record_name,
+                            const obs::Registry& registry) {
+  JsonlWriter w;
+  if (!record_name.empty()) w.field("record", record_name);
+  for (const obs::Registry::Entry& e : registry.entries()) {
+    w.field(e.name, e.value);
+  }
+  for (const std::string& name : registry.histogram_names()) {
+    const obs::Histogram* h = registry.histogram(name);
+    w.field(name + "_count", h->count)
+        .field(name + "_sum", h->sum)
+        .field(name + "_max", h->max);
+  }
+  for (const std::string& name : registry.gauge_names()) {
+    w.field(name, registry.gauge(name));
+  }
+  return w.line();
+}
+
+std::string phase_profile_record(const obs::PhaseTotals& totals) {
+  JsonlWriter w;
+  w.field("record", "phase_profile");
+  double total_wall = 0.0;
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    total_wall += static_cast<double>(totals.phase[i].wall_ns) * 1e-9;
+  }
+  w.field("total_wall_s", total_wall);
+  for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+    const std::string name = obs::phase_name(static_cast<obs::Phase>(i));
+    const auto& p = totals.phase[i];
+    w.field(name + "_wall_s", static_cast<double>(p.wall_ns) * 1e-9)
+        .field(name + "_cpu_s", static_cast<double>(p.cpu_ns) * 1e-9)
+        .field(name + "_scopes", p.enters);
+  }
+  return w.line();
+}
+
+}  // namespace vinoc::io

@@ -1,0 +1,94 @@
+// vinoc::obs — per-phase wall/CPU attribution for the synthesis pipeline.
+//
+// Answers "where did the time actually go" without a rebuild: each pipeline
+// phase (floorplan / partition / route / metrics / prune / merge) is
+// bracketed by a PhaseScope, which accumulates wall time
+// (steady_clock) and thread CPU time (CLOCK_THREAD_CPUTIME_ID) into
+// process-wide per-phase totals. Totals are summed across threads — on an
+// N-worker pool, a phase's cpu_s can exceed its wall_s; that ratio IS the
+// parallelism attribution ROADMAP item 5 needs.
+//
+// Like tracing, profiling is a runtime knob that never perturbs results:
+// off by default, one relaxed atomic load when disabled, and no phase data
+// feeds back into synthesis. The accumulated snapshot is exported as a
+// `phase_profile` JSONL record by benches and `vinoc campaign`
+// (io/obs_writers.hpp::phase_profile_record).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace vinoc::obs {
+
+enum class Phase : std::uint8_t {
+  kFloorplan = 0,
+  kPartition,
+  kRoute,
+  kMetrics,
+  kPrune,
+  kMerge,
+  kCount_,
+};
+
+inline constexpr std::size_t kPhaseCount =
+    static_cast<std::size_t>(Phase::kCount_);
+
+/// Stable lowercase names, used as JSONL field prefixes
+/// ("floorplan_wall_s", ...). Order matches the Phase enum.
+[[nodiscard]] const char* phase_name(Phase phase);
+
+struct PhaseTotals {
+  struct PerPhase {
+    std::int64_t wall_ns = 0;
+    std::int64_t cpu_ns = 0;   ///< summed across threads
+    std::int64_t enters = 0;   ///< number of scopes
+  };
+  std::array<PerPhase, kPhaseCount> phase{};
+};
+
+void set_profiling_enabled(bool enabled);
+[[nodiscard]] bool profiling_enabled();
+
+/// Snapshot of the accumulated totals since the last reset.
+[[nodiscard]] PhaseTotals phase_totals();
+void reset_phase_totals();
+
+namespace detail {
+extern std::atomic<bool> g_profiling_enabled;
+void phase_accumulate(Phase phase, std::int64_t wall_ns, std::int64_t cpu_ns);
+[[nodiscard]] std::int64_t thread_cpu_now_ns();
+[[nodiscard]] std::int64_t wall_now_ns();
+}  // namespace detail
+
+/// RAII phase bracket. Safe to nest different phases (each accumulates its
+/// own slice, so nested time is attributed to BOTH scopes — by design:
+/// phase totals answer "time spent under phase X", not an exclusive
+/// breakdown).
+class PhaseScope {
+ public:
+  explicit PhaseScope(Phase phase) {
+    if (detail::g_profiling_enabled.load(std::memory_order_relaxed)) {
+      phase_ = phase;
+      armed_ = true;
+      wall_start_ = detail::wall_now_ns();
+      cpu_start_ = detail::thread_cpu_now_ns();
+    }
+  }
+  ~PhaseScope() {
+    if (armed_) {
+      detail::phase_accumulate(phase_, detail::wall_now_ns() - wall_start_,
+                               detail::thread_cpu_now_ns() - cpu_start_);
+    }
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Phase phase_ = Phase::kFloorplan;
+  bool armed_ = false;
+  std::int64_t wall_start_ = 0;
+  std::int64_t cpu_start_ = 0;
+};
+
+}  // namespace vinoc::obs

@@ -1,0 +1,89 @@
+#include "vinoc/obs/profile.hpp"
+
+#include <chrono>
+#include <ctime>
+
+namespace vinoc::obs {
+namespace {
+
+/// Relaxed atomics are sufficient: totals are read only after the profiled
+/// region quiesces (pool join / end of run), and int64 adds commute.
+struct AtomicTotals {
+  struct PerPhase {
+    std::atomic<std::int64_t> wall_ns{0};
+    std::atomic<std::int64_t> cpu_ns{0};
+    std::atomic<std::int64_t> enters{0};
+  };
+  std::array<PerPhase, kPhaseCount> phase{};
+};
+
+AtomicTotals& totals() {
+  static AtomicTotals t;
+  return t;
+}
+
+constexpr const char* kPhaseNames[kPhaseCount] = {
+    "floorplan", "partition", "route", "metrics", "prune", "merge",
+};
+
+}  // namespace
+
+const char* phase_name(Phase phase) {
+  return kPhaseNames[static_cast<std::size_t>(phase)];
+}
+
+namespace detail {
+std::atomic<bool> g_profiling_enabled{false};
+
+void phase_accumulate(Phase phase, std::int64_t wall_ns, std::int64_t cpu_ns) {
+  auto& slot = totals().phase[static_cast<std::size_t>(phase)];
+  slot.wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
+  slot.cpu_ns.fetch_add(cpu_ns, std::memory_order_relaxed);
+  slot.enters.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t thread_cpu_now_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+  }
+#endif
+  return 0;
+}
+
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace detail
+
+void set_profiling_enabled(bool enabled) {
+  detail::g_profiling_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool profiling_enabled() {
+  return detail::g_profiling_enabled.load(std::memory_order_relaxed);
+}
+
+PhaseTotals phase_totals() {
+  PhaseTotals out;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto& slot = totals().phase[i];
+    out.phase[i].wall_ns = slot.wall_ns.load(std::memory_order_relaxed);
+    out.phase[i].cpu_ns = slot.cpu_ns.load(std::memory_order_relaxed);
+    out.phase[i].enters = slot.enters.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void reset_phase_totals() {
+  for (auto& slot : totals().phase) {
+    slot.wall_ns.store(0, std::memory_order_relaxed);
+    slot.cpu_ns.store(0, std::memory_order_relaxed);
+    slot.enters.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace vinoc::obs

@@ -18,6 +18,7 @@
 #include "vinoc/campaign/spec_hash.hpp"
 #include "vinoc/core/synthesis.hpp"
 #include "vinoc/io/jsonl.hpp"
+#include "vinoc/io/obs_writers.hpp"
 
 namespace vinoc::campaign {
 namespace {
@@ -215,8 +216,8 @@ TEST(CampaignEngine, JsonlIsByteIdenticalForAnyThreadCount) {
   opt1.threads = 1;
   const CampaignResult r1 = run_campaign(spec, opt1);
   ASSERT_EQ(r1.records.size(), 16u);
-  EXPECT_EQ(r1.jobs_run, 16);
-  EXPECT_EQ(r1.cache_hits, 0);
+  EXPECT_EQ(r1.jobs_run(), 16);
+  EXPECT_EQ(r1.cache_hits(), 0);
   for (const int threads : {2, 4}) {
     CampaignOptions optn;
     optn.threads = threads;
@@ -257,11 +258,11 @@ TEST(CampaignEngine, SharedCacheMakesSecondRunAllHits) {
   opt.threads = 2;
   opt.cache = &cache;
   const CampaignResult cold = run_campaign(spec, opt);
-  EXPECT_EQ(cold.jobs_run, 16);
-  EXPECT_EQ(cold.cache_hits, 0);
+  EXPECT_EQ(cold.jobs_run(), 16);
+  EXPECT_EQ(cold.cache_hits(), 0);
   const CampaignResult warm = run_campaign(spec, opt);
-  EXPECT_EQ(warm.jobs_run, 0);
-  EXPECT_EQ(warm.cache_hits, 16);
+  EXPECT_EQ(warm.jobs_run(), 0);
+  EXPECT_EQ(warm.cache_hits(), 16);
   // Hits carry the same payload (and flag themselves as hits).
   for (std::size_t i = 0; i < warm.records.size(); ++i) {
     EXPECT_TRUE(warm.records[i].cache_hit);
@@ -281,7 +282,7 @@ TEST(CampaignEngine, ResumeRecomputesExactlyTheMissingJobs) {
   opt.threads = 2;
   opt.cache_dir = dir.string();
   const CampaignResult cold = run_campaign(spec, opt);
-  EXPECT_EQ(cold.jobs_run, 16);
+  EXPECT_EQ(cold.jobs_run(), 16);
 
   // Drop every other line of the store, remembering which keys survive.
   const std::string store = (dir / "store.jsonl").string();
@@ -308,8 +309,8 @@ TEST(CampaignEngine, ResumeRecomputesExactlyTheMissingJobs) {
   resume_opt.cache_dir = dir.string();
   resume_opt.resume = true;
   const CampaignResult resumed = run_campaign(spec, resume_opt);
-  EXPECT_EQ(resumed.jobs_run, 8);
-  EXPECT_EQ(resumed.cache_hits, 8);
+  EXPECT_EQ(resumed.jobs_run(), 8);
+  EXPECT_EQ(resumed.cache_hits(), 8);
   // Exactly the surviving keys are hits, and payloads match the cold run.
   ASSERT_EQ(resumed.records.size(), cold.records.size());
   for (std::size_t i = 0; i < resumed.records.size(); ++i) {
@@ -322,8 +323,8 @@ TEST(CampaignEngine, ResumeRecomputesExactlyTheMissingJobs) {
   }
   // The store is whole again: a further resume run computes nothing.
   const CampaignResult third = run_campaign(spec, resume_opt);
-  EXPECT_EQ(third.jobs_run, 0);
-  EXPECT_EQ(third.cache_hits, 16);
+  EXPECT_EQ(third.jobs_run(), 0);
+  EXPECT_EQ(third.cache_hits(), 16);
   fs::remove_all(dir);
 }
 
@@ -379,7 +380,7 @@ TEST(CampaignEngine, InfeasibleWidthIsRecordedNotFatal) {
   EXPECT_FALSE(result.records[0].feasible);
   EXPECT_EQ(result.records[0].points, 0);
   EXPECT_TRUE(result.records[1].feasible);
-  EXPECT_EQ(result.infeasible, 1);
+  EXPECT_EQ(result.infeasible(), 1);
 }
 
 TEST(JsonlWriter, EscapesAndParsesRoundTrip) {
@@ -416,9 +417,9 @@ TEST(CampaignEngine, WidthGroupsShareStructuresAcrossJobs) {
   const CampaignResult result = run_campaign(spec, opt);
   const std::vector<CampaignJob> jobs = expand_jobs(spec);
   ASSERT_EQ(jobs.size(), 6u);  // 2 scenarios x 3 widths
-  EXPECT_EQ(result.jobs_run, 6);
-  EXPECT_EQ(result.structure_groups, 2);
-  EXPECT_EQ(result.structure_shared_jobs, 6);
+  EXPECT_EQ(result.jobs_run(), 6);
+  EXPECT_EQ(result.structure_groups(), 2);
+  EXPECT_EQ(result.structure_shared_jobs(), 6);
   for (const CampaignJob& job : jobs) {
     // Same structure key within a scenario, regardless of width...
     core::SynthesisOptions at32 = job.options;
@@ -433,9 +434,72 @@ TEST(CampaignEngine, WidthGroupsShareStructuresAcrossJobs) {
   }
   // A warm re-run serves everything from the cache and forms no groups.
   const CampaignResult warm = run_campaign(spec, opt);
-  EXPECT_EQ(warm.cache_hits, 6);
-  EXPECT_EQ(warm.structure_groups, 0);
-  EXPECT_EQ(warm.structure_shared_jobs, 0);
+  EXPECT_EQ(warm.cache_hits(), 6);
+  EXPECT_EQ(warm.structure_groups(), 0);
+  EXPECT_EQ(warm.structure_shared_jobs(), 0);
+}
+
+TEST(CampaignEngine, ResumeSummarySerializationIsCanonical) {
+  // CampaignResult::metrics is the single source of the CLI's
+  // resume_summary line (io::registry_record with an empty record name).
+  // Scripts and the CI resume assertion grep the line's PREFIX, so the
+  // field order is a contract: new counters must register AFTER the
+  // existing ones in engine.cpp. This test is that contract — it replaces
+  // the old "new fields append after the ones above" comment that used to
+  // sit beside a hand-maintained field list in the CLI.
+  CampaignSpec spec = small_campaign();
+  spec.strategies = {"logical"};
+  spec.island_counts = {2};
+  spec.widths = {32};
+  ResultCache cache;
+  CampaignOptions opt;
+  opt.threads = 2;
+  opt.cache = &cache;
+  const CampaignResult cold = run_campaign(spec, opt);
+
+  const std::string line = io::registry_record("", cold.metrics);
+  // Exact prefix shape (the machine-readable contract; no "record" field).
+  EXPECT_EQ(line.rfind("{\"run\":2,\"cache_hits\":0,\"infeasible\":0,"
+                       "\"total\":2,",
+                       0),
+            0u)
+      << line;
+  // Full canonical order, counters then the derived gauge last.
+  const char* const kCanonical[] = {
+      "run",
+      "cache_hits",
+      "infeasible",
+      "total",
+      "structure_groups",
+      "structure_shared_jobs",
+      "width_shared_evals",
+      "width_certified_evals",
+      "width_cohort_evals",
+      "width_fallback_evals",
+      "certificate_accepts",
+      "cohort_groups",
+      "peak_buffered_outcomes",
+      "delta_candidates",
+      "delta_flows_reused",
+      "delta_flows_certified",
+      "delta_flows_rerouted",
+      "delta_cert_rejects",
+      "delta_reuse_rate",
+  };
+  std::size_t pos = 0;
+  for (const char* name : kCanonical) {
+    const std::string needle = std::string("\"") + name + "\":";
+    const std::size_t at = line.find(needle, pos);
+    ASSERT_NE(at, std::string::npos) << name << " missing/out of order in\n"
+                                     << line;
+    pos = at + needle.size();
+  }
+
+  // The warm line reproduces the CI resume grep's shape.
+  const CampaignResult warm = run_campaign(spec, opt);
+  EXPECT_EQ(io::registry_record("", warm.metrics)
+                .rfind("{\"run\":0,\"cache_hits\":2,", 0),
+            0u);
 }
 
 TEST(SpecHash, WidthExcludedHashIgnoresExactlyTheWidth) {

@@ -1,0 +1,287 @@
+// vinoc::obs unit tests: registry merge determinism, span recording, ring
+// overflow policy, phase profiling and the Chrome-trace writer/validator
+// round trip. Runs under TSan in CI (the sharded-merge and worker-flush
+// tests exercise the concurrent paths).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "vinoc/io/obs_writers.hpp"
+#include "vinoc/obs/profile.hpp"
+#include "vinoc/obs/registry.hpp"
+#include "vinoc/obs/trace.hpp"
+
+namespace {
+
+using namespace vinoc;
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(ObsRegistry, CountersGaugesHistograms) {
+  obs::Registry reg;
+  reg.add("a", 2);
+  reg.add("a", 3);
+  reg.record_max("peak", 7);
+  reg.record_max("peak", 4);  // lower value must not win
+  reg.observe("lat", 0);
+  reg.observe("lat", 1);
+  reg.observe("lat", 6);
+  reg.set_gauge("rate", 0.5);
+
+  EXPECT_EQ(reg.value("a"), 5);
+  EXPECT_EQ(reg.value("peak"), 7);
+  EXPECT_EQ(reg.value("never_registered"), 0);
+  const obs::Histogram* h = reg.histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3);
+  EXPECT_EQ(h->sum, 7);
+  EXPECT_EQ(h->max, 6);
+  EXPECT_EQ(h->buckets[0], 1);  // value 0
+  EXPECT_EQ(h->buckets[1], 1);  // value 1
+  EXPECT_EQ(h->buckets[3], 1);  // 4..7
+  EXPECT_DOUBLE_EQ(reg.gauge("rate"), 0.5);
+}
+
+TEST(ObsRegistry, MergeOpIsFixedAtRegistration) {
+  obs::Registry reg;
+  reg.add("a", 1, obs::MergeOp::kSum);
+  EXPECT_THROW(reg.add("a", 1, obs::MergeOp::kMax), std::logic_error);
+}
+
+TEST(ObsRegistry, MergeFromIgnoresGauges) {
+  obs::Registry a;
+  a.add("n", 1);
+  a.set_gauge("rate", 0.25);
+  obs::Registry b;
+  b.add("n", 2);
+  b.set_gauge("rate", 0.75);
+  a.merge_from(b);
+  EXPECT_EQ(a.value("n"), 3);
+  // Gauges are serialization-time derived values; merging them would break
+  // the byte-identity guarantee (doubles in thread-arrival order).
+  EXPECT_DOUBLE_EQ(a.gauge("rate"), 0.25);
+}
+
+// The core determinism contract: the merged serialization is byte-identical
+// whether the same totals were accumulated by 1 thread or by N.
+TEST(ObsRegistry, ShardMergeIsByteIdenticalAcrossThreadCounts) {
+  const auto record_with_threads = [](int threads) {
+    obs::ShardedRegistry sharded;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&sharded, t, threads] {
+        obs::Registry& shard = sharded.local();
+        // Every thread contributes a different slice; totals are fixed.
+        for (int i = t; i < 120; i += threads) {
+          shard.add("evals", 1);
+          shard.add("zebra_last", 2);  // name-sorts after the others
+          shard.record_max("peak", i);
+          shard.observe("flows", i);
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    return io::registry_record("t", sharded.merged());
+  };
+
+  const std::string one = record_with_threads(1);
+  EXPECT_EQ(one, record_with_threads(2));
+  EXPECT_EQ(one, record_with_threads(7));
+  // Sanity on the payload itself (totals independent of the split).
+  EXPECT_NE(one.find("\"evals\":120"), std::string::npos);
+  EXPECT_NE(one.find("\"peak\":119"), std::string::npos);
+  EXPECT_NE(one.find("\"flows_count\":120"), std::string::npos);
+}
+
+TEST(ObsRegistry, RegistryRecordOmitsEmptyRecordNameAndOrdersFields) {
+  obs::Registry reg;
+  reg.add("b_second", 2);
+  reg.add("a_first", 1);  // registration order wins for hand-built registries
+  reg.set_gauge("g", 1.5);
+  EXPECT_EQ(io::registry_record("", reg),
+            "{\"b_second\":2,\"a_first\":1,\"g\":1.5}");
+  EXPECT_EQ(io::registry_record("x", reg),
+            "{\"record\":\"x\",\"b_second\":2,\"a_first\":1,\"g\":1.5}");
+}
+
+// --- Tracing ----------------------------------------------------------------
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::reset_tracing(); }
+  void TearDown() override {
+    obs::set_tracing_enabled(false);
+    obs::reset_tracing();
+    obs::set_trace_ring_capacity(1 << 16);
+  }
+};
+
+TEST_F(ObsTraceTest, DisabledSpansRecordNothing) {
+  obs::set_tracing_enabled(false);
+  { OBS_SPAN("ghost"); }
+  EXPECT_TRUE(obs::collect_trace_events().events.empty());
+}
+
+TEST_F(ObsTraceTest, NestedSpansAreEnclosedAndExportValidates) {
+  obs::set_tracing_enabled(true);
+  obs::set_thread_trace_name("main");
+  {
+    OBS_SPAN("outer");
+    { OBS_SPAN("inner"); }
+  }
+  std::thread worker([] {
+    obs::set_thread_trace_name("worker");
+    { OBS_SPAN("worker_span"); }
+    obs::flush_thread_trace_sink();  // what exec::ThreadPool does at exit
+  });
+  worker.join();
+
+  const obs::TraceSnapshot snap = obs::collect_trace_events();
+  ASSERT_EQ(snap.events.size(), 3u);
+  EXPECT_EQ(snap.dropped_events, 0u);
+
+  const obs::TraceEvent* outer = nullptr;
+  const obs::TraceEvent* inner = nullptr;
+  const obs::TraceEvent* wspan = nullptr;
+  for (const obs::TraceEvent& ev : snap.events) {
+    if (std::string(ev.name) == "outer") outer = &ev;
+    if (std::string(ev.name) == "inner") inner = &ev;
+    if (std::string(ev.name) == "worker_span") wspan = &ev;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(wspan, nullptr);
+  // RAII nesting: the inner span lies inside the outer one, on one tid.
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_NE(outer->tid, wspan->tid);
+  EXPECT_LE(outer->start_ns, inner->start_ns);
+  EXPECT_GE(outer->start_ns + outer->dur_ns, inner->start_ns + inner->dur_ns);
+  ASSERT_LT(static_cast<std::size_t>(outer->tid), snap.thread_names.size());
+  EXPECT_EQ(snap.thread_names[static_cast<std::size_t>(outer->tid)], "main");
+  EXPECT_EQ(snap.thread_names[static_cast<std::size_t>(wspan->tid)], "worker");
+
+  std::ostringstream os;
+  io::write_chrome_trace(os, snap);
+  std::string error;
+  EXPECT_TRUE(io::validate_chrome_trace(os.str(), error)) << error;
+}
+
+TEST_F(ObsTraceTest, RingOverflowDropsOldestAndCountsDrops) {
+  obs::set_trace_ring_capacity(8);  // applies to sinks created after
+  obs::set_tracing_enabled(true);
+  std::thread recorder([] {
+    for (int i = 0; i < 32; ++i) {
+      obs::detail::record_span("e", /*start_ns=*/i, /*end_ns=*/i + 1);
+    }
+    obs::flush_thread_trace_sink();
+  });
+  recorder.join();
+
+  const obs::TraceSnapshot snap = obs::collect_trace_events();
+  ASSERT_EQ(snap.events.size(), 8u);
+  EXPECT_EQ(snap.dropped_events, 24u);
+  // Drop-OLDEST: the survivors are exactly the newest 8 spans, in order.
+  for (std::size_t i = 0; i < snap.events.size(); ++i) {
+    EXPECT_EQ(snap.events[i].start_ns,
+              static_cast<std::int64_t>(24 + i));
+  }
+}
+
+TEST_F(ObsTraceTest, ResetDropsEverything) {
+  obs::set_tracing_enabled(true);
+  { OBS_SPAN("span"); }
+  obs::reset_tracing();
+  EXPECT_TRUE(obs::collect_trace_events().events.empty());
+}
+
+// --- Chrome-trace validator -------------------------------------------------
+
+TEST(ObsTraceValidator, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(io::validate_chrome_trace("not json", error));
+  EXPECT_FALSE(io::validate_chrome_trace("{\"noTraceEvents\":1}", error));
+  EXPECT_FALSE(io::validate_chrome_trace("{\"traceEvents\":[]}", error));
+  EXPECT_FALSE(io::validate_chrome_trace(  // unterminated array
+      "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"dur\":1,"
+      "\"pid\":1,\"tid\":0}",
+      error));
+  EXPECT_FALSE(io::validate_chrome_trace(  // missing dur
+      "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"pid\":1,"
+      "\"tid\":0}]}",
+      error));
+  EXPECT_NE(error.find("missing dur"), std::string::npos);
+}
+
+TEST(ObsTraceValidator, RejectsNonMonotoneTimestamps) {
+  std::string error;
+  EXPECT_FALSE(io::validate_chrome_trace(
+      "{\"traceEvents\":["
+      "{\"name\":\"a\",\"ph\":\"X\",\"ts\":10,\"dur\":1,\"pid\":1,\"tid\":0},"
+      "{\"name\":\"b\",\"ph\":\"X\",\"ts\":5,\"dur\":1,\"pid\":1,\"tid\":0}"
+      "]}",
+      error));
+  EXPECT_NE(error.find("non-monotone"), std::string::npos);
+}
+
+TEST(ObsTraceValidator, RejectsPartialOverlapAcceptsProperNesting) {
+  std::string error;
+  // a: [0, 10), b: [5, 15) — partial overlap on one tid is impossible for
+  // RAII scopes and must be rejected.
+  EXPECT_FALSE(io::validate_chrome_trace(
+      "{\"traceEvents\":["
+      "{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"dur\":10,\"pid\":1,\"tid\":0},"
+      "{\"name\":\"b\",\"ph\":\"X\",\"ts\":5,\"dur\":10,\"pid\":1,\"tid\":0}"
+      "]}",
+      error));
+  EXPECT_NE(error.find("overlap"), std::string::npos);
+  // a: [0, 10) enclosing b: [2, 5), then c disjoint at [20, 21): fine. The
+  // same interval pattern on ANOTHER tid is independent state.
+  EXPECT_TRUE(io::validate_chrome_trace(
+      "{\"traceEvents\":["
+      "{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"dur\":10,\"pid\":1,\"tid\":0},"
+      "{\"name\":\"b\",\"ph\":\"X\",\"ts\":2,\"dur\":3,\"pid\":1,\"tid\":0},"
+      "{\"name\":\"c\",\"ph\":\"X\",\"ts\":20,\"dur\":1,\"pid\":1,\"tid\":0},"
+      "{\"name\":\"d\",\"ph\":\"X\",\"ts\":1,\"dur\":4,\"pid\":1,\"tid\":1}"
+      "]}",
+      error))
+      << error;
+}
+
+// --- Phase profiling --------------------------------------------------------
+
+TEST(ObsProfile, PhaseScopesAccumulateOnlyWhenEnabled) {
+  obs::reset_phase_totals();
+  obs::set_profiling_enabled(false);
+  { const obs::PhaseScope scope(obs::Phase::kRoute); }
+  EXPECT_EQ(obs::phase_totals()
+                .phase[static_cast<std::size_t>(obs::Phase::kRoute)]
+                .enters,
+            0);
+
+  obs::set_profiling_enabled(true);
+  {
+    const obs::PhaseScope route(obs::Phase::kRoute);
+    const obs::PhaseScope merge(obs::Phase::kMerge);  // nested, other phase
+  }
+  obs::set_profiling_enabled(false);
+  const obs::PhaseTotals totals = obs::phase_totals();
+  const auto& route =
+      totals.phase[static_cast<std::size_t>(obs::Phase::kRoute)];
+  const auto& merge =
+      totals.phase[static_cast<std::size_t>(obs::Phase::kMerge)];
+  EXPECT_EQ(route.enters, 1);
+  EXPECT_EQ(merge.enters, 1);
+  EXPECT_GE(route.wall_ns, merge.wall_ns);  // route encloses merge
+
+  const std::string rec = io::phase_profile_record(totals);
+  EXPECT_NE(rec.find("\"record\":\"phase_profile\""), std::string::npos);
+  EXPECT_NE(rec.find("\"route_scopes\":1"), std::string::npos);
+  obs::reset_phase_totals();
+}
+
+}  // namespace

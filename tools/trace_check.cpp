@@ -1,0 +1,46 @@
+// trace_check — validates Chrome trace_event JSON emitted by `--trace`.
+//
+//   trace_check trace1.json [trace2.json ...]
+//
+// Accepts iff every file is a well-formed trace in the writer's format:
+// "X" events with non-negative ts/dur, per-tid monotone start timestamps,
+// and properly nested spans (no partial overlap within a lane). CI runs it
+// on the traced smoke campaign; a failure means the tracing pipeline
+// produced a timeline no viewer could be trusted to render.
+//
+// The actual checks live in io/obs_writers.cpp (validate_chrome_trace) so
+// the writer, the validator and the obs tests share one format definition.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "vinoc/io/obs_writers.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_check <trace.json> [more.json ...]\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "trace_check: cannot open %s\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (vinoc::io::validate_chrome_trace(buf.str(), error)) {
+      std::printf("trace_check: %s OK (%zu bytes)\n", argv[i],
+                  buf.str().size());
+    } else {
+      std::fprintf(stderr, "trace_check: %s FAILED: %s\n", argv[i],
+                   error.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

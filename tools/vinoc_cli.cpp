@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,11 @@
 #include "vinoc/core/synthesis.hpp"
 #include "vinoc/io/exports.hpp"
 #include "vinoc/io/jsonl.hpp"
+#include "vinoc/io/obs_writers.hpp"
 #include "vinoc/io/spec_format.hpp"
+#include "vinoc/obs/profile.hpp"
+#include "vinoc/obs/registry.hpp"
+#include "vinoc/obs/trace.hpp"
 #include "vinoc/power/gating.hpp"
 #include "vinoc/power/transitions.hpp"
 #include "vinoc/sim/simulator.hpp"
@@ -66,7 +71,15 @@ struct Args {
   bool no_timing = false;
   std::string cache_dir;
   std::string out = "vinoc_out";
+  std::string trace_path;    // --trace: Chrome trace_event JSON export
+  std::string metrics_path;  // --metrics-out: registry + phase_profile JSONL
 };
+
+/// Registry records contributed by the command (campaign summary, sweep
+/// stats, ...) for the --metrics-out export written after the command
+/// returns; the phase_profile record is appended last. Purely diagnostic:
+/// never part of result fingerprints or the job record stream.
+std::vector<std::string> g_metric_lines;
 
 int usage() {
   std::fprintf(
@@ -102,6 +115,11 @@ int usage() {
       "  --json                  machine-readable JSONL records on stdout\n"
       "  --progress              progress to stderr\n"
       "  --out PREFIX            output file prefix (default vinoc_out)\n"
+      "  --trace FILE            record scoped spans and write a Chrome\n"
+      "                          trace_event JSON (chrome://tracing, Perfetto;\n"
+      "                          results stay bit-identical to untraced runs)\n"
+      "  --metrics-out FILE      write the run's merged metric registries and\n"
+      "                          a phase_profile record as JSONL\n"
       "\n"
       "exit codes:\n"
       "  0 success    1 runtime error      2 bad command line\n"
@@ -176,6 +194,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.out = v;
+    } else if (flag == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.trace_path = v;
+    } else if (flag == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.metrics_path = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", flag.c_str());
       return false;
@@ -310,6 +336,15 @@ int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
   const core::WidthSweepResult sweep =
       core::explore_link_widths(spec, args.widths, options, &sweep_stats);
   if (args.progress) std::fprintf(stderr, "\n");
+  // The ONE serialization of the sweep telemetry: the --json record, the
+  // sharing:/delta: console lines and the --metrics-out export all read
+  // from this registry (counters first, shared_rate/delta_reuse_rate as
+  // trailing gauges — see WidthSetStats::to_registry).
+  const obs::Registry sweep_reg = sweep_stats.to_registry();
+  const auto counter = [&sweep_reg](const char* name) {
+    return static_cast<long long>(sweep_reg.value(name));
+  };
+  g_metric_lines.push_back(io::registry_record("width_sweep_stats", sweep_reg));
   if (args.json) {
     // One campaign-format record per width (infeasible widths included with
     // feasible=false), machine-readable counterpart of the table below,
@@ -323,27 +358,8 @@ int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
           record_for(args, spec, wopt, e.feasible ? &e.result : nullptr),
           !args.no_timing);
     }
-    io::JsonlWriter w;
-    w.field("record", "width_sweep_stats")
-        .field("width_classes", sweep_stats.width_classes)
-        .field("shared_evals", sweep_stats.shared_evals)
-        .field("certified_evals", sweep_stats.certified_evals)
-        .field("certificate_accepts", sweep_stats.certificate_accepts)
-        .field("cohort_evals", sweep_stats.cohort_evals)
-        .field("cohort_groups", sweep_stats.cohort_groups)
-        .field("fallback_evals", sweep_stats.fallback_evals)
-        .field("shared_rate", sweep_stats.shared_rate())
-        .field("peak_buffered_outcomes", sweep_stats.peak_buffered_outcomes)
-        .field("delta_candidates", sweep_stats.delta_candidates)
-        .field("delta_flows_reused",
-               static_cast<std::int64_t>(sweep_stats.delta_flows_reused))
-        .field("delta_flows_certified",
-               static_cast<std::int64_t>(sweep_stats.delta_flows_certified))
-        .field("delta_flows_rerouted",
-               static_cast<std::int64_t>(sweep_stats.delta_flows_rerouted))
-        .field("delta_cert_rejects", sweep_stats.delta_cert_rejects)
-        .field("delta_reuse_rate", sweep_stats.delta_reuse_rate());
-    std::printf("%s\n", w.line().c_str());
+    std::printf("%s\n",
+                io::registry_record("width_sweep_stats", sweep_reg).c_str());
     return kExitOk;
   }
   std::printf("%-8s %-10s %-18s %-18s\n", "width", "points", "best power [mW]",
@@ -369,23 +385,24 @@ int cmd_sweep(const Args& args, const soc::SocSpec& spec) {
                 m.noc_dynamic_w * 1e3, m.avg_latency_cycles);
   }
   // Every counter of the --json width_sweep_stats record, same names and
-  // values — the two surfaces must not disagree.
+  // values — both surfaces read the same registry.
   std::printf(
-      "sharing: %d width classes, %d shared (%d certified), %d cohort in %d "
-      "groups, %d solo fallback (%.0f%% shared rate, %d certificate accepts, "
-      "peak %d buffered outcomes)\n",
-      sweep_stats.width_classes, sweep_stats.shared_evals,
-      sweep_stats.certified_evals, sweep_stats.cohort_evals,
-      sweep_stats.cohort_groups,
-      sweep_stats.fallback_evals - sweep_stats.cohort_evals,
-      sweep_stats.shared_rate() * 100.0, sweep_stats.certificate_accepts,
-      sweep_stats.peak_buffered_outcomes);
+      "sharing: %lld width classes, %lld shared (%lld certified), %lld cohort "
+      "in %lld groups, %lld solo fallback (%.0f%% shared rate, %lld "
+      "certificate accepts, peak %lld buffered outcomes)\n",
+      counter("width_classes"), counter("shared_evals"),
+      counter("certified_evals"), counter("cohort_evals"),
+      counter("cohort_groups"),
+      counter("fallback_evals") - counter("cohort_evals"),
+      sweep_reg.gauge("shared_rate") * 100.0, counter("certificate_accepts"),
+      counter("peak_buffered_outcomes"));
   std::printf(
-      "delta: %d candidates replayed, %lld flows reused + %lld certified, "
-      "%lld rerouted (%.0f%% reuse rate, %d certificate rejects)\n",
-      sweep_stats.delta_candidates, sweep_stats.delta_flows_reused,
-      sweep_stats.delta_flows_certified, sweep_stats.delta_flows_rerouted,
-      sweep_stats.delta_reuse_rate() * 100.0, sweep_stats.delta_cert_rejects);
+      "delta: %lld candidates replayed, %lld flows reused + %lld certified, "
+      "%lld rerouted (%.0f%% reuse rate, %lld certificate rejects)\n",
+      counter("delta_candidates"), counter("delta_flows_reused"),
+      counter("delta_flows_certified"), counter("delta_flows_rerouted"),
+      sweep_reg.gauge("delta_reuse_rate") * 100.0,
+      counter("delta_cert_rejects"));
   return kExitOk;
 }
 
@@ -497,65 +514,46 @@ int cmd_campaign(const Args& args) {
                "%s: %d jobs (%d raw, %d filtered, %d deduped) — %d run "
                "(%d width-shared in %d groups), %d cache hits, %d infeasible, "
                "%.2f s\n",
-               parsed.spec.name.c_str(), result.jobs_total, result.expand.raw,
-               result.expand.filtered, result.expand.deduped, result.jobs_run,
-               result.structure_shared_jobs, result.structure_groups,
-               result.cache_hits, result.infeasible, result.wall_s);
-  std::fprintf(stderr,
-               "sharing: %d shared (%d certified), %d cohort in %d groups, "
-               "%d solo fallback (%d certificate accepts, peak %d buffered "
-               "outcomes); delta: %d candidates, %lld reused + %lld "
-               "certified, %lld rerouted (%.0f%% reuse rate)\n",
-               result.width_shared_evals, result.width_certified_evals,
-               result.width_cohort_evals, result.cohort_groups,
-               result.width_fallback_evals - result.width_cohort_evals,
-               result.certificate_accepts, result.peak_buffered_outcomes,
-               result.delta_candidates, result.delta_flows_reused,
-               result.delta_flows_certified, result.delta_flows_rerouted,
-               result.delta_reuse_rate() * 100.0);
+               parsed.spec.name.c_str(), result.jobs_total(),
+               result.expand.raw, result.expand.filtered, result.expand.deduped,
+               result.jobs_run(), result.structure_shared_jobs(),
+               result.structure_groups(), result.cache_hits(),
+               result.infeasible(), result.wall_s);
+  std::fprintf(
+      stderr,
+      "sharing: %d shared (%d certified), %d cohort in %d groups, "
+      "%d solo fallback (%d certificate accepts, peak %d buffered "
+      "outcomes); delta: %d candidates, %lld reused + %lld "
+      "certified, %lld rerouted (%.0f%% reuse rate)\n",
+      result.width_shared_evals(), result.width_certified_evals(),
+      result.width_cohort_evals(), result.cohort_groups(),
+      result.width_fallback_evals() - result.width_cohort_evals(),
+      result.certificate_accepts(), result.peak_buffered_outcomes(),
+      result.delta_candidates(), result.delta_flows_reused(),
+      result.delta_flows_certified(), result.delta_flows_rerouted(),
+      result.delta_reuse_rate() * 100.0);
   // Machine-readable run summary: scripts (and CI's resume assertion) parse
-  // this line instead of the human-formatted one above.
-  {
-    io::JsonlWriter w;
-    w.field("run", result.jobs_run)
-        .field("cache_hits", result.cache_hits)
-        .field("infeasible", result.infeasible)
-        .field("total", result.jobs_total)
-        .field("structure_groups", result.structure_groups)
-        .field("structure_shared_jobs", result.structure_shared_jobs)
-        .field("width_shared_evals", result.width_shared_evals)
-        .field("width_certified_evals", result.width_certified_evals)
-        .field("width_cohort_evals", result.width_cohort_evals)
-        .field("width_fallback_evals", result.width_fallback_evals)
-        .field("certificate_accepts", result.certificate_accepts)
-        // New fields append AFTER the ones above: scripts assert on the
-        // line's prefix.
-        .field("cohort_groups", result.cohort_groups)
-        .field("peak_buffered_outcomes", result.peak_buffered_outcomes)
-        .field("delta_candidates", result.delta_candidates)
-        .field("delta_flows_reused",
-               static_cast<std::int64_t>(result.delta_flows_reused))
-        .field("delta_flows_certified",
-               static_cast<std::int64_t>(result.delta_flows_certified))
-        .field("delta_flows_rerouted",
-               static_cast<std::int64_t>(result.delta_flows_rerouted))
-        .field("delta_cert_rejects", result.delta_cert_rejects)
-        .field("delta_reuse_rate", result.delta_reuse_rate());
-    std::fprintf(stderr, "resume_summary %s\n", w.line().c_str());
+  // this line instead of the human-formatted one above. The serialization
+  // is CampaignResult::metrics verbatim — the engine registers its counters
+  // in the canonical order and test_campaign locks the prefix in, so there
+  // is no field list here to drift.
+  std::fprintf(stderr, "resume_summary %s\n",
+               io::registry_record("", result.metrics).c_str());
+  g_metric_lines.push_back(
+      io::registry_record("campaign_summary", result.metrics));
+  if (obs::profiling_enabled()) {
+    std::fprintf(stderr, "%s\n",
+                 io::phase_profile_record(obs::phase_totals()).c_str());
   }
   std::fprintf(stderr, "wrote %s.{jsonl,csv}\n", args.out.c_str());
-  if (result.jobs_total == 0) {
+  if (result.jobs_total() == 0) {
     std::fprintf(stderr, "campaign matrix expanded to zero jobs\n");
     return kExitSpec;
   }
   return kExitOk;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Args args;
-  if (!parse_args(argc, argv, args)) return usage();
+int run_command(const Args& args) {
   try {
     if (args.command == "campaign") return cmd_campaign(args);
     if (args.command != "synth" && args.command != "sweep" &&
@@ -583,4 +581,47 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitRuntime;
   }
+}
+
+/// Writes the --trace / --metrics-out exports after the command returned
+/// (worker sinks were flushed when the command's pools joined; the main
+/// thread's live sink is snapshotted directly). An export that cannot be
+/// written turns a successful exit into kExitRuntime — CI relies on the
+/// artifacts existing — but never masks a command failure.
+int export_observability(const Args& args, int code) {
+  if (!args.metrics_path.empty()) {
+    std::ofstream os(args.metrics_path);
+    for (const std::string& line : g_metric_lines) os << line << '\n';
+    os << io::phase_profile_record(obs::phase_totals()) << '\n';
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_path.c_str());
+      if (code == kExitOk) code = kExitRuntime;
+    }
+  }
+  if (!args.trace_path.empty()) {
+    if (!io::write_chrome_trace_file(args.trace_path,
+                                     obs::collect_trace_events())) {
+      std::fprintf(stderr, "cannot write %s\n", args.trace_path.c_str());
+      if (code == kExitOk) code = kExitRuntime;
+    }
+  }
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+  // Arm observability BEFORE any pool exists so worker threads register
+  // their trace sinks; tracing/profiling never feed content hashes or
+  // result fingerprints, so armed runs stay bit-identical to bare ones.
+  if (!args.trace_path.empty()) {
+    obs::set_tracing_enabled(true);
+    obs::set_thread_trace_name("main");
+  }
+  if (!args.trace_path.empty() || !args.metrics_path.empty()) {
+    obs::set_profiling_enabled(true);
+  }
+  return export_observability(args, run_command(args));
 }
