@@ -41,15 +41,59 @@ void print_table(bool quick) {
       "Campaign engine: batch throughput and cache-hit speedup",
       "beyond the paper (batched multi-scenario synthesis harness)");
   const campaign::CampaignSpec spec = bench_campaign(quick);
-  std::printf("%-10s %-8s %-12s %-12s %-12s %-10s\n", "threads", "jobs",
-              "cold [s]", "jobs/s", "warm [s]", "speedup");
+  // Statistical measurement (bench/fat_runner.hpp) of the gated threads=1
+  // numbers: cold = fresh cache every rep, warm = all-hit re-run against
+  // a pre-filled cache; median + MAD over the reps feed the perf gate.
+  bench::FatRunner runner(bench::FatConfig::from_env_or_die());
+  bench::RecordProvenance prov(runner.config());
+
+  int jobs = 0;
+  const bench::Measurement cold_m = runner.run("campaign_cold", [&] {
+    campaign::ResultCache cache;
+    campaign::CampaignOptions opt;
+    opt.threads = 1;
+    opt.cache = &cache;
+    const campaign::CampaignResult r = campaign::run_campaign(spec, opt);
+    jobs = r.jobs_total();
+    benchmark::DoNotOptimize(r.records.size());
+  });
+  campaign::ResultCache warm_cache;
+  campaign::CampaignOptions warm_opt;
+  warm_opt.threads = 1;
+  warm_opt.cache = &warm_cache;
+  (void)campaign::run_campaign(spec, warm_opt);  // fill the cache once
+  // Correctness guardrail, outside the timed region: the warm re-run must
+  // serve every job from the cache or "warm" times the wrong thing.
+  const campaign::CampaignResult check = campaign::run_campaign(spec, warm_opt);
+  if (check.cache_hits() != check.jobs_total()) {
+    std::fprintf(stderr, "bench_campaign: warm run expected all hits, got %d/%d\n",
+                 check.cache_hits(), check.jobs_total());
+    std::exit(1);
+  }
+  const bench::Measurement warm_m = runner.run("campaign_warm", [&] {
+    const campaign::CampaignResult r = campaign::run_campaign(spec, warm_opt);
+    benchmark::DoNotOptimize(r.cache_hits());
+  });
+  prov.add(cold_m);
+  prov.add(warm_m);
+  const bench::RobustStats jobs_per_s = bench::rate_from_time(cold_m.stats, jobs);
+  const bench::RobustStats warm_speedup =
+      bench::ratio_of(cold_m.stats, warm_m.stats);
+
+  std::printf("%-10s %-8s %-12s %-12s %-12s %-10s %-6s\n", "threads", "jobs",
+              "cold [s]", "jobs/s", "warm [s]", "speedup", "reps");
+  std::printf("%-10d %-8d %-12.3f %-12.1f %-12.4f %-10.0f %d\n", 1, jobs,
+              cold_m.stats.median, jobs_per_s.median, warm_m.stats.median,
+              warm_speedup.median, std::min(cold_m.stats.n, warm_m.stats.n));
+
+  // Thread-scaling rows (observability only — single-shot, not gated).
   struct Row {
     int threads;
     int jobs;
     double cold_s, warm_s;
   };
   std::vector<Row> rows;
-  for (const int threads : quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4}) {
+  for (const int threads : quick ? std::vector<int>{2} : std::vector<int>{2, 4}) {
     campaign::ResultCache cache;
     campaign::CampaignOptions opt;
     opt.threads = threads;
@@ -65,25 +109,31 @@ void print_table(bool quick) {
                 cold.jobs_total(), cold.wall_s, cold.jobs_total() / cold.wall_s,
                 warm.wall_s, cold.wall_s / warm.wall_s);
   }
+
   std::printf("\n--- BEGIN JSONL (campaign_cache_speedup) ---\n");
   for (const Row& r : rows) {
+    // Raw seconds only (observability fields, never gated): the gated
+    // rates live in the campaign_summary record below.
     io::JsonlWriter w;
     w.field("bench", "campaign_cache_speedup")
         .field("threads", r.threads)
         .field("jobs", r.jobs)
         .field("cold_s", r.cold_s)
-        .field("warm_s", r.warm_s)
-        .field("jobs_per_s", r.jobs / r.cold_s)
-        .field("speedup", r.cold_s / r.warm_s);
+        .field("warm_s", r.warm_s);
     bench::append_env_provenance(w);
     std::printf("%s\n", w.line().c_str());
   }
-  // One-line summary (threads = 1 row) keyed for tools/bench_check.
+  // One-line summary (threads = 1, FatRunner-measured) keyed for
+  // tools/bench_check.
   io::JsonlWriter summary;
   summary.field("bench", "campaign_summary")
       .field("quick", quick)
-      .field("jobs_per_s", rows[0].jobs / rows[0].cold_s)
-      .field("warm_speedup", rows[0].cold_s / rows[0].warm_s);
+      .field("jobs", jobs)
+      .field("cold_s", cold_m.stats.median)
+      .field("warm_s", warm_m.stats.median);
+  bench::append_metric(summary, "jobs_per_s", jobs_per_s);
+  bench::append_metric(summary, "warm_speedup", warm_speedup);
+  prov.append(summary);
   bench::append_env_provenance(summary);
   std::printf("%s\n", summary.line().c_str());
   std::printf("--- END JSONL ---\n\n");

@@ -116,47 +116,52 @@ void print_table(bool quick) {
   std::vector<SweepSetup> cases;
   for (Case& c : sweep_cases(quick)) cases.emplace_back(std::move(c.spec));
   core::EvalScratchPool scratch;
-  const int reps = quick ? 3 : 5;
+  // Statistical measurement (bench/fat_runner.hpp): env-var-canonical
+  // warmup/rep config, batch calibration, median + MAD with outlier
+  // rejection. Every gated value below is the median over the kept reps.
+  bench::FatRunner runner(bench::FatConfig::from_env_or_die());
+  bench::RecordProvenance prov(runner.config());
 
-  // Median-of-`reps` timing (see bench::time_repeats): each rep evaluates
-  // the full case list once; the gated rate uses the median rep.
-  auto time_mode = [&](Mode mode) {
-    // Warm-up evaluates everything once (fills arenas, faults pages).
-    int per_rep = 0;
-    for (const SweepSetup& c : cases) per_rep += run_sweep(c, mode, scratch);
-    const bench::RepeatTiming t = bench::time_repeats(reps, [&] {
+  int n_cands = 0;
+  for (const SweepSetup& c : cases) {
+    n_cands += static_cast<int>(c.candidates.size());
+  }
+
+  auto time_mode = [&](Mode mode, const char* name) {
+    const bench::Measurement m = runner.run(name, [&] {
       for (const SweepSetup& c : cases) {
         benchmark::DoNotOptimize(run_sweep(c, mode, scratch));
       }
     });
-    return std::pair<int, bench::RepeatTiming>{per_rep, t};
+    prov.add(m);
+    return m;
   };
+  const bench::Measurement cold_m = time_mode(Mode::kCold, "eval_cold");
+  const bench::Measurement scr_m = time_mode(Mode::kScratch, "eval_scratch");
+  const bench::Measurement pr_m = time_mode(Mode::kPruned, "eval_pruned");
+  const bench::RobustStats cold_rate = bench::rate_from_time(cold_m.stats, n_cands);
+  const bench::RobustStats scr_rate = bench::rate_from_time(scr_m.stats, n_cands);
+  const bench::RobustStats pr_rate = bench::rate_from_time(pr_m.stats, n_cands);
 
-  const auto [n_cands, cold_t] = time_mode(Mode::kCold);
-  const auto [scr_n, scr_t] = time_mode(Mode::kScratch);
-  const auto [pr_n, pr_t] = time_mode(Mode::kPruned);
-  (void)scr_n;
-  (void)pr_n;
-  const double cold_rate = n_cands / cold_t.median_s;
-  const double scr_rate = n_cands / scr_t.median_s;
-  const double pr_rate = n_cands / pr_t.median_s;
-
-  std::printf("%-18s %-12s %-14s %-10s %-24s\n", "mode", "candidates",
-              "cands/s", "speedup", "per-rep s (min/med/max)");
-  auto row = [&](const char* name, int cands, double rate,
-                 const bench::RepeatTiming& t) {
-    std::printf("%-18s %-12d %-14.0f %-10.2f %.4f/%.4f/%.4f\n", name, cands,
-                rate, rate / cold_rate, t.min_s, t.median_s, t.max_s);
+  std::printf("%-18s %-12s %-14s %-10s %-6s %-24s\n", "mode", "candidates",
+              "cands/s (med)", "speedup", "reps", "per-rep s (min/med/max)");
+  auto row = [&](const char* name, int cands, const bench::RobustStats& rate,
+                 const bench::Measurement& m) {
+    std::printf("%-18s %-12d %-14.0f %-10.2f %-6d %s\n", name, cands,
+                rate.median, rate.median / cold_rate.median, m.stats.n,
+                bench::time_range(m.stats).c_str());
   };
-  row("cold (legacy)", n_cands, cold_rate, cold_t);
-  row("scratch", n_cands, scr_rate, scr_t);
-  row("scratch+prune", n_cands, pr_rate, pr_t);
+  row("cold (legacy)", n_cands, cold_rate, cold_m);
+  row("scratch", n_cands, scr_rate, scr_m);
+  row("scratch+prune", n_cands, pr_rate, pr_m);
 
   // End-to-end synthesize() throughput (prune on — the production path),
-  // A/B'd delta-off vs delta-on. Every rep gates bit-identity: a
-  // result_fingerprint mismatch between the two means the delta evaluator's
-  // replay is NOT equivalent to from-scratch evaluation, and the bench
-  // exits non-zero (the speedup number would be meaningless).
+  // A/B'd delta-off vs delta-on. Bit-identity is gated by an UNTIMED
+  // verification pass before the timed reps (correctness guardrails stay
+  // outside timed regions): a result_fingerprint mismatch between the two
+  // means the delta evaluator's replay is NOT equivalent to from-scratch
+  // evaluation, and the bench exits non-zero (the speedup number would be
+  // meaningless).
   //
   // The A/B runs its own case list: delta replay only serves intra-island
   // flows, so its reuse rate is bounded by the intra/cross flow mix — low
@@ -181,65 +186,75 @@ void print_table(bool quick) {
   int synth_cands = 0;
   long long delta_eligible = 0;
   long long delta_served = 0;
-  std::vector<std::uint64_t> fps_scratch;
-  std::vector<std::uint64_t> fps_delta;
-  auto time_synth = [&](bool delta_on) {
-    return bench::time_repeats(reps, [&] {
-      synth_cands = 0;
-      std::vector<std::uint64_t>& fps = delta_on ? fps_delta : fps_scratch;
-      fps.clear();
-      if (delta_on) {
-        delta_eligible = 0;
-        delta_served = 0;
-      }
-      for (const SweepSetup& c : synth_cases) {
-        core::SynthesisOptions opt;
-        opt.delta_eval = delta_on;
-        const core::SynthesisResult res = core::synthesize(c.spec, opt);
-        synth_cands += res.stats.configs_explored;
-        fps.push_back(campaign::result_fingerprint(res));
+  auto synth_pass = [&](bool delta_on, std::vector<std::uint64_t>* fps) {
+    synth_cands = 0;
+    for (const SweepSetup& c : synth_cases) {
+      core::SynthesisOptions opt;
+      opt.delta_eval = delta_on;
+      const core::SynthesisResult res = core::synthesize(c.spec, opt);
+      synth_cands += res.stats.configs_explored;
+      if (fps != nullptr) {
+        fps->push_back(campaign::result_fingerprint(res));
         if (delta_on) {
           const long long reused =
               res.stats.delta_flows_reused + res.stats.delta_flows_certified;
           delta_served += reused;
           delta_eligible += reused + res.stats.delta_flows_rerouted;
         }
-        benchmark::DoNotOptimize(res.points.size());
       }
-    });
+      benchmark::DoNotOptimize(res.points.size());
+    }
   };
-  const bench::RepeatTiming synth_t = time_synth(/*delta_on=*/false);
-  const bench::RepeatTiming delta_t = time_synth(/*delta_on=*/true);
+  // Untimed verification pass: the fingerprint guardrail and the
+  // (deterministic) reuse counters, kept out of the timed regions.
+  std::vector<std::uint64_t> fps_scratch;
+  std::vector<std::uint64_t> fps_delta;
+  synth_pass(/*delta_on=*/false, &fps_scratch);
+  synth_pass(/*delta_on=*/true, &fps_delta);
   if (fps_scratch != fps_delta) {
     std::fprintf(stderr,
                  "bench_eval_hotpath: FINGERPRINT MISMATCH — delta evaluation "
                  "is not bit-identical to from-scratch evaluation\n");
     std::exit(1);
   }
-  const double synth_rate = synth_cands / synth_t.median_s;
-  const double delta_rate = synth_cands / delta_t.median_s;
+  const bench::Measurement synth_m = runner.run(
+      "synthesize", [&] { synth_pass(/*delta_on=*/false, nullptr); });
+  const bench::Measurement delta_m = runner.run(
+      "synthesize_delta", [&] { synth_pass(/*delta_on=*/true, nullptr); });
+  prov.add(synth_m);
+  prov.add(delta_m);
+  const bench::RobustStats synth_rate =
+      bench::rate_from_time(synth_m.stats, synth_cands);
+  const bench::RobustStats delta_rate =
+      bench::rate_from_time(delta_m.stats, synth_cands);
+  const bench::RobustStats speedup_delta =
+      bench::ratio_of(synth_m.stats, delta_m.stats);  // time ratio = speedup
   const double delta_reuse_rate =
       delta_eligible > 0
           ? static_cast<double>(delta_served) / static_cast<double>(delta_eligible)
           : 0.0;
-  row("synthesize()", synth_cands, synth_rate, synth_t);
-  row("synthesize()+delta", synth_cands, delta_rate, delta_t);
+  row("synthesize()", synth_cands, synth_rate, synth_m);
+  row("synthesize()+delta", synth_cands, delta_rate, delta_m);
   std::printf("delta reuse rate: %.3f (%lld of %lld eligible flows replayed)\n",
               delta_reuse_rate, delta_served, delta_eligible);
 
   std::printf("\n--- BEGIN JSONL (eval_hotpath) ---\n");
   io::JsonlWriter w;
-  w.field("bench", "eval_hotpath")
-      .field("quick", quick)
-      .field("candidates_per_s", synth_rate)
-      .field("cands_per_s_delta", delta_rate)
-      .field("delta_reuse_rate", delta_reuse_rate)
-      .field("speedup_delta", delta_rate / synth_rate)
-      .field("eval_cold_per_s", cold_rate)
-      .field("eval_scratch_per_s", scr_rate)
-      .field("eval_pruned_per_s", pr_rate)
-      .field("speedup_scratch", scr_rate / cold_rate)
-      .field("speedup_total", pr_rate / cold_rate);
+  w.field("bench", "eval_hotpath").field("quick", quick);
+  bench::append_metric(w, "candidates_per_s", synth_rate);
+  bench::append_metric(w, "cands_per_s_delta", delta_rate);
+  bench::append_metric(
+      w, "delta_reuse_rate",
+      bench::exact_stat(delta_reuse_rate, synth_m.stats.n));
+  bench::append_metric(w, "speedup_delta", speedup_delta);
+  bench::append_metric(w, "eval_cold_per_s", cold_rate);
+  bench::append_metric(w, "eval_scratch_per_s", scr_rate);
+  bench::append_metric(w, "eval_pruned_per_s", pr_rate);
+  bench::append_metric(w, "speedup_scratch",
+                       bench::ratio_of(cold_m.stats, scr_m.stats));
+  bench::append_metric(w, "speedup_total",
+                       bench::ratio_of(cold_m.stats, pr_m.stats));
+  prov.append(w);
   bench::append_env_provenance(w);
   std::printf("%s\n", w.line().c_str());
   std::printf("--- END JSONL ---\n\n");
@@ -261,14 +276,14 @@ void print_table(bool quick) {
       }
       return fps;
     };
-    const bench::RepeatTiming off_t =
-        bench::time_repeats(reps, [&] { benchmark::DoNotOptimize(fingerprints()); });
+    const bench::Measurement off_m = runner.run(
+        "traced_off", [&] { benchmark::DoNotOptimize(fingerprints()); });
     const std::vector<std::uint64_t> fps_off = fingerprints();
     obs::set_tracing_enabled(true);
     obs::set_profiling_enabled(true);
     obs::reset_phase_totals();
-    const bench::RepeatTiming on_t =
-        bench::time_repeats(reps, [&] { benchmark::DoNotOptimize(fingerprints()); });
+    const bench::Measurement on_m = runner.run(
+        "traced_on", [&] { benchmark::DoNotOptimize(fingerprints()); });
     const std::vector<std::uint64_t> fps_on = fingerprints();
     obs::set_tracing_enabled(false);
     obs::set_profiling_enabled(false);
@@ -280,8 +295,8 @@ void print_table(bool quick) {
     }
     std::printf("tracing armed overhead: %.2f%% (untraced %.4f s, traced "
                 "%.4f s median; fingerprints bit-identical)\n",
-                (on_t.median_s / off_t.median_s - 1.0) * 100.0, off_t.median_s,
-                on_t.median_s);
+                (on_m.stats.median / off_m.stats.median - 1.0) * 100.0,
+                off_m.stats.median, on_m.stats.median);
     std::printf("%s\n", io::phase_profile_record(obs::phase_totals()).c_str());
     obs::reset_tracing();  // drop the buffered spans; nothing exports them
   }

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "fat_runner.hpp"
 #include "vinoc/core/synthesis.hpp"
 #include "vinoc/io/jsonl.hpp"
 #include "vinoc/soc/benchmarks.hpp"
@@ -133,42 +134,13 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("==============================================================\n");
 }
 
-/// Min / median / max over repeated timed runs. Gated metrics use the
-/// MEDIAN (robust to a one-off scheduling stall, unlike best-of which
-/// under-reports and mean which over-reports); min/max are printed so a
-/// noisy machine is visible in the bench output.
-struct RepeatTiming {
-  double min_s = 0.0;
-  double median_s = 0.0;
-  double max_s = 0.0;
-};
-
-/// Summarises per-rep wall-clock seconds (sorts a copy; for an even count
-/// the upper-middle element is reported — run an odd number of reps, e.g.
-/// median-of-3, to get a true median).
-inline RepeatTiming summarize_runs(std::vector<double> runs) {
-  RepeatTiming t;
-  if (runs.empty()) return t;
-  std::sort(runs.begin(), runs.end());
-  t.min_s = runs.front();
-  t.median_s = runs[runs.size() / 2];
-  t.max_s = runs.back();
-  return t;
-}
-
-/// Times `fn()` `reps` times and summarises (see summarize_runs).
-template <typename Fn>
-RepeatTiming time_repeats(int reps, Fn&& fn) {
-  std::vector<double> runs;
-  runs.reserve(static_cast<std::size_t>(reps));
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    runs.push_back(std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count());
-  }
-  return summarize_runs(std::move(runs));
+/// Formats a RobustStats time measurement as "min/med/max" seconds for
+/// the human tables (the JSONL records carry the full median+MAD shape
+/// via fat_runner's append_metric).
+inline std::string time_range(const RobustStats& t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f/%.4f/%.4f", t.min, t.median, t.max);
+  return std::string(buf);
 }
 
 /// Standard google-benchmark tail: time a full synthesize() call.

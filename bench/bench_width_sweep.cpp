@@ -107,41 +107,41 @@ std::vector<std::uint64_t> shared_sweep(const soc::SocSpec& spec,
   return fps;
 }
 
-/// One timed legacy-vs-shared A/B over `widths`: median-of-`reps` wall
-/// clock per side (min/med/max reported — see bench::summarize_runs), every
-/// rep fingerprint-gated (exits non-zero on mismatch — the single protocol
-/// behind BOTH gated speedup metrics). `evals` receives the shared side's
-/// candidate-evaluation count of the last rep.
+/// One measured legacy-vs-shared A/B over `widths`. The fingerprint
+/// guardrail runs as an UNTIMED verification pass first (correctness
+/// checks stay outside timed regions; it doubles as the warm-up): the
+/// shared sweep must be bit-identical to the legacy per-width schedule,
+/// else the bench exits non-zero — the single protocol behind BOTH gated
+/// speedup metrics. Each side is then measured by the FatRunner (warmup
+/// batches, adaptive reps, median + MAD). `evals` receives the shared
+/// side's candidate-evaluation count from the verification pass.
 struct AbResult {
-  bench::RepeatTiming legacy;
-  bench::RepeatTiming shared;
+  bench::Measurement legacy;
+  bench::Measurement shared;
 };
-AbResult timed_ab(const Case& c, const std::vector<int>& widths,
-                  const core::SynthesisOptions& options, int reps,
+AbResult timed_ab(bench::FatRunner& runner, const Case& c,
+                  const std::vector<int>& widths,
+                  const core::SynthesisOptions& options,
                   const char* grid_label, long long* evals = nullptr) {
-  std::vector<double> legacy_runs;
-  std::vector<double> shared_runs;
-  for (int rep = 0; rep < reps; ++rep) {
-    if (evals != nullptr) *evals = 0;
-    auto t0 = Clock::now();
-    const std::vector<std::uint64_t> a = shared_sweep(c.spec, widths, options, evals);
-    shared_runs.push_back(
-        std::chrono::duration<double>(Clock::now() - t0).count());
-    t0 = Clock::now();
-    const std::vector<std::uint64_t> b = legacy_sweep(c.spec, widths, options, nullptr);
-    legacy_runs.push_back(
-        std::chrono::duration<double>(Clock::now() - t0).count());
-    if (a != b) {
-      std::fprintf(stderr,
-                   "bench_width_sweep: FINGERPRINT MISMATCH on %s (%s) — the "
-                   "shared sweep is not bit-identical to per-width "
-                   "synthesize()\n",
-                   c.name.c_str(), grid_label);
-      std::exit(1);
-    }
+  if (evals != nullptr) *evals = 0;
+  const std::vector<std::uint64_t> a = shared_sweep(c.spec, widths, options, evals);
+  const std::vector<std::uint64_t> b = legacy_sweep(c.spec, widths, options, nullptr);
+  if (a != b) {
+    std::fprintf(stderr,
+                 "bench_width_sweep: FINGERPRINT MISMATCH on %s (%s) — the "
+                 "shared sweep is not bit-identical to per-width "
+                 "synthesize()\n",
+                 c.name.c_str(), grid_label);
+    std::exit(1);
   }
-  return {bench::summarize_runs(std::move(legacy_runs)),
-          bench::summarize_runs(std::move(shared_runs))};
+  AbResult ab;
+  ab.shared = runner.run(c.name + " shared", [&] {
+    benchmark::DoNotOptimize(shared_sweep(c.spec, widths, options, nullptr));
+  });
+  ab.legacy = runner.run(c.name + " legacy", [&] {
+    benchmark::DoNotOptimize(legacy_sweep(c.spec, widths, options, nullptr));
+  });
+  return ab;
 }
 
 void print_table(bool quick) {
@@ -150,40 +150,37 @@ void print_table(bool quick) {
       "beyond the paper (sweep-structured evaluation of Algorithm 1)");
   std::vector<Case> cases = sweep_cases(quick);
   core::SynthesisOptions options;  // threads = 1, prune on: the default path
-  // Median-of-3 in quick mode too: the gated speedups come from the median
-  // rep, so two reps would report the upper-middle (i.e. the max) instead.
-  const int reps = 3;
+  // Statistical measurement (bench/fat_runner.hpp): env-var-canonical
+  // warmup/rep config, median + MAD with outlier rejection per side.
+  bench::FatRunner runner(bench::FatConfig::from_env_or_die());
+  bench::RecordProvenance prov(runner.config());
 
-  // Warm-up pass (pages/caches); every timed rep below re-asserts
-  // bit-identity through timed_ab's per-rep fingerprint gate.
-  for (const Case& c : cases) {
-    (void)shared_sweep(c.spec, kWidths, options, nullptr);
-  }
-
-  double shared_total = 0.0;
-  double legacy_total = 0.0;
+  std::vector<bench::RobustStats> shared_parts;
+  std::vector<bench::RobustStats> legacy_parts;
   long long evals_total = 0;
-  std::printf("%-10s %-26s %-26s %-10s\n", "case",
-              "legacy s (min/med/max)", "shared s (min/med/max)", "speedup");
-  auto range = [](const bench::RepeatTiming& t) {
-    char buf[48];
-    std::snprintf(buf, sizeof(buf), "%.4f/%.4f/%.4f", t.min_s, t.median_s,
-                  t.max_s);
-    return std::string(buf);
-  };
+  std::printf("%-10s %-26s %-26s %-10s %-6s\n", "case",
+              "legacy s (min/med/max)", "shared s (min/med/max)", "speedup",
+              "reps");
   for (const Case& c : cases) {
     long long evals = 0;
-    const AbResult ab = timed_ab(c, kWidths, options, reps, "default grid",
-                                 &evals);
-    shared_total += ab.shared.median_s;
-    legacy_total += ab.legacy.median_s;
+    const AbResult ab =
+        timed_ab(runner, c, kWidths, options, "default grid", &evals);
+    prov.add(ab.shared);
+    prov.add(ab.legacy);
+    shared_parts.push_back(ab.shared.stats);
+    legacy_parts.push_back(ab.legacy.stats);
     evals_total += evals;
-    std::printf("%-10s %-26s %-26s %.2fx\n", c.name.c_str(),
-                range(ab.legacy).c_str(), range(ab.shared).c_str(),
-                ab.legacy.median_s / ab.shared.median_s);
+    std::printf("%-10s %-26s %-26s %-10.2f %d\n", c.name.c_str(),
+                bench::time_range(ab.legacy.stats).c_str(),
+                bench::time_range(ab.shared.stats).c_str(),
+                ab.legacy.stats.median / ab.shared.stats.median,
+                std::min(ab.legacy.stats.n, ab.shared.stats.n));
   }
-  std::printf("%-10s %-26.4f %-26.4f %.2fx\n", "TOTAL (med)", legacy_total,
-              shared_total, legacy_total / shared_total);
+  const bench::RobustStats shared_total = bench::sum_stats(shared_parts);
+  const bench::RobustStats legacy_total = bench::sum_stats(legacy_parts);
+  std::printf("%-10s %-26.4f %-26.4f %.2fx\n", "TOTAL (med)",
+              legacy_total.median, shared_total.median,
+              legacy_total.median / shared_total.median);
 
   // Sharing observability on the aggregate case list (default width set).
   long long shared_evals = 0;
@@ -205,8 +202,8 @@ void print_table(bool quick) {
   // PR 4's trace-level lockstep shared NOTHING. A/B timed and fingerprint-
   // gated like the main sweep; the sharing stats feed the gated
   // certified_share_rate metric.
-  double fine_shared_s = 0.0;
-  double fine_legacy_s = 0.0;
+  std::vector<bench::RobustStats> fine_shared_parts;
+  std::vector<bench::RobustStats> fine_legacy_parts;
   long long fine_shared = 0;
   long long fine_certified = 0;
   long long fine_accepts = 0;
@@ -217,9 +214,11 @@ void print_table(bool quick) {
               "legacy s (min/med/max)", "shared s (min/med/max)", "speedup",
               "shared/cert/cohort/solo");
   for (const Case& c : cases) {
-    const AbResult ab = timed_ab(c, kFineWidths, options, reps, "fine grid");
-    fine_shared_s += ab.shared.median_s;
-    fine_legacy_s += ab.legacy.median_s;
+    const AbResult ab = timed_ab(runner, c, kFineWidths, options, "fine grid");
+    prov.add(ab.shared);
+    prov.add(ab.legacy);
+    fine_shared_parts.push_back(ab.shared.stats);
+    fine_legacy_parts.push_back(ab.legacy.stats);
     exec::ThreadPool pool(1);
     core::EvalScratchPool scratch;
     core::WidthSetStats st;
@@ -232,11 +231,16 @@ void print_table(bool quick) {
     fine_fallback += st.fallback_evals;
     peak_buffered = std::max(peak_buffered, st.peak_buffered_outcomes);
     std::printf("%-10s %-26s %-26s %-10.2f %d/%d/%d/%d\n", c.name.c_str(),
-                range(ab.legacy).c_str(), range(ab.shared).c_str(),
-                ab.legacy.median_s / ab.shared.median_s, st.shared_evals,
-                st.certified_evals, st.cohort_evals,
+                bench::time_range(ab.legacy.stats).c_str(),
+                bench::time_range(ab.shared.stats).c_str(),
+                ab.legacy.stats.median / ab.shared.stats.median,
+                st.shared_evals, st.certified_evals, st.cohort_evals,
                 st.fallback_evals - st.cohort_evals);
   }
+  const bench::RobustStats fine_shared_total =
+      bench::sum_stats(fine_shared_parts);
+  const bench::RobustStats fine_legacy_total =
+      bench::sum_stats(fine_legacy_parts);
   const long long fine_followers = fine_shared + fine_fallback;
   const double certified_share_rate =
       fine_followers > 0 ? static_cast<double>(fine_shared) /
@@ -246,21 +250,42 @@ void print_table(bool quick) {
               certified_share_rate, fine_accepts);
 
   std::printf("\n--- BEGIN JSONL (width_sweep) ---\n");
+  const int reps_floor = std::min(shared_total.n, legacy_total.n);
   io::JsonlWriter w;
   w.field("bench", "width_sweep")
       .field("quick", quick)
-      .field("sweep_s", shared_total)
-      .field("legacy_s", legacy_total)
-      .field("speedup_shared", legacy_total / shared_total)
-      .field("width_cands_per_s", static_cast<double>(evals_total) / shared_total)
-      .field("shared_evals", static_cast<double>(shared_evals))
-      .field("fallback_evals", static_cast<double>(fallback_evals))
-      .field("partition_cache_hits", static_cast<double>(partition_hits))
-      .field("speedup_fine", fine_legacy_s / fine_shared_s)
-      .field("certified_share_rate", certified_share_rate)
-      .field("certificate_accepts", static_cast<double>(fine_accepts))
-      .field("cohort_evals", static_cast<double>(fine_cohort))
-      .field("peak_buffered_outcomes", static_cast<double>(peak_buffered));
+      .field("sweep_s", shared_total.median)
+      .field("legacy_s", legacy_total.median);
+  bench::append_metric(w, "speedup_shared",
+                       bench::ratio_of(legacy_total, shared_total));
+  bench::append_metric(
+      w, "width_cands_per_s",
+      bench::rate_from_time(shared_total, static_cast<double>(evals_total)));
+  // The sharing counters are deterministic at threads=1 (MAD 0 by
+  // construction); gating them still catches a sharing-machinery change.
+  bench::append_metric(
+      w, "shared_evals",
+      bench::exact_stat(static_cast<double>(shared_evals), reps_floor));
+  bench::append_metric(
+      w, "fallback_evals",
+      bench::exact_stat(static_cast<double>(fallback_evals), reps_floor));
+  bench::append_metric(
+      w, "partition_cache_hits",
+      bench::exact_stat(static_cast<double>(partition_hits), reps_floor));
+  bench::append_metric(w, "speedup_fine",
+                       bench::ratio_of(fine_legacy_total, fine_shared_total));
+  bench::append_metric(w, "certified_share_rate",
+                       bench::exact_stat(certified_share_rate, reps_floor));
+  bench::append_metric(
+      w, "certificate_accepts",
+      bench::exact_stat(static_cast<double>(fine_accepts), reps_floor));
+  bench::append_metric(
+      w, "cohort_evals",
+      bench::exact_stat(static_cast<double>(fine_cohort), reps_floor));
+  bench::append_metric(
+      w, "peak_buffered_outcomes",
+      bench::exact_stat(static_cast<double>(peak_buffered), reps_floor));
+  prov.append(w);
   bench::append_env_provenance(w);
   std::printf("%s\n", w.line().c_str());
   std::printf("--- END JSONL ---\n\n");

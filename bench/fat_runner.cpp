@@ -1,0 +1,348 @@
+#include "fat_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace vinoc::bench {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Strict parse of a non-negative integer environment value.
+bool parse_env_u64(const char* raw, std::uint64_t& out) {
+  if (raw == nullptr || *raw == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return false;
+  // strtoull silently wraps "-3"; reject any sign character up front.
+  for (const char* p = raw; *p != '\0'; ++p) {
+    if (*p == '-' || *p == '+') return false;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_env_double(const char* raw, double& out) {
+  if (raw == nullptr || *raw == '\0') return false;
+  char* end = nullptr;
+  out = std::strtod(raw, &end);
+  return end != raw && *end == '\0' && std::isfinite(out);
+}
+
+std::string first_line_of(const char* path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!in || !std::getline(in, line)) return "";
+  return line;
+}
+
+}  // namespace
+
+// --- Robust statistics ------------------------------------------------------
+
+double median_of(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  if (n % 2 == 1) return samples[n / 2];
+  return 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+double mad_of(const std::vector<double>& samples, double center) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> dev;
+  dev.reserve(samples.size());
+  for (const double s : samples) dev.push_back(std::fabs(s - center));
+  return median_of(std::move(dev));
+}
+
+double RobustStats::rel_mad() const {
+  if (median == 0.0) return 0.0;
+  return mad / std::fabs(median);
+}
+
+RobustStats robust_stats(std::vector<double> samples, double outlier_k) {
+  RobustStats out;
+  if (samples.empty()) return out;
+  const double med0 = median_of(samples);
+  const double mad0 = mad_of(samples, med0);
+  std::vector<double> kept;
+  kept.reserve(samples.size());
+  if (mad0 > 0.0) {
+    for (const double s : samples) {
+      if (std::fabs(s - med0) <= outlier_k * mad0) kept.push_back(s);
+    }
+  } else {
+    kept = samples;  // no dispersion estimate => no sound rejection
+  }
+  out.rejected = static_cast<int>(samples.size() - kept.size());
+  out.n = static_cast<int>(kept.size());
+  out.median = median_of(kept);
+  out.mad = mad_of(kept, out.median);
+  out.min = *std::min_element(kept.begin(), kept.end());
+  out.max = *std::max_element(kept.begin(), kept.end());
+  return out;
+}
+
+RobustStats rate_from_time(const RobustStats& t, double units) {
+  RobustStats r;
+  if (t.median <= 0.0) return r;
+  r.n = t.n;
+  r.rejected = t.rejected;
+  r.median = units / t.median;
+  r.mad = r.median * t.rel_mad();
+  r.min = t.max > 0.0 ? units / t.max : 0.0;
+  r.max = t.min > 0.0 ? units / t.min : 0.0;
+  return r;
+}
+
+RobustStats sum_stats(const std::vector<RobustStats>& parts) {
+  RobustStats out;
+  if (parts.empty()) return out;
+  out.n = parts.front().n;
+  for (const RobustStats& p : parts) {
+    out.median += p.median;
+    out.mad += p.mad;
+    out.min += p.min;
+    out.max += p.max;
+    out.rejected += p.rejected;
+    out.n = std::min(out.n, p.n);
+  }
+  return out;
+}
+
+RobustStats ratio_of(const RobustStats& num, const RobustStats& den) {
+  RobustStats out;
+  if (den.median == 0.0) return out;
+  out.n = std::min(num.n, den.n);
+  out.rejected = num.rejected + den.rejected;
+  out.median = num.median / den.median;
+  out.mad = std::fabs(out.median) * (num.rel_mad() + den.rel_mad());
+  if (den.max != 0.0) out.min = num.min / den.max;
+  if (den.min != 0.0) out.max = num.max / den.min;
+  return out;
+}
+
+RobustStats exact_stat(double value, int reps) {
+  RobustStats out;
+  out.n = reps;
+  out.median = value;
+  out.min = value;
+  out.max = value;
+  return out;
+}
+
+// --- Environment configuration ----------------------------------------------
+
+bool FatConfig::from_env(FatConfig& out, std::string& error) {
+  const FatConfig defaults;
+  FatConfig cfg = defaults;
+  const auto fail = [&](const char* var, const char* raw, const char* want) {
+    error = std::string(var) + ": bad value '" + (raw != nullptr ? raw : "") +
+            "' (want " + want + ")";
+    out = defaults;
+    return false;
+  };
+  std::uint64_t u = 0;
+  double d = 0.0;
+  if (const char* raw = std::getenv("VINOC_BENCH_WARMUP_RUNS")) {
+    if (!parse_env_u64(raw, u)) {
+      return fail("VINOC_BENCH_WARMUP_RUNS", raw, "a non-negative integer");
+    }
+    cfg.warmup_runs = static_cast<int>(u);
+  }
+  if (const char* raw = std::getenv("VINOC_BENCH_MIN_REPS")) {
+    if (!parse_env_u64(raw, u) || u == 0) {
+      return fail("VINOC_BENCH_MIN_REPS", raw, "a positive integer");
+    }
+    cfg.min_reps = static_cast<int>(u);
+  }
+  if (const char* raw = std::getenv("VINOC_BENCH_MAX_REPS")) {
+    if (!parse_env_u64(raw, u) || u == 0) {
+      return fail("VINOC_BENCH_MAX_REPS", raw, "a positive integer");
+    }
+    cfg.max_reps = static_cast<int>(u);
+  }
+  if (const char* raw = std::getenv("VINOC_BENCH_MIN_DURATION_MS")) {
+    if (!parse_env_double(raw, d) || d < 0.0) {
+      return fail("VINOC_BENCH_MIN_DURATION_MS", raw,
+                  "a non-negative number of milliseconds");
+    }
+    cfg.min_duration_ms = d;
+  }
+  if (const char* raw = std::getenv("VINOC_BENCH_SEED")) {
+    if (!parse_env_u64(raw, u)) {
+      return fail("VINOC_BENCH_SEED", raw, "a non-negative integer");
+    }
+    cfg.seed = u;
+  }
+  if (cfg.max_reps < cfg.min_reps) {
+    error = "VINOC_BENCH_MAX_REPS: " + std::to_string(cfg.max_reps) +
+            " is below VINOC_BENCH_MIN_REPS " + std::to_string(cfg.min_reps);
+    out = defaults;
+    return false;
+  }
+  out = cfg;
+  return true;
+}
+
+FatConfig FatConfig::from_env_or_die() {
+  FatConfig cfg;
+  std::string error;
+  if (!FatConfig::from_env(cfg, error)) {
+    std::fprintf(stderr, "fat_runner: %s\n", error.c_str());
+    std::exit(2);
+  }
+  return cfg;
+}
+
+// --- Timer calibration ------------------------------------------------------
+
+double timer_resolution_s() {
+  double best = 1.0;
+  for (int probe = 0; probe < 16; ++probe) {
+    const auto t0 = Clock::now();
+    auto t1 = Clock::now();
+    while (t1 == t0) t1 = Clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+int next_calibration_batch(int batch, double elapsed_s, double min_duration_s) {
+  if (batch < 1) batch = 1;
+  if (elapsed_s >= min_duration_s) return batch;
+  double factor;
+  if (elapsed_s <= 0.0) {
+    factor = 16.0;  // unmeasurably fast: grow aggressively
+  } else {
+    factor = (min_duration_s / elapsed_s) * 1.2;  // shortfall + 20% headroom
+    factor = std::clamp(factor, 2.0, 16.0);
+  }
+  const double grown = static_cast<double>(batch) * factor;
+  constexpr int kMaxBatch = 1 << 24;
+  if (grown >= static_cast<double>(kMaxBatch)) return kMaxBatch;
+  return static_cast<int>(grown);
+}
+
+// --- CPU frequency / governor -----------------------------------------------
+
+CpuSample sample_cpu() {
+  CpuSample s;
+  const std::string freq =
+      first_line_of("/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq");
+  if (!freq.empty()) {
+    char* end = nullptr;
+    const double v = std::strtod(freq.c_str(), &end);
+    if (end != freq.c_str()) s.freq_khz = v;
+  }
+  const std::string gov =
+      first_line_of("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (!gov.empty()) s.governor = gov;
+  return s;
+}
+
+// --- FatRunner --------------------------------------------------------------
+
+bool FatRunner::is_noisy(const Measurement& m, const FatConfig& config) {
+  if (m.cpu_start.governor != "unknown" &&
+      m.cpu_start.governor != "performance") {
+    return true;
+  }
+  if (m.cpu_start.freq_khz > 0.0 && m.cpu_end.freq_khz > 0.0) {
+    const double drift =
+        std::fabs(m.cpu_end.freq_khz - m.cpu_start.freq_khz) /
+        m.cpu_start.freq_khz;
+    if (drift > 0.05) return true;
+  }
+  return m.stats.rel_mad() > config.noisy_rel_mad;
+}
+
+Measurement FatRunner::run(const std::string& name,
+                           const std::function<void()>& fn) {
+  Measurement m;
+  m.name = name;
+  m.cpu_start = sample_cpu();
+
+  // Calibration: grow the batch until one timed batch meets the duration
+  // floor AND sits three orders of magnitude above the timer resolution
+  // (a batch measurable only to ±10% of the clock tick is not a sample).
+  const double floor_s = std::max(config_.min_duration_ms * 1e-3,
+                                  timer_resolution_s() * 1000.0);
+  int batch = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < batch; ++i) fn();
+    const double elapsed = seconds_since(t0);
+    const int next = next_calibration_batch(batch, elapsed, floor_s);
+    if (next == batch) break;
+    batch = next;
+  }
+  m.batch = batch;
+
+  // Warmup batches: run, never reported.
+  for (int w = 0; w < config_.warmup_runs; ++w) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < batch; ++i) fn();
+    (void)seconds_since(t0);
+  }
+
+  // Measured reps: at least min_reps, then keep going (to max_reps) while
+  // the dispersion is still above the target — more data where it helps,
+  // no wasted time where the first reps already agree.
+  for (int rep = 0; rep < config_.max_reps; ++rep) {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < batch; ++i) fn();
+    m.rep_s.push_back(seconds_since(t0) / static_cast<double>(batch));
+    if (rep + 1 >= config_.min_reps) {
+      const RobustStats s = robust_stats(m.rep_s);
+      if (s.rel_mad() <= config_.target_rel_mad) break;
+    }
+  }
+  m.stats = robust_stats(m.rep_s);
+  m.cpu_end = sample_cpu();
+  m.noisy = is_noisy(m, config_);
+  return m;
+}
+
+// --- Record emission --------------------------------------------------------
+
+void RecordProvenance::add(const Measurement& m) {
+  if (!any_) {
+    min_reps_ = m.stats.n;
+    freq_start_khz_ = m.cpu_start.freq_khz;
+    any_ = true;
+  } else {
+    min_reps_ = std::min(min_reps_, m.stats.n);
+  }
+  freq_end_khz_ = m.cpu_end.freq_khz;
+  noisy_ = noisy_ || m.noisy;
+}
+
+io::JsonlWriter& RecordProvenance::append(io::JsonlWriter& w) const {
+  w.field("reps", min_reps_)
+      .field("warmup_runs", config_.warmup_runs)
+      .field("noisy", noisy_)
+      .field("cpu_freq_start_khz", freq_start_khz_)
+      .field("cpu_freq_end_khz", freq_end_khz_)
+      .field("timer_res_ns", timer_resolution_s() * 1e9);
+  return w;
+}
+
+io::JsonlWriter& append_metric(io::JsonlWriter& w, std::string_view key,
+                               const RobustStats& s) {
+  w.field(key, s.median);
+  w.field(std::string(key) + "_mad", s.mad);
+  return w;
+}
+
+}  // namespace vinoc::bench

@@ -1,0 +1,228 @@
+// FatRunner — the shared statistical measurement harness behind every
+// bench_* binary (ROADMAP item 2: "statistical benchmark rigor, then
+// tighter perf gates").
+//
+// A single wall-clock sample is not a measurement: CI runners jitter by
+// 10-20%, which forced bench/baseline.json tolerances to ±80-90% on
+// absolute throughputs — too loose to catch the ~1.1-1.2x regressions
+// that are exactly the size of the wins this repo ships. FatRunner turns
+// each timed region into a statistic CI can gate at ±10-20%:
+//
+//   * env-var-canonical config — every bench reads the SAME knobs
+//     (VINOC_BENCH_WARMUP_RUNS / _MIN_REPS / _MAX_REPS /
+//     _MIN_DURATION_MS / _SEED), so CI pins them once in the workflow and
+//     the log shows exactly what was run; no per-bench config names;
+//   * timer-resolution calibration — the steady_clock granularity is
+//     estimated at startup and the inner batch size auto-scales until one
+//     timed batch lasts at least min_duration_ms (and well above the
+//     timer resolution), so sub-millisecond regions are still measurable;
+//   * warmup batches excluded from statistics (page faults, cache fill,
+//     branch predictors, frequency ramp);
+//   * robust statistics — median + MAD (median absolute deviation), with
+//     MAD-based outlier rejection (a one-off scheduling stall does not
+//     move the reported value), and the rep count + dispersion reported
+//     so a noisy measurement is visible in the record itself;
+//   * CPU-frequency / governor monitoring sampled around the timed
+//     region; every record carries a `noisy` flag (governor not
+//     "performance", frequency drifted, or dispersion above threshold);
+//   * correctness guardrails live OUTSIDE timed regions: run() times
+//     exactly the callable it is given — fingerprint checks belong in the
+//     caller, before/after the timed reps (see bench_eval_hotpath).
+//
+// Deliberately independent of google-benchmark so tests/test_bench_stats
+// can unit-test the math without the benchmark package; compiled into the
+// small vinoc_fatrunner static library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vinoc/io/jsonl.hpp"
+
+namespace vinoc::bench {
+
+// ---------------------------------------------------------------------------
+// Robust statistics (median + MAD, outlier rejection)
+// ---------------------------------------------------------------------------
+
+/// True median (average of the two middle elements for even counts).
+/// Returns 0 for an empty vector.
+[[nodiscard]] double median_of(std::vector<double> samples);
+
+/// Median absolute deviation around `center`. Returns 0 when empty.
+[[nodiscard]] double mad_of(const std::vector<double>& samples, double center);
+
+/// Summary of one sample vector after MAD-based outlier rejection.
+struct RobustStats {
+  int n = 0;           ///< samples kept (reported rep count)
+  int rejected = 0;    ///< outliers dropped by the MAD filter
+  double median = 0.0;
+  double mad = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Relative dispersion MAD/|median| (0 when the median is 0) — the
+  /// number bench_check --noise-report compares against the tolerance
+  /// budget.
+  [[nodiscard]] double rel_mad() const;
+};
+
+/// Median/MAD over `samples` after rejecting outliers farther than
+/// `outlier_k` MADs from the initial median. A MAD of zero (half the
+/// samples identical) disables rejection — with no dispersion estimate
+/// there is no sound basis for dropping anything.
+[[nodiscard]] RobustStats robust_stats(std::vector<double> samples,
+                                       double outlier_k = 8.0);
+
+/// Rate statistics units/second derived from time statistics `t` (seconds
+/// per call): median = units/t.median, dispersion scaled accordingly,
+/// min/max from the opposite extremes of t.
+[[nodiscard]] RobustStats rate_from_time(const RobustStats& t, double units);
+
+/// Sum of per-case statistics (aggregate wall clock across a case list).
+/// The MAD is the sum of the component MADs — an upper bound, which is
+/// the conservative direction for a noise report. n is the smallest
+/// component rep count.
+[[nodiscard]] RobustStats sum_stats(const std::vector<RobustStats>& parts);
+
+/// Ratio num/den (e.g. legacy/shared speedup). The relative MAD is the
+/// sum of the components' relative MADs (first-order quotient
+/// propagation, conservative). n is the smaller rep count.
+[[nodiscard]] RobustStats ratio_of(const RobustStats& num,
+                                   const RobustStats& den);
+
+/// Statistics of a value known exactly (deterministic counters): MAD 0,
+/// n = reps so min-rep enforcement still passes.
+[[nodiscard]] RobustStats exact_stat(double value, int reps);
+
+// ---------------------------------------------------------------------------
+// Canonical environment configuration
+// ---------------------------------------------------------------------------
+
+/// The canonical env-var config every bench binary honours. CI exports
+/// these explicitly in the workflow so reps/warmup are pinned and visible
+/// in the logs; locally the defaults below apply.
+struct FatConfig {
+  int warmup_runs = 1;           ///< VINOC_BENCH_WARMUP_RUNS: batches run, not reported
+  int min_reps = 5;              ///< VINOC_BENCH_MIN_REPS: always measure at least this many
+  int max_reps = 15;             ///< VINOC_BENCH_MAX_REPS: adaptive-rep ceiling
+  double min_duration_ms = 20.0; ///< VINOC_BENCH_MIN_DURATION_MS: calibration floor per batch
+  std::uint64_t seed = 12345;    ///< VINOC_BENCH_SEED: data-generation seed for benches that randomise
+  double target_rel_mad = 0.02;  ///< stop adding reps once dispersion is this low
+  double noisy_rel_mad = 0.10;   ///< rel MAD above this flags the record noisy
+
+  /// Reads the VINOC_BENCH_* environment, starting from the defaults.
+  /// Returns false and sets `error` ("VINOC_BENCH_MIN_REPS: bad value
+  /// 'abc' (want a positive integer)") on unparseable or out-of-range
+  /// values; on failure the config is left at the defaults.
+  static bool from_env(FatConfig& out, std::string& error);
+
+  /// from_env() that prints the error and exits(2) — the bench-binary
+  /// entry point (a bench run with a typoed config must not silently
+  /// measure with defaults).
+  [[nodiscard]] static FatConfig from_env_or_die();
+};
+
+// ---------------------------------------------------------------------------
+// Timer calibration
+// ---------------------------------------------------------------------------
+
+/// Estimated steady_clock granularity in seconds (smallest positive delta
+/// over a burst of back-to-back readings).
+[[nodiscard]] double timer_resolution_s();
+
+/// Pure batch-growth step for the calibration loop: given that `batch`
+/// iterations took `elapsed_s`, returns the next batch size to try so one
+/// batch lasts at least `min_duration_s`. Growth is the measured shortfall
+/// with 20% headroom, clamped to [2x, 16x] per step (a wildly short first
+/// probe must not overshoot to minutes). Returns `batch` unchanged when
+/// the duration target is already met.
+[[nodiscard]] int next_calibration_batch(int batch, double elapsed_s,
+                                         double min_duration_s);
+
+// ---------------------------------------------------------------------------
+// CPU frequency / governor monitoring
+// ---------------------------------------------------------------------------
+
+/// One cpufreq sample (cpu0). Zero/"unknown" when /sys is unreadable
+/// (typical in containers) — unreadable is NOT treated as noisy, absence
+/// of evidence being the container norm.
+struct CpuSample {
+  double freq_khz = 0.0;
+  std::string governor = "unknown";
+};
+[[nodiscard]] CpuSample sample_cpu();
+
+// ---------------------------------------------------------------------------
+// Measurement + runner
+// ---------------------------------------------------------------------------
+
+/// One measured region: per-rep seconds (batch-normalised to one fn()
+/// call), robust stats, and the CPU-frequency provenance sampled around
+/// the timed reps.
+struct Measurement {
+  std::string name;
+  int batch = 1;               ///< calibrated inner iterations per rep
+  std::vector<double> rep_s;   ///< all timed reps (pre-rejection), seconds/call
+  RobustStats stats;           ///< robust stats over rep_s
+  CpuSample cpu_start;
+  CpuSample cpu_end;
+  bool noisy = false;          ///< governor / frequency-drift / dispersion flag
+};
+
+/// The one entry point every bench binary threads its timed regions
+/// through: calibrate, warm up, measure adaptively, summarise.
+class FatRunner {
+ public:
+  explicit FatRunner(FatConfig config) : config_(config) {}
+
+  /// Times `fn` per the config: calibrates the batch size to
+  /// min_duration_ms, runs warmup_runs unreported batches, then measures
+  /// min_reps..max_reps batches (stopping early once rel MAD <=
+  /// target_rel_mad), and summarises with outlier rejection. `fn` must be
+  /// repeatable; correctness checks belong outside it or must be cheap
+  /// relative to the work (they are timed).
+  Measurement run(const std::string& name, const std::function<void()>& fn);
+
+  [[nodiscard]] const FatConfig& config() const { return config_; }
+
+  /// Computes the noisy flag for a finished measurement: non-performance
+  /// governor, >5% cpu0 frequency drift across the timed region, or
+  /// timing dispersion above noisy_rel_mad. Exposed for tests.
+  [[nodiscard]] static bool is_noisy(const Measurement& m,
+                                     const FatConfig& config);
+
+ private:
+  FatConfig config_;
+};
+
+/// Accumulates per-record measurement provenance across the (usually
+/// several) measurements that feed one JSONL record, and appends the
+/// canonical fields: `reps` (smallest kept-rep count — the number
+/// bench_check's min-rep enforcement reads), `warmup_runs`, `noisy`
+/// (OR over measurements), `cpu_freq_start_khz` / `cpu_freq_end_khz`
+/// (first/last sample) and `timer_res_ns`.
+class RecordProvenance {
+ public:
+  explicit RecordProvenance(const FatConfig& config) : config_(config) {}
+  void add(const Measurement& m);
+  io::JsonlWriter& append(io::JsonlWriter& w) const;
+
+ private:
+  FatConfig config_;
+  int min_reps_ = 0;
+  bool any_ = false;
+  bool noisy_ = false;
+  double freq_start_khz_ = 0.0;
+  double freq_end_khz_ = 0.0;
+};
+
+/// Appends a gated metric as the `key` (median) plus its `<key>_mad`
+/// dispersion companion — the record shape tools/bench_check consumes
+/// (the `_mad` suffix marks an observability field, never gated itself).
+io::JsonlWriter& append_metric(io::JsonlWriter& w, std::string_view key,
+                               const RobustStats& s);
+
+}  // namespace vinoc::bench

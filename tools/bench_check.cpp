@@ -1,219 +1,72 @@
 // bench_check — the CI performance-regression gate.
 //
 //   bench_check --baseline bench/baseline.json [--tolerance 0.25] out1 [out2 ...]
-//   bench_check --baseline bench/baseline.json --write-baseline OUT out1 [...]
+//   bench_check --baseline bench/baseline.json --noise-report out1 [out2 ...]
+//   bench_check --baseline bench/baseline.json --write-baseline OUT [--append-new] out1 [...]
 //
 // The baseline file is JSON-lines, one metric per line:
 //
 //   {"metric":"eval_hotpath.candidates_per_s","value":5000,
-//    "higher_is_better":true,"tolerance":0.9}
+//    "higher_is_better":true,"tolerance":0.2,"min_reps":5}
 //
-// `tolerance` (per metric, optional) overrides the command-line default.
-// The result files are raw bench stdout: every line that parses as a flat
-// JSON object with a string "bench" field contributes its numeric fields as
-// metrics named "<bench>.<field>" (later lines win). A metric FAILS when it
+// `tolerance` (per metric, optional) overrides the command-line default;
+// `min_reps` (optional) makes the gate also fail when the producing record's
+// `reps` field is absent or below the floor — a near-single-shot number
+// cannot defend a tight tolerance. The result files are raw bench stdout:
+// every line that parses as a flat JSON object with a string "bench" field
+// contributes its numeric fields as metrics named "<bench>.<field>" (later
+// lines win; all occurrences feed the noise report). A metric FAILS when it
 // moved beyond tolerance in the BAD direction — below value*(1-t) when
 // higher is better, above value*(1+t) otherwise. Improvements never fail.
 // Missing metrics fail too: a bench that silently stops reporting is a
 // regression of the gate itself.
 //
+// --noise-report gates the MEASUREMENT instead of the value: per metric it
+// reports the harness-measured within-record dispersion (median <metric>_mad
+// relative to the median) and the cross-run dispersion over repeated bench
+// runs, and fails when either exceeds the metric's tolerance budget — a
+// tolerance the noise already fills gates nothing.
+//
 // --write-baseline OUT refreshes the baseline instead of gating: every
-// baseline metric's value is replaced by the measured one; direction and
-// per-metric tolerance annotations are kept, and '#' comment lines stay
-// attached to the metrics they precede. The CURATED metric set is stable by
-// default — bench outputs carry observability fields (wall seconds, shared
-// counters) that must not silently become gated metrics; pass --append-new
-// to also append metrics found in the results but absent from the baseline
-// (conservative defaults: higher_is_better, tolerance 0.9, for the operator
-// to tighten). Metrics missing from the results keep their old value and
-// are reported. OUT may be the baseline file itself.
+// baseline metric's value is replaced by the measured one; direction,
+// tolerance and min_reps annotations are kept, '#' comment lines stay
+// attached to the metrics they precede, and a provenance header (generating
+// commit from $GITHUB_SHA/$VINOC_COMMIT, environment from the records) is
+// stamped at the top, replacing any previous one. The CURATED metric set is
+// stable: a gate-able metric present in the results but absent from the
+// baseline is a HARD FAILURE (baseline drift must not land silently) unless
+// --append-new is passed, which appends it with conservative defaults
+// (higher_is_better, tolerance 0.9) for the operator to tighten.
+// Observability fields — `_mad` companions, raw `*_s` seconds, reps/warmup/
+// noisy/cpu provenance — are exempt. Metrics missing from the results keep
+// their old value and are reported. OUT may be the baseline file itself.
 //
 // Exit codes: 0 all within tolerance (or baseline written), 1 regression/
-// missing metric, 2 bad command line, 3 unreadable/unparseable baseline.
-#include <cstdio>
+// missing metric/noise over budget/unknown gate-able metric, 2 bad command
+// line, 3 unreadable/unparseable baseline.
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <map>
-#include <string>
-#include <vector>
+#include <sstream>
 
-#include "vinoc/io/jsonl.hpp"
+#include "bench_check_core.hpp"
 
 namespace {
-
-struct BaselineMetric {
-  std::string name;
-  double value = 0.0;
-  bool higher_is_better = true;
-  double tolerance = -1.0;  ///< negative = use the command-line default
-};
 
 int usage() {
   std::fprintf(stderr,
                "usage: bench_check --baseline FILE [--tolerance T] "
-               "[--write-baseline OUT [--append-new]] results...\n");
+               "[--noise-report] [--write-baseline OUT [--append-new]] "
+               "results...\n");
   return 2;
-}
-
-bool parse_number(const std::string& raw, double& out) {
-  char* end = nullptr;
-  out = std::strtod(raw.c_str(), &end);
-  return end != raw.c_str() && *end == '\0';
-}
-
-/// A comment (or blank) line of the baseline file, anchored to the metric
-/// it precedes (`before` == index into the metric vector; metrics.size()
-/// anchors trailing comments) so --write-baseline can keep each comment
-/// block next to the metrics it annotates.
-struct BaselineComment {
-  std::size_t before = 0;
-  std::string text;
-};
-
-bool load_baseline(const std::string& path, std::vector<BaselineMetric>& out,
-                   std::vector<BaselineComment>* comments = nullptr) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "bench_check: cannot read baseline %s\n", path.c_str());
-    return false;
-  }
-  std::string line;
-  int lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty() || line[0] == '#') {
-      if (comments != nullptr) comments->push_back({out.size(), line});
-      continue;
-    }
-    std::map<std::string, std::string> obj;
-    if (!vinoc::io::parse_jsonl_object(line, obj)) {
-      std::fprintf(stderr, "bench_check: %s:%d: not a flat JSON object\n",
-                   path.c_str(), lineno);
-      return false;
-    }
-    BaselineMetric m;
-    const auto name = obj.find("metric");
-    const auto value = obj.find("value");
-    if (name == obj.end() || value == obj.end() ||
-        !parse_number(value->second, m.value)) {
-      std::fprintf(stderr, "bench_check: %s:%d: need \"metric\" and numeric \"value\"\n",
-                   path.c_str(), lineno);
-      return false;
-    }
-    m.name = name->second;
-    const auto dir = obj.find("higher_is_better");
-    if (dir != obj.end()) m.higher_is_better = dir->second == "true";
-    const auto tol = obj.find("tolerance");
-    if (tol != obj.end() && !parse_number(tol->second, m.tolerance)) {
-      std::fprintf(stderr, "bench_check: %s:%d: bad tolerance\n", path.c_str(), lineno);
-      return false;
-    }
-    out.push_back(std::move(m));
-  }
-  return !out.empty();
-}
-
-/// Collects "<bench>.<numeric field>" metrics from one bench output file.
-void collect_metrics(const std::string& path, std::map<std::string, double>& out) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "bench_check: warning: cannot read %s\n", path.c_str());
-    return;
-  }
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] != '{') continue;
-    std::map<std::string, std::string> obj;
-    if (!vinoc::io::parse_jsonl_object(line, obj)) continue;
-    const auto bench = obj.find("bench");
-    if (bench == obj.end()) continue;
-    for (const auto& [key, raw] : obj) {
-      if (key == "bench") continue;
-      double value = 0.0;
-      if (parse_number(raw, value)) out[bench->second + "." + key] = value;
-    }
-  }
-}
-
-/// JSONL spelling of one baseline metric line.
-std::string metric_line(const BaselineMetric& m) {
-  char buf[256];
-  std::string line = "{\"metric\":\"" + m.name + "\"";
-  std::snprintf(buf, sizeof buf, ",\"value\":%.6g", m.value);
-  line += buf;
-  if (!m.higher_is_better) line += ",\"higher_is_better\":false";
-  if (m.tolerance >= 0.0) {
-    std::snprintf(buf, sizeof buf, ",\"tolerance\":%.6g", m.tolerance);
-    line += buf;
-  }
-  line += "}";
-  return line;
-}
-
-int write_baseline(const std::string& out_path,
-                   const std::vector<BaselineComment>& comments,
-                   std::vector<BaselineMetric> baseline,
-                   const std::map<std::string, double>& current,
-                   bool append_new) {
-  std::map<std::string, bool> known;
-  int refreshed = 0;
-  int kept = 0;
-  for (BaselineMetric& m : baseline) {
-    known[m.name] = true;
-    const auto it = current.find(m.name);
-    if (it == current.end()) {
-      std::printf("%-40s kept (not in results): %g\n", m.name.c_str(), m.value);
-      ++kept;
-      continue;
-    }
-    m.value = it->second;
-    ++refreshed;
-  }
-  // New metrics: only on request (bench outputs mix gate metrics with
-  // observability fields), with conservative defaults for hand-tightening.
-  for (const auto& [name, value] : current) {
-    if (known.count(name) != 0) continue;
-    if (!append_new) {
-      std::printf("%-40s not in baseline (use --append-new to add): %g\n",
-                  name.c_str(), value);
-      continue;
-    }
-    BaselineMetric m;
-    m.name = name;
-    m.value = value;
-    m.higher_is_better = true;
-    m.tolerance = 0.9;
-    baseline.push_back(m);
-    std::printf("%-40s appended (new metric, tolerance 0.9): %g\n", name.c_str(),
-                value);
-  }
-  std::ofstream out(out_path, std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "bench_check: cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  // Interleave comments back at their original positions (new metrics sit
-  // at the end, after any trailing comments' anchor).
-  std::size_t ci = 0;
-  for (std::size_t mi = 0; mi <= baseline.size(); ++mi) {
-    while (ci < comments.size() && comments[ci].before == mi) {
-      out << comments[ci].text << '\n';
-      ++ci;
-    }
-    if (mi < baseline.size()) out << metric_line(baseline[mi]) << '\n';
-  }
-  std::printf("bench_check: wrote %s (%d refreshed, %d kept, %zu total)\n",
-              out_path.c_str(), refreshed, kept, baseline.size());
-  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace vinoc::benchgate;
   std::string baseline_path;
   std::string write_path;
   bool append_new = false;
+  bool noise_report = false;
   double default_tolerance = 0.25;
   std::vector<std::string> result_paths;
   for (int i = 1; i < argc; ++i) {
@@ -226,6 +79,8 @@ int main(int argc, char** argv) {
       write_path = argv[i];
     } else if (arg == "--append-new") {
       append_new = true;
+    } else if (arg == "--noise-report") {
+      noise_report = true;
     } else if (arg == "--tolerance") {
       if (++i >= argc) return usage();
       if (!parse_number(argv[i], default_tolerance)) return usage();
@@ -236,42 +91,43 @@ int main(int argc, char** argv) {
     }
   }
   if (baseline_path.empty() || result_paths.empty()) return usage();
+  if (noise_report && !write_path.empty()) return usage();
 
   std::vector<BaselineMetric> baseline;
   std::vector<BaselineComment> comments;
-  if (!load_baseline(baseline_path, baseline, &comments)) return 3;
-  std::map<std::string, double> current;
-  for (const std::string& path : result_paths) collect_metrics(path, current);
+  if (!load_baseline_file(baseline_path, baseline, &comments)) return 3;
+  CollectedMetrics current;
+  for (const std::string& path : result_paths) {
+    collect_metrics_file(path, current);
+  }
 
   if (!write_path.empty()) {
-    return write_baseline(write_path, comments, std::move(baseline), current,
-                          append_new);
+    const char* sha = std::getenv("GITHUB_SHA");
+    if (sha == nullptr) sha = std::getenv("VINOC_COMMIT");
+    // Render to memory first: a hard failure (unknown gate-able metric)
+    // must not truncate an existing baseline handed in as OUT.
+    std::ostringstream rendered;
+    const int rc = write_baseline(rendered, write_path, comments,
+                                  std::move(baseline), current,
+                                  sha != nullptr ? sha : "", append_new);
+    if (rc != 0) return rc;
+    std::ofstream out(write_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench_check: cannot write %s\n", write_path.c_str());
+      return 1;
+    }
+    out << rendered.str();
+    return 0;
   }
 
-  int failures = 0;
-  std::printf("%-36s %14s %14s %9s %9s  %s\n", "metric", "baseline", "current",
-              "change", "limit", "status");
-  for (const BaselineMetric& m : baseline) {
-    const double tol = m.tolerance >= 0.0 ? m.tolerance : default_tolerance;
-    const auto it = current.find(m.name);
-    if (it == current.end()) {
-      std::printf("%-36s %14.4g %14s %9s %9s  MISSING\n", m.name.c_str(), m.value,
-                  "-", "-", "-");
-      ++failures;
-      continue;
-    }
-    const double change = (it->second - m.value) / m.value;
-    const bool bad = m.higher_is_better ? it->second < m.value * (1.0 - tol)
-                                        : it->second > m.value * (1.0 + tol);
-    std::printf("%-36s %14.4g %14.4g %+8.1f%% %8.0f%%  %s\n", m.name.c_str(),
-                m.value, it->second, change * 100.0, tol * 100.0,
-                bad ? "FAIL" : "ok");
-    if (bad) ++failures;
-  }
+  const int failures = noise_report
+                           ? run_noise_report(baseline, default_tolerance, current)
+                           : run_gate(baseline, default_tolerance, current);
   if (failures > 0) {
-    std::fprintf(stderr, "bench_check: %d metric(s) regressed or missing\n", failures);
+    std::fprintf(stderr, "bench_check: %d metric(s) %s\n", failures,
+                 noise_report ? "noisier than their tolerance budget"
+                              : "regressed or missing");
     return 1;
   }
-  std::printf("bench_check: all %zu metrics within tolerance\n", baseline.size());
   return 0;
 }

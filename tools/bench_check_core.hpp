@@ -1,0 +1,436 @@
+// Core logic of tools/bench_check, factored out of the binary so
+// tests/test_bench_stats.cpp can unit-test the gate without spawning a
+// subprocess: baseline parsing, bench-record collection, the regression
+// gate (tolerance + min-rep enforcement), the noise report and the
+// baseline writer. The binary (bench_check.cpp) is a thin argv wrapper.
+//
+// Record shape (produced by bench/fat_runner.hpp adopters): every gated
+// metric `<field>` in a `{"bench":...}` JSONL line carries a companion
+// `<field>_mad` dispersion field, and the record carries `reps`,
+// `warmup_runs`, `noisy`, `cpu_freq_start_khz`/`cpu_freq_end_khz` and
+// `timer_res_ns` provenance. Those companions are OBSERVABILITY fields:
+// never gated, never treated as baseline drift (see observability_field).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vinoc/io/jsonl.hpp"
+
+namespace vinoc::benchgate {
+
+struct BaselineMetric {
+  std::string name;
+  double value = 0.0;
+  bool higher_is_better = true;
+  double tolerance = -1.0;  ///< negative = use the command-line default
+  int min_reps = 0;         ///< 0 = no rep-count enforcement
+};
+
+/// A comment (or blank) line of the baseline file, anchored to the metric
+/// it precedes (`before` == index into the metric vector; metrics.size()
+/// anchors trailing comments) so the baseline writer can keep each
+/// comment block next to the metrics it annotates.
+struct BaselineComment {
+  std::size_t before = 0;
+  std::string text;
+};
+
+/// Everything collected from the bench result files.
+struct CollectedMetrics {
+  std::map<std::string, double> latest;  ///< last value wins (the gate input)
+  std::map<std::string, std::vector<double>> samples;  ///< every occurrence (noise report)
+  std::map<std::string, std::string> strings;  ///< provenance strings, unprefixed (cpu_model, ...)
+};
+
+inline bool parse_number(const std::string& raw, double& out) {
+  char* end = nullptr;
+  out = std::strtod(raw.c_str(), &end);
+  return end != raw.c_str() && *end == '\0';
+}
+
+/// True for record fields that are measurement observability, not gate
+/// candidates: the `_mad` dispersion companions, raw wall-clock seconds
+/// (`*_s` but not rates spelled `*_per_s`), and the fixed provenance /
+/// workload-shape set every FatRunner record carries. These never count
+/// as "unknown metrics" when refreshing a baseline — everything else that
+/// is numeric and absent from the baseline is treated as baseline drift.
+inline bool observability_field(std::string_view metric) {
+  const std::size_t dot = metric.rfind('.');
+  const std::string_view field =
+      dot == std::string_view::npos ? metric : metric.substr(dot + 1);
+  const auto ends_with = [&](std::string_view suffix) {
+    return field.size() >= suffix.size() &&
+           field.substr(field.size() - suffix.size()) == suffix;
+  };
+  if (ends_with("_mad")) return true;
+  if (ends_with("_s") && !ends_with("_per_s")) return true;
+  static constexpr std::string_view kProvenance[] = {
+      "quick",        "reps",    "warmup_runs",
+      "batch",        "noisy",   "cpu_cores",
+      "cpu_freq_start_khz", "cpu_freq_end_khz", "timer_res_ns",
+      "threads",      "jobs",    "cores",
+      "islands",      "flows",   "hardware_concurrency",
+  };
+  for (const std::string_view p : kProvenance) {
+    if (field == p) return true;
+  }
+  return false;
+}
+
+/// Parses a JSONL baseline from `in` (`label` names it in diagnostics).
+/// Recognised per-metric keys: metric, value, higher_is_better,
+/// tolerance, min_reps. Returns false (with a diagnostic on stderr) on
+/// malformed lines or an empty metric set.
+inline bool load_baseline(std::istream& in, const std::string& label,
+                          std::vector<BaselineMetric>& out,
+                          std::vector<BaselineComment>* comments = nullptr) {
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') {
+      if (comments != nullptr) comments->push_back({out.size(), line});
+      continue;
+    }
+    std::map<std::string, std::string> obj;
+    if (!vinoc::io::parse_jsonl_object(line, obj)) {
+      std::fprintf(stderr, "bench_check: %s:%d: not a flat JSON object\n",
+                   label.c_str(), lineno);
+      return false;
+    }
+    BaselineMetric m;
+    const auto name = obj.find("metric");
+    const auto value = obj.find("value");
+    if (name == obj.end() || value == obj.end() ||
+        !parse_number(value->second, m.value)) {
+      std::fprintf(stderr,
+                   "bench_check: %s:%d: need \"metric\" and numeric \"value\"\n",
+                   label.c_str(), lineno);
+      return false;
+    }
+    m.name = name->second;
+    const auto dir = obj.find("higher_is_better");
+    if (dir != obj.end()) m.higher_is_better = dir->second == "true";
+    const auto tol = obj.find("tolerance");
+    if (tol != obj.end() && !parse_number(tol->second, m.tolerance)) {
+      std::fprintf(stderr, "bench_check: %s:%d: bad tolerance\n", label.c_str(),
+                   lineno);
+      return false;
+    }
+    const auto reps = obj.find("min_reps");
+    if (reps != obj.end()) {
+      double v = 0.0;
+      if (!parse_number(reps->second, v) || v < 0.0) {
+        std::fprintf(stderr, "bench_check: %s:%d: bad min_reps\n", label.c_str(),
+                     lineno);
+        return false;
+      }
+      m.min_reps = static_cast<int>(v);
+    }
+    out.push_back(std::move(m));
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "bench_check: %s: no metrics\n", label.c_str());
+    return false;
+  }
+  return true;
+}
+
+inline bool load_baseline_file(const std::string& path,
+                               std::vector<BaselineMetric>& out,
+                               std::vector<BaselineComment>* comments = nullptr) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_check: cannot read baseline %s\n", path.c_str());
+    return false;
+  }
+  return load_baseline(in, path, out, comments);
+}
+
+/// Collects "<bench>.<field>" metrics from one bench output stream: every
+/// line that parses as a flat JSON object with a string "bench" field
+/// contributes its numeric fields (latest + full sample list) and its
+/// string fields (unprefixed provenance, e.g. cpu_model — later lines
+/// win).
+inline void collect_metrics(std::istream& in, CollectedMetrics& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '{') continue;
+    std::map<std::string, std::string> obj;
+    if (!vinoc::io::parse_jsonl_object(line, obj)) continue;
+    const auto bench = obj.find("bench");
+    if (bench == obj.end()) continue;
+    for (const auto& [key, raw] : obj) {
+      if (key == "bench") continue;
+      double value = 0.0;
+      if (parse_number(raw, value)) {
+        const std::string name = bench->second + "." + key;
+        out.latest[name] = value;
+        out.samples[name].push_back(value);
+      } else if (raw != "true" && raw != "false") {
+        out.strings[key] = raw;
+      }
+    }
+  }
+}
+
+inline void collect_metrics_file(const std::string& path,
+                                 CollectedMetrics& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_check: warning: cannot read %s\n", path.c_str());
+    return;
+  }
+  collect_metrics(in, out);
+}
+
+/// JSONL spelling of one baseline metric line.
+inline std::string metric_line(const BaselineMetric& m) {
+  char buf[256];
+  std::string line = "{\"metric\":\"" + m.name + "\"";
+  std::snprintf(buf, sizeof buf, ",\"value\":%.6g", m.value);
+  line += buf;
+  if (!m.higher_is_better) line += ",\"higher_is_better\":false";
+  if (m.tolerance >= 0.0) {
+    std::snprintf(buf, sizeof buf, ",\"tolerance\":%.6g", m.tolerance);
+    line += buf;
+  }
+  if (m.min_reps > 0) {
+    std::snprintf(buf, sizeof buf, ",\"min_reps\":%d", m.min_reps);
+    line += buf;
+  }
+  line += "}";
+  return line;
+}
+
+/// The regression gate. A metric FAILS when it moved beyond tolerance in
+/// the BAD direction — below value*(1-t) when higher is better, above
+/// value*(1+t) otherwise; improvements never fail. Missing metrics fail
+/// (a bench that silently stops reporting is a regression of the gate
+/// itself), and a metric with `min_reps` fails when its record's `reps`
+/// field is absent or below the floor — a near-single-shot number cannot
+/// defend a tight tolerance. Returns the failure count.
+inline int run_gate(const std::vector<BaselineMetric>& baseline,
+                    double default_tolerance, const CollectedMetrics& current) {
+  int failures = 0;
+  std::printf("%-36s %14s %14s %9s %9s  %s\n", "metric", "baseline", "current",
+              "change", "limit", "status");
+  for (const BaselineMetric& m : baseline) {
+    const double tol = m.tolerance >= 0.0 ? m.tolerance : default_tolerance;
+    const auto it = current.latest.find(m.name);
+    if (it == current.latest.end()) {
+      std::printf("%-36s %14.4g %14s %9s %9s  MISSING\n", m.name.c_str(),
+                  m.value, "-", "-", "-");
+      ++failures;
+      continue;
+    }
+    const char* status = "ok";
+    const double change =
+        m.value != 0.0 ? (it->second - m.value) / m.value : 0.0;
+    const bool bad = m.higher_is_better ? it->second < m.value * (1.0 - tol)
+                                        : it->second > m.value * (1.0 + tol);
+    if (bad) status = "FAIL";
+    if (m.min_reps > 0) {
+      const std::size_t dot = m.name.rfind('.');
+      const std::string reps_key =
+          (dot == std::string::npos ? m.name : m.name.substr(0, dot)) + ".reps";
+      const auto reps = current.latest.find(reps_key);
+      if (reps == current.latest.end()) {
+        status = "FAIL(no-reps)";
+      } else if (reps->second < static_cast<double>(m.min_reps)) {
+        status = "FAIL(reps)";
+      }
+    }
+    std::printf("%-36s %14.4g %14.4g %+8.1f%% %8.0f%%  %s\n", m.name.c_str(),
+                m.value, it->second, change * 100.0, tol * 100.0, status);
+    if (std::string_view(status) != "ok") ++failures;
+  }
+  if (failures == 0) {
+    std::printf("bench_check: all %zu metrics within tolerance\n",
+                baseline.size());
+  }
+  return failures;
+}
+
+namespace detail {
+inline double median_of_samples(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+}  // namespace detail
+
+/// The noise report (bench-noise CI job): for every gated metric,
+/// measures how noisy its measurement actually is — `within` is the
+/// per-record dispersion the harness reported (median `<metric>_mad`
+/// over records, relative to the metric median) and `cross` the
+/// dispersion OF the metric across repeated bench runs (MAD/median over
+/// all collected samples; needs >= 3 runs). A metric FAILS when the worst
+/// of the two exceeds its tolerance budget (the gate cannot hold a
+/// tolerance the measurement noise already fills), WARNs above half the
+/// budget, and FAILS as no-data when neither dispersion source exists.
+/// Returns the failure count.
+inline int run_noise_report(const std::vector<BaselineMetric>& baseline,
+                            double default_tolerance,
+                            const CollectedMetrics& current) {
+  int failures = 0;
+  std::printf("%-36s %14s %9s %9s %9s  %s\n", "metric", "median", "within",
+              "cross", "budget", "status");
+  for (const BaselineMetric& m : baseline) {
+    const double tol = m.tolerance >= 0.0 ? m.tolerance : default_tolerance;
+    const auto vals = current.samples.find(m.name);
+    if (vals == current.samples.end() || vals->second.empty()) {
+      std::printf("%-36s %14s %9s %9s %8.0f%%  MISSING\n", m.name.c_str(), "-",
+                  "-", "-", tol * 100.0);
+      ++failures;
+      continue;
+    }
+    const double median = detail::median_of_samples(vals->second);
+    // Relative dispersion; a zero median with zero spread is perfectly
+    // quiet (deterministic counters at 0), any spread around 0 is not.
+    const auto rel = [&](double spread) {
+      if (median != 0.0) return spread / std::abs(median);
+      return spread == 0.0 ? 0.0 : 1e9;
+    };
+    double within = -1.0;
+    const auto mads = current.samples.find(m.name + "_mad");
+    if (mads != current.samples.end() && !mads->second.empty()) {
+      within = rel(detail::median_of_samples(mads->second));
+    }
+    double cross = -1.0;
+    if (vals->second.size() >= 3) {
+      std::vector<double> dev;
+      dev.reserve(vals->second.size());
+      for (const double v : vals->second) dev.push_back(std::abs(v - median));
+      cross = rel(detail::median_of_samples(dev));
+    }
+    const double worst = std::max(within, cross);
+    const char* status = "ok";
+    if (worst < 0.0) {
+      status = "FAIL(no-data)";
+    } else if (worst > tol) {
+      status = "FAIL";
+    } else if (worst > 0.5 * tol) {
+      status = "WARN";
+    }
+    const auto pct = [](double v) {
+      char buf[16];
+      if (v < 0.0) return std::string("-");
+      std::snprintf(buf, sizeof buf, "%.1f%%", v * 100.0);
+      return std::string(buf);
+    };
+    std::printf("%-36s %14.4g %9s %9s %8.0f%%  %s\n", m.name.c_str(), median,
+                pct(within).c_str(), pct(cross).c_str(), tol * 100.0, status);
+    if (status == std::string_view("FAIL") ||
+        status == std::string_view("FAIL(no-data)")) {
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("bench_check: noise within budget for all %zu metrics\n",
+                baseline.size());
+  }
+  return failures;
+}
+
+/// Refreshes the baseline: every baseline metric's value is replaced by
+/// the measured one; direction / tolerance / min_reps annotations are
+/// kept, '#' comment lines stay attached to the metrics they precede,
+/// and a provenance header (generating commit from `commit`, environment
+/// from the records' string fields) replaces any previous one. The
+/// curated metric set is stable: a gate-able metric present in the
+/// results but absent from the baseline is a HARD FAILURE unless
+/// `append_new` is set (baseline drift must not land silently);
+/// observability fields (see observability_field) are exempt. With
+/// `append_new`, unknown gate-able metrics are appended with conservative
+/// defaults (higher_is_better, tolerance 0.9) for the operator to
+/// tighten. Returns 0 on success, 1 on unknown metrics / unwritable
+/// output.
+inline int write_baseline(std::ostream& out, const std::string& out_label,
+                          const std::vector<BaselineComment>& comments,
+                          std::vector<BaselineMetric> baseline,
+                          const CollectedMetrics& current,
+                          const std::string& commit, bool append_new) {
+  std::map<std::string, bool> known;
+  int refreshed = 0;
+  int kept = 0;
+  for (BaselineMetric& m : baseline) {
+    known[m.name] = true;
+    const auto it = current.latest.find(m.name);
+    if (it == current.latest.end()) {
+      std::printf("%-40s kept (not in results): %g\n", m.name.c_str(), m.value);
+      ++kept;
+      continue;
+    }
+    m.value = it->second;
+    ++refreshed;
+  }
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : current.latest) {
+    if (known.count(name) != 0 || observability_field(name)) continue;
+    if (!append_new) {
+      unknown.push_back(name);
+      continue;
+    }
+    BaselineMetric m;
+    m.name = name;
+    m.value = value;
+    m.higher_is_better = true;
+    m.tolerance = 0.9;
+    baseline.push_back(m);
+    std::printf("%-40s appended (new metric, tolerance 0.9): %g\n",
+                name.c_str(), value);
+  }
+  if (!unknown.empty()) {
+    std::fprintf(stderr,
+                 "bench_check: %zu gate-able metric(s) not in the baseline "
+                 "(add them, or pass --append-new to take conservative "
+                 "defaults):\n",
+                 unknown.size());
+    for (const std::string& name : unknown) {
+      std::fprintf(stderr, "  %s = %g\n", name.c_str(),
+                   current.latest.at(name));
+    }
+    return 1;
+  }
+
+  // Provenance header: who and where. Previous stamps are dropped from
+  // the carried-over comments so refreshes do not accumulate headers.
+  out << "# refreshed-by: commit " << (commit.empty() ? "unknown" : commit)
+      << "\n";
+  const auto stamp = [&](const char* key) {
+    const auto it = current.strings.find(key);
+    return it != current.strings.end() ? it->second : std::string("unknown");
+  };
+  out << "# refreshed-env: " << stamp("cpu_model") << " | governor "
+      << stamp("cpu_governor") << " | " << stamp("compiler") << " | "
+      << stamp("build_type") << "\n";
+  std::size_t ci = 0;
+  for (std::size_t mi = 0; mi <= baseline.size(); ++mi) {
+    while (ci < comments.size() && comments[ci].before == mi) {
+      const std::string& text = comments[ci].text;
+      if (text.rfind("# refreshed-by:", 0) != 0 &&
+          text.rfind("# refreshed-env:", 0) != 0) {
+        out << text << '\n';
+      }
+      ++ci;
+    }
+    if (mi < baseline.size()) out << metric_line(baseline[mi]) << '\n';
+  }
+  std::printf("bench_check: wrote %s (%d refreshed, %d kept, %zu total)\n",
+              out_label.c_str(), refreshed, kept, baseline.size());
+  return 0;
+}
+
+}  // namespace vinoc::benchgate
