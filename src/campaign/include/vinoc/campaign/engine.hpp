@@ -27,6 +27,7 @@
 #include "vinoc/campaign/campaign_spec.hpp"
 #include "vinoc/campaign/report.hpp"
 #include "vinoc/campaign/result_cache.hpp"
+#include "vinoc/exec/cancel.hpp"
 #include "vinoc/obs/registry.hpp"
 
 namespace vinoc::campaign {
@@ -53,6 +54,35 @@ struct CampaignOptions {
   /// Job-order record callback (progress displays). Called with an internal
   /// mutex held — keep it cheap, and do not call back into the engine.
   std::function<void(const JobRecord&)> on_record;
+
+  // --- Supervision (crash-safe campaigns) -----------------------------------
+
+  /// Per-job wall-clock timeout, seconds; 0 = none. A job (or width group —
+  /// the timeout covers one synthesis call) that runs past it is abandoned
+  /// at the next cancellation poll and quarantined with status "timeout"
+  /// (timeouts are not retried: the same work would time out again).
+  double job_timeout_s = 0.0;
+  /// Retry attempts beyond the first try for TRANSIENT failures (I/O
+  /// errors, injected faults — any std::exception that is not a spec/option
+  /// error). A job that still fails is quarantined with status "failed".
+  int max_retries = 2;
+  /// Base retry backoff, milliseconds: attempt k sleeps
+  /// backoff * 2^k * jitter(seeded), capped at 5 s.
+  double retry_backoff_ms = 100.0;
+  /// Seed for the deterministic backoff jitter.
+  std::uint64_t retry_jitter_seed = 1;
+  /// Whole-campaign budget, seconds; 0 = none. Once exceeded, jobs that
+  /// have not started are emitted with status "skipped" (cache hits still
+  /// serve — they are free) and the campaign completes with what finished.
+  double deadline_s = 0.0;
+  /// External interrupt (the CLI's SIGINT/SIGTERM token). In-flight jobs
+  /// abandon at the next poll, finished work stays flushed, and the result
+  /// reports interrupted().
+  const exec::CancelToken* cancel = nullptr;
+  /// On-disk store size cap, bytes (ResultCache::set_store_max_bytes);
+  /// 0 = unlimited. Applied to the engine-owned cache only — an external
+  /// `cache` keeps whatever policy its owner set.
+  std::uint64_t store_max_bytes = 0;
 };
 
 struct CampaignResult {
@@ -139,6 +169,40 @@ struct CampaignResult {
   [[nodiscard]] int delta_cert_rejects() const {
     return static_cast<int>(metrics.value("delta_cert_rejects"));
   }
+  /// Transient-failure retry attempts across all jobs.
+  [[nodiscard]] int retries() const {
+    return static_cast<int>(metrics.value("retries"));
+  }
+  /// Jobs abandoned by --job-timeout (a subset of quarantined_jobs).
+  [[nodiscard]] int job_timeouts() const {
+    return static_cast<int>(metrics.value("job_timeouts"));
+  }
+  /// Jobs quarantined to failed.jsonl (status "failed" or "timeout").
+  [[nodiscard]] int quarantined_jobs() const {
+    return static_cast<int>(metrics.value("quarantined_jobs"));
+  }
+  /// Jobs never started: --deadline passed or the run was interrupted.
+  [[nodiscard]] int skipped_jobs() const {
+    return static_cast<int>(metrics.value("skipped_jobs"));
+  }
+  /// Corrupt/torn store lines quarantined by recovery-on-open.
+  [[nodiscard]] int recovered_records() const {
+    return static_cast<int>(metrics.value("recovered_records"));
+  }
+  /// Store records evicted by the size cap.
+  [[nodiscard]] int evicted_records() const {
+    return static_cast<int>(metrics.value("evicted_records"));
+  }
+  /// Failed store appends/rewrites (the store may have degraded to
+  /// memory-only; see ResultCache::store_degraded).
+  [[nodiscard]] int store_write_errors() const {
+    return static_cast<int>(metrics.value("store_write_errors"));
+  }
+  /// True when the run was cut short by the external cancel token
+  /// (SIGINT/SIGTERM) rather than running to completion.
+  [[nodiscard]] bool interrupted() const {
+    return metrics.value("interrupted") != 0;
+  }
 
   /// Fraction of delta-eligible flows served without a live Dijkstra
   /// (also stored as the registry gauge "delta_reuse_rate").
@@ -154,8 +218,11 @@ struct CampaignResult {
 };
 
 /// Runs the campaign. Per-job InfeasibleWidthError is recorded (feasible =
-/// false), not fatal; any other synthesis error (invalid spec, bad weights)
-/// propagates, as do expand_jobs() errors.
+/// false), not fatal. Spec/option errors (std::invalid_argument) propagate,
+/// as do expand_jobs() errors. Every OTHER per-job exception is treated as
+/// transient: retried per CampaignOptions and, if it keeps failing,
+/// quarantined (status "failed"/"timeout", mirrored to <dir>/failed.jsonl) —
+/// the campaign always completes with one record per job.
 [[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec,
                                           const CampaignOptions& options = {});
 

@@ -42,6 +42,13 @@ struct JobRecord {
   double best_area_mm2 = 0.0;
   double best_power_latency_cycles = 0.0;  ///< latency AT the best-power point
   double min_latency_cycles = 0.0;         ///< best-latency point's latency
+  /// Supervision outcome: "ok" (computed or cache-served), "failed"
+  /// (quarantined after exhausting retries), "timeout" (--job-timeout hit),
+  /// or "skipped" (--deadline passed / run interrupted before the job
+  /// started). Only "ok" records enter the store; the JSONL spells the
+  /// field out only when != "ok", so healthy streams are byte-identical to
+  /// pre-supervision ones.
+  std::string status = "ok";
   double wall_ms = 0.0;  ///< measured; 0 for in-memory cache hits
 };
 

@@ -1,17 +1,24 @@
 #include "vinoc/campaign/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <thread>
 #include <utility>
 
 #include "vinoc/campaign/spec_hash.hpp"
 #include "vinoc/core/candidates.hpp"
 #include "vinoc/core/explore.hpp"
+#include "vinoc/exec/cancel.hpp"
 #include "vinoc/exec/parallel_for.hpp"
 #include "vinoc/exec/thread_pool.hpp"
+#include "vinoc/io/jsonl.hpp"
 #include "vinoc/obs/trace.hpp"
 
 namespace vinoc::campaign {
@@ -53,6 +60,26 @@ class OrderedEmitter {
   std::size_t next_ = 0;
 };
 
+/// Deterministic backoff jitter: splitmix64 over (seed, job key, attempt),
+/// mapped to [0.5, 1.0) — no global RNG, so two runs of the same campaign
+/// back off identically.
+double backoff_jitter(std::uint64_t seed, std::uint64_t key, int attempt) {
+  std::uint64_t x = seed * 0x2545f4914f6cdd1dull ^ key ^
+                    (static_cast<std::uint64_t>(attempt) << 48);
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return 0.5 + 0.5 * static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Outcome of a supervised synthesis that did not succeed.
+struct JobFailure {
+  const char* status;  ///< "failed" | "timeout" | "skipped"
+  std::string error;
+  int attempts;
+};
+
 }  // namespace
 
 std::string CampaignResult::to_jsonl(bool include_timing) const {
@@ -75,11 +102,48 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   ResultCache own_cache(options.cache != nullptr ? std::string()
                                                  : options.cache_dir);
   ResultCache& cache = options.cache != nullptr ? *options.cache : own_cache;
+  if (options.cache == nullptr && options.store_max_bytes > 0) {
+    own_cache.set_store_max_bytes(options.store_max_bytes);
+  }
   // Load the store whenever one exists — a non-resume run ignores the
   // loaded records for scheduling (it recomputes every job) but must know
   // which keys are already on disk so put_record does not append duplicate
-  // lines run after run. Resume additionally serves jobs from them.
+  // lines run after run. Resume additionally serves jobs from them. v2:
+  // this is also the recovery pass that quarantines crash-torn lines.
   cache.load_store();
+
+  // The campaign-level cancel token: chains the external interrupt
+  // (SIGINT/SIGTERM) and carries the --deadline budget. Every job's own
+  // token chains IT, so one cancel reaches every in-flight candidate poll.
+  exec::CancelToken campaign_token(options.cancel);
+  if (options.deadline_s > 0.0) {
+    campaign_token.set_deadline(
+        t_start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(options.deadline_s)));
+  }
+
+  // Quarantine ledger: one checksummed line per job that ended "failed" or
+  // "timeout", beside the store (memory-only runs keep counters only).
+  std::mutex failed_mutex;
+  std::ofstream failed_out;
+  auto quarantine_job = [&](const CampaignJob& job, const JobFailure& failure) {
+    if (cache.dir().empty()) return;
+    const std::lock_guard<std::mutex> lock(failed_mutex);
+    if (!failed_out.is_open()) {
+      failed_out.open(
+          (std::filesystem::path(cache.dir()) / "failed.jsonl").string(),
+          std::ios::app);
+    }
+    if (!failed_out) return;  // ledger I/O must never fail the campaign
+    io::JsonlWriter w;
+    w.field("campaign", spec.name)
+        .field("job", job.name)
+        .field("key", key_hex(job.key))
+        .field("status", failure.status)
+        .field("error", failure.error)
+        .field("attempts", failure.attempts);
+    failed_out << io::add_line_checksum(w.line()) << '\n' << std::flush;
+  };
 
   OrderedEmitter emitter(options, out.records);
   // All campaign counters accumulate in per-worker obs registry shards
@@ -169,6 +233,78 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     emitter.emit(i, std::move(rec));
   };
 
+  /// Emits a job that supervision gave up on. Failed/skipped records carry
+  /// the status field, never enter the store (a later --resume retries
+  /// them), and failed/timeout jobs are mirrored to failed.jsonl.
+  auto emit_failed = [&](std::size_t i, const JobFailure& failure) {
+    const CampaignJob& job = jobs[i];
+    JobRecord rec = summarize(spec.name, job, nullptr);
+    rec.status = failure.status;
+    obs::Registry& shard = metrics.local();
+    if (rec.status == "skipped") {
+      shard.add("skipped_jobs", 1);
+    } else {
+      shard.add("quarantined_jobs", 1);
+      quarantine_job(job, failure);
+    }
+    emitter.emit(i, std::move(rec));
+  };
+
+  /// Supervision policy around one synthesis call: per-attempt child token
+  /// (job timeout on top of deadline/interrupt), retry with exponential
+  /// backoff + deterministic jitter for transient failures, quarantine when
+  /// retries are exhausted. `fn` must handle InfeasibleWidthError itself —
+  /// an infeasible width is a RESULT, not a failure. Returns nullopt on
+  /// success.
+  auto supervised = [&](std::uint64_t job_key,
+                        const std::function<void(const exec::CancelToken&)>& fn)
+      -> std::optional<JobFailure> {
+    for (int attempt = 0;; ++attempt) {
+      if (campaign_token.cancelled()) {
+        return JobFailure{"skipped",
+                          campaign_token.flag_cancelled() ? "interrupted"
+                                                          : "deadline exceeded",
+                          attempt};
+      }
+      exec::CancelToken job_token(&campaign_token);
+      if (options.job_timeout_s > 0.0) {
+        job_token.set_timeout(options.job_timeout_s);
+      }
+      try {
+        fn(job_token);
+        return std::nullopt;
+      } catch (const exec::CancelledError& e) {
+        if (campaign_token.cancelled()) {
+          return JobFailure{"skipped",
+                            campaign_token.flag_cancelled()
+                                ? "interrupted"
+                                : "deadline exceeded",
+                            attempt + 1};
+        }
+        // The job's own deadline fired: a timeout, and not worth retrying —
+        // the same work would run past the same budget again.
+        metrics.local().add("job_timeouts", 1);
+        return JobFailure{"timeout", e.what(), attempt + 1};
+      } catch (const std::invalid_argument&) {
+        throw;  // spec/option errors are caller bugs, not transient faults
+      } catch (const std::exception& e) {
+        if (attempt >= options.max_retries) {
+          return JobFailure{"failed", e.what(), attempt + 1};
+        }
+        metrics.local().add("retries", 1);
+        const double sleep_ms =
+            std::min(options.retry_backoff_ms * static_cast<double>(1 << attempt) *
+                         backoff_jitter(options.retry_jitter_seed, job_key,
+                                        attempt),
+                     5000.0);
+        if (sleep_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(sleep_ms));
+        }
+      }
+    }
+  };
+
   exec::parallel_for_each(pool, groups.size(), [&](std::size_t g) {
     OBS_SPAN("campaign_group");
     std::vector<std::size_t> compute;
@@ -181,12 +317,22 @@ CampaignResult run_campaign(const CampaignSpec& spec,
       const CampaignJob& job = jobs[i];
       const auto t0 = std::chrono::steady_clock::now();
       std::shared_ptr<const core::SynthesisResult> result;
-      try {
-        result = std::make_shared<core::SynthesisResult>(
-            core::synthesize(job.spec, job.options, pool, scratch));
-      } catch (const core::InfeasibleWidthError&) {
-        // Recorded, not fatal: an infeasible (scenario, width) pair is a
-        // normal matrix outcome.
+      const std::optional<JobFailure> failure =
+          supervised(job.key, [&](const exec::CancelToken& token) {
+            core::SynthesisOptions jopt = job.options;
+            jopt.cancel = &token;  // excluded from job keys (spec_hash)
+            try {
+              result = std::make_shared<core::SynthesisResult>(
+                  core::synthesize(job.spec, jopt, pool, scratch));
+            } catch (const core::InfeasibleWidthError&) {
+              // Recorded, not fatal: an infeasible (scenario, width) pair is
+              // a normal matrix outcome.
+              result = nullptr;
+            }
+          });
+      if (failure.has_value()) {
+        emit_failed(i, *failure);
+        return;
       }
       emit_computed(i, std::move(result),
                     std::chrono::duration<double, std::milli>(
@@ -197,21 +343,33 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     // Two or more widths over identical structure inputs: one shared
     // width-set synthesis. Infeasible widths come back as infeasible
     // entries (the solo path's InfeasibleWidthError); the group's wall
-    // time is amortised uniformly over its jobs.
-    {
-      obs::Registry& shard = metrics.local();
-      shard.add("structure_groups", 1);
-      shard.add("structure_shared_jobs", static_cast<int>(compute.size()));
-    }
+    // time is amortised uniformly over its jobs, and the supervision
+    // policy treats the whole group as one job (one timeout budget, one
+    // retry counter; a group failure fails all its members).
     const CampaignJob& first = jobs[compute.front()];
     std::vector<int> widths;
     widths.reserve(compute.size());
     for (const std::size_t i : compute) widths.push_back(jobs[i].width);
     const auto t0 = std::chrono::steady_clock::now();
     core::WidthSetStats set_stats;
-    std::vector<core::WidthSweepEntry> entries =
-        core::synthesize_width_set(first.spec, widths, first.options, pool,
-                                   scratch, &set_stats);
+    std::vector<core::WidthSweepEntry> entries;
+    const std::optional<JobFailure> failure =
+        supervised(first.key, [&](const exec::CancelToken& token) {
+          core::SynthesisOptions gopt = first.options;
+          gopt.cancel = &token;
+          set_stats = core::WidthSetStats{};
+          entries = core::synthesize_width_set(first.spec, widths, gopt, pool,
+                                               scratch, &set_stats);
+        });
+    if (failure.has_value()) {
+      for (const std::size_t i : compute) emit_failed(i, *failure);
+      return;
+    }
+    {
+      obs::Registry& shard = metrics.local();
+      shard.add("structure_groups", 1);
+      shard.add("structure_shared_jobs", static_cast<int>(compute.size()));
+    }
     {
       obs::Registry& shard = metrics.local();
       shard.add("width_shared_evals", set_stats.shared_evals);
@@ -268,6 +426,21 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   out.metrics.add("delta_flows_certified", acc.value("delta_flows_certified"));
   out.metrics.add("delta_flows_rerouted", acc.value("delta_flows_rerouted"));
   out.metrics.add("delta_cert_rejects", acc.value("delta_cert_rejects"));
+  // Robustness counters (PR 9) — appended AFTER every pre-existing counter
+  // so the CI's resume_summary prefix greps keep matching.
+  out.metrics.add("retries", acc.value("retries"));
+  out.metrics.add("job_timeouts", acc.value("job_timeouts"));
+  out.metrics.add("quarantined_jobs", acc.value("quarantined_jobs"));
+  out.metrics.add("skipped_jobs", acc.value("skipped_jobs"));
+  out.metrics.add("recovered_records",
+                  static_cast<std::int64_t>(cache.recovered_records()));
+  out.metrics.add("evicted_records",
+                  static_cast<std::int64_t>(cache.evicted_records()));
+  out.metrics.add("store_write_errors",
+                  static_cast<std::int64_t>(cache.store_write_errors()));
+  out.metrics.add("interrupted",
+                  options.cancel != nullptr && options.cancel->cancelled() ? 1
+                                                                           : 0);
   out.metrics.set_gauge("delta_reuse_rate", out.delta_reuse_rate());
   out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              t_start)

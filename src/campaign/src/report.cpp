@@ -56,6 +56,7 @@ std::string record_to_jsonl(const JobRecord& record, bool include_timing) {
       .field("best_area_mm2", record.best_area_mm2)
       .field("best_power_latency_cy", record.best_power_latency_cycles)
       .field("min_latency_cy", record.min_latency_cycles);
+  if (record.status != "ok") w.field("status", record.status);
   if (include_timing) w.field("wall_ms", record.wall_ms);
   return w.line();
 }
@@ -131,6 +132,7 @@ bool record_from_jsonl(const std::string& line, JobRecord& out) {
     return false;
   }
   rec.seed = static_cast<unsigned>(seed);
+  (void)get_string(obj, "status", rec.status);    // optional; default "ok"
   (void)get_double(obj, "wall_ms", rec.wall_ms);  // optional
   out = std::move(rec);
   return true;
@@ -140,19 +142,19 @@ std::string records_to_csv(const std::vector<JobRecord>& records) {
   std::string csv =
       "job,scenario,strategy,islands,width,seed,key,feasible,cache_hit,"
       "points,pareto,explored,best_power_mw,best_leakage_mw,best_area_mm2,"
-      "best_power_latency_cy,min_latency_cy,wall_ms\n";
+      "best_power_latency_cy,min_latency_cy,status,wall_ms\n";
   char buf[512];
   for (const JobRecord& r : records) {
     std::snprintf(buf, sizeof buf,
                   "%s,%s,%s,%d,%d,%u,%s,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.3f,"
-                  "%.3f,%.3f\n",
+                  "%.3f,%s,%.3f\n",
                   r.job.c_str(), r.scenario.c_str(), r.strategy.c_str(),
                   r.islands, r.width, r.seed, key_hex(r.key).c_str(),
                   r.feasible ? 1 : 0, r.cache_hit ? 1 : 0, r.points,
                   r.pareto_points, r.configs_explored, r.best_power_mw,
                   r.best_leakage_mw, r.best_area_mm2,
                   r.best_power_latency_cycles, r.min_latency_cycles,
-                  r.wall_ms);
+                  r.status.c_str(), r.wall_ms);
     csv += buf;
   }
   return csv;

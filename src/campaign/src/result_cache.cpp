@@ -2,10 +2,24 @@
 
 #include <filesystem>
 #include <fstream>
-#include <stdexcept>
+#include <iterator>
+#include <unordered_set>
 #include <utility>
 
+#include "vinoc/faultinject/faultinject.hpp"
+#include "vinoc/io/jsonl.hpp"
+
 namespace vinoc::campaign {
+
+namespace {
+
+/// Append failures tolerated before the cache stops touching the disk store
+/// for the rest of its lifetime (memory tiers keep serving). Three strikes:
+/// one flaky write is worth retrying on the next record, a dead disk is not
+/// worth stalling every job on.
+constexpr std::uint64_t kDegradeAfterErrors = 3;
+
+}  // namespace
 
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
   if (!dir_.empty()) std::filesystem::create_directories(dir_);
@@ -31,36 +45,186 @@ std::optional<JobRecord> ResultCache::find_record(std::uint64_t key) const {
   return it->second;
 }
 
+std::string ResultCache::record_line(const JobRecord& record) const {
+  return io::add_line_checksum(record_to_jsonl(record));
+}
+
 void ResultCache::put_record(const JobRecord& record) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (!records_.emplace(record.key, record).second) return;  // already stored
-  if (dir_.empty()) return;
-  std::ofstream out(store_path(), std::ios::app);
-  if (!out) {
-    throw std::runtime_error("cannot append to campaign store " + store_path());
+  if (dir_.empty() || degraded_) return;
+  const std::string line = record_line(record);
+  bool ok = false;
+  try {
+    faultinject::maybe_fail(faultinject::Site::kStoreWrite, "store append");
+    std::ofstream out(store_path(), std::ios::app);
+    if (out) {
+      out << line << '\n';
+      out.flush();
+      ok = static_cast<bool>(out);
+    }
+  } catch (const std::exception&) {
+    ok = false;
   }
-  out << record_to_jsonl(record) << '\n';
+  if (!ok) {
+    // Graceful degradation, not an abort: the record stays served from
+    // memory, the campaign keeps running, and the error is surfaced through
+    // the store_write_errors counter (the CLI degrades the exit code).
+    ++store_write_errors_;
+    if (store_write_errors_ >= kDegradeAfterErrors) degraded_ = true;
+    return;
+  }
+  store_order_.push_back(record.key);
+  store_bytes_ += line.size() + 1;
+  if (store_max_bytes_ > 0 && store_bytes_ > store_max_bytes_) {
+    evict_to_cap_locked();
+  }
 }
 
-std::size_t ResultCache::load_store() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  if (dir_.empty()) return 0;
-  std::ifstream in(store_path());
-  if (!in) return 0;
-  std::size_t loaded = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    JobRecord rec;
-    if (!record_from_jsonl(line, rec)) continue;  // skip malformed lines
-    if (records_.emplace(rec.key, std::move(rec)).second) ++loaded;
+void ResultCache::rewrite_store_locked(const std::vector<std::uint64_t>& keys) {
+  std::string text;
+  std::uint64_t bytes = 0;
+  for (const std::uint64_t key : keys) {
+    const std::string line = record_line(records_.at(key));
+    text += line;
+    text += '\n';
+    bytes += line.size() + 1;
   }
-  return loaded;
+  const std::string tmp = store_path() + ".tmp";
+  bool ok = false;
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (out) {
+      out << text;
+      out.flush();
+      ok = static_cast<bool>(out);
+    }
+  }
+  if (ok) {
+    std::error_code ec;
+    std::filesystem::rename(tmp, store_path(), ec);
+    ok = !ec;
+  }
+  if (!ok) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    ++store_write_errors_;
+    if (store_write_errors_ >= kDegradeAfterErrors) degraded_ = true;
+    return;
+  }
+  store_order_ = keys;
+  store_bytes_ = bytes;
+}
+
+void ResultCache::evict_to_cap_locked() {
+  // Keep the longest NEWEST-record suffix that fits the cap (always at
+  // least the newest record). Evicted records stay in the memory tier; only
+  // their on-disk lines go, so a fresh process recomputes them on --resume.
+  std::uint64_t bytes = 0;
+  std::size_t keep_from = store_order_.size();
+  while (keep_from > 0) {
+    const std::uint64_t line_bytes =
+        record_line(records_.at(store_order_[keep_from - 1])).size() + 1;
+    if (bytes + line_bytes > store_max_bytes_ &&
+        keep_from != store_order_.size()) {
+      break;
+    }
+    bytes += line_bytes;
+    --keep_from;
+  }
+  if (keep_from == 0) return;  // everything fits
+  evicted_records_ += keep_from;
+  const std::vector<std::uint64_t> kept(store_order_.begin() +
+                                            static_cast<std::ptrdiff_t>(keep_from),
+                                        store_order_.end());
+  rewrite_store_locked(kept);
+}
+
+StoreRecoveryStats ResultCache::load_store() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  StoreRecoveryStats stats;
+  store_order_.clear();
+  store_bytes_ = 0;
+  if (dir_.empty()) return stats;
+  std::string text;
+  {
+    std::ifstream in(store_path(), std::ios::binary);
+    if (!in) return stats;
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  // A store that does not end in '\n' has a crash-torn tail: the final
+  // append was cut mid-line. The torn line itself almost always fails its
+  // checksum below; republishing the store is what matters either way,
+  // because appending after a newline-less tail would CONCATENATE the next
+  // record onto the torn bytes and corrupt both.
+  bool needs_rewrite = !text.empty() && text.back() != '\n';
+  std::vector<std::string> quarantined;
+  std::unordered_set<std::uint64_t> on_disk;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) {
+      needs_rewrite = true;  // stray blank line: drop on republish
+      continue;
+    }
+    std::string payload;
+    const io::ChecksumStatus cs = io::verify_line_checksum(line, &payload);
+    JobRecord rec;
+    const bool good =
+        (cs == io::ChecksumStatus::kOk || cs == io::ChecksumStatus::kAbsent) &&
+        record_from_jsonl(payload, rec);
+    if (!good) {
+      quarantined.push_back(line);
+      ++stats.recovered;
+      needs_rewrite = true;
+      continue;
+    }
+    if (cs == io::ChecksumStatus::kAbsent) needs_rewrite = true;  // v1 upgrade
+    if (!on_disk.insert(rec.key).second) {
+      needs_rewrite = true;  // duplicate line: drop on republish
+      continue;
+    }
+    const std::uint64_t key = rec.key;
+    if (records_.emplace(key, std::move(rec)).second) ++stats.loaded;
+    store_order_.push_back(key);
+    store_bytes_ += record_line(records_.at(key)).size() + 1;
+  }
+  recovered_records_ += stats.recovered;
+  if (!quarantined.empty()) {
+    std::ofstream out(quarantine_path(), std::ios::app);
+    if (out) {
+      for (const std::string& line : quarantined) out << line << '\n';
+    }
+  }
+  const std::size_t evicted_before = static_cast<std::size_t>(evicted_records_);
+  if (store_max_bytes_ > 0 && store_bytes_ > store_max_bytes_) {
+    evict_to_cap_locked();  // republishes the store itself
+    stats.evicted = static_cast<std::size_t>(evicted_records_) - evicted_before;
+    stats.rewritten = true;
+  } else if (needs_rewrite) {
+    rewrite_store_locked(store_order_);
+    stats.rewritten = true;
+  }
+  return stats;
+}
+
+void ResultCache::set_store_max_bytes(std::uint64_t max_bytes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  store_max_bytes_ = max_bytes;
 }
 
 std::string ResultCache::store_path() const {
   if (dir_.empty()) return {};
   return (std::filesystem::path(dir_) / "store.jsonl").string();
+}
+
+std::string ResultCache::quarantine_path() const {
+  if (dir_.empty()) return {};
+  return (std::filesystem::path(dir_) / "store.quarantine.jsonl").string();
 }
 
 std::size_t ResultCache::result_count() const {
@@ -71,6 +235,26 @@ std::size_t ResultCache::result_count() const {
 std::size_t ResultCache::record_count() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return records_.size();
+}
+
+std::uint64_t ResultCache::recovered_records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recovered_records_;
+}
+
+std::uint64_t ResultCache::evicted_records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_records_;
+}
+
+std::uint64_t ResultCache::store_write_errors() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return store_write_errors_;
+}
+
+bool ResultCache::store_degraded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return degraded_;
 }
 
 }  // namespace vinoc::campaign

@@ -27,6 +27,7 @@
 
 #include "vinoc/core/frequency.hpp"
 #include "vinoc/core/topology.hpp"
+#include "vinoc/exec/cancel.hpp"
 #include "vinoc/floorplan/floorplan.hpp"
 #include "vinoc/models/technology.hpp"
 #include "vinoc/soc/soc_spec.hpp"
@@ -118,6 +119,14 @@ struct SynthesisOptions {
   /// from worker threads (serialised by an internal mutex); keep it cheap
   /// and do not call back into the synthesis API from inside it.
   std::function<void(const SynthesisProgress&)> on_progress;
+  /// Cooperative cancellation: when set, synthesize() and
+  /// synthesize_width_set() poll the token between candidate evaluations
+  /// and abort with exec::CancelledError once it reports cancelled — the
+  /// campaign engine's job timeouts, --deadline budget and SIGINT handling
+  /// all arrive through here. Like `threads`/`on_progress` this is a pure
+  /// wall-clock control knob, excluded from campaign job keys (spec_hash).
+  /// Must outlive the synthesis call.
+  const exec::CancelToken* cancel = nullptr;
 };
 
 /// One saved design point (a full topology plus its evaluation).

@@ -13,6 +13,7 @@
 #include "vinoc/core/router.hpp"
 #include "vinoc/core/vcg.hpp"
 #include "vinoc/exec/parallel_for.hpp"
+#include "vinoc/faultinject/faultinject.hpp"
 #include "vinoc/obs/profile.hpp"
 #include "vinoc/obs/trace.hpp"
 #include "vinoc/partition/kway.hpp"
@@ -409,6 +410,14 @@ CandidateOutcome evaluate_candidate(const EvalContext& ctx,
                                     const ParetoBound* bound,
                                     DeltaReference* delta_record,
                                     DeltaRouteState* delta) {
+  // Chaos-test injection points (inert unless armed; see
+  // vinoc/faultinject/faultinject.hpp): a seeded eval-time throw exercises
+  // the campaign's retry/quarantine path, a seeded stall widens the
+  // kill-window for the CI crash-resume test.
+  if (faultinject::armed()) {
+    faultinject::maybe_fail(faultinject::Site::kEval, "evaluate_candidate");
+    faultinject::maybe_stall(faultinject::Site::kEvalStall);
+  }
   CandidateOutcome out;
   out.point.switches_per_island = cand.switches_per_island;
   out.point.intermediate_switches = cand.intermediate_switches;

@@ -56,6 +56,9 @@ std::vector<WidthSweepEntry> synthesize_width_set(
       base_options.alpha_power < 0.0 || base_options.alpha_power > 1.0) {
     throw std::invalid_argument("synthesize: alpha weights must be in [0,1]");
   }
+  if (base_options.cancel != nullptr) {
+    base_options.cancel->check("synthesize_width_set");
+  }
 
   std::vector<WidthSweepEntry> entries(widths.size());
   for (std::size_t i = 0; i < widths.size(); ++i) {
@@ -135,6 +138,9 @@ std::vector<WidthSweepEntry> synthesize_width_set(
     const VcgScaling scaling = vcg_scaling(spec);
     exec::parallel_for_each(pool, cache_slots.size(), [&](std::size_t i) {
       OBS_SPAN("partition_mincut");
+      if (base_options.cancel != nullptr) {
+        base_options.cancel->check("synthesize_width_set");
+      }
       const obs::PhaseScope obs_phase(obs::Phase::kPartition);
       const auto& [island, k, max_sw] = cache_slots[i]->first;
       cache_slots[i]->second = detail::partition_island_mincut(
@@ -333,6 +339,11 @@ std::vector<WidthSweepEntry> synthesize_width_set(
 
   exec::parallel_for_each(pool, units.size(), [&](std::size_t u) {
     OBS_SPAN("sweep_unit");
+    // Cancellation poll, once per (candidate, class) unit — the sweep's
+    // equivalent of synthesize()'s per-candidate poll.
+    if (base_options.cancel != nullptr) {
+      base_options.cancel->check("synthesize_width_set");
+    }
     const Unit unit = units[u];
     WidthClass& wc = classes[unit.class_id];
     EvalScratch& es = scratch.local();

@@ -61,6 +61,7 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
       options.alpha_power > 1.0) {
     throw std::invalid_argument("synthesize: alpha weights must be in [0,1]");
   }
+  if (options.cancel != nullptr) options.cancel->check("synthesize");
 
   SynthesisResult result;
   {
@@ -174,6 +175,10 @@ SynthesisResult synthesize(const soc::SocSpec& spec, const SynthesisOptions& opt
   int peak_buffered = 0;  // both only touched under the queue's lock
   exec::parallel_for_each(pool, candidates.size(), [&](std::size_t i) {
     OBS_SPAN("candidate");
+    // Cancellation poll, once per candidate: a cancelled run throws here on
+    // every remaining index, so the fan-out drains fast and
+    // parallel_for_each rethrows the lowest-index CancelledError.
+    if (options.cancel != nullptr) options.cancel->check("synthesize");
     EvalScratch& scratch = scratch_pool.local();
     std::shared_ptr<const ParetoBound> snap;
     const ParetoBound* bound = nullptr;

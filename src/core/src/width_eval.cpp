@@ -7,6 +7,7 @@
 #include "vinoc/core/deadlock.hpp"
 #include "vinoc/core/prune.hpp"
 #include "vinoc/core/router.hpp"
+#include "vinoc/faultinject/faultinject.hpp"
 #include "vinoc/obs/trace.hpp"
 
 namespace vinoc::core {
@@ -758,6 +759,14 @@ std::vector<CandidateOutcome> evaluate_candidate_widths(
     EvalScratch* scratch, const std::vector<const ParetoBound*>* fronts,
     WidthEvalCounters* counters, DeltaReference* delta_record,
     DeltaRouteState* delta) {
+  // Chaos-test injection points, mirroring evaluate_candidate() — the width
+  // sweep is the campaign's dominant compute path, so fault/stall coverage
+  // must reach it too.
+  if (faultinject::armed()) {
+    faultinject::maybe_fail(faultinject::Site::kEval,
+                            "evaluate_candidate_widths");
+    faultinject::maybe_stall(faultinject::Site::kEvalStall);
+  }
   std::vector<CandidateOutcome> out(ctx.slices.size());
   if (counters != nullptr) {
     counters->slice_class.assign(ctx.slices.size(), ShareClass::kLeader);

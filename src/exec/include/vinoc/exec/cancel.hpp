@@ -1,0 +1,90 @@
+// Cooperative cancellation for the staged exploration engine.
+//
+// A CancelToken is a passive flag + optional wall-clock deadline that hot
+// loops POLL between units of work (one candidate evaluation, one sweep
+// unit) — there is no preemption. Tokens chain: a per-job token created
+// with a parent observes the parent's state too, so one campaign-level
+// token (SIGINT/SIGTERM, --deadline) cancels every in-flight job while
+// each job keeps its own --job-timeout deadline on top.
+//
+// cancel() is an atomic store with no locks or allocation, so it is safe
+// to call from a signal handler (the CLI's SIGINT/SIGTERM path does).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace vinoc::exec {
+
+/// Thrown by CancelToken::check() (and thus out of synthesize() /
+/// synthesize_width_set()) when a poll observes cancellation. Distinct from
+/// std::runtime_error subclasses that mean "the work failed": cancellation
+/// means the work was ABANDONED — the campaign engine maps it to a
+/// timeout/skip, never to a retry.
+struct CancelledError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// A child token: cancelled whenever `parent` is (parent may be null and
+  /// must outlive this token).
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Async-signal-safe (single lock-free store).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Absolute wall-clock deadline; the token reports cancelled once the
+  /// clock passes it. Not thread-safe against concurrent polls — set before
+  /// handing the token to workers.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  /// Relative form: deadline = now + seconds.
+  void set_timeout(double seconds) {
+    set_deadline(std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(seconds)));
+  }
+
+  /// True once cancel() was called (here or on an ancestor) or a deadline
+  /// (here or on an ancestor) has passed.
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      return true;
+    }
+    return parent_ != nullptr && parent_->cancelled();
+  }
+
+  /// True when cancellation came from an explicit cancel() call on this
+  /// token or an ancestor — as opposed to a deadline expiring. The campaign
+  /// engine uses the distinction to tell "interrupted" from "timed out".
+  [[nodiscard]] bool flag_cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->flag_cancelled();
+  }
+
+  /// Polls and throws CancelledError when cancelled. `where` names the loop
+  /// for the error message.
+  void check(const char* where) const {
+    if (cancelled()) {
+      throw CancelledError(std::string(where) + ": cancelled");
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  const CancelToken* parent_ = nullptr;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace vinoc::exec

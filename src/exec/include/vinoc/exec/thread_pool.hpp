@@ -65,16 +65,25 @@ class ThreadPool {
   /// plain callers may use it to tell caller strands from pool strands.
   [[nodiscard]] static bool on_worker_thread();
 
+  /// First exception a submitted job leaked, if any. Jobs must not throw —
+  /// the fan-out primitives catch per-task exceptions themselves — so this
+  /// is the safety net that turns a leaked exception into a recorded error
+  /// instead of std::terminate tearing the process down. Check it after the
+  /// work that could have leaked (e.g. before trusting a batch's results).
+  [[nodiscard]] std::exception_ptr worker_error() const;
+
  private:
   void enqueue(std::function<void()> job, bool front);
+  void run_guarded(std::function<void()>& job);
   void worker_loop();
 
   int parallelism_ = 1;
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  std::exception_ptr worker_error_;
 };
 
 }  // namespace vinoc::exec

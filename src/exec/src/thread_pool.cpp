@@ -34,11 +34,25 @@ void ThreadPool::submit(std::function<void()> job) { enqueue(std::move(job), fal
 
 void ThreadPool::submit_front(std::function<void()> job) { enqueue(std::move(job), true); }
 
+std::exception_ptr ThreadPool::worker_error() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return worker_error_;
+}
+
+void ThreadPool::run_guarded(std::function<void()>& job) {
+  try {
+    job();
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!worker_error_) worker_error_ = std::current_exception();
+  }
+}
+
 void ThreadPool::enqueue(std::function<void()> job, bool front) {
   if (workers_.empty()) {
     // No workers to hand the job to; run it inline. Runner jobs are written
     // to tolerate this (they drain a shared counter and exit when empty).
-    job();
+    run_guarded(job);
     return;
   }
   {
@@ -75,7 +89,7 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    run_guarded(job);
   }
   obs::flush_thread_trace_sink();
 }

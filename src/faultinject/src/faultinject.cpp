@@ -1,0 +1,180 @@
+#include "vinoc/faultinject/faultinject.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <thread>
+
+namespace vinoc::faultinject {
+
+namespace {
+
+struct SiteState {
+  // rate is stored as a 64-bit threshold (rate * 2^64, saturated) so the
+  // fire decision is one integer compare against the hash — no float
+  // rounding at rate 1.0.
+  std::uint64_t threshold = 0;
+  std::uint64_t max_fires = std::numeric_limits<std::uint64_t>::max();
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+std::array<SiteState, static_cast<std::size_t>(Site::kCount)> g_sites;
+std::atomic<bool> g_armed{false};
+std::uint64_t g_seed = 1;
+std::atomic<int> g_stall_ms{10};
+
+SiteState& state(Site site) {
+  return g_sites[static_cast<std::size_t>(site)];
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool parse_site(const std::string& name, Site& out) {
+  for (int s = 0; s < static_cast<int>(Site::kCount); ++s) {
+    if (name == site_name(static_cast<Site>(s))) {
+      out = static_cast<Site>(s);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::kStoreWrite: return "store_write";
+    case Site::kEval: return "eval";
+    case Site::kEvalStall: return "eval_stall";
+    case Site::kCount: break;
+  }
+  return "?";
+}
+
+bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+void reset() {
+  g_armed.store(false, std::memory_order_relaxed);
+  for (SiteState& s : g_sites) {
+    s.threshold = 0;
+    s.max_fires = std::numeric_limits<std::uint64_t>::max();
+    s.hits.store(0, std::memory_order_relaxed);
+    s.fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+void set_stall_ms(int ms) { g_stall_ms.store(ms, std::memory_order_relaxed); }
+
+bool configure(const std::string& spec, std::uint64_t seed,
+               std::string* error) {
+  reset();
+  g_seed = seed;
+  if (spec.empty()) return true;
+  std::size_t pos = 0;
+  bool any = false;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) {
+      return fail(error, "faultinject: empty entry in spec '" + spec + "'");
+    }
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return fail(error, "faultinject: missing ':rate' in '" + entry + "'");
+    }
+    Site site = Site::kCount;
+    if (!parse_site(entry.substr(0, colon), site)) {
+      return fail(error,
+                  "faultinject: unknown site '" + entry.substr(0, colon) + "'");
+    }
+    std::string rate_text = entry.substr(colon + 1);
+    std::uint64_t max_fires = std::numeric_limits<std::uint64_t>::max();
+    const std::size_t at = rate_text.find('@');
+    if (at != std::string::npos) {
+      const std::string cap_text = rate_text.substr(at + 1);
+      rate_text = rate_text.substr(0, at);
+      char* end = nullptr;
+      max_fires = std::strtoull(cap_text.c_str(), &end, 10);
+      if (cap_text.empty() || end != cap_text.c_str() + cap_text.size()) {
+        return fail(error, "faultinject: bad fire cap '" + cap_text + "'");
+      }
+    }
+    char* end = nullptr;
+    const double rate = std::strtod(rate_text.c_str(), &end);
+    if (rate_text.empty() || end != rate_text.c_str() + rate_text.size() ||
+        rate < 0.0 || rate > 1.0) {
+      return fail(error, "faultinject: rate '" + rate_text +
+                             "' not a number in [0,1]");
+    }
+    SiteState& s = state(site);
+    s.threshold = rate >= 1.0 ? std::numeric_limits<std::uint64_t>::max()
+                              : static_cast<std::uint64_t>(
+                                    rate * 18446744073709551616.0 /* 2^64 */);
+    s.max_fires = max_fires;
+    any = any || rate > 0.0;
+  }
+  g_armed.store(any, std::memory_order_relaxed);
+  return true;
+}
+
+void configure_from_env() {
+  const char* spec = std::getenv("VINOC_FAULT");
+  const char* seed_text = std::getenv("VINOC_FAULT_SEED");
+  const char* stall_text = std::getenv("VINOC_FAULT_STALL_MS");
+  std::uint64_t seed = 1;
+  if (seed_text != nullptr) seed = std::strtoull(seed_text, nullptr, 10);
+  if (stall_text != nullptr) set_stall_ms(std::atoi(stall_text));
+  std::string error;
+  if (!configure(spec != nullptr ? spec : "", seed, &error)) {
+    throw std::invalid_argument(error);
+  }
+}
+
+bool should_fire(Site site) {
+  SiteState& s = state(site);
+  const std::uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed);
+  if (s.threshold == 0) return false;
+  if (s.threshold != std::numeric_limits<std::uint64_t>::max()) {
+    const std::uint64_t h = splitmix64(
+        g_seed * 0x2545f4914f6cdd1dull ^
+        (static_cast<std::uint64_t>(site) << 56) ^ hit);
+    if (h >= s.threshold) return false;
+  }
+  // Reserve a fire slot; losing the cap race means not firing.
+  std::uint64_t fired = s.fires.load(std::memory_order_relaxed);
+  do {
+    if (fired >= s.max_fires) return false;
+  } while (!s.fires.compare_exchange_weak(fired, fired + 1,
+                                          std::memory_order_relaxed));
+  return true;
+}
+
+void maybe_stall(Site site) {
+  if (!armed() || !should_fire(site)) return;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(g_stall_ms.load(std::memory_order_relaxed)));
+}
+
+std::uint64_t hit_count(Site site) {
+  return state(site).hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t fire_count(Site site) {
+  return state(site).fires.load(std::memory_order_relaxed);
+}
+
+}  // namespace vinoc::faultinject

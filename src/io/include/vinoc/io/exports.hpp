@@ -29,7 +29,8 @@ namespace vinoc::io {
 ///          avg_latency_cycles,max_latency_cycles,links,fifos,pareto
 [[nodiscard]] std::string design_points_to_csv(const core::SynthesisResult& result);
 
-/// Writes `text` to `path`; throws std::runtime_error on failure.
+/// Writes `text` to `path` atomically (temp file + rename, so a crash never
+/// leaves a torn file at `path`); throws std::runtime_error on failure.
 void write_file(const std::string& path, const std::string& text);
 
 }  // namespace vinoc::io

@@ -51,4 +51,33 @@ class JsonlWriter {
 [[nodiscard]] bool parse_jsonl_object(std::string_view line,
                                       std::map<std::string, std::string>& out);
 
+// --- Per-line checksums (durable store v2) ----------------------------------
+//
+// A checksummed line is the original flat object with one trailing
+// `"_crc":"<16 hex>"` field spliced in before the closing brace — still a
+// valid flat JSON line (parse_jsonl_object reads it; record parsers ignore
+// the extra key), so v2 stores stay greppable and hand-editable. The
+// checksum (FNV-1a 64 of the original line text) is what lets a recovery
+// pass tell a crash-torn or bit-rotted record from a good one.
+
+/// FNV-1a 64-bit over `bytes`.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// `{"a":1}` -> `{"a":1,"_crc":"<hex of fnv1a64 of the input>"}`. The input
+/// must be a one-line object (starts '{', ends '}').
+[[nodiscard]] std::string add_line_checksum(std::string_view line);
+
+enum class ChecksumStatus {
+  kOk,         ///< trailing _crc present and it matches the payload
+  kAbsent,     ///< well-formed line without a _crc field (legacy v1 store)
+  kMismatch,   ///< _crc present but wrong — torn or corrupted line
+  kMalformed,  ///< not even shaped like a JSON object line
+};
+
+/// Verifies and strips the trailing _crc field. On kOk/kAbsent,
+/// *payload_out (when non-null) receives the line without the checksum
+/// field — the exact text add_line_checksum was given.
+[[nodiscard]] ChecksumStatus verify_line_checksum(std::string_view line,
+                                                  std::string* payload_out);
+
 }  // namespace vinoc::io

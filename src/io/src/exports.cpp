@@ -1,10 +1,12 @@
 #include "vinoc/io/exports.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace vinoc::io {
 
@@ -163,10 +165,28 @@ std::string design_points_to_csv(const core::SynthesisResult& result) {
 }
 
 void write_file(const std::string& path, const std::string& text) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("write_file: cannot open " + path);
-  out << text;
-  if (!out) throw std::runtime_error("write_file: write failed for " + path);
+  // Atomic publish: write a sibling temp file, then rename over the target.
+  // A crash mid-write leaves either the old file or nothing at `path` —
+  // never a torn half-report that a later tool would read as truth.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("write_file: cannot open " + tmp);
+    out << text;
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error("write_file: write failed for " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("write_file: cannot rename " + tmp + " over " +
+                             path);
+  }
 }
 
 }  // namespace vinoc::io

@@ -185,4 +185,69 @@ bool parse_jsonl_object(std::string_view line,
   return i == line.size();
 }
 
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+constexpr std::string_view kCrcPrefix = ",\"_crc\":\"";
+constexpr std::size_t kCrcHexDigits = 16;
+
+std::string crc_hex(std::uint64_t h) {
+  char buf[kCrcHexDigits + 1];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+std::string add_line_checksum(std::string_view line) {
+  const std::string hex = crc_hex(fnv1a64(line));
+  std::string out(line.substr(0, line.size() - 1));  // drop closing '}'
+  // An empty object has no field to follow, so no separating comma.
+  out += line == "{}" ? std::string_view("\"_crc\":\"")
+                      : std::string_view(kCrcPrefix);
+  out += hex;
+  out += "\"}";
+  return out;
+}
+
+ChecksumStatus verify_line_checksum(std::string_view line,
+                                    std::string* payload_out) {
+  if (line.size() < 2 || line.front() != '{' || line.back() != '}') {
+    return ChecksumStatus::kMalformed;
+  }
+  // Suffix shape: ,"_crc":"<16 hex>"}  (or without the comma after "{").
+  const std::size_t suffix = kCrcPrefix.size() + kCrcHexDigits + 2;
+  std::string payload;
+  std::string_view hex;
+  if (line.size() >= suffix &&
+      line.substr(line.size() - suffix, kCrcPrefix.size()) == kCrcPrefix &&
+      line.substr(line.size() - 2) == "\"}") {
+    hex = line.substr(line.size() - kCrcHexDigits - 2, kCrcHexDigits);
+    payload = std::string(line.substr(0, line.size() - suffix)) + "}";
+  } else if (line.size() == suffix &&
+             line.substr(1, kCrcPrefix.size() - 1) == kCrcPrefix.substr(1)) {
+    hex = line.substr(kCrcPrefix.size(), kCrcHexDigits);
+    payload = "{}";
+  } else {
+    if (payload_out != nullptr) *payload_out = std::string(line);
+    return ChecksumStatus::kAbsent;
+  }
+  for (const char c : hex) {
+    const bool is_hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!is_hex) return ChecksumStatus::kMismatch;
+  }
+  if (crc_hex(fnv1a64(payload)) != hex) return ChecksumStatus::kMismatch;
+  if (payload_out != nullptr) *payload_out = std::move(payload);
+  return ChecksumStatus::kOk;
+}
+
 }  // namespace vinoc::io

@@ -484,6 +484,14 @@ TEST(CampaignEngine, ResumeSummarySerializationIsCanonical) {
       "delta_flows_certified",
       "delta_flows_rerouted",
       "delta_cert_rejects",
+      "retries",
+      "job_timeouts",
+      "quarantined_jobs",
+      "skipped_jobs",
+      "recovered_records",
+      "evicted_records",
+      "store_write_errors",
+      "interrupted",
       "delta_reuse_rate",
   };
   std::size_t pos = 0;

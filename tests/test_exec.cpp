@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "vinoc/exec/cancel.hpp"
 #include "vinoc/exec/ordered_drain.hpp"
 #include "vinoc/exec/parallel_for.hpp"
 #include "vinoc/exec/thread_pool.hpp"
@@ -327,6 +328,49 @@ TEST(Exec, SubmitRunsJobs) {
   // independent of that detail.
   while (pending.load() != 0) std::this_thread::yield();
   EXPECT_EQ(sum.load(), 120);
+}
+
+TEST(Exec, LeakedExceptionIsRecordedNotTerminate) {
+  // Inline path (no workers): the throwing job runs on the caller.
+  ThreadPool solo(1);
+  solo.submit([] { throw std::runtime_error("leaked inline"); });
+  ASSERT_NE(solo.worker_error(), nullptr);
+  EXPECT_THROW(std::rethrow_exception(solo.worker_error()),
+               std::runtime_error);
+
+  // Worker path: the pool records the first leak instead of terminating.
+  ThreadPool pool(4);
+  std::atomic<int> pending{2};
+  pool.submit([&pending] {
+    pending.fetch_sub(1);
+    throw std::runtime_error("leaked on worker");
+  });
+  pool.submit([&pending] { pending.fetch_sub(1); });
+  while (pending.load() != 0) std::this_thread::yield();
+  while (pool.worker_error() == nullptr) std::this_thread::yield();
+  EXPECT_THROW(std::rethrow_exception(pool.worker_error()),
+               std::runtime_error);
+}
+
+TEST(Exec, CancelTokenFlagDeadlineAndParentChain) {
+  CancelToken parent;
+  CancelToken child(&parent);
+  EXPECT_FALSE(child.cancelled());
+  EXPECT_NO_THROW(child.check("here"));
+
+  parent.cancel();  // propagates down the chain
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(child.flag_cancelled());
+  EXPECT_THROW(child.check("here"), CancelledError);
+
+  CancelToken expired;
+  expired.set_timeout(-1.0);  // already past
+  EXPECT_TRUE(expired.cancelled());
+  EXPECT_FALSE(expired.flag_cancelled());  // deadline, not explicit cancel
+
+  CancelToken open;
+  open.set_timeout(3600.0);
+  EXPECT_FALSE(open.cancelled());
 }
 
 }  // namespace

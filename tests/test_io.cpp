@@ -6,6 +6,7 @@
 
 #include "vinoc/core/synthesis.hpp"
 #include "vinoc/io/exports.hpp"
+#include "vinoc/io/jsonl.hpp"
 #include "vinoc/io/spec_format.hpp"
 #include "vinoc/soc/benchmarks.hpp"
 #include "vinoc/soc/islanding.hpp"
@@ -192,6 +193,85 @@ TEST(Exports, WriteFileRoundTrip) {
   EXPECT_EQ(content, "hello vinoc\n");
   std::remove(path.c_str());
   EXPECT_THROW(write_file("/nonexistent_dir_zzz/f.txt", "x"), std::runtime_error);
+}
+
+TEST(Exports, WriteFileIsAtomicOverExisting) {
+  // Overwriting goes through temp + rename: the old content is fully
+  // replaced and no .tmp litter survives a successful write.
+  const std::string path = ::testing::TempDir() + "/vinoc_io_atomic.txt";
+  write_file(path, "old old old old old\n");
+  write_file(path, "new\n");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "new\n");
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(Jsonl, ChecksumRoundTrip) {
+  const std::string line = "{\"a\":1,\"b\":\"x\"}";
+  const std::string stamped = add_line_checksum(line);
+  // Still a flat JSON object with a trailing _crc string field.
+  EXPECT_EQ(stamped.rfind(line.substr(0, line.size() - 1) + ",\"_crc\":\"", 0),
+            0u);
+  EXPECT_EQ(stamped.back(), '}');
+  std::string payload;
+  EXPECT_EQ(verify_line_checksum(stamped, &payload), ChecksumStatus::kOk);
+  EXPECT_EQ(payload, line);
+}
+
+TEST(Jsonl, ChecksumRoundTripEmptyObject) {
+  const std::string stamped = add_line_checksum("{}");
+  std::string payload;
+  EXPECT_EQ(verify_line_checksum(stamped, &payload), ChecksumStatus::kOk);
+  EXPECT_EQ(payload, "{}");
+}
+
+TEST(Jsonl, VerifyTreatsUnstampedLineAsAbsent) {
+  std::string payload;
+  EXPECT_EQ(verify_line_checksum("{\"a\":1}", &payload),
+            ChecksumStatus::kAbsent);
+  EXPECT_EQ(payload, "{\"a\":1}");  // v1 lines pass through verbatim
+}
+
+TEST(Jsonl, MalformedInputTable) {
+  const std::string good = add_line_checksum("{\"a\":1}");
+  struct Case {
+    const char* name;
+    std::string line;
+    ChecksumStatus expect;
+  };
+  std::string flipped_payload = good;
+  flipped_payload[2] = 'b';  // corrupt the payload, keep the shape
+  std::string flipped_crc = good;
+  flipped_crc[good.size() - 3] ^= 1;  // corrupt one hex digit
+  std::string nonhex_crc = good;
+  nonhex_crc[good.size() - 3] = 'Z';
+  const Case kCases[] = {
+      {"empty line", "", ChecksumStatus::kMalformed},
+      {"not json", "garbage", ChecksumStatus::kMalformed},
+      {"truncated mid-payload", good.substr(0, 4), ChecksumStatus::kMalformed},
+      {"truncated mid-crc", good.substr(0, good.size() - 5),
+       ChecksumStatus::kMalformed},
+      {"lone brace", "{", ChecksumStatus::kMalformed},
+      {"payload bit flip", flipped_payload, ChecksumStatus::kMismatch},
+      {"crc bit flip", flipped_crc, ChecksumStatus::kMismatch},
+      {"non-hex crc char", nonhex_crc, ChecksumStatus::kMismatch},
+      {"two lines concatenated (torn-tail append)", good + good,
+       ChecksumStatus::kMismatch},
+      {"over-long unstamped line",
+       "{\"a\":\"" + std::string(1 << 20, 'x') + "\"}", ChecksumStatus::kAbsent},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(verify_line_checksum(c.line, nullptr), c.expect) << c.name;
+  }
+}
+
+TEST(Jsonl, Fnv1a64MatchesReferenceVectors) {
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);    // offset basis
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);     // published vector
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 // `--strategy spec` (default) keeps the island assignment from the file;
 // `logical`/`comm` re-island the cores with the requested island count.
 // Run `vinoc` with no arguments for the full flag list and exit codes.
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +26,8 @@
 #include "vinoc/core/explore.hpp"
 #include "vinoc/core/shutdown_safety.hpp"
 #include "vinoc/core/synthesis.hpp"
+#include "vinoc/exec/cancel.hpp"
+#include "vinoc/faultinject/faultinject.hpp"
 #include "vinoc/io/exports.hpp"
 #include "vinoc/io/jsonl.hpp"
 #include "vinoc/io/obs_writers.hpp"
@@ -45,12 +48,27 @@ using namespace vinoc;
 // mistyped flag from a broken input file from an unsatisfiable request.
 enum ExitCode {
   kExitOk = 0,
-  kExitRuntime = 1,     // unexpected error while running
-  kExitUsage = 2,       // bad command line
-  kExitParse = 3,       // input file does not parse
-  kExitSpec = 4,        // input parses but is semantically invalid
-  kExitInfeasible = 5,  // valid input, but no feasible design exists
+  kExitRuntime = 1,      // unexpected error while running
+  kExitUsage = 2,        // bad command line
+  kExitParse = 3,        // input file does not parse
+  kExitSpec = 4,         // input parses but is semantically invalid
+  kExitInfeasible = 5,   // valid input, but no feasible design exists
+  kExitPartial = 6,      // campaign completed with quarantined/skipped jobs
+                         // or a degraded store — partial results on disk
+  kExitInterrupted = 7,  // stopped by SIGINT/SIGTERM; finished work flushed
 };
+
+/// The process-wide interrupt token. The signal handler only flips its
+/// atomic flag (async-signal-safe); every synthesis/campaign poll observes
+/// it, abandons in-flight work at the next candidate boundary and lets the
+/// command exit through the normal checkpoint-and-flush path. A second
+/// signal falls back to the default handler (hard kill).
+vinoc::exec::CancelToken g_interrupt;
+
+void handle_interrupt(int sig) {
+  g_interrupt.cancel();
+  std::signal(sig, SIG_DFL);
+}
 
 struct Args {
   std::string command;
@@ -70,6 +88,11 @@ struct Args {
   bool resume = false;
   bool no_timing = false;
   std::string cache_dir;
+  double job_timeout_s = 0.0;     // --job-timeout; 0 = none
+  int retries = 2;                // --retries
+  double retry_backoff_ms = 100;  // --retry-backoff
+  double deadline_s = 0.0;        // --deadline; 0 = none
+  std::uint64_t store_max_bytes = 0;  // --store-max-bytes; 0 = unlimited
   std::string out = "vinoc_out";
   std::string trace_path;    // --trace: Chrome trace_event JSON export
   std::string metrics_path;  // --metrics-out: registry + phase_profile JSONL
@@ -109,6 +132,16 @@ int usage() {
       "  --cache-dir DIR         content-hash store; re-runs skip cached jobs\n"
       "  --resume                serve jobs already in the store as cache hits\n"
       "  --no-timing             omit wall_ms from records (byte-exact diffs)\n"
+      "  --job-timeout SEC       per-job wall-clock timeout; a job past it is\n"
+      "                          quarantined with status \"timeout\" (0 = none)\n"
+      "  --retries N             retry attempts for transient job failures\n"
+      "                          before quarantine (default 2)\n"
+      "  --retry-backoff MS      base backoff between retries, exponential\n"
+      "                          with seeded jitter (default 100)\n"
+      "  --deadline SEC          whole-campaign budget; remaining jobs are\n"
+      "                          emitted with status \"skipped\" (0 = none)\n"
+      "  --store-max-bytes N     cap store.jsonl, evicting oldest records\n"
+      "                          (0 = unlimited)\n"
       "options (all commands):\n"
       "  --threads N             parallelism; 0 = all cores (default 0,\n"
       "                          bit-identical results for any N)\n"
@@ -124,7 +157,11 @@ int usage() {
       "exit codes:\n"
       "  0 success    1 runtime error      2 bad command line\n"
       "  3 input does not parse            4 input semantically invalid\n"
-      "  5 no feasible design (width infeasible or zero design points)\n");
+      "  5 no feasible design (width infeasible or zero design points)\n"
+      "  6 campaign completed with partial results (quarantined or skipped\n"
+      "    jobs, or the store degraded) — see failed.jsonl and resume_summary\n"
+      "  7 interrupted (SIGINT/SIGTERM or deadline in synth/sweep); finished\n"
+      "    work was checkpointed and flushed\n");
   return kExitUsage;
 }
 
@@ -186,6 +223,26 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.cache_dir = v;
+    } else if (flag == "--job-timeout") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.job_timeout_s = std::atof(v);
+    } else if (flag == "--retries") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.retries = std::atoi(v);
+    } else if (flag == "--retry-backoff") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.retry_backoff_ms = std::atof(v);
+    } else if (flag == "--deadline") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.deadline_s = std::atof(v);
+    } else if (flag == "--store-max-bytes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.store_max_bytes = std::strtoull(v, nullptr, 10);
     } else if (flag == "--scale") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -242,6 +299,7 @@ core::SynthesisOptions options_from(const Args& args) {
   options.allow_intermediate_island = args.intermediate;
   options.prune = args.prune;
   options.threads = args.threads;
+  options.cancel = &g_interrupt;
   if (args.progress) {
     options.on_progress = [](const core::SynthesisProgress& p) {
       std::fprintf(stderr, "\r  evaluating candidates: %zu/%zu", p.completed,
@@ -267,6 +325,7 @@ campaign::JobRecord record_for(const Args& args, const soc::SocSpec& spec,
   job.options = options;
   job.options.threads = 1;
   job.options.on_progress = nullptr;
+  job.options.cancel = nullptr;
   job.key = campaign::job_key(spec, job.options);
   return campaign::summarize(args.command, job, result);
 }
@@ -474,6 +533,12 @@ int cmd_campaign(const Args& args) {
   copt.cache_dir = args.cache_dir;
   copt.resume = args.resume;
   copt.include_timing = !args.no_timing;
+  copt.job_timeout_s = args.job_timeout_s;
+  copt.max_retries = args.retries;
+  copt.retry_backoff_ms = args.retry_backoff_ms;
+  copt.deadline_s = args.deadline_s;
+  copt.store_max_bytes = args.store_max_bytes;
+  copt.cancel = &g_interrupt;
 
   const std::string jsonl_path = args.out + ".jsonl";
   std::FILE* stream = std::fopen(jsonl_path.c_str(), "w");
@@ -550,6 +615,31 @@ int cmd_campaign(const Args& args) {
     std::fprintf(stderr, "campaign matrix expanded to zero jobs\n");
     return kExitSpec;
   }
+  // Degradation report + exit code: the campaign always completes with one
+  // record per job, but anything short of a full healthy run is surfaced
+  // both as a stderr line and a distinct exit code so scripts can branch.
+  if (result.retries() > 0 || result.quarantined_jobs() > 0 ||
+      result.skipped_jobs() > 0 || result.recovered_records() > 0 ||
+      result.evicted_records() > 0 || result.store_write_errors() > 0) {
+    std::fprintf(stderr,
+                 "robustness: %d retries, %d quarantined (%d timeouts), "
+                 "%d skipped, %d store records recovered, %d evicted, "
+                 "%d store write errors%s\n",
+                 result.retries(), result.quarantined_jobs(),
+                 result.job_timeouts(), result.skipped_jobs(),
+                 result.recovered_records(), result.evicted_records(),
+                 result.store_write_errors(),
+                 result.interrupted() ? " — interrupted" : "");
+  }
+  if (result.interrupted()) {
+    std::fprintf(stderr,
+                 "interrupted: finished work flushed; rerun with --resume\n");
+    return kExitInterrupted;
+  }
+  if (result.quarantined_jobs() > 0 || result.skipped_jobs() > 0 ||
+      result.store_write_errors() > 0) {
+    return kExitPartial;
+  }
   return kExitOk;
 }
 
@@ -577,6 +667,11 @@ int run_command(const Args& args) {
   } catch (const core::InfeasibleWidthError& e) {
     std::fprintf(stderr, "infeasible width: %s\n", e.what());
     return kExitInfeasible;
+  } catch (const exec::CancelledError&) {
+    // synth/sweep/sim/gate interrupted mid-synthesis (the campaign engine
+    // absorbs cancellation itself and exits through cmd_campaign).
+    std::fprintf(stderr, "interrupted\n");
+    return kExitInterrupted;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitRuntime;
@@ -590,10 +685,18 @@ int run_command(const Args& args) {
 /// artifacts existing — but never masks a command failure.
 int export_observability(const Args& args, int code) {
   if (!args.metrics_path.empty()) {
-    std::ofstream os(args.metrics_path);
-    for (const std::string& line : g_metric_lines) os << line << '\n';
-    os << io::phase_profile_record(obs::phase_totals()) << '\n';
-    if (!os) {
+    std::string text;
+    for (const std::string& line : g_metric_lines) {
+      text += line;
+      text += '\n';
+    }
+    text += io::phase_profile_record(obs::phase_totals());
+    text += '\n';
+    try {
+      // Atomic (temp + rename): a crash mid-export never leaves CI with a
+      // half-written metrics file.
+      io::write_file(args.metrics_path, text);
+    } catch (const std::exception&) {
       std::fprintf(stderr, "cannot write %s\n", args.metrics_path.c_str());
       if (code == kExitOk) code = kExitRuntime;
     }
@@ -613,6 +716,18 @@ int export_observability(const Args& args, int code) {
 int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) return usage();
+  // Graceful shutdown: first SIGINT/SIGTERM flips the cancel token and the
+  // run exits through checkpoint-and-flush; a second signal kills outright.
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+  // Deterministic fault injection (VINOC_FAULT / VINOC_FAULT_SEED /
+  // VINOC_FAULT_STALL_MS) for chaos testing; off unless the env asks.
+  try {
+    vinoc::faultinject::configure_from_env();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bad VINOC_FAULT: %s\n", e.what());
+    return kExitUsage;
+  }
   // Arm observability BEFORE any pool exists so worker threads register
   // their trace sinks; tracing/profiling never feed content hashes or
   // result fingerprints, so armed runs stay bit-identical to bare ones.
