@@ -83,6 +83,24 @@ struct CampaignOptions {
   /// 0 = unlimited. Applied to the engine-owned cache only — an external
   /// `cache` keeps whatever policy its owner set.
   std::uint64_t store_max_bytes = 0;
+
+  // --- Sharded execution (campaign-worker) ----------------------------------
+
+  /// When non-null, only expanded jobs whose content key appears in this
+  /// list run; the rest are dropped from the matrix entirely (no record,
+  /// no "skipped" — they belong to another shard). Keys that match no
+  /// expanded job are ignored. This is how a campaign-worker process owns
+  /// exactly its shard of the matrix while sharing all expansion logic.
+  const std::vector<std::uint64_t>* job_keys = nullptr;
+  /// Called right before a job starts COMPUTING (not for cache hits; every
+  /// member of a width group is announced when the group starts). Workers
+  /// heartbeat the in-flight key to the supervisor through this, so a
+  /// crash can be attributed to the job that was running. Called from pool
+  /// strands — must be thread-safe and cheap.
+  std::function<void(const CampaignJob&)> on_job_start;
+  /// Name of the failed-job quarantine ledger inside the cache dir.
+  /// Workers use "failed-<k>.jsonl" so shards never interleave appends.
+  std::string failed_file = "failed.jsonl";
 };
 
 struct CampaignResult {

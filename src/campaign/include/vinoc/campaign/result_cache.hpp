@@ -55,10 +55,13 @@ class ResultCache {
  public:
   /// Memory-only cache.
   ResultCache() = default;
-  /// Cache with an on-disk store under `dir` (created if missing). The
-  /// store is NOT loaded implicitly — call load_store() (the engine does so
-  /// for --resume runs).
-  explicit ResultCache(std::string dir);
+  /// Cache with an on-disk store under `dir` (created if missing).
+  /// `store_file` names the store inside `dir` — the default is the
+  /// canonical single-process store; sharded campaign workers pass
+  /// "store-<k>.jsonl" so N processes never append to one file. The store
+  /// is NOT loaded implicitly — call load_store() (the engine does so for
+  /// --resume runs).
+  explicit ResultCache(std::string dir, std::string store_file = "store.jsonl");
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -83,6 +86,14 @@ class ResultCache {
   /// bad lines, upgrades v1 lines, enforces the size cap, republishes the
   /// cleaned store atomically. Missing file = empty stats, not an error.
   StoreRecoveryStats load_store();
+  /// Loads records from ANOTHER store file (e.g. the canonical store.jsonl
+  /// while this cache appends to a shard store) into the memory record tier
+  /// only: they serve --resume hits but are never rewritten, evicted or
+  /// re-appended into this cache's own store. Lines that fail their
+  /// checksum or do not parse are skipped (the file's owner quarantines
+  /// them on ITS next recovery pass — this reader does not own it).
+  /// Returns the number of records loaded; a missing file loads zero.
+  std::size_t load_side_store(const std::string& path);
 
   /// On-disk size cap for store.jsonl, bytes; 0 (default) = unlimited.
   /// Enforced at load_store() and after every append, evicting OLDEST
@@ -113,6 +124,7 @@ class ResultCache {
 
   mutable std::mutex mutex_;
   std::string dir_;
+  std::string store_file_ = "store.jsonl";
   std::unordered_map<std::uint64_t, std::shared_ptr<const core::SynthesisResult>>
       results_;
   std::unordered_map<std::uint64_t, JobRecord> records_;

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "vinoc/campaign/spec_hash.hpp"
@@ -96,7 +97,20 @@ CampaignResult run_campaign(const CampaignSpec& spec,
   OBS_SPAN("run_campaign");
   const auto t_start = std::chrono::steady_clock::now();
   CampaignResult out;
-  const std::vector<CampaignJob> jobs = expand_jobs(spec, &out.expand);
+  std::vector<CampaignJob> jobs = expand_jobs(spec, &out.expand);
+  if (options.job_keys != nullptr) {
+    // Shard filter: keep only the jobs this process owns. Expansion ran in
+    // full above, so job names/ordering match every other shard and the
+    // supervisor can merge streams by global job order.
+    const std::unordered_set<std::uint64_t> mine(options.job_keys->begin(),
+                                                 options.job_keys->end());
+    std::vector<CampaignJob> kept;
+    kept.reserve(mine.size());
+    for (CampaignJob& job : jobs) {
+      if (mine.count(job.key) != 0) kept.push_back(std::move(job));
+    }
+    jobs = std::move(kept);
+  }
   out.records.reserve(jobs.size());
 
   ResultCache own_cache(options.cache != nullptr ? std::string()
@@ -131,7 +145,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     const std::lock_guard<std::mutex> lock(failed_mutex);
     if (!failed_out.is_open()) {
       failed_out.open(
-          (std::filesystem::path(cache.dir()) / "failed.jsonl").string(),
+          (std::filesystem::path(cache.dir()) / options.failed_file).string(),
           std::ios::app);
     }
     if (!failed_out) return;  // ledger I/O must never fail the campaign
@@ -315,6 +329,7 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     if (compute.size() == 1) {
       const std::size_t i = compute.front();
       const CampaignJob& job = jobs[i];
+      if (options.on_job_start) options.on_job_start(job);
       const auto t0 = std::chrono::steady_clock::now();
       std::shared_ptr<const core::SynthesisResult> result;
       const std::optional<JobFailure> failure =
@@ -347,6 +362,9 @@ CampaignResult run_campaign(const CampaignSpec& spec,
     // policy treats the whole group as one job (one timeout budget, one
     // retry counter; a group failure fails all its members).
     const CampaignJob& first = jobs[compute.front()];
+    if (options.on_job_start) {
+      for (const std::size_t i : compute) options.on_job_start(jobs[i]);
+    }
     std::vector<int> widths;
     widths.reserve(compute.size());
     for (const std::size_t i : compute) widths.push_back(jobs[i].width);

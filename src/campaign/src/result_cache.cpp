@@ -21,7 +21,8 @@ constexpr std::uint64_t kDegradeAfterErrors = 3;
 
 }  // namespace
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+ResultCache::ResultCache(std::string dir, std::string store_file)
+    : dir_(std::move(dir)), store_file_(std::move(store_file)) {
   if (!dir_.empty()) std::filesystem::create_directories(dir_);
 }
 
@@ -197,7 +198,11 @@ StoreRecoveryStats ResultCache::load_store() {
   if (!quarantined.empty()) {
     std::ofstream out(quarantine_path(), std::ios::app);
     if (out) {
-      for (const std::string& line : quarantined) out << line << '\n';
+      // Each rejected line rides inside a checksummed envelope so the
+      // quarantine ledger itself stays verifiable (vinoc store verify).
+      for (const std::string& line : quarantined) {
+        out << io::quarantine_envelope(line, "store recovery") << '\n';
+      }
     }
   }
   const std::size_t evicted_before = static_cast<std::size_t>(evicted_records_);
@@ -212,6 +217,37 @@ StoreRecoveryStats ResultCache::load_store() {
   return stats;
 }
 
+std::size_t ResultCache::load_side_store(const std::string& path) {
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return 0;
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t loaded = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    std::string payload;
+    const io::ChecksumStatus cs = io::verify_line_checksum(line, &payload);
+    JobRecord rec;
+    if ((cs != io::ChecksumStatus::kOk && cs != io::ChecksumStatus::kAbsent) ||
+        !record_from_jsonl(payload, rec)) {
+      continue;  // not ours to quarantine
+    }
+    // Memory tier only: deliberately NOT added to store_order_, so these
+    // records are never rewritten or evicted into this cache's own store.
+    if (records_.emplace(rec.key, std::move(rec)).second) ++loaded;
+  }
+  return loaded;
+}
+
 void ResultCache::set_store_max_bytes(std::uint64_t max_bytes) {
   const std::lock_guard<std::mutex> lock(mutex_);
   store_max_bytes_ = max_bytes;
@@ -219,7 +255,7 @@ void ResultCache::set_store_max_bytes(std::uint64_t max_bytes) {
 
 std::string ResultCache::store_path() const {
   if (dir_.empty()) return {};
-  return (std::filesystem::path(dir_) / "store.jsonl").string();
+  return (std::filesystem::path(dir_) / store_file_).string();
 }
 
 std::string ResultCache::quarantine_path() const {

@@ -37,10 +37,19 @@ enum class Site : int {
   kStoreWrite = 0,  ///< ResultCache::put_record disk append
   kEval,            ///< candidate evaluation (throws)
   kEvalStall,       ///< candidate evaluation (sleeps, for kill-window tests)
+  kShardCrash,      ///< campaign worker: SIGKILLs itself at a job start —
+                    ///< simulates a hard crash (OOM kill, segfault) for the
+                    ///< shard supervisor's respawn/reassign machinery
+  kShardStall,      ///< campaign worker: stalls at a job start without any
+                    ///< cooperative cancel poll — only the supervisor's
+                    ///< heartbeat watchdog can reclaim the shard
+  kHeartbeatDrop,   ///< campaign worker: swallows one status line — tests
+                    ///< the supervisor's tolerance of lost heartbeats
   kCount
 };
 
-/// Canonical spec name of a site ("store_write", "eval", "eval_stall").
+/// Canonical spec name of a site ("store_write", "eval", "eval_stall",
+/// "shard_crash", "shard_stall", "heartbeat_drop").
 [[nodiscard]] const char* site_name(Site site);
 
 /// True once any site has a non-zero rate (one relaxed atomic load).

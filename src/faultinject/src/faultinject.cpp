@@ -58,6 +58,9 @@ const char* site_name(Site site) {
     case Site::kStoreWrite: return "store_write";
     case Site::kEval: return "eval";
     case Site::kEvalStall: return "eval_stall";
+    case Site::kShardCrash: return "shard_crash";
+    case Site::kShardStall: return "shard_stall";
+    case Site::kHeartbeatDrop: return "heartbeat_drop";
     case Site::kCount: break;
   }
   return "?";

@@ -80,4 +80,13 @@ enum class ChecksumStatus {
 [[nodiscard]] ChecksumStatus verify_line_checksum(std::string_view line,
                                                   std::string* payload_out);
 
+/// Canonical envelope for a REJECTED line bound for a quarantine ledger:
+/// `{"quarantined":"<escaped original bytes>","reason":"...","_crc":...}`.
+/// The original line is usually torn or corrupt — not valid JSON — so it
+/// rides as an escaped string inside a fresh checksummed object; the ledger
+/// itself stays verifiable line by line (every side ledger carries _crc,
+/// same as the store).
+[[nodiscard]] std::string quarantine_envelope(std::string_view line,
+                                              std::string_view reason);
+
 }  // namespace vinoc::io

@@ -1,0 +1,63 @@
+// Wire framing for sharded campaigns: the status lines a campaign worker
+// streams to its supervisor over a pipe, and the on-disk shard manifest the
+// supervisor hands each worker.
+//
+// STATUS LINES are flat checksummed JSONL (the repo-wide JsonlWriter format
+// plus add_line_checksum), one event per line:
+//
+//   {"ev":"start","key":"<16 hex>","_crc":"..."}          job began computing
+//   {"ev":"done","key":"...","rec":"<escaped record JSONL>","_crc":"..."}
+//   {"ev":"summary","metrics":"<escaped registry record>","_crc":"..."}
+//
+// The embedded record/registry line rides as an ESCAPED STRING field, so the
+// envelope stays a flat object the shared parser reads. Every line is
+// written with a single write(2) well under PIPE_BUF, so lines from a worker
+// killed mid-stream are either whole or missing — never interleaved — and a
+// torn final line fails its checksum instead of parsing as garbage. The
+// supervisor treats any undecodable line as a dropped heartbeat (counted,
+// tolerated): the merger re-derives ground truth from the shard stores.
+//
+// The MANIFEST is one checksummed line per assigned job key, in campaign job
+// order. Workers reject a manifest with a bad line (a torn manifest must not
+// silently shrink a shard's assignment).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vinoc::io {
+
+enum class ShardEventType {
+  kStart,    ///< worker began computing the job with `key`
+  kDone,     ///< job finished; `payload` is the JobRecord JSONL line
+  kSummary,  ///< worker is about to exit; `payload` is its metrics record
+};
+
+struct ShardEvent {
+  ShardEventType type = ShardEventType::kStart;
+  std::uint64_t key = 0;  ///< job key (start/done)
+  std::string payload;    ///< record line (done) / registry record (summary)
+};
+
+/// One status line, checksummed, no trailing newline.
+[[nodiscard]] std::string encode_shard_event(const ShardEvent& event);
+
+/// Decodes one status line. nullopt on a torn/corrupt/unknown line — the
+/// supervisor counts it as a dropped heartbeat and moves on.
+[[nodiscard]] std::optional<ShardEvent> decode_shard_event(
+    const std::string& line);
+
+/// Writes `keys` as a manifest file (atomic temp + rename). Returns false
+/// when the file cannot be written.
+[[nodiscard]] bool write_shard_manifest(const std::string& path,
+                                        const std::vector<std::uint64_t>& keys);
+
+/// Reads a manifest written by write_shard_manifest. Returns nullopt when
+/// the file is missing, any line fails its checksum, or any key is
+/// malformed — a worker must run its exact assignment or nothing.
+[[nodiscard]] std::optional<std::vector<std::uint64_t>> read_shard_manifest(
+    const std::string& path);
+
+}  // namespace vinoc::io

@@ -250,4 +250,11 @@ ChecksumStatus verify_line_checksum(std::string_view line,
   return ChecksumStatus::kOk;
 }
 
+std::string quarantine_envelope(std::string_view line, std::string_view reason) {
+  JsonlWriter w;
+  w.field("quarantined", line);
+  w.field("reason", reason);
+  return add_line_checksum(w.line());
+}
+
 }  // namespace vinoc::io

@@ -1,0 +1,148 @@
+#include "vinoc/io/shard_wire.hpp"
+
+#include <fstream>
+#include <map>
+
+#include "vinoc/io/exports.hpp"
+#include "vinoc/io/jsonl.hpp"
+
+namespace vinoc::io {
+
+namespace {
+
+// Local 16-hex-digit key spelling. campaign::key_hex is the same format,
+// but io sits below campaign in the module graph and cannot link it.
+std::string hex16(std::uint64_t key) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[key & 0xF];
+    key >>= 4;
+  }
+  return out;
+}
+
+bool hex16_parse(const std::string& text, std::uint64_t& key) {
+  if (text.size() != 16) return false;
+  key = 0;
+  for (const char c : text) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    key = (key << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return true;
+}
+
+const char* event_name(ShardEventType type) {
+  switch (type) {
+    case ShardEventType::kStart: return "start";
+    case ShardEventType::kDone: return "done";
+    case ShardEventType::kSummary: return "summary";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string encode_shard_event(const ShardEvent& event) {
+  JsonlWriter w;
+  w.field("ev", event_name(event.type));
+  switch (event.type) {
+    case ShardEventType::kStart:
+      w.field("key", hex16(event.key));
+      break;
+    case ShardEventType::kDone:
+      w.field("key", hex16(event.key));
+      w.field("rec", event.payload);
+      break;
+    case ShardEventType::kSummary:
+      w.field("metrics", event.payload);
+      break;
+  }
+  return add_line_checksum(w.line());
+}
+
+std::optional<ShardEvent> decode_shard_event(const std::string& line) {
+  std::string payload;
+  if (verify_line_checksum(line, &payload) != ChecksumStatus::kOk) {
+    return std::nullopt;  // torn, corrupt, or not one of ours
+  }
+  std::map<std::string, std::string> obj;
+  if (!parse_jsonl_object(payload, obj)) return std::nullopt;
+  const auto ev = obj.find("ev");
+  if (ev == obj.end()) return std::nullopt;
+  ShardEvent out;
+  if (ev->second == "start" || ev->second == "done") {
+    const auto key = obj.find("key");
+    if (key == obj.end() || !hex16_parse(key->second, out.key)) {
+      return std::nullopt;
+    }
+    if (ev->second == "start") {
+      out.type = ShardEventType::kStart;
+      return out;
+    }
+    const auto rec = obj.find("rec");
+    if (rec == obj.end()) return std::nullopt;
+    out.type = ShardEventType::kDone;
+    out.payload = rec->second;
+    return out;
+  }
+  if (ev->second == "summary") {
+    const auto metrics = obj.find("metrics");
+    if (metrics == obj.end()) return std::nullopt;
+    out.type = ShardEventType::kSummary;
+    out.payload = metrics->second;
+    return out;
+  }
+  return std::nullopt;
+}
+
+bool write_shard_manifest(const std::string& path,
+                          const std::vector<std::uint64_t>& keys) {
+  std::string text;
+  for (const std::uint64_t key : keys) {
+    JsonlWriter w;
+    w.field("key", hex16(key));
+    text += add_line_checksum(w.line());
+    text += '\n';
+  }
+  try {
+    write_file(path, text);  // atomic temp + rename
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::uint64_t>> read_shard_manifest(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<std::uint64_t> keys;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string payload;
+    if (verify_line_checksum(line, &payload) != ChecksumStatus::kOk) {
+      return std::nullopt;
+    }
+    std::map<std::string, std::string> obj;
+    std::uint64_t key = 0;
+    const auto parse_key = [&]() {
+      if (!parse_jsonl_object(payload, obj)) return false;
+      const auto it = obj.find("key");
+      return it != obj.end() && hex16_parse(it->second, key);
+    };
+    if (!parse_key()) return std::nullopt;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace vinoc::io

@@ -4,9 +4,11 @@
 // a campaign under injected faults always COMPLETES, one record per job.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -232,6 +234,36 @@ TEST_F(FaultInject, PreCancelledTokenReportsInterrupted) {
   }
   EXPECT_EQ(result.skipped_jobs(), 4);
   EXPECT_TRUE(result.interrupted());
+}
+
+TEST_F(FaultInject, CancelMidCohortYieldsExactlyOneRecordPerJob) {
+  // Token chaining under NESTED fan-outs: the campaign fans out over
+  // structure groups, each group's synthesize_width_set fans out over
+  // candidates on the same pool. Cancelling the PARENT token while the
+  // first cohort is mid-flight must reach the nested sweep through the
+  // chain, abandon it at a candidate boundary, and still leave exactly one
+  // record per job — never zero (lost) or two (replayed).
+  const campaign::CampaignSpec spec = tiny_campaign();
+  exec::CancelToken interrupt;
+  campaign::CampaignOptions opt = fast_options();
+  opt.threads = 2;
+  opt.cancel = &interrupt;
+  std::atomic<int> started{0};
+  opt.on_job_start = [&](const campaign::CampaignJob&) {
+    if (started.fetch_add(1) == 0) interrupt.cancel();
+  };
+  const campaign::CampaignResult result = campaign::run_campaign(spec, opt);
+
+  ASSERT_EQ(result.records.size(), 4u);
+  std::set<std::uint64_t> keys;
+  for (const campaign::JobRecord& rec : result.records) {
+    EXPECT_TRUE(keys.insert(rec.key).second) << "duplicate record " << rec.job;
+    EXPECT_TRUE(rec.status == "ok" || rec.status == "skipped") << rec.status;
+  }
+  EXPECT_TRUE(result.interrupted());
+  EXPECT_EQ(result.quarantined_jobs(), 0);
+  EXPECT_GE(result.skipped_jobs(), 1);
+  EXPECT_EQ(result.jobs_run() + result.skipped_jobs(), 4);
 }
 
 TEST_F(FaultInject, StallSiteSleepsWithoutFailing) {

@@ -182,6 +182,44 @@ TEST(StoreRecovery, SizeCapEvictsOldestFirst) {
   fs::remove_all(dir);
 }
 
+TEST(StoreRecovery, EvictionThenTornTailRecoversCleanly) {
+  // The crash-after-eviction composition: a size-capped store that has
+  // already evicted records loses the tail of its final line (power cut
+  // mid-append), and the next open must recover without touching the
+  // surviving capped records.
+  const fs::path dir = fresh_dir("vinoc_store_cap_torn_test");
+  const std::string one_line =
+      io::add_line_checksum(record_to_jsonl(fake_record(0)));
+  {
+    ResultCache cache(dir.string());
+    cache.set_store_max_bytes(4 * (one_line.size() + 1) + 8);
+    for (int i = 0; i < 10; ++i) cache.put_record(fake_record(i));
+    ASSERT_GT(cache.evicted_records(), 0u);
+  }
+  fs::resize_file(dir / "store.jsonl", fs::file_size(dir / "store.jsonl") - 5);
+
+  ResultCache reopened(dir.string());
+  const StoreRecoveryStats stats = reopened.load_store();
+  EXPECT_EQ(stats.recovered, 1u);  // the torn final record
+  EXPECT_TRUE(stats.rewritten);
+  EXPECT_EQ(stats.loaded, 3u);  // the other records the cap had kept
+  EXPECT_FALSE(reopened.find_record(fake_record(9).key).has_value());
+  EXPECT_TRUE(reopened.find_record(fake_record(8).key).has_value());
+  // The republished store is fully healthy again...
+  for (const std::string& line : store_lines(reopened)) {
+    EXPECT_EQ(io::verify_line_checksum(line, nullptr),
+              io::ChecksumStatus::kOk);
+  }
+  // ...and the torn bytes sit in the quarantine ledger, themselves inside a
+  // checksummed envelope.
+  std::ifstream qin(dir / "store.quarantine.jsonl");
+  std::string qline;
+  ASSERT_TRUE(std::getline(qin, qline));
+  EXPECT_EQ(io::verify_line_checksum(qline, nullptr), io::ChecksumStatus::kOk);
+  EXPECT_NE(qline.find("store recovery"), std::string::npos);
+  fs::remove_all(dir);
+}
+
 TEST(StoreRecovery, DuplicateKeysOnDiskCollapseToOne) {
   const fs::path dir = fresh_dir("vinoc_store_dup_test");
   fs::create_directories(dir);

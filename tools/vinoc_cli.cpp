@@ -5,22 +5,35 @@
 //   vinoc sim       <spec.soc>      traffic-simulate the best-power design
 //   vinoc gate      <spec.soc>      shutdown/transition accounting
 //   vinoc campaign  <file.campaign> batched multi-scenario synthesis
+//                                   (--shards N = multi-process supervisor)
+//   vinoc campaign-worker <file>    one shard of a sharded campaign
+//                                   (spawned by the supervisor, not by hand)
+//   vinoc store     verify|merge    inspect / merge a campaign store family
 //
 // `--strategy spec` (default) keeps the island assignment from the file;
 // `logical`/`comm` re-island the cores with the requested island count.
 // Run `vinoc` with no arguments for the full flag list and exit codes.
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "vinoc/campaign/campaign_spec.hpp"
 #include "vinoc/campaign/engine.hpp"
 #include "vinoc/campaign/report.hpp"
+#include "vinoc/campaign/result_cache.hpp"
+#include "vinoc/campaign/shard.hpp"
+#include "vinoc/campaign/shard_merge.hpp"
+#include "vinoc/campaign/shard_supervisor.hpp"
 #include "vinoc/campaign/spec_hash.hpp"
 #include "vinoc/core/deadlock.hpp"
 #include "vinoc/core/explore.hpp"
@@ -31,6 +44,7 @@
 #include "vinoc/io/exports.hpp"
 #include "vinoc/io/jsonl.hpp"
 #include "vinoc/io/obs_writers.hpp"
+#include "vinoc/io/shard_wire.hpp"
 #include "vinoc/io/spec_format.hpp"
 #include "vinoc/obs/profile.hpp"
 #include "vinoc/obs/registry.hpp"
@@ -93,6 +107,11 @@ struct Args {
   double retry_backoff_ms = 100;  // --retry-backoff
   double deadline_s = 0.0;        // --deadline; 0 = none
   std::uint64_t store_max_bytes = 0;  // --store-max-bytes; 0 = unlimited
+  int shards = 1;                 // --shards; >1 = multi-process supervisor
+  int shard = -1;                 // --shard; campaign-worker's shard id
+  int max_respawns = 2;           // --max-respawns (per worker slot)
+  int crash_retries = 1;          // --crash-retries (per job)
+  std::string self_exe;           // argv[0], for spawning campaign-workers
   std::string out = "vinoc_out";
   std::string trace_path;    // --trace: Chrome trace_event JSON export
   std::string metrics_path;  // --metrics-out: registry + phase_profile JSONL
@@ -116,6 +135,10 @@ int usage() {
       "  gate <spec.soc>         shutdown-savings + wake-up accounting\n"
       "  campaign <file>         batched multi-scenario synthesis (job matrix\n"
       "                          x cache x streaming JSONL report)\n"
+      "  store <verify|merge> <cache-dir>\n"
+      "                          verify: validate store/ledger checksums and\n"
+      "                          duplicate keys; merge: union shard stores\n"
+      "                          (store-<k>.jsonl) into the canonical store\n"
       "\n"
       "options (synth/sweep/sim/gate):\n"
       "  --islands N             re-island into N voltage islands\n"
@@ -142,6 +165,15 @@ int usage() {
       "                          emitted with status \"skipped\" (0 = none)\n"
       "  --store-max-bytes N     cap store.jsonl, evicting oldest records\n"
       "                          (0 = unlimited)\n"
+      "  --shards N              run the matrix across N supervised worker\n"
+      "                          processes (requires --cache-dir); crashed or\n"
+      "                          stalled workers are respawned, their shard\n"
+      "                          stores merged back into store.jsonl\n"
+      "  --max-respawns N        respawns per worker slot before its leftover\n"
+      "                          jobs are reassigned (default 2)\n"
+      "  --crash-retries N       times a job may be in flight during a worker\n"
+      "                          crash before it is quarantined as the cause\n"
+      "                          (default 1)\n"
       "options (all commands):\n"
       "  --threads N             parallelism; 0 = all cores (default 0,\n"
       "                          bit-identical results for any N)\n"
@@ -167,6 +199,7 @@ int usage() {
 
 bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 3) return false;
+  args.self_exe = argv[0];
   args.command = argv[1];
   args.spec_path = argv[2];
   for (int i = 3; i < argc; ++i) {
@@ -243,6 +276,27 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.store_max_bytes = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.shards = std::atoi(v);
+    } else if (flag == "--shard") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.shard = std::atoi(v);
+    } else if (flag == "--max-respawns") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.max_respawns = std::atoi(v);
+    } else if (flag == "--crash-retries") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.crash_retries = std::atoi(v);
+    } else if (args.command == "store" && flag.rfind("--", 0) != 0 &&
+               args.cache_dir.empty()) {
+      // `vinoc store <verify|merge> <cache-dir>` — the dir rides as the one
+      // positional (also reachable as --cache-dir for symmetry).
+      args.cache_dir = flag;
     } else if (flag == "--scale") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -511,11 +565,171 @@ int cmd_gate(const Args& args, const soc::SocSpec& spec) {
   return kExitOk;
 }
 
+// --- campaign-worker: one shard of a sharded campaign -----------------------
+
+/// One status line, one write(2): under PIPE_BUF the write is atomic, so a
+/// worker killed mid-stream tears at line granularity — the supervisor sees
+/// whole lines or nothing, never interleaved fragments.
+void emit_status_line(const io::ShardEvent& event) {
+  using faultinject::Site;
+  if (faultinject::armed() &&
+      faultinject::should_fire(Site::kHeartbeatDrop)) {
+    return;  // injected heartbeat loss — the shard store still has the truth
+  }
+  const std::string line = io::encode_shard_event(event) + "\n";
+  const ssize_t n = ::write(STDOUT_FILENO, line.data(), line.size());
+  (void)n;  // a closed pipe means the supervisor is gone; nothing to report to
+}
+
+/// `vinoc campaign-worker <file.campaign> --cache-dir D --shard K` — spawned
+/// by the supervisor, not meant for direct use. Reads its assignment from
+/// <cache>/shards/<k>.manifest, appends to its private store-<k>.jsonl /
+/// failed-<k>.jsonl, and streams checksummed status lines on stdout. The
+/// engine always runs with resume=true against the shard store, so a
+/// RESPAWNED worker re-serves its predecessor's finished jobs as cache hits
+/// and recomputes only what was never recorded.
+int cmd_campaign_worker(const Args& args) {
+  if (args.cache_dir.empty() || args.shard < 0) {
+    std::fprintf(stderr,
+                 "campaign-worker needs --cache-dir and --shard (it is "
+                 "spawned by `vinoc campaign --shards N`)\n");
+    return kExitUsage;
+  }
+  const campaign::CampaignParseResult parsed =
+      campaign::parse_campaign_spec_file(args.spec_path);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "failed to parse %s\n", args.spec_path.c_str());
+    return kExitParse;
+  }
+  const std::optional<std::vector<std::uint64_t>> manifest =
+      io::read_shard_manifest(
+          campaign::shard_manifest_path(args.cache_dir, args.shard));
+  if (!manifest.has_value()) {
+    // A torn manifest must not silently shrink the shard's assignment.
+    std::fprintf(stderr, "shard %d: manifest missing or corrupt\n", args.shard);
+    return kExitSpec;
+  }
+
+  campaign::ResultCache cache(args.cache_dir,
+                              campaign::shard_store_file(args.shard));
+  if (args.resume) {
+    // Canonical-store records serve as hits but live in the memory tier
+    // only — this shard's store never absorbs another run's records.
+    cache.load_side_store(args.cache_dir + "/store.jsonl");
+  }
+
+  campaign::CampaignOptions copt;
+  copt.threads = args.threads;
+  copt.cache = &cache;
+  copt.resume = true;
+  copt.include_timing = !args.no_timing;
+  copt.job_timeout_s = args.job_timeout_s;
+  copt.max_retries = args.retries;
+  copt.retry_backoff_ms = args.retry_backoff_ms;
+  copt.deadline_s = args.deadline_s;
+  copt.cancel = &g_interrupt;
+  copt.job_keys = &manifest.value();
+  copt.failed_file = campaign::shard_failed_file(args.shard);
+  copt.on_job_start = [](const campaign::CampaignJob& job) {
+    io::ShardEvent ev;
+    ev.type = io::ShardEventType::kStart;
+    ev.key = job.key;
+    // The heartbeat goes out BEFORE the crash/stall sites so the supervisor
+    // can attribute what follows to this job.
+    emit_status_line(ev);
+    using faultinject::Site;
+    if (faultinject::armed()) {
+      if (faultinject::should_fire(Site::kShardCrash)) {
+        ::kill(::getpid(), SIGKILL);  // simulated hard crash (OOM, segfault)
+      }
+      faultinject::maybe_stall(Site::kShardStall);
+    }
+  };
+  copt.on_record = [&args](const campaign::JobRecord& rec) {
+    io::ShardEvent ev;
+    ev.type = io::ShardEventType::kDone;
+    ev.key = rec.key;
+    ev.payload = campaign::record_to_jsonl(rec, !args.no_timing);
+    emit_status_line(ev);
+  };
+
+  campaign::CampaignResult result;
+  try {
+    result = campaign::run_campaign(parsed.spec, copt);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "invalid campaign: %s\n", e.what());
+    return kExitSpec;
+  }
+  io::ShardEvent summary;
+  summary.type = io::ShardEventType::kSummary;
+  summary.payload = io::registry_record("", result.metrics);
+  emit_status_line(summary);
+  if (result.interrupted()) return kExitInterrupted;
+  if (result.quarantined_jobs() > 0 || result.skipped_jobs() > 0 ||
+      result.store_write_errors() > 0) {
+    return kExitPartial;
+  }
+  // An empty assignment (every job already in the store) is a healthy no-op.
+  return kExitOk;
+}
+
+// --- store: inspect / merge a campaign store family --------------------------
+
+int cmd_store(const Args& args) {
+  const std::string& verb = args.spec_path;
+  if (args.cache_dir.empty()) {
+    std::fprintf(stderr, "store %s: missing <cache-dir>\n", verb.c_str());
+    return kExitUsage;
+  }
+  if (verb == "verify") {
+    const campaign::VerifyStats stats = campaign::verify_stores(args.cache_dir);
+    std::printf("%s\n", stats.summary().c_str());
+    return stats.clean() ? kExitOk : kExitPartial;
+  }
+  if (verb == "merge") {
+    const campaign::MergeStats stats =
+        campaign::merge_shard_stores(args.cache_dir, nullptr);
+    if (!stats.ok) {
+      std::fprintf(stderr, "store merge failed: %s\n", stats.error.c_str());
+      return kExitRuntime;
+    }
+    std::printf("store merge: %zu shard stores -> %zu records "
+                "(%zu duplicates, %zu conflicts, %zu quarantined)\n",
+                stats.shard_files, stats.merged_records, stats.duplicates,
+                stats.conflicts, stats.quarantined);
+    return (stats.conflicts > 0 || stats.quarantined > 0) ? kExitPartial
+                                                          : kExitOk;
+  }
+  std::fprintf(stderr, "unknown store verb '%s' (verify|merge)\n",
+               verb.c_str());
+  return kExitUsage;
+}
+
+// --- campaign (single-process engine or sharded supervisor) ------------------
+
+/// The binary to exec as campaign-worker: this very image. /proc/self/exe
+/// survives PATH games and cwd changes; argv[0] is the fallback elsewhere.
+std::string self_exe_path(const std::string& fallback) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return std::string(buf);
+  }
+  return fallback;
+}
+
 int cmd_campaign(const Args& args) {
   if (args.resume && args.cache_dir.empty()) {
     // Without a store there is nothing to resume from; erroring beats
     // silently recomputing the whole matrix.
     std::fprintf(stderr, "--resume requires --cache-dir\n");
+    return kExitUsage;
+  }
+  if (args.shards > 1 && args.cache_dir.empty()) {
+    std::fprintf(stderr,
+                 "--shards requires --cache-dir (shard manifests and stores "
+                 "live there)\n");
     return kExitUsage;
   }
   const campaign::CampaignParseResult parsed =
@@ -561,9 +775,30 @@ int cmd_campaign(const Args& args) {
     }
   };
 
+  const bool sharded = args.shards > 1;
   campaign::CampaignResult result;
+  campaign::MergeStats merge;
   try {
-    result = campaign::run_campaign(parsed.spec, copt);
+    if (sharded) {
+      campaign::ShardCampaignOptions sopt;
+      sopt.base = copt;
+      sopt.shards = args.shards;
+      sopt.worker_exe = self_exe_path(args.self_exe);
+      sopt.spec_path = args.spec_path;
+      // Split a --threads budget across the workers; 0 lets each worker
+      // size itself (N x hardware concurrency — fine for chaos tests, rude
+      // for shared machines, exactly like -j without an argument).
+      sopt.worker_threads =
+          args.threads > 0 ? std::max(1, args.threads / args.shards) : 0;
+      sopt.max_respawns = args.max_respawns;
+      sopt.crash_retries = args.crash_retries;
+      campaign::ShardCampaignResult sres =
+          campaign::run_sharded_campaign(parsed.spec, sopt);
+      result = std::move(sres.campaign);
+      merge = sres.merge;
+    } else {
+      result = campaign::run_campaign(parsed.spec, copt);
+    }
   } catch (const std::invalid_argument& e) {
     std::fclose(stream);
     std::fprintf(stderr, "invalid campaign: %s\n", e.what());
@@ -631,13 +866,32 @@ int cmd_campaign(const Args& args) {
                  result.store_write_errors(),
                  result.interrupted() ? " — interrupted" : "");
   }
+  if (sharded) {
+    const auto sv = [&result](const char* name) {
+      return static_cast<long long>(result.metrics.value(name));
+    };
+    std::fprintf(
+        stderr,
+        "shards: %lld planned, %lld workers spawned, %lld crashes, "
+        "%lld respawns, %lld reassigned, %lld fallback, %lld heartbeat "
+        "drops; merge: %zu shard stores -> %zu records (%zu duplicates, "
+        "%zu conflicts, %zu quarantined)%s%s\n",
+        sv("shards"), sv("workers_spawned"), sv("worker_crashes"),
+        sv("worker_respawns"), sv("reassigned_jobs"), sv("fallback_jobs"),
+        sv("heartbeat_drops"), merge.shard_files, merge.merged_records,
+        merge.duplicates, merge.conflicts, merge.quarantined,
+        merge.ok ? "" : " — MERGE FAILED: ",
+        merge.ok ? "" : merge.error.c_str());
+  }
   if (result.interrupted()) {
     std::fprintf(stderr,
                  "interrupted: finished work flushed; rerun with --resume\n");
     return kExitInterrupted;
   }
   if (result.quarantined_jobs() > 0 || result.skipped_jobs() > 0 ||
-      result.store_write_errors() > 0) {
+      result.store_write_errors() > 0 ||
+      (sharded &&
+       (!merge.ok || merge.conflicts > 0 || merge.quarantined > 0))) {
     return kExitPartial;
   }
   return kExitOk;
@@ -646,6 +900,8 @@ int cmd_campaign(const Args& args) {
 int run_command(const Args& args) {
   try {
     if (args.command == "campaign") return cmd_campaign(args);
+    if (args.command == "campaign-worker") return cmd_campaign_worker(args);
+    if (args.command == "store") return cmd_store(args);
     if (args.command != "synth" && args.command != "sweep" &&
         args.command != "sim" && args.command != "gate") {
       return usage();
